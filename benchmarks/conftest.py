@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark module regenerates one paper artifact (a figure's
+printed output or Table I), asserts the reproduced result, and times
+the pipeline on the paper's instance and on scaled synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.scenarios import deptstore
+from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+
+
+@pytest.fixture(scope="session")
+def paper_instance():
+    """The two-department instance printed in Section I-A."""
+    return deptstore.source_instance()
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """~10× the paper's instance."""
+    return make_deptstore_instance(
+        DeptstoreSpec(departments=10, projects_per_dept=4, employees_per_dept=12)
+    )
+
+
+@pytest.fixture(scope="session")
+def large_workload():
+    """~100× the paper's instance."""
+    return make_deptstore_instance(
+        DeptstoreSpec(departments=50, projects_per_dept=8, employees_per_dept=40)
+    )
+
+
+def report(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured table under the benchmark output."""
+    width = max(len(r[0]) for r in rows)
+    print(f"\n== {title}")
+    print(f"   {'artifact'.ljust(width)}  {'paper':>28}  measured")
+    for name, paper, measured in rows:
+        print(f"   {name.ljust(width)}  {paper:>28}  {measured}")

@@ -1,0 +1,115 @@
+"""Design-choice ablations (DESIGN.md §5) beyond the per-figure benches.
+
+* **chase on/off** — without chasing over the ``@pid`` constraint, the
+  ``{dept-regEmp}`` tableau never joins projects in, and Clio's Section
+  V-A mapping loses its join condition: measurably different output and
+  different generation cost;
+* **generation at scale** — tableau/skeleton computation over wide and
+  deep synthetic schemas (the paper's future-work concern: "users …
+  could be overwhelmed by schema complexity").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.mapping import ValueMapping
+from repro.executor import execute
+from repro.generation import compute_tableaux, generate_clio, generate_clip
+from repro.scenarios import deptstore
+from repro.xsd.dsl import attr, elem, schema
+from repro.xsd.schema import ElementDecl, Schema
+from repro.xsd.types import STRING
+
+
+def _value_mapping(source, target):
+    return [
+        ValueMapping(
+            [source.value("dept/regEmp/ename/value")],
+            target.value("department/employee/@name"),
+        )
+    ]
+
+
+class TestChaseAblation:
+    def test_chase_controls_the_join(self, paper_instance):
+        source = deptstore.source_schema()
+        target = deptstore.target_schema_departments()
+        vms = _value_mapping(source, target)
+        with_chase = generate_clio(source, target, vms)
+        without = generate_clio(source, target, vms, use_chase=False)
+        joined = execute(with_chase.tgd, paper_instance)
+        unjoined = execute(without.tgd, paper_instance)
+        report(
+            "Chase ablation (Section V-A tableau {dept-Proj-regEmp, @pid=@pid})",
+            [
+                ("source tableaux (chase on)", "3, one with a join", str(len(with_chase.source_tableaux))),
+                ("employees emitted (chase on)", "7 (join pairs)", str(len(joined.findall("department")))),
+                ("employees emitted (chase off)", "7 (no join constraint)", str(len(unjoined.findall("department")))),
+            ],
+        )
+        # The chased mapping iterates (dept, Proj, regEmp) joined pairs;
+        # without the chase the Proj variable disappears entirely.
+        assert any(m.where for m in with_chase.tgd.walk())
+        assert all(not m.where for m in without.tgd.walk())
+
+
+def _wide_schema(tables: int) -> Schema:
+    """A flat source with ``tables`` sibling repeating elements."""
+    children = [
+        elem(f"t{i}", "[0..*]", attr("k", STRING), elem(f"v{i}", text=STRING))
+        for i in range(tables)
+    ]
+    return schema(elem("db", *children))
+
+
+def _deep_schema(depth: int) -> Schema:
+    """A chain of nested repeating elements of the given depth."""
+    node = elem("leaf", "[0..*]", attr("x", STRING, required=False), text=None)
+    for i in reversed(range(depth)):
+        node = elem(f"level{i}", "[0..*]", node)
+    return schema(elem("root", node))
+
+
+@pytest.mark.benchmark(group="ablation-generation")
+def test_bench_tableaux_wide_schema(benchmark):
+    source = _wide_schema(60)
+    tableaux = benchmark(compute_tableaux, source)
+    assert len(tableaux) == 60
+
+
+@pytest.mark.benchmark(group="ablation-generation")
+def test_bench_tableaux_deep_schema(benchmark):
+    source = _deep_schema(40)
+    tableaux = benchmark(compute_tableaux, source)
+    assert len(tableaux) == 41  # one per repeating level incl. the leaf
+
+
+@pytest.mark.benchmark(group="ablation-generation")
+def test_bench_clip_generation_wide(benchmark):
+    source = _wide_schema(25)
+    target = _wide_schema(25)
+    vms = [
+        ValueMapping([source.value(f"t{i}/v{i}/value")], target.value(f"t{i}/v{i}/value"))
+        for i in range(25)
+    ]
+    result = benchmark(generate_clip, source, target, vms)
+    assert len(result.emitted) >= 25
+
+
+@pytest.mark.benchmark(group="ablation-generation")
+def test_bench_clio_vs_clip_generation_cost(benchmark):
+    """Clip's extension adds the root-generalization loop on top of
+    Clio; the bench isolates its overhead on the Figure 10 input."""
+    from repro.scenarios import generic
+
+    source, target = generic.source_schema(), generic.target_schema()
+    vms = generic.value_mappings_bd(source, target)
+
+    def both():
+        return generate_clio(source, target, vms), generate_clip(source, target, vms)
+
+    clio_result, clip_result = benchmark(both)
+    assert len(clio_result.forest) == 2
+    assert len(clip_result.forest) == 1

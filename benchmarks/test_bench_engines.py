@@ -1,0 +1,66 @@
+"""Engine comparison: the three renderings of the same mapping.
+
+Not a paper artifact, but the measurement behind the paper's claim that
+the mapping formalism is "independent of the actual transformation
+language": the same tgd runs as
+
+* the direct executor (our reference semantics),
+* the generated XQuery through its interpreter,
+* the generated XSLT through its interpreter (supported subset),
+
+with identical outputs and comparable costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.xquery import emit_xquery, run_query
+from repro.xslt import apply_stylesheet, emit_xslt
+
+
+@pytest.fixture(scope="module")
+def tgd():
+    return compile_clip(deptstore.mapping_fig5())
+
+
+def test_three_engines_identical(tgd, small_workload):
+    a = execute(tgd, small_workload)
+    b = run_query(emit_xquery(tgd), small_workload)
+    c = apply_stylesheet(emit_xslt(tgd), small_workload)
+    assert a == b == c
+
+
+@pytest.mark.benchmark(group="engines-fig5")
+def test_bench_engine_executor(benchmark, tgd, small_workload):
+    out = benchmark(execute, tgd, small_workload)
+    assert out.findall("department")
+
+
+@pytest.mark.benchmark(group="engines-fig5")
+def test_bench_engine_xquery(benchmark, tgd, small_workload):
+    query = emit_xquery(tgd)
+    out = benchmark(run_query, query, small_workload)
+    assert out.findall("department")
+
+
+@pytest.mark.benchmark(group="engines-fig5")
+def test_bench_engine_xslt(benchmark, tgd, small_workload):
+    sheet = emit_xslt(tgd)
+    out = benchmark(apply_stylesheet, sheet, small_workload)
+    assert out.findall("department")
+
+
+@pytest.mark.benchmark(group="engines-emit")
+def test_bench_emit_xquery(benchmark, tgd):
+    query = benchmark(emit_xquery, tgd)
+    assert query.tag == "target"
+
+
+@pytest.mark.benchmark(group="engines-emit")
+def test_bench_emit_xslt(benchmark, tgd):
+    sheet = benchmark(emit_xslt, tgd)
+    assert sheet.body

@@ -1,0 +1,117 @@
+"""Figure 10 — mapping generation on the generic schema.
+
+Regenerates the Section V-B walkthrough:
+
+* the tableaux and dependency graph of the generic schema;
+* Clio's two flat mappings AB → FG and AD → FG (which cannot nest);
+* Clip's extension activating A → F and nesting both inside it;
+* the user-added A(B×D) product tableau and the nested Cartesian
+  product with respect to the A values.
+
+Benchmarks time the generation pipeline itself, with and without the
+extension, plus the chase ablation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.executor import execute
+from repro.generation import (
+    compute_tableaux,
+    dependency_graph,
+    generate_clio,
+    generate_clip,
+    product_tableau,
+)
+from repro.scenarios import generic
+
+
+@pytest.fixture(scope="module")
+def schemas():
+    return generic.source_schema(), generic.target_schema()
+
+
+@pytest.fixture(scope="module")
+def vms(schemas):
+    return generic.value_mappings_bd(*schemas)
+
+
+def test_fig10_tableaux_and_dependency_graph(schemas):
+    source, target = schemas
+    src_names = [t.shorthand() for t in compute_tableaux(source)]
+    tgt_names = [t.shorthand() for t in compute_tableaux(target)]
+    assert src_names == ["{A}", "{A-B}", "{A-B-C}", "{A-D}", "{A-D-E}"]
+    assert tgt_names == ["{F}", "{F-G}"]
+    edges = dependency_graph(compute_tableaux(source))
+    assert len(edges) == 4  # A→AB, A→AD, AB→ABC, AD→ADE
+
+
+def test_fig10_clio_cannot_nest(schemas, vms):
+    source, target = schemas
+    result = generate_clio(source, target, vms)
+    assert sorted(a.skeleton.shorthand() for a in result.emitted) == [
+        "{A-B} -> {F-G}",
+        "{A-D} -> {F-G}",
+    ]
+    assert len(result.forest) == 2  # two flat roots
+
+
+def test_fig10_clip_extension_nests_under_a_to_f(schemas, vms):
+    source, target = schemas
+    result = generate_clip(source, target, vms)
+    assert result.forest[0].active.skeleton.shorthand() == "{A} -> {F}"
+    assert len(result.forest[0].children) == 2
+    out = execute(result.tgd, generic.sample_instance())
+    clio_out = execute(generate_clio(source, target, vms).tgd, generic.sample_instance())
+    report(
+        "Figure 10: Clio vs Clip generation",
+        [
+            ("Clio F elements", "one per mapped value (6)", str(len(clio_out.findall("F")))),
+            ("Clip F elements", "one per A (2)", str(len(out.findall("F")))),
+        ],
+    )
+
+
+def test_fig10_abd_product_case(schemas, vms):
+    source, target = schemas
+    abd = product_tableau(source, [source.element("A/B"), source.element("A/D")])
+    result = generate_clip(source, target, vms, extra_source_tableaux=[abd])
+    (root,) = result.forest
+    (child,) = root.children
+    assert {e.name for e in child.active.skeleton.source.generators} == {"A", "B", "D"}
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_bench_fig10_clio_generation(benchmark, schemas, vms):
+    source, target = schemas
+    result = benchmark(generate_clio, source, target, vms)
+    assert len(result.emitted) == 2
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_bench_fig10_clip_generation(benchmark, schemas, vms):
+    source, target = schemas
+    result = benchmark(generate_clip, source, target, vms)
+    assert len(result.forest) == 1
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_bench_fig10_tableaux_with_chase(benchmark):
+    from repro.scenarios import deptstore
+
+    source = deptstore.source_schema()
+    tableaux = benchmark(compute_tableaux, source)
+    assert len(tableaux) == 3
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_bench_fig10_generated_mapping_execution(benchmark, schemas, vms):
+    from repro.scenarios.workload import GenericSpec, make_generic_instance
+
+    source, target = schemas
+    tgd = generate_clip(source, target, vms).tgd
+    instance = make_generic_instance(GenericSpec(a_count=200, b_per_a=5, d_per_a=5))
+    out = benchmark(execute, tgd, instance)
+    assert len(out.findall("F")) == 200

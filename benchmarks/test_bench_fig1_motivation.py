@@ -1,0 +1,100 @@
+"""Figure 1 — the motivating example.
+
+The paper's Figure 1 is the mapping a user *attempts* in Clio: value
+mappings alone compile to a transformation that "encloses each node in
+a different department element".  This benchmark regenerates both sides
+of the contrast:
+
+* the Clio generation from the two value mappings and its broken output
+  (one department per project / per joined employee);
+* the desired output (Section I) obtained with Clip's Figure 5 CPT.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.compile import compile_clip
+from repro.core.mapping import ValueMapping
+from repro.executor import execute
+from repro.generation import generate_clio
+from repro.scenarios import deptstore
+
+
+def _value_mappings(source, target):
+    return [
+        ValueMapping(
+            [source.value("dept/Proj/pname/value")],
+            target.value("department/project/@name"),
+        ),
+        ValueMapping(
+            [source.value("dept/regEmp/ename/value")],
+            target.value("department/employee/@name"),
+        ),
+    ]
+
+
+def _clio_tgd():
+    source = deptstore.source_schema()
+    target = deptstore.target_schema_departments()
+    return generate_clio(source, target, _value_mappings(source, target)).tgd
+
+
+def test_fig1_clio_reproduces_the_problem(paper_instance):
+    """One department per mapped value — the paper's printed failure."""
+    out = execute(_clio_tgd(), paper_instance)
+    departments = out.findall("department")
+    assert len(departments) == 11  # 4 projects + 7 joined employees
+    assert all(len(d.children) == 1 for d in departments)
+    report(
+        "Figure 1 (motivation): Clio vs Clip on the same value mappings",
+        [
+            (
+                "Clio departments",
+                "one per mapped value (11)",
+                str(len(departments)),
+            ),
+            (
+                "Clip departments (Figure 5)",
+                "one per dept (2)",
+                str(
+                    len(
+                        execute(
+                            compile_clip(deptstore.mapping_fig1_desired()),
+                            paper_instance,
+                        ).findall("department")
+                    )
+                ),
+            ),
+        ],
+    )
+
+
+def test_fig1_clip_reaches_the_desired_output(paper_instance):
+    out = execute(compile_clip(deptstore.mapping_fig1_desired()), paper_instance)
+    assert out == deptstore.expected_fig5()
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_fig1_clio_generation(benchmark):
+    """Time Clio's full generation pipeline on the Figure 1 input."""
+    source = deptstore.source_schema()
+    target = deptstore.target_schema_departments()
+    vms = _value_mappings(source, target)
+    result = benchmark(generate_clio, source, target, vms)
+    assert len(result.tgd.roots) == 2
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_fig1_clio_execution(benchmark, large_workload):
+    tgd = _clio_tgd()
+    out = benchmark(execute, tgd, large_workload)
+    assert out.findall("department")
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_fig1_clip_execution(benchmark, large_workload):
+    tgd = compile_clip(deptstore.mapping_fig1_desired())
+    out = benchmark(execute, tgd, large_workload)
+    assert len(out.findall("department")) == 50

@@ -1,0 +1,84 @@
+"""Figure 2 — the Clip visual syntax in a nutshell.
+
+Figure 2 inventories the language constructs: value mappings (with
+optional aggregate labels), builders, build nodes with filtering
+conditions, group nodes, and context propagation trees.  This benchmark
+exercises the *construction and validity-checking* path for every
+construct the figure lists, and times it — the cost of "drawing" a
+diagram programmatically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.expr import parse_condition
+from repro.core.mapping import ClipMapping
+from repro.core.validity import check
+from repro.scenarios import deptstore
+
+
+def _draw_full_diagram() -> ClipMapping:
+    """One mapping using every Figure 2 construct."""
+    clip = ClipMapping(
+        deptstore.source_schema(), deptstore.target_schema_grouped_projects()
+    )
+    group = clip.group("dept/Proj", "project", var="p", by=["$p.pname.value"])
+    clip.build(
+        ["dept/Proj", "dept/regEmp"],
+        "project/employee",
+        var=["p2", "r"],
+        condition="$p2.@pid = $r.@pid",   # condition label over builder vars
+        parent=group,                     # context arc
+    )
+    clip.value("dept/Proj/pname/value", "project/@name")       # value mapping
+    clip.value("dept/regEmp/ename/value", "project/employee/@name")
+    return clip
+
+
+def test_fig2_all_constructs_present_and_valid():
+    clip = _draw_full_diagram()
+    nodes = clip.build_nodes()
+    assert any(n.is_group for n in nodes)                      # group node
+    assert any(len(n.incoming) > 1 for n in nodes)             # n incoming builders
+    assert any(n.parent is not None for n in nodes)            # context arc
+    assert any(n.condition and n.condition.is_join() for n in nodes)
+    assert len(clip.value_mappings) == 2
+    assert check(clip).is_valid
+    report(
+        "Figure 2 (syntax): constructs exercised",
+        [
+            ("value mappings", "thin arrows", str(len(clip.value_mappings))),
+            ("build nodes", "1..n in, 0..1 out", str(len(nodes))),
+            ("group nodes", "group-by label", str(sum(n.is_group for n in nodes))),
+            ("context arcs", "CPT edges", str(sum(n.parent is not None for n in nodes))),
+        ],
+    )
+
+
+def test_fig2_aggregate_labels():
+    """The ⟨⟨aggregate⟩⟩ label on value mappings."""
+    clip = deptstore.mapping_fig9()
+    tags = [vm.aggregate.name for vm in clip.value_mappings if vm.is_aggregate]
+    assert tags == ["count", "count", "avg"]
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_fig2_diagram_construction(benchmark):
+    clip = benchmark(_draw_full_diagram)
+    assert len(clip.build_nodes()) == 2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_fig2_validity_check(benchmark):
+    clip = _draw_full_diagram()
+    result = benchmark(check, clip)
+    assert result.is_valid
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_fig2_condition_parsing(benchmark):
+    text = "$p2.@pid = $r.@pid and $r.sal.value > 11000 and $p.pname.value != 'X'"
+    condition = benchmark(parse_condition, text)
+    assert len(condition.comparisons) == 3

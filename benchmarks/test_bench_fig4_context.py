@@ -1,0 +1,56 @@
+"""Figure 4 — context propagation.
+
+Regenerates both printed outputs: employees nested per department (with
+the context arc) and employees repeated in all departments (without),
+and benchmarks the two variants — the with/without-arc ablation from
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.xquery import emit_xquery, run_query
+
+
+def test_fig4_reproduces_both_paper_outputs(paper_instance):
+    with_arc = execute(compile_clip(deptstore.mapping_fig4()), paper_instance)
+    without = execute(
+        compile_clip(deptstore.mapping_fig4(context_arc=False)), paper_instance
+    )
+    assert with_arc == deptstore.expected_fig4()
+    assert without == deptstore.expected_fig4_no_arc()
+    report(
+        "Figure 4: context arc controls containment",
+        [
+            ("with arc: employees total", "3 (1 + 2)", str(sum(len(d.findall('employee')) for d in with_arc))),
+            ("without arc: employees total", "6 (3 × 2 departments)", str(sum(len(d.findall('employee')) for d in without))),
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_bench_fig4_with_context_arc(benchmark, large_workload):
+    tgd = compile_clip(deptstore.mapping_fig4())
+    out = benchmark(execute, tgd, large_workload)
+    assert len(out.findall("department")) == 50
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_bench_fig4_without_context_arc(benchmark, small_workload):
+    """Quadratic repetition: measurably heavier than the nested variant."""
+    tgd = compile_clip(deptstore.mapping_fig4(context_arc=False))
+    out = benchmark(execute, tgd, small_workload)
+    counts = {len(d.findall("employee")) for d in out.findall("department")}
+    assert len(counts) == 1  # every department holds all employees
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_bench_fig4_xquery(benchmark, small_workload):
+    query = emit_xquery(compile_clip(deptstore.mapping_fig4()))
+    out = benchmark(run_query, query, small_workload)
+    assert out.findall("department")

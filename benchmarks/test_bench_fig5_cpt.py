@@ -1,0 +1,67 @@
+"""Figure 5 — the context propagation tree.
+
+"The first example of what cannot be obtained by state-of-the-art
+tools": one builder's context propagated twice.  Regenerates the
+Section I desired output and benchmarks the full pipeline, including
+the tgd → XQuery emission itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.xquery import emit_xquery, run_query, serialize
+
+
+def test_fig5_reproduces_desired_output(paper_instance):
+    out = execute(compile_clip(deptstore.mapping_fig5()), paper_instance)
+    assert out == deptstore.expected_fig5()
+    first = out.findall("department")[0]
+    report(
+        "Figure 5: CPT preserves containment and siblings",
+        [
+            ("departments", "2", str(len(out.findall("department")))),
+            ("ICT projects", "2", str(len(first.findall("project")))),
+            ("ICT employees", "4", str(len(first.findall("employee")))),
+        ],
+    )
+
+
+def test_fig5_xquery_engine_agrees(paper_instance):
+    tgd = compile_clip(deptstore.mapping_fig5())
+    assert run_query(emit_xquery(tgd), paper_instance) == execute(tgd, paper_instance)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_fig5_compile(benchmark):
+    tgd = benchmark(compile_clip, deptstore.mapping_fig5())
+    assert len(list(tgd.walk())) == 3
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_fig5_execute(benchmark, large_workload):
+    tgd = compile_clip(deptstore.mapping_fig5())
+    out = benchmark(execute, tgd, large_workload)
+    assert len(out.findall("department")) == 50
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_fig5_emit_and_serialize(benchmark):
+    tgd = compile_clip(deptstore.mapping_fig5())
+
+    def emit():
+        return serialize(emit_xquery(tgd))
+
+    text = benchmark(emit)
+    assert "<department>" in text
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_fig5_xquery(benchmark, small_workload):
+    query = emit_xquery(compile_clip(deptstore.mapping_fig5()))
+    out = benchmark(run_query, query, small_workload)
+    assert out.findall("department")

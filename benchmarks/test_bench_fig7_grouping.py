@@ -1,0 +1,78 @@
+"""Figure 7 — grouping with a per-group join.
+
+Regenerates the paper's grouped output (one project per distinct name,
+employees joined within the member's department) and benchmarks both
+grouping implementations — the design-choice ablation of DESIGN.md:
+
+* the executor's hash-based grouping (one pass over the items);
+* the emitted XQuery 1.0 template (distinct-values + refilter, which is
+  O(groups × items) because XQuery 1.0 has no group-by clause).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+from repro.xquery import emit_xquery, run_query
+
+
+def test_fig7_reproduces_paper_output(paper_instance):
+    out = execute(compile_clip(deptstore.mapping_fig7()), paper_instance)
+    assert out == deptstore.expected_fig7()
+    report(
+        "Figure 7: grouping by project name",
+        [
+            ("projects", "3 distinct names", str(len(out.findall("project")))),
+            (
+                "Appliances employees",
+                "John, Andrew, Mark (cross-dept)",
+                str(len(out.findall("project")[0].findall("employee"))),
+            ),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def grouping_workload():
+    """Many homonymous projects: heavy grouping load."""
+    return make_deptstore_instance(
+        DeptstoreSpec(
+            departments=20,
+            projects_per_dept=6,
+            employees_per_dept=15,
+            project_name_pool=5,
+        )
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_bench_fig7_executor_hash_grouping(benchmark, grouping_workload):
+    tgd = compile_clip(deptstore.mapping_fig7())
+    out = benchmark(execute, tgd, grouping_workload)
+    assert len(out.findall("project")) == 5
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_bench_fig7_xquery_template_grouping(benchmark, grouping_workload):
+    """The XQuery 1.0 template re-filters the context per distinct value."""
+    query = emit_xquery(compile_clip(deptstore.mapping_fig7()))
+    out = benchmark(run_query, query, grouping_workload)
+    assert len(out.findall("project")) == 5
+
+
+def test_fig7_both_grouping_implementations_agree(grouping_workload):
+    tgd = compile_clip(deptstore.mapping_fig7())
+    assert execute(tgd, grouping_workload) == run_query(
+        emit_xquery(tgd), grouping_workload
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_bench_fig7_compile_with_group_node(benchmark):
+    tgd = benchmark(compile_clip, deptstore.mapping_fig7())
+    assert tgd.functions == ("group-by",)

@@ -1,0 +1,67 @@
+"""Figure 8 — inverting the nesting hierarchy.
+
+Regenerates the paper's inverted output (departments nested under
+grouped projects) and benchmarks the inversion, whose membership
+condition makes it the heaviest construct in the language.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+from repro.xquery import emit_xquery, run_query
+
+
+def test_fig8_reproduces_paper_output(paper_instance):
+    out = execute(compile_clip(deptstore.mapping_fig8()), paper_instance)
+    assert out == deptstore.expected_fig8()
+    report(
+        "Figure 8: hierarchy inversion",
+        [
+            ("projects", "3", str(len(out.findall("project")))),
+            (
+                "Appliances departments",
+                "ICT, Marketing",
+                ", ".join(
+                    d.attribute("name")
+                    for d in out.findall("project")[0].findall("department")
+                ),
+            ),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def inversion_workload():
+    return make_deptstore_instance(
+        DeptstoreSpec(
+            departments=25, projects_per_dept=5, employees_per_dept=5,
+            project_name_pool=8,
+        )
+    )
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_bench_fig8_executor(benchmark, inversion_workload):
+    tgd = compile_clip(deptstore.mapping_fig8())
+    out = benchmark(execute, tgd, inversion_workload)
+    assert len(out.findall("project")) == 8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_bench_fig8_xquery(benchmark, inversion_workload):
+    query = emit_xquery(compile_clip(deptstore.mapping_fig8()))
+    out = benchmark(run_query, query, inversion_workload)
+    assert len(out.findall("project")) == 8
+
+
+def test_fig8_engines_agree(inversion_workload):
+    tgd = compile_clip(deptstore.mapping_fig8())
+    assert execute(tgd, inversion_workload) == run_query(
+        emit_xquery(tgd), inversion_workload
+    )

@@ -1,0 +1,63 @@
+"""Scaling sweep: transformation cost vs. instance size.
+
+Not a paper artifact (the paper reports no performance numbers), but
+the series a systems reader expects: each engine's execution time for
+the Figure 5 CPT mapping across a sweep of source sizes, plus the
+grouping mapping of Figure 7 whose XQuery 1.0 template is super-linear
+in the group count.  The correctness assertions double as a guard that
+both engines stay in agreement at every scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+from repro.xquery import emit_xquery, run_query
+
+_SIZES = {
+    "S": DeptstoreSpec(departments=5, projects_per_dept=3, employees_per_dept=8),
+    "M": DeptstoreSpec(departments=15, projects_per_dept=5, employees_per_dept=15),
+    "L": DeptstoreSpec(departments=40, projects_per_dept=6, employees_per_dept=25),
+}
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {name: make_deptstore_instance(spec) for name, spec in _SIZES.items()}
+
+
+@pytest.mark.parametrize("size", list(_SIZES))
+@pytest.mark.benchmark(group="scaling-executor")
+def test_bench_scaling_executor_fig5(benchmark, instances, size):
+    tgd = compile_clip(deptstore.mapping_fig5())
+    out = benchmark(execute, tgd, instances[size])
+    assert len(out.findall("department")) == _SIZES[size].departments
+
+
+@pytest.mark.parametrize("size", list(_SIZES))
+@pytest.mark.benchmark(group="scaling-xquery")
+def test_bench_scaling_xquery_fig5(benchmark, instances, size):
+    query = emit_xquery(compile_clip(deptstore.mapping_fig5()))
+    out = benchmark(run_query, query, instances[size])
+    assert len(out.findall("department")) == _SIZES[size].departments
+
+
+@pytest.mark.parametrize("size", list(_SIZES))
+@pytest.mark.benchmark(group="scaling-grouping")
+def test_bench_scaling_grouping_fig7(benchmark, instances, size):
+    tgd = compile_clip(deptstore.mapping_fig7())
+    out = benchmark(execute, tgd, instances[size])
+    assert out.findall("project")
+
+
+def test_scaling_engines_agree_at_every_size(instances):
+    for size, instance in instances.items():
+        for fig in ("fig5", "fig7", "fig9"):
+            tgd = compile_clip(deptstore.scenario(fig).make_mapping())
+            assert execute(tgd, instance) == run_query(
+                emit_xquery(tgd), instance
+            ), (size, fig)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""A two-stage integration pipeline over a publications catalog.
+
+Real deployments chain mappings: a raw feed is first normalized into a
+canonical schema, then published into consumer-facing views.  This
+example runs both stages on a DBLP-style bibliography:
+
+1. **normalize** — join papers to their venue records (a Figure 6-style
+   join drawn over the keyref) and flatten into `publication` entries;
+2. **publish** — group by author (a Figure 8-style inversion) with a
+   per-author paper count (a Figure 9-style aggregate).
+
+Run with:  python examples/publications_pipeline.py
+"""
+
+from repro.pipeline import Pipeline
+from repro.scenarios import publications as pub
+from repro.xml import to_ascii
+from repro.xsd import render_schema
+
+
+def main() -> None:
+    print("FEED SCHEMA")
+    print(render_schema(pub.feed_schema()))
+
+    pipeline = Pipeline([pub.normalize_mapping(), pub.publish_mapping()])
+    print("\nPIPELINE")
+    print(pipeline.describe())
+
+    feed = pub.feed_instance()
+    print("\nINPUT FEED")
+    print(to_ascii(feed))
+
+    stages = pipeline.run(feed, validate_stages=True, keep_intermediates=True)
+    print("\nSTAGE 1 — canonical catalog (papers joined to venues)")
+    print(to_ascii(stages[0].instance))
+    print("\nSTAGE 2 — per-author report (inversion + counts)")
+    print(to_ascii(stages[1].instance))
+
+    # The same pipeline through the generated XQuery:
+    via_xquery = Pipeline(
+        [pub.normalize_mapping(), pub.publish_mapping()], engine="xquery"
+    )
+    assert via_xquery(feed) == stages[1].instance
+    print("\nXQuery-engine pipeline produced the identical report: OK")
+
+
+if __name__ == "__main__":
+    main()

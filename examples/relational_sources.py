@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Mapping relational data with Clip.
+
+"Just like Clio, Clip also works with relational schemas, as long as
+they are converted in a canonical way into XML Schemas" (Section I).
+This example defines a small company database, converts schema and rows
+canonically, draws a Clip mapping over the converted schema (using the
+foreign key as the join condition), and publishes a nested XML report.
+
+Run with:  python examples/relational_sources.py
+"""
+
+from repro import Transformer
+from repro.core.mapping import ClipMapping
+from repro.xml import to_ascii
+from repro.xsd import (
+    Column,
+    ForeignKey,
+    RelationalSchema,
+    Table,
+    INT,
+    STRING,
+    attr,
+    elem,
+    render_schema,
+    rows_to_instance,
+    schema,
+    suggest_join,
+    to_xml_schema,
+)
+
+
+def main() -> None:
+    company = RelationalSchema(
+        "companyDB",
+        (
+            Table(
+                "department",
+                (Column("did", INT), Column("dname", STRING), Column("city", STRING)),
+                primary_key=("did",),
+            ),
+            Table(
+                "employee",
+                (
+                    Column("eid", INT),
+                    Column("ename", STRING),
+                    Column("salary", INT),
+                    Column("did", INT),
+                ),
+                primary_key=("eid",),
+                foreign_keys=(ForeignKey("did", "department", "did"),),
+            ),
+        ),
+    )
+
+    source = to_xml_schema(company)
+    print("CANONICAL XML SCHEMA OF companyDB")
+    print(render_schema(source))
+
+    target = schema(
+        elem(
+            "report",
+            elem(
+                "site",
+                "[0..*]",
+                attr("city", STRING),
+                elem(
+                    "dept",
+                    "[0..*]",
+                    attr("name", STRING),
+                    elem("staff", "[0..*]", attr("name", STRING), attr("pay", INT)),
+                ),
+            ),
+        )
+    )
+
+    clip = ClipMapping(source, target)
+    # The canonical conversion keeps the foreign key as a keyref, so the
+    # join condition can be suggested automatically (as in Figure 6):
+    suggested = suggest_join(
+        source, source.element("employee"), source.element("department")
+    )
+    print("\nsuggested join:", " = ".join(v.path_string() for v in suggested))
+
+    site = clip.group("department", "site", var="d", by=["$d.@city"])
+    dept = clip.build("department", "site/dept", var="d2", parent=site)
+    clip.build(
+        "employee",
+        "site/dept/staff",
+        var="e",
+        condition="$e.@did = $d2.@did",
+        parent=dept,
+    )
+    clip.value("department/@city", "site/@city")
+    clip.value("department/@dname", "site/dept/@name")
+    clip.value("employee/@ename", "site/dept/staff/@name")
+    clip.value("employee/@salary", "site/dept/staff/@pay")
+
+    transformer = Transformer(clip)
+    print("\nNESTED TGD")
+    print(transformer.tgd)
+
+    rows = {
+        "department": [
+            {"did": 1, "dname": "ICT", "city": "Milano"},
+            {"did": 2, "dname": "Marketing", "city": "Milano"},
+            {"did": 3, "dname": "Sales", "city": "Roma"},
+        ],
+        "employee": [
+            {"eid": 10, "ename": "Ann", "salary": 1200, "did": 1},
+            {"eid": 11, "ename": "Bob", "salary": 1400, "did": 2},
+            {"eid": 12, "ename": "Cid", "salary": 1100, "did": 3},
+            {"eid": 13, "ename": "Dee", "salary": 1600, "did": 1},
+        ],
+    }
+    instance = rows_to_instance(company, rows)
+    print("\nCANONICAL INSTANCE (rows as XML)")
+    print(to_ascii(instance))
+
+    result = transformer(instance)
+    print("\nREPORT (sites grouped by city, departments, staff)")
+    print(to_ascii(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""clip-repro: a reproduction of *Clip: a Visual Language for Explicit
+Schema Mappings* (Raffio, Braga, Ceri, Papotti, Hernández — ICDE 2008).
+
+The package implements the full pipeline the paper describes:
+
+* **schemas & instances** (:mod:`repro.xsd`, :mod:`repro.xml`) — the XML
+  Schema trees the figures draw and the instance model they transform;
+* **the Clip language** (:mod:`repro.core`) — value mappings, builders,
+  build/group nodes, context propagation trees; Section III validity;
+  Section IV nested-tgd semantics via :func:`repro.core.compile_clip`;
+* **execution** (:mod:`repro.executor`) — direct minimum-cardinality
+  evaluation of nested tgds;
+* **XQuery** (:mod:`repro.xquery`) — the Section VI tgd → XQuery
+  translation plus an interpreter for the emitted subset;
+* **generation** (:mod:`repro.generation`) — Clio's tableaux/skeleton
+  pipeline and Clip's Section V extension, plus the Table I flexibility
+  measurement;
+* **scenarios** (:mod:`repro.scenarios`) — every paper figure as an
+  executable object, and synthetic workloads for the benchmarks.
+
+Quickstart::
+
+    from repro import Transformer
+    from repro.scenarios import deptstore
+
+    transformer = Transformer(deptstore.mapping_fig5())
+    result = transformer(deptstore.source_instance())
+    print(transformer.tgd)          # the paper's nested tgd notation
+    print(transformer.xquery_text)  # the generated XQuery
+"""
+
+from __future__ import annotations
+
+from . import core, errors, executor, generation, scenarios, xml, xquery, xsd
+from .core.compile import compile_clip
+from .core.mapping import ClipMapping
+from .core.tgd import NestedTgd
+from .core.validity import ValidityReport, check
+from .executor.engine import execute
+from .xml.model import XmlElement
+from .xquery.emit import emit_xquery
+from .xquery.interp import run_query
+from .xquery.serialize import serialize as serialize_xquery
+
+__version__ = "1.0.0"
+
+
+class Transformer:
+    """End-to-end convenience wrapper: Clip mapping → tgd → execution.
+
+    Compiles the mapping once; calling the transformer converts source
+    instances to target instances.  ``engine`` selects the direct tgd
+    executor (``"tgd"``, default), the generated-XQuery interpreter
+    (``"xquery"``), or the generated-XSLT interpreter (``"xslt"``,
+    supported for non-grouped, non-distributed mappings) — all engines
+    produce identical instances, which the test suite verifies
+    extensively.
+    """
+
+    def __init__(self, mapping: ClipMapping, *, engine: str = "tgd",
+                 require_valid: bool = True):
+        if engine not in ("tgd", "xquery", "xslt"):
+            raise ValueError(
+                f"unknown engine {engine!r}; use 'tgd', 'xquery' or 'xslt'"
+            )
+        self.mapping = mapping
+        self.engine = engine
+        self.report: ValidityReport = check(mapping)
+        self.tgd: NestedTgd = compile_clip(mapping, require_valid=require_valid)
+        self._query = None
+        self._stylesheet = None
+
+    @property
+    def xquery(self):
+        """The emitted XQuery AST (built lazily)."""
+        if self._query is None:
+            self._query = emit_xquery(self.tgd)
+        return self._query
+
+    @property
+    def xquery_text(self) -> str:
+        """The generated XQuery, as query text."""
+        return serialize_xquery(self.xquery)
+
+    @property
+    def stylesheet(self):
+        """The emitted XSLT stylesheet (built lazily; may raise
+        :class:`repro.xslt.UnsupportedForXslt`)."""
+        if self._stylesheet is None:
+            from .xslt import emit_xslt
+
+            self._stylesheet = emit_xslt(self.tgd)
+        return self._stylesheet
+
+    @property
+    def xslt_text(self) -> str:
+        """The generated XSLT, as stylesheet text."""
+        return self.stylesheet.serialize()
+
+    def __call__(self, source_instance: XmlElement) -> XmlElement:
+        if self.engine == "xquery":
+            return run_query(self.xquery, source_instance)
+        if self.engine == "xslt":
+            from .xslt import apply_stylesheet
+
+            return apply_stylesheet(self.stylesheet, source_instance)
+        return execute(self.tgd, source_instance)
+
+    def explain(self, source_instance: XmlElement):
+        """Run the mapping with per-level counters (iterations, filtered
+        tuples, elements built, groups); returns an
+        :class:`repro.executor.ExecutionReport` whose ``result`` equals
+        what calling the transformer would produce."""
+        from .executor import explain as _explain
+
+        return _explain(self.tgd, source_instance)
+
+
+__all__ = [
+    "Transformer",
+    "ClipMapping",
+    "NestedTgd",
+    "XmlElement",
+    "compile_clip",
+    "check",
+    "execute",
+    "emit_xquery",
+    "run_query",
+    "serialize_xquery",
+    "core",
+    "errors",
+    "executor",
+    "generation",
+    "scenarios",
+    "xml",
+    "xquery",
+    "xsd",
+    "__version__",
+]

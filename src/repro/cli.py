@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI drives the full pipeline from the shell, on mapping documents
+saved by :mod:`repro.io`:
+
+* ``show MAPPING.json`` — render the diagram, validity report and tgd;
+* ``validate MAPPING.json`` — check the Section III rules (exit 1 if
+  invalid);
+* ``xquery MAPPING.json`` — print the generated XQuery;
+* ``xslt MAPPING.json`` — print the generated XSLT stylesheet;
+* ``run MAPPING.json SOURCE.xml [-o OUT.xml] [--engine tgd|xquery]`` —
+  transform an instance;
+* ``lineage MAPPING.json [--source PATH | --target PATH]`` — lineage /
+  impact analysis;
+* ``suggest SOURCE.xsd TARGET.xsd [--threshold T]`` — schema matching
+  plus generated mapping;
+* ``figures [FIG]`` — reproduce the paper's figure outputs;
+* ``table1`` — reproduce the Table I flexibility measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import Transformer
+from .core.render import render_mapping
+from .core.validity import check
+from .errors import ReproError
+from .io import load as load_mapping
+from .lineage import impact_of_source, impact_of_target, lineage, render_lineage
+from .xml.parser import parse_xml
+from .xml.serialize import to_ascii, to_xml
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_show(args) -> int:
+    clip = load_mapping(args.mapping)
+    print(render_mapping(clip))
+    report = check(clip)
+    print(f"\nVALIDITY: {report}")
+    transformer = Transformer(clip, require_valid=False)
+    print("\nNESTED TGD")
+    print(transformer.tgd)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    report = check(load_mapping(args.mapping))
+    if report.is_valid:
+        print("valid mapping")
+        return 0
+    for issue in report.errors():
+        print(issue)
+    return 1
+
+
+def _cmd_xquery(args) -> int:
+    transformer = Transformer(load_mapping(args.mapping))
+    print(transformer.xquery_text)
+    return 0
+
+
+def _cmd_xslt(args) -> int:
+    transformer = Transformer(load_mapping(args.mapping))
+    print(transformer.xslt_text)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    clip = load_mapping(args.mapping)
+    instance = parse_xml(_read(args.source), schema=clip.source)
+    transformer = Transformer(clip, engine=args.engine)
+    result = transformer(instance)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(to_xml(result))
+        print(f"wrote {args.output} ({result.size()} elements)")
+    else:
+        print(to_xml(result) if args.xml else to_ascii(result))
+    return 0
+
+
+def _cmd_lineage(args) -> int:
+    transformer = Transformer(load_mapping(args.mapping), require_valid=False)
+    if args.source_path:
+        entries = impact_of_source(transformer.tgd, args.source_path)
+        print(f"entries affected by a change to {args.source_path}:")
+    elif args.target_path:
+        entries = impact_of_target(transformer.tgd, args.target_path)
+        print(f"entries writing at or below {args.target_path}:")
+    else:
+        entries = lineage(transformer.tgd)
+    print(render_lineage(entries) or "(no entries)")
+    return 0
+
+
+def _cmd_suggest(args) -> int:
+    from .matching import bootstrap_mapping
+    from .xsd.parser import parse_xsd
+
+    source = parse_xsd(_read(args.source_xsd))
+    target = parse_xsd(_read(args.target_xsd))
+    matches, generation = bootstrap_mapping(
+        source, target, threshold=args.threshold
+    )
+    if not matches:
+        print("no correspondences above the threshold")
+        return 1
+    print("suggested value mappings:")
+    for match in matches:
+        print(f"  {match}")
+    print("\ngenerated nested mapping:")
+    print(generation.tgd)
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .core.compile import compile_clip
+    from .executor import execute
+    from .scenarios import deptstore
+
+    names = [args.figure] if args.figure else [f.figure for f in deptstore.FIGURES]
+    instance = deptstore.source_instance()
+    for name in names:
+        scenario = deptstore.scenario(name)
+        print(f"=== {name}: {scenario.description}")
+        out = execute(compile_clip(scenario.make_mapping()), instance)
+        print(to_ascii(out))
+        matches = out == scenario.expected() or (
+            not scenario.ordered and out.equals_canonically(scenario.expected())
+        )
+        print(f"[matches the paper's printed output: {'yes' if matches else 'NO'}]\n")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .generation.flexibility import measure_flexibility
+    from .scenarios.published import TABLE1_ROWS
+
+    print(f"{'Example':26} {'vms':>4} {'paper':>6} {'measured':>9}")
+    ok = True
+    for factory in TABLE1_ROWS:
+        example = factory()
+        result = measure_flexibility(
+            example.source, example.target, list(example.value_mappings),
+            example.witness,
+        )
+        ok = ok and result.extra >= example.paper_extra
+        print(
+            f"{example.row:26} {example.paper_value_mappings:>4} "
+            f"{example.paper_extra:>6} {result.extra:>9}"
+        )
+    print("\nall rows meet the paper's lower bounds" if ok else "\nBOUND MISSED")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clip schema mappings: compile, validate, run, analyze.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    show = commands.add_parser("show", help="render a mapping document")
+    show.add_argument("mapping")
+    show.set_defaults(handler=_cmd_show)
+
+    validate = commands.add_parser("validate", help="check Section III validity")
+    validate.add_argument("mapping")
+    validate.set_defaults(handler=_cmd_validate)
+
+    xquery = commands.add_parser("xquery", help="print the generated XQuery")
+    xquery.add_argument("mapping")
+    xquery.set_defaults(handler=_cmd_xquery)
+
+    xslt = commands.add_parser("xslt", help="print the generated XSLT")
+    xslt.add_argument("mapping")
+    xslt.set_defaults(handler=_cmd_xslt)
+
+    run = commands.add_parser("run", help="transform a source instance")
+    run.add_argument("mapping")
+    run.add_argument("source")
+    run.add_argument("-o", "--output", default=None)
+    run.add_argument("--engine", choices=("tgd", "xquery", "xslt"), default="tgd")
+    run.add_argument("--xml", action="store_true", help="print XML instead of a tree")
+    run.set_defaults(handler=_cmd_run)
+
+    lineage_cmd = commands.add_parser("lineage", help="lineage / impact analysis")
+    lineage_cmd.add_argument("mapping")
+    lineage_cmd.add_argument("--source", dest="source_path", default=None)
+    lineage_cmd.add_argument("--target", dest="target_path", default=None)
+    lineage_cmd.set_defaults(handler=_cmd_lineage)
+
+    suggest = commands.add_parser("suggest", help="schema matching + generation")
+    suggest.add_argument("source_xsd")
+    suggest.add_argument("target_xsd")
+    suggest.add_argument("--threshold", type=float, default=0.45)
+    suggest.set_defaults(handler=_cmd_suggest)
+
+    figures = commands.add_parser("figures", help="reproduce paper figures")
+    figures.add_argument("figure", nargs="?", default=None)
+    figures.set_defaults(handler=_cmd_figures)
+
+    table1 = commands.add_parser("table1", help="reproduce Table I")
+    table1.set_defaults(handler=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

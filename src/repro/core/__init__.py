@@ -1,0 +1,72 @@
+"""The Clip language: mappings, validity, tgd semantics, compilation."""
+
+from .compile import compile_clip
+from .expr import Comparison, Condition, Literal, VarPath, parse_condition, parse_value_expr
+from .functions import (
+    AGGREGATE_FUNCTIONS,
+    SCALAR_FUNCTIONS,
+    AggregateFunction,
+    ScalarFunction,
+    aggregate,
+    scalar,
+)
+from .mapping import BuilderArc, BuildNode, ClipMapping, ValueMapping
+from .tgd import (
+    AggregateApp,
+    Assignment,
+    Constant,
+    FunctionApp,
+    GroupByApp,
+    Membership,
+    NestedTgd,
+    Proj,
+    SchemaRoot,
+    SourceGenerator,
+    TargetGenerator,
+    TgdComparison,
+    TgdMapping,
+    Var,
+    render_tgd,
+)
+from .tgd_parser import parse_tgd
+from .validity import ValidityIssue, ValidityReport, check, find_driver
+
+__all__ = [
+    "ClipMapping",
+    "BuildNode",
+    "BuilderArc",
+    "ValueMapping",
+    "compile_clip",
+    "check",
+    "find_driver",
+    "ValidityReport",
+    "ValidityIssue",
+    "Condition",
+    "Comparison",
+    "VarPath",
+    "Literal",
+    "parse_condition",
+    "parse_value_expr",
+    "ScalarFunction",
+    "AggregateFunction",
+    "scalar",
+    "aggregate",
+    "SCALAR_FUNCTIONS",
+    "AGGREGATE_FUNCTIONS",
+    "NestedTgd",
+    "TgdMapping",
+    "SourceGenerator",
+    "TargetGenerator",
+    "TgdComparison",
+    "Membership",
+    "Assignment",
+    "AggregateApp",
+    "FunctionApp",
+    "GroupByApp",
+    "SchemaRoot",
+    "Var",
+    "Proj",
+    "Constant",
+    "render_tgd",
+    "parse_tgd",
+]

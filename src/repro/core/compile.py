@@ -1,0 +1,715 @@
+"""Compile Clip mappings into nested tgds (Section IV semantics).
+
+Each build node becomes one (sub)mapping level of the nested tgd:
+
+* its incoming builders become source generators, whose expressions
+  depend on the CPT context — bound ancestors yield relative chains
+  (``r ∈ d.regEmp``), group ancestors yield membership iteration
+  (``p2 ∈ p``) or the inversion pattern (``p2 ∈ p, d2 ∈ source.dept |
+  p2 ∈ d2.Proj``, Figure 8), everything else iterates from the source
+  root (``d2 ∈ source.dept, r ∈ d2.regEmp``, Figure 7);
+* its condition becomes the C1 conjunction;
+* its outgoing builder becomes a quantified target generator; target
+  elements on the way that no builder reaches become *unquantified*
+  generators — printed in the ∃ list like the paper does, but compiled
+  to minimum-cardinality constant tags by the engines;
+* a group node additionally binds its target variable to the grouping
+  Skolem ``group-by(context, [attrs])``;
+* value mappings become C2 assignments at their *driver* level.
+
+With no builders at all, :func:`compile_clip` falls back to the
+default minimum-cardinality generation the paper describes for
+Figure 3: iterate each value mapping's source repeating path and build
+only the deepest repeating target element per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CompileError, InvalidMappingError
+from ..xsd.schema import ElementDecl, ValueNode
+from .expr import Comparison as ClipComparison, Literal, VarPath
+from .mapping import BuilderArc, BuildNode, ClipMapping, ValueMapping
+from .tgd import (
+    AggregateApp,
+    Assignment,
+    Constant,
+    FunctionApp,
+    GroupByApp,
+    Membership,
+    NestedTgd,
+    Proj,
+    SchemaRoot,
+    SourceGenerator,
+    TargetGenerator,
+    TgdComparison,
+    TgdExpr,
+    TgdMapping,
+    Var,
+    derive_distribution,
+    proj_path,
+)
+from .validity import check as check_validity, find_driver
+
+
+def compile_clip(clip: ClipMapping, *, require_valid: bool = True) -> NestedTgd:
+    """Compile a Clip mapping into a nested tgd.
+
+    With ``require_valid=True`` (the default) the Section III validity
+    rules are checked first and :class:`InvalidMappingError` is raised
+    on violation — mirroring the paper's behaviour of letting users
+    *enter* invalid mappings but refusing to ascribe semantics to them.
+    """
+    if require_valid:
+        report = check_validity(clip)
+        if not report.is_valid:
+            raise InvalidMappingError(report)
+    return _Compiler(clip).compile()
+
+
+class _SourceBinding:
+    """A source variable in scope: a regular element binding or a group."""
+
+    __slots__ = ("var", "element", "is_group")
+
+    def __init__(self, var: str, element: ElementDecl, is_group: bool = False):
+        self.var = var
+        self.element = element
+        self.is_group = is_group
+
+
+class _Scope:
+    """Compilation scope: visible source bindings and the target anchor."""
+
+    def __init__(
+        self,
+        bindings: tuple[_SourceBinding, ...] = (),
+        target_anchor: Optional[tuple[str, ElementDecl]] = None,
+        target_context: tuple[str, ...] = (),
+    ):
+        self.bindings = bindings
+        self.target_anchor = target_anchor  # (var, element) of nearest built target
+        self.target_context = target_context  # built target vars, outermost first
+
+    def extend(
+        self,
+        new_bindings: list[_SourceBinding],
+        target_anchor: Optional[tuple[str, ElementDecl]],
+        new_context: tuple[str, ...],
+    ) -> "_Scope":
+        return _Scope(
+            tuple(new_bindings) + self.bindings,  # innermost first
+            target_anchor if target_anchor is not None else self.target_anchor,
+            self.target_context + new_context,
+        )
+
+    def binding(self, var: str) -> Optional[_SourceBinding]:
+        for candidate in self.bindings:
+            if candidate.var == var:
+                return candidate
+        return None
+
+    def anchor_for(self, element: ElementDecl) -> Optional[_SourceBinding]:
+        """Nearest (innermost, then deepest) binding whose element is an
+        ancestor-or-self of ``element`` — group bindings excluded."""
+        best: Optional[_SourceBinding] = None
+        best_depth = -1
+        for candidate in self.bindings:
+            if candidate.is_group:
+                continue
+            anchor = candidate.element
+            if anchor is element or anchor.is_ancestor_of(element):
+                if anchor.depth() > best_depth:
+                    best = candidate
+                    best_depth = anchor.depth()
+        return best
+
+    def group_binding_over(self, element: ElementDecl) -> Optional[_SourceBinding]:
+        """Innermost group binding related to ``element`` (same element,
+        its ancestor, or its descendant)."""
+        for candidate in self.bindings:
+            if not candidate.is_group:
+                continue
+            grouped = candidate.element
+            if (
+                grouped is element
+                or grouped.is_ancestor_of(element)
+                or element.is_ancestor_of(grouped)
+            ):
+                return candidate
+        return None
+
+
+class _Compiler:
+    def __init__(self, clip: ClipMapping):
+        self.clip = clip
+        self._used_vars: set[str] = set()
+        self._functions: list[str] = []
+        self._driver_map: dict[int, list[ValueMapping]] = {}
+        self._undriven: list[ValueMapping] = []
+        for arc_node in clip.build_nodes():
+            for arc in arc_node.incoming:
+                if arc.variable:
+                    self._used_vars.add(arc.variable)
+
+    # -- public ----------------------------------------------------------
+
+    def compile(self) -> NestedTgd:
+        if not self.clip.has_builders():
+            return self._compile_default()
+        for vm in self.clip.value_mappings:
+            driver = find_driver(self.clip, vm)
+            if driver is None:
+                self._undriven.append(vm)
+            else:
+                self._driver_map.setdefault(id(driver), []).append(vm)
+        roots = [
+            self._compile_node(node, _Scope()) for node in self.clip.roots
+        ]
+        if self._undriven:
+            roots.append(self._compile_undriven())
+        return NestedTgd(
+            tuple(roots),
+            functions=tuple(self._functions),
+            source_root=self.clip.source.root.name,
+            target_root=self.clip.target.root.name,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _fresh(self, hint: str) -> str:
+        base = (hint[:1] or "x").lower()
+        if base not in self._used_vars:
+            self._used_vars.add(base)
+            return base
+        index = 2
+        while f"{base}{index}" in self._used_vars:
+            index += 1
+        name = f"{base}{index}"
+        self._used_vars.add(name)
+        return name
+
+    def _fresh_target(self, hint: str) -> str:
+        """Target variables live in their own primed namespace, matching
+        the paper's ``d′``/``e′`` naming."""
+        base = (hint[:1] or "x").lower() + "'"
+        if base not in self._used_vars:
+            self._used_vars.add(base)
+            return base
+        index = 2
+        while f"{base[:-1]}{index}'" in self._used_vars:
+            index += 1
+        name = f"{base[:-1]}{index}'"
+        self._used_vars.add(name)
+        return name
+
+    def _note_function(self, name: str) -> None:
+        if name not in self._functions:
+            self._functions.append(name)
+
+    def _chain(
+        self,
+        base_expr: TgdExpr,
+        base_element: Optional[ElementDecl],
+        element: ElementDecl,
+        final_var: str,
+    ) -> tuple[list[SourceGenerator], list[_SourceBinding]]:
+        """Generators iterating from ``base_element`` (exclusive; ``None``
+        for the schema root, inclusive of the root element as a label-less
+        start) down to ``element`` bound as ``final_var``.
+
+        Repeating intermediates get fresh variables; non-repeating ones
+        become projection labels, as in the paper's expressions.
+        """
+        path = list(element.path())
+        if base_element is None:
+            start = 0  # the schema-root expression already denotes path[0]
+        else:
+            start = path.index(base_element) + 1
+        gens: list[SourceGenerator] = []
+        bindings: list[_SourceBinding] = []
+        expr = base_expr
+        labels: list[str] = []
+        remaining = path[start:] if base_element is not None else path[1:]
+        for node in remaining:
+            labels.append(node.name)
+            is_last = node is element
+            if is_last:
+                gens.append(SourceGenerator(final_var, proj_path(expr, labels)))
+                bindings.append(_SourceBinding(final_var, node))
+            elif node.is_repeating:
+                var = self._fresh(node.name)
+                gens.append(SourceGenerator(var, proj_path(expr, labels)))
+                bindings.append(_SourceBinding(var, node))
+                expr = Var(var)
+                labels = []
+        if base_element is element:
+            # Builder re-iterates an element already bound: alias via a
+            # degenerate single-element chain from the bound variable.
+            gens.append(SourceGenerator(final_var, base_expr))
+            bindings.append(_SourceBinding(final_var, element))
+        return gens, bindings
+
+    # -- source side -------------------------------------------------------
+
+    def _source_generators(
+        self, node: BuildNode, scope: _Scope
+    ) -> tuple[list[SourceGenerator], list[Membership], list[_SourceBinding]]:
+        gens: list[SourceGenerator] = []
+        extra_conditions: list[Membership] = []
+        bindings: list[_SourceBinding] = []
+        local = _Scope(scope.bindings, scope.target_anchor, scope.target_context)
+        for arc in node.incoming:
+            var = arc.variable or self._fresh(arc.source.name)
+            # Anchoring resolves against the *outer* scope only: two arcs
+            # of the same node are independent iterations — "the overall
+            # Cartesian product of all regEmps and Projs in the whole
+            # document" when no context node correlates them (Figure 6).
+            # ``local`` (which also sees earlier arcs of this node) is
+            # used only to reuse a member variable for group membership.
+            arc_gens, arc_bindings, arc_conds = self._arc_generators(
+                arc, var, scope, local
+            )
+            gens.extend(arc_gens)
+            bindings.extend(arc_bindings)
+            extra_conditions.extend(arc_conds)
+            local = _Scope(
+                tuple(arc_bindings) + local.bindings,
+                local.target_anchor,
+                local.target_context,
+            )
+        return gens, extra_conditions, bindings
+
+    def _arc_generators(
+        self, arc: BuilderArc, var: str, scope: _Scope, local: _Scope
+    ) -> tuple[list[SourceGenerator], list[_SourceBinding], list[Membership]]:
+        element = arc.source
+        anchor = scope.anchor_for(element)
+        if anchor is not None:
+            gens, bindings = self._chain(Var(anchor.var), anchor.element, element, var)
+            return gens, bindings, []
+        group = scope.group_binding_over(element)
+        if group is not None:
+            return self._group_arc(group, element, var, local)
+        group = self._related_group(scope, element)
+        if group is not None:
+            return self._group_arc(group, element, var, local)
+        gens, bindings = self._chain(
+            SchemaRoot(self.clip.source.root.name), None, element, var
+        )
+        return gens, bindings, []
+
+    def _related_group(self, scope: _Scope, element: ElementDecl) -> Optional[_SourceBinding]:
+        """A group binding whose grouped element shares a repeating
+        common ancestor with ``element`` — the Figure 7 situation where
+        regEmps must be taken from the dept that contains the group
+        member (pids are only meaningful within one dept)."""
+        for candidate in scope.bindings:
+            if not candidate.is_group:
+                continue
+            if _common_repeating_ancestor(candidate.element, element) is not None:
+                return candidate
+        return None
+
+    def _member_binding(self, scope: _Scope, group: _SourceBinding) -> Optional[str]:
+        """An already-bound member variable over the grouped element (an
+        earlier arc of the same node, e.g. Figure 7's ``p2``)."""
+        for candidate in scope.bindings:
+            if not candidate.is_group and candidate.element is group.element:
+                return candidate.var
+        return None
+
+    def _group_arc(
+        self,
+        group: _SourceBinding,
+        element: ElementDecl,
+        var: str,
+        scope: _Scope,
+    ) -> tuple[list[SourceGenerator], list[_SourceBinding], list[Membership]]:
+        grouped = group.element
+        if element is grouped:
+            # Membership iteration over the group (Figure 7: p2 ∈ p).
+            gen = SourceGenerator(var, Var(group.var))
+            return [gen], [_SourceBinding(var, element)], []
+        if grouped.is_ancestor_of(element):
+            # A descendant of the grouped element: iterate members, then
+            # descend within each member.
+            member_var = self._fresh(grouped.name)
+            member_gen = SourceGenerator(member_var, Var(group.var))
+            chain_gens, chain_bindings = self._chain(Var(member_var), grouped, element, var)
+            bindings = [_SourceBinding(member_var, grouped)] + chain_bindings
+            return [member_gen] + chain_gens, bindings, []
+        # The element is an ancestor of the grouped element (Figure 8's
+        # inversion) or shares a repeating common ancestor with it
+        # (Figure 7's regEmp arc): iterate the members and the candidate
+        # context elements, tied by a membership condition anchoring the
+        # member inside the context instance.
+        common = element if element.is_ancestor_of(grouped) else (
+            _common_repeating_ancestor(grouped, element)
+        )
+        gens: list[SourceGenerator] = []
+        bindings: list[_SourceBinding] = []
+        member_var = self._member_binding(scope, group)
+        if member_var is None:
+            member_var = self._fresh(grouped.name)
+            gens.append(SourceGenerator(member_var, Var(group.var)))
+            bindings.append(_SourceBinding(member_var, grouped))
+        chain_gens, chain_bindings = self._chain(
+            SchemaRoot(self.clip.source.root.name), None, element, var
+        )
+        gens.extend(chain_gens)
+        bindings.extend(chain_bindings)
+        conditions: list[Membership] = []
+        if common is not None:
+            common_var = var if common is element else _binding_var(chain_bindings, common)
+            relative = _relative_labels(common, grouped)
+            conditions.append(
+                Membership(Var(member_var), proj_path(Var(common_var), relative))
+            )
+        return gens, bindings, conditions
+
+    # -- conditions -----------------------------------------------------------
+
+    def _convert_condition(self, node: BuildNode, scope: _Scope) -> list[TgdComparison]:
+        if node.condition is None:
+            return []
+        return [self._convert_comparison(c, scope) for c in node.condition.comparisons]
+
+    def _convert_comparison(self, comparison: ClipComparison, scope: _Scope) -> TgdComparison:
+        return TgdComparison(
+            self._convert_operand(comparison.left, scope),
+            comparison.op,
+            self._convert_operand(comparison.right, scope),
+        )
+
+    def _convert_operand(self, operand, scope: _Scope):
+        if isinstance(operand, Literal):
+            return Constant(operand.value)
+        return self._convert_varpath(operand, scope)
+
+    def _convert_varpath(self, varpath: VarPath, scope: _Scope) -> TgdExpr:
+        if scope.binding(varpath.var) is None:
+            raise CompileError(
+                f"expression {varpath} references ${varpath.var}, "
+                "which is not bound in scope"
+            )
+        return proj_path(Var(varpath.var), varpath.segments)
+
+    # -- target side ------------------------------------------------------------
+
+    def _target_generators(
+        self, node: BuildNode, scope: _Scope
+    ) -> tuple[list[TargetGenerator], Optional[tuple[str, ElementDecl]]]:
+        if node.target is None:
+            return [], None
+        if scope.target_anchor is not None:
+            anchor_var, anchor_element = scope.target_anchor
+            base_expr: TgdExpr = Var(anchor_var)
+            path = list(node.target.path())
+            start = path.index(anchor_element) + 1
+        else:
+            base_expr = SchemaRoot(self.clip.target.root.name)
+            path = list(node.target.path())
+            start = 1  # the schema root expression denotes path[0]
+        gens: list[TargetGenerator] = []
+        expr = base_expr
+        for element in path[start:]:
+            is_built = element is node.target
+            var = self._builder_var(node, element) if is_built else self._fresh_target(element.name)
+            # An intermediate target element that some *other* build node
+            # constructs distributes this node's content over all its
+            # instances (Figure 4 without the context arc).
+            distribute = not is_built and any(
+                other is not node and other.target is element
+                for other in self.clip.build_nodes()
+            )
+            gens.append(
+                TargetGenerator(
+                    var,
+                    Proj(expr, element.name),
+                    quantified=is_built,
+                    distribute=distribute,
+                )
+            )
+            expr = Var(var)
+        if not gens:
+            raise CompileError(
+                f"builder target <{node.target.path_string()}> does not lie below "
+                "the enclosing built element"
+            )
+        return gens, (gens[-1].var, node.target)
+
+    def _builder_var(self, node: BuildNode, element: ElementDecl) -> str:
+        primary = node.incoming[0].variable
+        if primary:
+            name = primary + "'"
+            if name not in self._used_vars:
+                self._used_vars.add(name)
+                return name
+        return self._fresh_target(element.name)
+
+    # -- value mappings ------------------------------------------------------------
+
+    def _assignments(
+        self, node: BuildNode, scope: _Scope, target_var: Optional[str]
+    ) -> list[Assignment]:
+        out: list[Assignment] = []
+        for vm in self._driver_map.get(id(node), []):
+            out.append(self._assignment(vm, node, scope, target_var))
+        return out
+
+    def _assignment(
+        self,
+        vm: ValueMapping,
+        node: BuildNode,
+        scope: _Scope,
+        target_var: Optional[str],
+    ) -> Assignment:
+        if target_var is None:
+            raise CompileError(
+                f"value mapping {vm!r} is driven by a build node with no "
+                "outgoing builder"
+            )
+        target_expr = self._target_value_expr(vm.target, node.target, target_var)
+        value = self._value_term(vm, scope)
+        return Assignment(target_expr, value)
+
+    def _target_value_expr(
+        self, target: ValueNode, built: ElementDecl, built_var: str
+    ) -> TgdExpr:
+        labels = _relative_labels(built, target.element)
+        leaf = f"@{target.attribute}" if target.attribute is not None else "value"
+        return proj_path(Var(built_var), labels + [leaf])
+
+    def _value_term(self, vm: ValueMapping, scope: _Scope):
+        if vm.is_aggregate:
+            self._note_function(vm.aggregate.name)
+            return AggregateApp(vm.aggregate, self._source_value_expr(vm.sources[0], scope))
+        args = tuple(self._source_value_expr(s, scope) for s in vm.sources)
+        if vm.function is not None:
+            return FunctionApp(vm.function, args)
+        return args[0]
+
+    def _source_value_expr(self, source, scope: _Scope) -> TgdExpr:
+        element = source.element if isinstance(source, ValueNode) else source
+        anchor = scope.anchor_for(element)
+        if anchor is not None:
+            base: TgdExpr = Var(anchor.var)
+            labels = _relative_labels(anchor.element, element)
+        else:
+            group = scope.group_binding_over(element)
+            if group is not None and (
+                group.element is element or group.element.is_ancestor_of(element)
+            ):
+                base = Var(group.var)
+                labels = _relative_labels(group.element, element)
+            else:
+                base = SchemaRoot(self.clip.source.root.name)
+                labels = [e.name for e in element.path()[1:]]
+        if isinstance(source, ValueNode):
+            leaf = f"@{source.attribute}" if source.attribute is not None else "value"
+            labels = labels + [leaf]
+        return proj_path(base, labels)
+
+    # -- node compilation ------------------------------------------------------------
+
+    def _compile_node(self, node: BuildNode, scope: _Scope) -> TgdMapping:
+        gens, memberships, bindings = self._source_generators(node, scope)
+        inner_scope = _Scope(
+            tuple(bindings) + scope.bindings, scope.target_anchor, scope.target_context
+        )
+        where = tuple(self._convert_condition(node, inner_scope)) + tuple(memberships)
+        target_gens, new_anchor = self._target_generators(node, scope)
+
+        skolem = None
+        grouped_var: Optional[str] = None
+        if node.is_group:
+            self._note_function("group-by")
+            attrs = tuple(
+                self._convert_varpath(attr, inner_scope) for attr in node.grouping
+            )
+            context = scope.target_context or None
+            if new_anchor is None:
+                raise CompileError("a group node requires an outgoing builder")
+            skolem = (new_anchor[0], GroupByApp(context, attrs))
+            grouped_var = node.grouping[0].var
+            # Inside the group, only the grouped variables (those the
+            # grouping attributes reference) remain visible, and they
+            # denote *groups*; the auxiliary chain variables are
+            # aggregated away.
+            grouping_vars = {attr.var for attr in node.grouping}
+            bindings = [
+                _SourceBinding(b.var, b.element, is_group=True)
+                for b in bindings
+                if b.var in grouping_vars
+            ]
+
+        child_scope = scope.extend(
+            bindings,
+            new_anchor,
+            (new_anchor[0],) if new_anchor is not None else (),
+        )
+        submappings = tuple(
+            self._compile_node(child, child_scope) for child in node.children
+        )
+        assignments = tuple(
+            self._assignments(node, inner_scope, new_anchor[0] if new_anchor else None)
+        )
+        return TgdMapping(
+            source_gens=tuple(gens),
+            where=where,
+            target_gens=tuple(target_gens),
+            assignments=assignments,
+            submappings=submappings,
+            skolem=skolem,
+            grouped_var=grouped_var,
+        )
+
+    # -- value mappings without a driver (whole-document aggregates) ---------------
+
+    def _compile_undriven(self) -> TgdMapping:
+        assignments: list[Assignment] = []
+        target_gens: list[TargetGenerator] = []
+        seen: dict[int, str] = {}
+        scope = _Scope()
+        for vm in self._undriven:
+            if not vm.is_aggregate:
+                raise CompileError(
+                    f"value mapping {vm!r} has no driver builder; only aggregate "
+                    "value mappings may be scoped to the whole document"
+                )
+            holder = vm.target.element
+            var = seen.get(id(holder))
+            if var is None:
+                expr: TgdExpr = SchemaRoot(self.clip.target.root.name)
+                for element in holder.path()[1:]:
+                    var = self._fresh_target(element.name)
+                    target_gens.append(
+                        TargetGenerator(var, Proj(expr, element.name), quantified=False)
+                    )
+                    expr = Var(var)
+                if var is None:  # target value on the root element itself
+                    var = self._fresh_target(holder.name)
+                    target_gens.append(
+                        TargetGenerator(var, SchemaRoot(self.clip.target.root.name), quantified=False)
+                    )
+                seen[id(holder)] = var
+            self._note_function(vm.aggregate.name)
+            leaf = f"@{vm.target.attribute}" if vm.target.attribute else "value"
+            assignments.append(
+                Assignment(
+                    Proj(Var(var), leaf),
+                    AggregateApp(vm.aggregate, self._source_value_expr(vm.sources[0], scope)),
+                )
+            )
+        return TgdMapping((), (), tuple(target_gens), tuple(assignments))
+
+    # -- default generation (no builders, Figure 3 discussion) ----------------------
+
+    def _compile_default(self) -> NestedTgd:
+        """Minimum-cardinality semantics for value-mappings-only input:
+        iterate each mapping's source repeating path; materialize (per
+        iteration) only the deepest repeating target element on the
+        target path; everything above is a constant tag."""
+        groups: dict[tuple, list[ValueMapping]] = {}
+        for vm in self.clip.value_mappings:
+            key = self._default_key(vm)
+            groups.setdefault(key, []).append(vm)
+        roots = [self._compile_default_group(vms) for vms in groups.values()]
+        return NestedTgd(
+            derive_distribution(tuple(roots)),
+            functions=tuple(self._functions),
+            source_root=self.clip.source.root.name,
+            target_root=self.clip.target.root.name,
+        )
+
+    def _default_key(self, vm: ValueMapping) -> tuple:
+        elements = vm.source_elements()
+        repeating = tuple(
+            e for e in self.clip.source.repeating_path(elements[0])
+        ) if not vm.is_aggregate else ()
+        built = self._deepest_repeating_target(vm.target.element)
+        return (repeating, id(built) if built is not None else None)
+
+    def _deepest_repeating_target(self, holder: ElementDecl) -> Optional[ElementDecl]:
+        repeating = [e for e in holder.path() if e.is_repeating]
+        return repeating[-1] if repeating else None
+
+    def _compile_default_group(self, vms: list[ValueMapping]) -> TgdMapping:
+        primary = vms[0]
+        gens: list[SourceGenerator] = []
+        bindings: list[_SourceBinding] = []
+        if not primary.is_aggregate:
+            anchor_element = primary.source_elements()[0]
+            repeating = self.clip.source.repeating_path(anchor_element)
+            base: TgdExpr = SchemaRoot(self.clip.source.root.name)
+            base_element: Optional[ElementDecl] = None
+            for element in repeating:
+                var = self._fresh(element.name)
+                chain, chain_bindings = self._chain(base, base_element, element, var)
+                gens.extend(chain)
+                bindings.extend(chain_bindings)
+                base, base_element = Var(var), element
+        scope = _Scope(tuple(reversed(bindings)))
+
+        built = self._deepest_repeating_target(vms[0].target.element)
+        target_gens: list[TargetGenerator] = []
+        expr: TgdExpr = SchemaRoot(self.clip.target.root.name)
+        built_var: Optional[str] = None
+        anchor_holder = built if built is not None else self.clip.target.root
+        for element in anchor_holder.path()[1:]:
+            var = self._fresh_target(element.name)
+            quantified = element is built and bool(gens)
+            target_gens.append(TargetGenerator(var, Proj(expr, element.name), quantified=quantified))
+            expr = Var(var)
+            built_var = var
+        if built_var is None:
+            built_var = self._fresh_target(self.clip.target.root.name)
+            target_gens.append(
+                TargetGenerator(built_var, SchemaRoot(self.clip.target.root.name), quantified=False)
+            )
+
+        assignments = []
+        for vm in vms:
+            target_expr = self._target_value_expr(vm.target, anchor_holder, built_var)
+            assignments.append(Assignment(target_expr, self._value_term(vm, scope)))
+        return TgdMapping(tuple(gens), (), tuple(target_gens), tuple(assignments))
+
+
+def _common_repeating_ancestor(
+    left: ElementDecl, right: ElementDecl
+) -> Optional[ElementDecl]:
+    """The deepest *repeating* element on both root paths, or ``None``."""
+    shared = None
+    right_path = right.path()
+    for candidate in left.path():
+        if candidate in right_path and candidate.is_repeating:
+            if candidate is not left and candidate is not right:
+                shared = candidate
+    return shared
+
+
+def _binding_var(bindings: list["_SourceBinding"], element: ElementDecl) -> str:
+    for binding in bindings:
+        if binding.element is element:
+            return binding.var
+    raise CompileError(
+        f"no chain variable bound for <{element.path_string()}>"
+    )
+
+
+def _relative_labels(ancestor: ElementDecl, descendant: ElementDecl) -> list[str]:
+    """Element names on the path from ``ancestor`` (exclusive) down to
+    ``descendant`` (inclusive)."""
+    if ancestor is descendant:
+        return []
+    path = list(descendant.path())
+    try:
+        index = path.index(ancestor)
+    except ValueError:
+        raise CompileError(
+            f"<{ancestor.path_string()}> is not an ancestor of "
+            f"<{descendant.path_string()}>"
+        ) from None
+    return [e.name for e in path[index + 1 :]]

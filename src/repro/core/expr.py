@@ -1,0 +1,221 @@
+"""The expression language of build-node labels.
+
+Build nodes carry filtering conditions written over the variables of
+their incoming builders, e.g. ``$r.sal.value > 11000`` (Figure 3) or
+``$p.@pid = $r.@pid`` (Figure 6).  Grouping labels list value
+expressions such as ``$p.pname.value`` (Figure 7).
+
+Grammar (hand-rolled recursive-descent parser in :func:`parse_condition`
+/ :func:`parse_value_expr`)::
+
+    condition  := comparison ("and" comparison)*
+    comparison := operand OP operand         OP ∈ { = != < <= > >= }
+    operand    := value-expr | string-literal | number | boolean
+    value-expr := "$" NAME ("." segment)*    segment := NAME | @NAME | value
+
+The trailing ``value`` segment denotes the element's text node,
+matching the paper's dotted notation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import MappingError
+from ..xml.model import AtomicValue
+
+_OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class VarPath:
+    """``$var.seg1.seg2…`` — a projection rooted at a builder variable.
+
+    ``segments`` keeps the dotted form: element names, ``@attr`` for
+    attributes, ``value`` for the text node.
+    """
+
+    var: str
+    segments: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return ".".join([f"${self.var}", *self.segments])
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant operand."""
+
+    value: AtomicValue
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+Operand = Union[VarPath, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left OP right`` with a comparison operator."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self):
+        if self.op not in _OPERATORS:
+            raise MappingError(f"unknown comparison operator {self.op!r}")
+
+    def holds(self, left_value: AtomicValue, right_value: AtomicValue) -> bool:
+        """Apply the operator to already-evaluated operand values."""
+        if self.op == "=":
+            return left_value == right_value
+        if self.op == "!=":
+            return left_value != right_value
+        try:
+            if self.op == "<":
+                return left_value < right_value
+            if self.op == "<=":
+                return left_value <= right_value
+            if self.op == ">":
+                return left_value > right_value
+            return left_value >= right_value
+        except TypeError as exc:
+            raise MappingError(
+                f"cannot compare {left_value!r} {self.op} {right_value!r}: {exc}"
+            ) from exc
+
+    def variables(self) -> set[str]:
+        found = set()
+        for side in (self.left, self.right):
+            if isinstance(side, VarPath):
+                found.add(side.var)
+        return found
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A conjunction of comparisons (the label of a build node)."""
+
+    comparisons: tuple[Comparison, ...]
+
+    def variables(self) -> set[str]:
+        found: set[str] = set()
+        for comparison in self.comparisons:
+            found |= comparison.variables()
+        return found
+
+    def is_join(self) -> bool:
+        """True when some comparison relates two *different* variables —
+        the paper's criterion for a Join rather than a filter."""
+        return any(len(c.variables()) >= 2 for c in self.comparisons)
+
+    def __str__(self) -> str:
+        return " and ".join(str(c) for c in self.comparisons)
+
+    def __bool__(self) -> bool:
+        return bool(self.comparisons)
+
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<varpath>\$[A-Za-z_][\w]*(?:\.(?:@?[A-Za-z_][\w\-]*|value))*)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<op><=|>=|!=|=|<|>)
+      | (?P<kw>\band\b|\btrue\b|\bfalse\b)
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise MappingError(f"cannot tokenize condition at {remainder!r}")
+        pos = match.end()
+        for kind in ("varpath", "string", "number", "op", "kw"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+def parse_value_expr(text: str) -> VarPath:
+    """Parse a ``$var.path`` expression, e.g. ``$p.pname.value``."""
+    text = text.strip()
+    if not text.startswith("$"):
+        raise MappingError(f"value expression must start with '$': {text!r}")
+    segments = text[1:].split(".")
+    var, rest = segments[0], segments[1:]
+    if not var:
+        raise MappingError(f"missing variable name in {text!r}")
+    for segment in rest:
+        if not segment:
+            raise MappingError(f"empty segment in {text!r}")
+    return VarPath(var, tuple(rest))
+
+
+def _operand(kind: str, value: str) -> Operand:
+    if kind == "varpath":
+        return parse_value_expr(value)
+    if kind == "string":
+        return Literal(value[1:-1])
+    if kind == "number":
+        return Literal(float(value) if "." in value else int(value))
+    if kind == "kw" and value in ("true", "false"):
+        return Literal(value == "true")
+    raise MappingError(f"expected an operand, found {value!r}")
+
+
+def parse_condition(text: Union[str, Condition, None]) -> Condition:
+    """Parse a condition label into a :class:`Condition`.
+
+    Accepts an already-parsed condition or ``None`` (empty condition)
+    for caller convenience.
+    """
+    if text is None:
+        return Condition(())
+    if isinstance(text, Condition):
+        return text
+    tokens = _tokenize(text)
+    comparisons: list[Comparison] = []
+    index = 0
+    while index < len(tokens):
+        if comparisons:
+            kind, value = tokens[index]
+            if kind != "kw" or value != "and":
+                raise MappingError(f"expected 'and' between comparisons, found {value!r}")
+            index += 1
+        if index + 2 >= len(tokens) + 1 and index + 2 > len(tokens):
+            raise MappingError(f"truncated comparison in condition {text!r}")
+        try:
+            left = _operand(*tokens[index])
+            op_kind, op_value = tokens[index + 1]
+            right = _operand(*tokens[index + 2])
+        except IndexError:
+            raise MappingError(f"truncated comparison in condition {text!r}") from None
+        if op_kind != "op":
+            raise MappingError(f"expected a comparison operator, found {op_value!r}")
+        comparisons.append(Comparison(left, op_value, right))
+        index += 3
+    if not comparisons:
+        raise MappingError(f"empty condition {text!r}")
+    return Condition(tuple(comparisons))

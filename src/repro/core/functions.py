@@ -1,0 +1,167 @@
+"""Scalar and aggregate functions attachable to value mappings.
+
+"Simple one-to-one value mappings represent the identity function …
+More complicated transformations require the user to add a scalar
+function … For example, value mappings can concatenate multiple source
+values or perform an arithmetic operation" (Section II).  Aggregate
+functions (``<<count>>``, ``<<avg>>`` …) condense a set of values into
+one (Figure 9).
+
+Scalar functions are registered by name so that the tgd pretty-printer
+and the XQuery emitter can render them symbolically; the executor and
+the XQuery interpreter share the same implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import MappingError
+from ..xml.model import AtomicValue
+
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    """A named n-ary function over atomic values."""
+
+    name: str
+    arity: int  # -1 for variadic
+    _impl: Callable[..., AtomicValue]
+
+    def apply(self, args: Sequence[AtomicValue]) -> AtomicValue:
+        if self.arity >= 0 and len(args) != self.arity:
+            raise MappingError(
+                f"function {self.name} expects {self.arity} arguments, got {len(args)}"
+            )
+        return self._impl(*args)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _concat(*args: AtomicValue) -> str:
+    return "".join(str(a) for a in args)
+
+
+def _require_numbers(args: Sequence[AtomicValue], fn: str) -> list[float]:
+    numbers: list[float] = []
+    for a in args:
+        if isinstance(a, bool) or not isinstance(a, (int, float)):
+            raise MappingError(f"function {fn} requires numeric arguments, got {a!r}")
+        numbers.append(a)
+    return numbers
+
+
+def _add(*args):
+    return _sum_preserving_int(_require_numbers(args, "add"))
+
+
+def _subtract(a, b):
+    x, y = _require_numbers([a, b], "subtract")
+    return _int_if_integral(x - y)
+
+
+def _multiply(*args):
+    product = 1.0
+    for n in _require_numbers(args, "multiply"):
+        product *= n
+    return _int_if_integral(product)
+
+
+def _divide(a, b):
+    x, y = _require_numbers([a, b], "divide")
+    if y == 0:
+        raise MappingError("division by zero in scalar function")
+    return _int_if_integral(x / y)
+
+
+def _int_if_integral(value: float) -> AtomicValue:
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def _sum_preserving_int(numbers: Sequence[float]) -> AtomicValue:
+    total = sum(numbers)
+    return _int_if_integral(float(total))
+
+
+IDENTITY = ScalarFunction("identity", 1, lambda v: v)
+CONCAT = ScalarFunction("concat", -1, _concat)
+ADD = ScalarFunction("add", -1, _add)
+SUBTRACT = ScalarFunction("subtract", 2, _subtract)
+MULTIPLY = ScalarFunction("multiply", -1, _multiply)
+DIVIDE = ScalarFunction("divide", 2, _divide)
+UPPER = ScalarFunction("upper", 1, lambda v: str(v).upper())
+LOWER = ScalarFunction("lower", 1, lambda v: str(v).lower())
+
+SCALAR_FUNCTIONS: dict[str, ScalarFunction] = {
+    f.name: f
+    for f in (IDENTITY, CONCAT, ADD, SUBTRACT, MULTIPLY, DIVIDE, UPPER, LOWER)
+}
+
+
+def scalar(name: str) -> ScalarFunction:
+    """Look up a registered scalar function by name."""
+    try:
+        return SCALAR_FUNCTIONS[name]
+    except KeyError:
+        raise MappingError(f"unknown scalar function {name!r}") from None
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """A named function condensing a sequence of values into one.
+
+    ``count`` counts *items* (elements or values); the numeric
+    aggregates first atomize their input (elements contribute their
+    text values, as XPath does).
+    """
+
+    name: str
+    _impl: Callable[[Sequence[AtomicValue]], AtomicValue]
+    counts_items: bool = False
+
+    def apply(self, values: Sequence) -> AtomicValue:
+        if self.counts_items:
+            return len(values)
+        from ..xml.paths import atomize  # late import avoids a cycle
+
+        atoms = atomize(list(values))
+        return self._impl(atoms)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _avg(values: Sequence[AtomicValue]) -> AtomicValue:
+    numbers = _require_numbers(values, "avg")
+    if not numbers:
+        raise MappingError("avg over an empty sequence")
+    return _int_if_integral(sum(numbers) / len(numbers))
+
+
+def _minmax(values, fn, name):
+    if not values:
+        raise MappingError(f"{name} over an empty sequence")
+    return fn(values)
+
+
+COUNT = AggregateFunction("count", len, counts_items=True)
+SUM = AggregateFunction("sum", lambda v: _sum_preserving_int(_require_numbers(v, "sum")))
+AVG = AggregateFunction("avg", _avg)
+MIN = AggregateFunction("min", lambda v: _minmax(v, min, "min"))
+MAX = AggregateFunction("max", lambda v: _minmax(v, max, "max"))
+
+AGGREGATE_FUNCTIONS: dict[str, AggregateFunction] = {
+    f.name: f for f in (COUNT, SUM, AVG, MIN, MAX)
+}
+
+
+def aggregate(name: str) -> AggregateFunction:
+    """Look up a registered aggregate function by name."""
+    try:
+        return AGGREGATE_FUNCTIONS[name]
+    except KeyError:
+        raise MappingError(f"unknown aggregate function {name!r}") from None

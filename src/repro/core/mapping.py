@@ -1,0 +1,385 @@
+"""The Clip mapping object model.
+
+A :class:`ClipMapping` is the programmatic equivalent of a Clip diagram:
+a source schema on the left, a target schema on the right, and between
+them
+
+* **value mappings** (:class:`ValueMapping`) — thin arrows between value
+  nodes, optionally tagged with a scalar or aggregate function;
+* **builders** routed through **build nodes** (:class:`BuildNode`),
+  chained by **context arcs** into **context propagation trees**;
+  group nodes are build nodes with a ``group-by`` label.
+
+"Drawing a line" in the GUI corresponds to one method call here:
+:meth:`ClipMapping.build` draws a builder through a fresh build node,
+:meth:`ClipMapping.context` draws a builder into a context-only node
+(no outgoing builder), :meth:`ClipMapping.group` draws a group node,
+and :meth:`ClipMapping.value` draws a value mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import MappingError
+from ..xsd.schema import ElementDecl, Schema, ValueNode
+from .expr import Condition, VarPath, parse_condition, parse_value_expr
+from .functions import AggregateFunction, ScalarFunction, aggregate as _aggregate
+
+#: A value-mapping source: a value node, or (for ``<<count>>``) an element.
+ValueSource = Union[ValueNode, ElementDecl]
+
+
+class ValueMapping:
+    """A correspondence between source value node(s) and a target value node.
+
+    With no function, a single source value is copied (identity).  With
+    a :class:`ScalarFunction`, several source values are combined into
+    one.  With an :class:`AggregateFunction`, the *set* of source values
+    (or elements, for ``count``) within the driver's context condenses
+    into a single value — the ``⟨⟨count⟩⟩`` / ``⟨⟨avg⟩⟩`` labels of
+    Figure 9.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[ValueSource],
+        target: ValueNode,
+        function: Optional[ScalarFunction] = None,
+        aggregate: Optional[AggregateFunction] = None,
+    ):
+        if not sources:
+            raise MappingError("a value mapping needs at least one source node")
+        if function is not None and aggregate is not None:
+            raise MappingError("a value mapping cannot carry both a scalar and an aggregate")
+        if aggregate is None:
+            for node in sources:
+                if isinstance(node, ElementDecl):
+                    raise MappingError(
+                        "only aggregate value mappings may start from elements "
+                        f"(source {node.path_string()!r})"
+                    )
+            if function is None and len(sources) > 1:
+                raise MappingError(
+                    "a multi-source value mapping requires a scalar function"
+                )
+        self.sources: tuple[ValueSource, ...] = tuple(sources)
+        self.target = target
+        self.function = function
+        self.aggregate = aggregate
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+    def source_elements(self) -> list[ElementDecl]:
+        """The elements holding each source (the element itself for
+        element sources)."""
+        return [
+            node if isinstance(node, ElementDecl) else node.element
+            for node in self.sources
+        ]
+
+    def __repr__(self) -> str:
+        tag = ""
+        if self.aggregate is not None:
+            tag = f" <<{self.aggregate.name}>>"
+        elif self.function is not None:
+            tag = f" [{self.function.name}]"
+        sources = ", ".join(
+            s.path_string() if isinstance(s, ElementDecl) else str(s) for s in self.sources
+        )
+        return f"ValueMapping({sources} ->{tag} {self.target})"
+
+
+class BuilderArc:
+    """An incoming builder: a thick arrow from a source element into a
+    build node, optionally tagged with a variable (``$r``)."""
+
+    def __init__(self, source: ElementDecl, variable: Optional[str] = None):
+        self.source = source
+        self.variable = variable
+
+    def __repr__(self) -> str:
+        tag = f" ${self.variable}" if self.variable else ""
+        return f"BuilderArc({self.source.path_string()}{tag})"
+
+
+class BuildNode:
+    """An annotated node between the schemas.
+
+    Build nodes have 1..n incoming builders, 0..1 incoming context arcs
+    (the ``parent``), 0..1 outgoing builders (``target``) and 0..n
+    outgoing context arcs (``children``).  A node with ``grouping``
+    expressions is a *group node*.
+    """
+
+    def __init__(
+        self,
+        incoming: Sequence[BuilderArc],
+        target: Optional[ElementDecl] = None,
+        condition: Optional[Condition] = None,
+        grouping: Sequence[VarPath] = (),
+    ):
+        if not incoming:
+            raise MappingError("a build node needs at least one incoming builder")
+        self.incoming: tuple[BuilderArc, ...] = tuple(incoming)
+        self.target = target
+        self.condition = condition if condition else None
+        self.grouping: tuple[VarPath, ...] = tuple(grouping)
+        self.parent: Optional[BuildNode] = None
+        self._children: list[BuildNode] = []
+        self._check_variables()
+
+    def _check_variables(self) -> None:
+        names = [arc.variable for arc in self.incoming if arc.variable]
+        if len(names) != len(set(names)):
+            raise MappingError(f"duplicate builder variables {names}")
+
+    @property
+    def children(self) -> tuple["BuildNode", ...]:
+        return tuple(self._children)
+
+    @property
+    def is_group(self) -> bool:
+        return bool(self.grouping)
+
+    @property
+    def has_output(self) -> bool:
+        return self.target is not None
+
+    def attach(self, child: "BuildNode") -> "BuildNode":
+        """Draw a context arc from this node to ``child``."""
+        if child.parent is not None:
+            raise MappingError("build node already has an incoming context arc")
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def ancestors(self) -> list["BuildNode"]:
+        """CPT ancestors, nearest first."""
+        chain: list[BuildNode] = []
+        node = self.parent
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    def subtree(self) -> Iterable["BuildNode"]:
+        """This node and all CPT descendants, pre-order."""
+        yield self
+        for child in self._children:
+            yield from child.subtree()
+
+    def arcs_in_scope(self) -> list[tuple["BuildNode", BuilderArc]]:
+        """All incoming arcs visible at this node: its own plus its
+        ancestors', nearest scope first."""
+        found: list[tuple[BuildNode, BuilderArc]] = [
+            (self, arc) for arc in self.incoming
+        ]
+        for ancestor in self.ancestors():
+            found.extend((ancestor, arc) for arc in ancestor.incoming)
+        return found
+
+    def variable_arc(self, name: str) -> tuple["BuildNode", BuilderArc]:
+        """Resolve a variable to its (node, arc), searching up the CPT."""
+        for node, arc in self.arcs_in_scope():
+            if arc.variable == name:
+                return node, arc
+        raise MappingError(f"variable ${name} is not bound at this build node")
+
+    def __repr__(self) -> str:
+        incoming = ",".join(
+            f"${a.variable}" if a.variable else a.source.name for a in self.incoming
+        )
+        output = f" -> {self.target.path_string()}" if self.target else ""
+        group = f" group-by[{', '.join(map(str, self.grouping))}]" if self.is_group else ""
+        cond = f" | {self.condition}" if self.condition else ""
+        return f"BuildNode({incoming}{output}{group}{cond})"
+
+
+class ClipMapping:
+    """A complete Clip mapping: schemas, value mappings and CPTs."""
+
+    def __init__(self, source: Schema, target: Schema):
+        self.source = source
+        self.target = target
+        self.value_mappings: list[ValueMapping] = []
+        self.roots: list[BuildNode] = []
+        self._fresh = 0
+
+    # -- construction API (one call per GUI gesture) ---------------------
+
+    def _source_element(self, path: Union[str, ElementDecl]) -> ElementDecl:
+        return self.source.element(path) if isinstance(path, str) else path
+
+    def _target_element(self, path: Union[str, ElementDecl]) -> ElementDecl:
+        return self.target.element(path) if isinstance(path, str) else path
+
+    def _fresh_variable(self) -> str:
+        self._fresh += 1
+        return f"v{self._fresh}"
+
+    def _make_node(
+        self,
+        sources: Union[str, ElementDecl, Sequence[Union[str, ElementDecl]]],
+        target: Optional[Union[str, ElementDecl]],
+        var: Optional[Union[str, Sequence[str]]],
+        condition: Optional[Union[str, Condition]],
+        grouping: Sequence[Union[str, VarPath]],
+        parent: Optional[BuildNode],
+    ) -> BuildNode:
+        if isinstance(sources, (str, ElementDecl)):
+            sources = [sources]
+        if var is None:
+            variables: list[Optional[str]] = [None] * len(sources)
+        elif isinstance(var, str):
+            variables = [var]
+        else:
+            variables = list(var)
+        if len(variables) != len(sources):
+            raise MappingError(
+                f"{len(sources)} incoming builders but {len(variables)} variables"
+            )
+        arcs = [
+            BuilderArc(self._source_element(path), name)
+            for path, name in zip(sources, variables)
+        ]
+        parsed_condition = parse_condition(condition) if condition else None
+        parsed_grouping = tuple(
+            parse_value_expr(g) if isinstance(g, str) else g for g in grouping
+        )
+        node = BuildNode(
+            arcs,
+            target=self._target_element(target) if target is not None else None,
+            condition=parsed_condition,
+            grouping=parsed_grouping,
+        )
+        if parent is not None:
+            parent.attach(node)
+        else:
+            self.roots.append(node)
+        return node
+
+    def build(
+        self,
+        sources: Union[str, ElementDecl, Sequence[Union[str, ElementDecl]]],
+        target: Union[str, ElementDecl],
+        *,
+        var: Optional[Union[str, Sequence[str]]] = None,
+        condition: Optional[Union[str, Condition]] = None,
+        parent: Optional[BuildNode] = None,
+    ) -> BuildNode:
+        """Draw builder(s) through a fresh build node into ``target``."""
+        return self._make_node(sources, target, var, condition, (), parent)
+
+    def context(
+        self,
+        sources: Union[str, ElementDecl, Sequence[Union[str, ElementDecl]]],
+        *,
+        var: Optional[Union[str, Sequence[str]]] = None,
+        condition: Optional[Union[str, Condition]] = None,
+        parent: Optional[BuildNode] = None,
+    ) -> BuildNode:
+        """Draw builder(s) into a context-only build node (no outgoing
+        builder) — the topmost node of Figure 6."""
+        return self._make_node(sources, None, var, condition, (), parent)
+
+    def group(
+        self,
+        sources: Union[str, ElementDecl, Sequence[Union[str, ElementDecl]]],
+        target: Union[str, ElementDecl],
+        *,
+        by: Sequence[Union[str, VarPath]],
+        var: Optional[Union[str, Sequence[str]]] = None,
+        condition: Optional[Union[str, Condition]] = None,
+        parent: Optional[BuildNode] = None,
+    ) -> BuildNode:
+        """Draw a group node (``group-by`` label, Figure 7)."""
+        if not by:
+            raise MappingError("a group node needs at least one grouping attribute")
+        return self._make_node(sources, target, var, condition, by, parent)
+
+    def value(
+        self,
+        sources: Union[str, ValueNode, Sequence[Union[str, ValueNode]]],
+        target: Union[str, ValueNode],
+        *,
+        function: Optional[ScalarFunction] = None,
+    ) -> ValueMapping:
+        """Draw a value mapping (thin arrow between value nodes)."""
+        mapping = ValueMapping(
+            self._resolve_value_sources(sources),
+            self._resolve_target_value(target),
+            function=function,
+        )
+        self.value_mappings.append(mapping)
+        return mapping
+
+    def value_aggregate(
+        self,
+        name: str,
+        sources: Union[str, ValueNode, ElementDecl, Sequence],
+        target: Union[str, ValueNode],
+    ) -> ValueMapping:
+        """Draw an aggregate value mapping (``⟨⟨count⟩⟩`` etc.).
+
+        ``count`` sources may be element paths; the numeric aggregates
+        take value-node paths.
+        """
+        mapping = ValueMapping(
+            self._resolve_value_sources(sources, allow_elements=True),
+            self._resolve_target_value(target),
+            aggregate=_aggregate(name),
+        )
+        self.value_mappings.append(mapping)
+        return mapping
+
+    def _resolve_value_sources(self, sources, allow_elements=False) -> list[ValueSource]:
+        if isinstance(sources, (str, ValueNode, ElementDecl)):
+            sources = [sources]
+        resolved: list[ValueSource] = []
+        for item in sources:
+            if isinstance(item, str):
+                node = self.source.node(item)
+            else:
+                node = item
+            if isinstance(node, ElementDecl) and not allow_elements:
+                raise MappingError(
+                    f"value mapping source {node.path_string()!r} is an element; "
+                    "use value_aggregate('count', …) for element sources"
+                )
+            resolved.append(node)
+        return resolved
+
+    def _resolve_target_value(self, target) -> ValueNode:
+        if isinstance(target, str):
+            node = self.target.node(target)
+        else:
+            node = target
+        if not isinstance(node, ValueNode):
+            raise MappingError(f"value mapping target must be a value node, got {node!r}")
+        return node
+
+    # -- inspection ------------------------------------------------------
+
+    def build_nodes(self) -> list[BuildNode]:
+        """All build nodes of all CPTs, pre-order."""
+        found: list[BuildNode] = []
+        for root in self.roots:
+            found.extend(root.subtree())
+        return found
+
+    def builders_to(self, target: ElementDecl) -> list[BuildNode]:
+        """The build nodes whose outgoing builder reaches ``target``."""
+        return [node for node in self.build_nodes() if node.target is target]
+
+    def has_builders(self) -> bool:
+        return bool(self.roots)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClipMapping({self.source.root.name} -> {self.target.root.name}, "
+            f"{len(self.value_mappings)} value mappings, "
+            f"{len(self.build_nodes())} build nodes)"
+        )

@@ -1,0 +1,82 @@
+"""ASCII rendering of Clip mapping diagrams.
+
+The GUI places the source schema on the left, the target schema on the
+right, and draws lines between them.  This renderer is the textual
+substitute: it lists the two schemas (in the paper's tree notation) and
+then the "lines":
+
+* builders as ``[$d] dept ══> department`` (thick arrows);
+* context arcs as indentation of build nodes under their parents;
+* group nodes with their ``group-by { … }`` label;
+* conditions on the node's own line;
+* value mappings as ``ename.value ──> employee/@name`` (thin arrows),
+  with their scalar/aggregate tags.
+
+It is used by the examples and by ``python -m repro show``.
+"""
+
+from __future__ import annotations
+
+from ..xsd.render import render_element
+from ..xsd.schema import ValueNode
+from .mapping import BuildNode, ClipMapping, ValueMapping
+
+
+def _short(node) -> str:
+    """A compact path without the schema-root segment."""
+    if isinstance(node, ValueNode):
+        inner = "/".join(node.element.path_string().split("/")[1:])
+        leaf = f"@{node.attribute}" if node.attribute is not None else "value"
+        return f"{inner}/{leaf}" if inner else leaf
+    return "/".join(node.path_string().split("/")[1:]) or node.name
+
+
+def render_value_mapping(vm: ValueMapping) -> str:
+    sources = ", ".join(_short(s) for s in vm.sources)
+    tag = ""
+    if vm.aggregate is not None:
+        tag = f" <<{vm.aggregate.name}>>"
+    elif vm.function is not None:
+        tag = f" [{vm.function.name}]"
+    return f"{sources} ──>{tag} {_short(vm.target)}"
+
+
+def render_build_node(node: BuildNode, *, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    arcs = ", ".join(
+        f"${arc.variable}:{_short(arc.source)}" if arc.variable else _short(arc.source)
+        for arc in node.incoming
+    )
+    head = f"{pad}[{arcs}]"
+    if node.is_group:
+        head += " group-by { " + ", ".join(str(g) for g in node.grouping) + " }"
+    if node.target is not None:
+        head += f" ══> {_short(node.target)}"
+    else:
+        head += " (context only)"
+    lines = [head]
+    if node.condition:
+        lines.append(f"{pad}  | {node.condition}")
+    for child in node.children:
+        lines.extend(render_build_node(child, indent=indent + 1))
+    return lines
+
+
+def render_mapping(clip: ClipMapping) -> str:
+    """Render a whole Clip diagram as text."""
+    lines: list[str] = ["SOURCE"]
+    lines.extend("  " + line for line in render_element(clip.source.root))
+    lines.append("TARGET")
+    lines.extend("  " + line for line in render_element(clip.target.root))
+    lines.append("BUILDERS (thick arrows; indentation = context arcs)")
+    if clip.roots:
+        for root in clip.roots:
+            lines.extend("  " + line for line in render_build_node(root))
+    else:
+        lines.append("  (none — default minimum-cardinality generation)")
+    lines.append("VALUE MAPPINGS (thin arrows)")
+    if clip.value_mappings:
+        lines.extend("  " + render_value_mapping(vm) for vm in clip.value_mappings)
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)

@@ -1,0 +1,400 @@
+"""Nested second-order tgds — the semantics of Clip mappings (Section IV).
+
+An explicit mapping is a (nested) tuple-generating dependency::
+
+    M ::= ∀ x1 ∈ g1, …, xn ∈ gn | C1 →
+          ∃ y1 ∈ g'1, …, yn ∈ g'n | (C2 ∧ M1 ∧ … ∧ Mn)
+
+Expressions are ``e ::= S | x | e.l`` (schema root, variable, record
+projection); terms add function application ``F[e]``.  Second-order
+function symbols — the grouping Skolem ``group-by`` and aggregates
+``count``/``avg``/… — are existentially quantified at the top of the
+formula, mirroring the paper's ``∃ group-by( … )`` notation.
+
+The pretty printer reproduces the paper's notation so that every tgd
+printed in Sections IV–V can be asserted verbatim in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from ..xml.model import AtomicValue
+from .functions import AggregateFunction, ScalarFunction
+
+# -- expressions ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchemaRoot:
+    """The root of the source or target schema (``source``, ``target``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Var:
+    """A universally or existentially quantified variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return _prime(self.name)
+
+
+@dataclass(frozen=True)
+class Proj:
+    """Record projection ``e.l``; the label may be an element name,
+    ``@attr``, or ``value`` (the text node)."""
+
+    base: "TgdExpr"
+    label: str
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.label}"
+
+
+TgdExpr = Union[SchemaRoot, Var, Proj]
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term in a condition."""
+
+    value: AtomicValue
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+def proj_path(base: TgdExpr, labels) -> TgdExpr:
+    """Fold a sequence of labels into nested projections."""
+    expr: TgdExpr = base
+    for label in labels:
+        expr = Proj(expr, label)
+    return expr
+
+
+def expr_root(expr: TgdExpr) -> Union[SchemaRoot, Var]:
+    """The head (schema root or variable) of a projection chain."""
+    while isinstance(expr, Proj):
+        expr = expr.base
+    return expr
+
+
+def expr_labels(expr: TgdExpr) -> list[str]:
+    """The projection labels of an expression, outermost last."""
+    labels: list[str] = []
+    while isinstance(expr, Proj):
+        labels.append(expr.label)
+        expr = expr.base
+    labels.reverse()
+    return labels
+
+
+def _prime(name: str) -> str:
+    """Render trailing apostrophes as primes (``d'`` → ``d′``)."""
+    return name.replace("'", "′")
+
+
+# -- generators ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceGenerator:
+    """``x ∈ g`` on the source side.  ``g`` may be a projection chain
+    over the source root or an outer variable — or a bare variable
+    denoting a *group* (membership iteration, Figure 7's ``p2 ∈ p``)."""
+
+    var: str
+    expr: TgdExpr
+
+    def __str__(self) -> str:
+        return f"{_prime(self.var)} ∈ {self.expr}"
+
+
+@dataclass(frozen=True)
+class TargetGenerator:
+    """``y ∈ g′`` on the target side.
+
+    ``quantified=False`` marks elements that appear in the printed tgd
+    but are *not* driven by a builder; the paper's minimum-cardinality
+    principle turns them into constant tags during query generation
+    ("we enforce minimum cardinality in the generated XQuery, not in
+    the tgd expressions", Section IV-B).
+
+    ``distribute=True`` marks unquantified elements that *are* built by
+    a different, non-ancestor build node of the same mapping: the
+    content distributes over every instance that the other builder
+    creates.  This reproduces the paper's Figure 4 variant — "omitting
+    the context arc causes all employees … to appear, repeated, within
+    all departments".
+    """
+
+    var: str
+    expr: TgdExpr
+    quantified: bool = True
+    distribute: bool = False
+
+    def __str__(self) -> str:
+        return f"{_prime(self.var)} ∈ {self.expr}"
+
+
+# -- conditions ------------------------------------------------------------
+
+Operand = Union[TgdExpr, Constant]
+
+
+@dataclass(frozen=True)
+class TgdComparison:
+    """``a1 oper a2`` in C1 (source) or C2 (target-side conditions)."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def holds(self, left_value: AtomicValue, right_value: AtomicValue) -> bool:
+        """Apply the operator to already-evaluated operand values."""
+        if self.op == "=":
+            return left_value == right_value
+        if self.op == "!=":
+            return left_value != right_value
+        if self.op == "<":
+            return left_value < right_value
+        if self.op == "<=":
+            return left_value <= right_value
+        if self.op == ">":
+            return left_value > right_value
+        if self.op == ">=":
+            return left_value >= right_value
+        raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Membership:
+    """``e1 ∈ e2`` — set membership, used by hierarchy inversion
+    (Figure 8's ``p ∈ d2.Proj``)."""
+
+    member: TgdExpr
+    collection: TgdExpr
+
+    def __str__(self) -> str:
+        return f"{self.member} ∈ {self.collection}"
+
+
+SourceCondition = Union[TgdComparison, Membership]
+
+
+# -- target-side terms -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionApp:
+    """Application of a scalar function: ``concat[e1, e2]``."""
+
+    function: ScalarFunction
+    args: tuple[TgdExpr, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.function.name}[{inner}]"
+
+
+@dataclass(frozen=True)
+class AggregateApp:
+    """Application of an aggregate: ``count(d.Proj)``, ``avg(d.regEmp.sal.value)``."""
+
+    function: AggregateFunction
+    arg: TgdExpr
+
+    def __str__(self) -> str:
+        return f"{self.function.name}({self.arg})"
+
+
+@dataclass(frozen=True)
+class GroupByApp:
+    """The grouping Skolem: ``group-by(context, [attrs])``.
+
+    ``context`` is the list of already-bound target variables that
+    restrict the grouping scope, or ``None`` for ⊥ (the whole data set).
+    """
+
+    context: Optional[tuple[str, ...]]
+    attrs: tuple[TgdExpr, ...]
+
+    def __str__(self) -> str:
+        scope = "⊥" if not self.context else ", ".join(_prime(c) for c in self.context)
+        attrs = ", ".join(str(a) for a in self.attrs)
+        return f"group-by({scope}, [{attrs}])"
+
+
+Term = Union[TgdExpr, Constant, FunctionApp, AggregateApp]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A source-to-target equality in C2: ``e′.@name = r.ename.value``."""
+
+    target: TgdExpr
+    value: Term
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value}"
+
+
+# -- the mapping -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TgdMapping:
+    """One (sub)mapping level of a nested tgd."""
+
+    source_gens: tuple[SourceGenerator, ...]
+    where: tuple[SourceCondition, ...]
+    target_gens: tuple[TargetGenerator, ...]
+    assignments: tuple[Assignment, ...]
+    submappings: tuple["TgdMapping", ...] = ()
+    #: When set, this level groups: (target var, group-by application,
+    #: source var that denotes the group in submappings).
+    skolem: Optional[tuple[str, GroupByApp]] = None
+    grouped_var: Optional[str] = None
+
+    def walk(self) -> Iterator["TgdMapping"]:
+        yield self
+        for sub in self.submappings:
+            yield from sub.walk()
+
+    def built_vars(self) -> list[str]:
+        return [g.var for g in self.target_gens if g.quantified]
+
+
+def derive_distribution(roots: tuple["TgdMapping", ...]) -> tuple["TgdMapping", ...]:
+    """Mark unquantified target generators whose element another mapping
+    builds as *distributed* (the compiler's Figure 4 no-arc rule), so
+    independently produced tgds (default generation, parsed notation)
+    behave like compiled ones."""
+    built: set[str] = set()
+    for root in roots:
+        for level in root.walk():
+            for gen in level.target_gens:
+                if gen.quantified and isinstance(gen.expr, Proj):
+                    built.add(gen.expr.label)
+
+    def fix(mapping: "TgdMapping", own_built: set[str]) -> "TgdMapping":
+        gens = tuple(
+            TargetGenerator(
+                g.var,
+                g.expr,
+                quantified=g.quantified,
+                distribute=(
+                    not g.quantified
+                    and isinstance(g.expr, Proj)
+                    and g.expr.label in built
+                    and g.expr.label not in own_built
+                ),
+            )
+            for g in mapping.target_gens
+        )
+        return TgdMapping(
+            source_gens=mapping.source_gens,
+            where=mapping.where,
+            target_gens=gens,
+            assignments=mapping.assignments,
+            submappings=tuple(fix(s, own_built) for s in mapping.submappings),
+            skolem=mapping.skolem,
+            grouped_var=mapping.grouped_var,
+        )
+
+    out = []
+    for root in roots:
+        own: set[str] = set()
+        for level in root.walk():
+            for gen in level.target_gens:
+                if gen.quantified and isinstance(gen.expr, Proj):
+                    own.add(gen.expr.label)
+        out.append(fix(root, own))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class NestedTgd:
+    """A complete nested tgd: top-level function symbols + root mappings."""
+
+    roots: tuple[TgdMapping, ...]
+    functions: tuple[str, ...] = ()
+    source_root: str = "source"
+    target_root: str = "target"
+
+    def walk(self) -> Iterator[TgdMapping]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def __str__(self) -> str:
+        return render_tgd(self)
+
+
+# -- pretty printer -----------------------------------------------------------
+
+
+def render_tgd(tgd: NestedTgd, *, indent: str = "  ") -> str:
+    """Render a nested tgd in the paper's notation."""
+    lines: list[str] = []
+    prefix = ""
+    if tgd.functions:
+        lines.append(f"∃ {', '.join(tgd.functions)}(")
+        prefix = indent
+    for index, root in enumerate(tgd.roots):
+        _render_mapping(root, lines, prefix, indent, last=index == len(tgd.roots) - 1)
+    if tgd.functions:
+        lines[-1] = lines[-1] + ")"
+    return "\n".join(lines)
+
+
+def _render_mapping(m: TgdMapping, lines: list[str], pad: str, indent: str, last: bool) -> None:
+    cond = ""
+    if m.where:
+        cond = " | " + ", ".join(str(c) for c in m.where)
+    arrow = " →" if (m.target_gens or m.assignments or m.submappings) else ""
+    if m.source_gens:
+        gens = ", ".join(str(g) for g in m.source_gens)
+        lines.append(f"{pad}∀ {gens}{cond}{arrow}")
+    else:
+        # No generators of its own (everything bound by the ancestor):
+        # a purely existential level.
+        lines.append(f"{pad}∀ ⊤{cond}{arrow}")
+    body_pad = pad + indent
+    rhs_parts: list[str] = []
+    if m.target_gens:
+        tgens = ", ".join(str(g) for g in m.target_gens)
+        head = f"{body_pad}∃ {tgens}"
+        if m.assignments or m.skolem:
+            head += " |"
+        rhs_parts.append(head)
+    terms: list[str] = []
+    if m.skolem is not None:
+        var, app = m.skolem
+        terms.append(f"{_prime(var)} = {app}")
+    terms.extend(str(a) for a in m.assignments)
+    for index, term in enumerate(terms):
+        suffix = "," if index < len(terms) - 1 or m.submappings else ""
+        rhs_parts.append(f"{body_pad}{indent}{term}{suffix}")
+    lines.extend(rhs_parts)
+    for index, sub in enumerate(m.submappings):
+        sub_lines: list[str] = []
+        _render_mapping(sub, sub_lines, body_pad + indent, indent, last=True)
+        sub_lines[0] = sub_lines[0].replace(body_pad + indent, body_pad + indent + "[", 1)
+        sub_lines[-1] = sub_lines[-1] + "]"
+        if index < len(m.submappings) - 1:
+            sub_lines[-1] += ","
+        lines.extend(sub_lines)

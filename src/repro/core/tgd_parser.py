@@ -1,0 +1,402 @@
+"""Parser for the paper's tgd notation.
+
+:func:`repro.core.tgd.render_tgd` prints nested tgds exactly as the
+paper typesets them; this module reads that notation back::
+
+    ∃ group-by(
+      ∀ d ∈ source.dept, p ∈ d.Proj →
+        ∃ p′ ∈ target.project |
+          p′ = group-by(⊥, [p.pname.value]),
+          p′.@name = p.pname.value,
+          [∀ p2 ∈ p, d2 ∈ source.dept, r ∈ d2.regEmp | p2.@pid = r.@pid →
+            ∃ e′ ∈ p′.employee | e′.@name = r.ename.value])
+
+Besides the round-trip property (``parse_tgd(render_tgd(t))`` evaluates
+identically), this lets tests and users write mappings directly in the
+paper's formalism and execute them.
+
+ASCII fallbacks are accepted everywhere: ``forall``/``∀``,
+``exists``/``∃``, ``in``/``∈``, ``->``/``→``, ``_|_``/``⊥``, and a
+trailing ``'`` for the prime.  Unquantified target generators cannot be
+distinguished typographically (the paper prints both kinds in the ∃
+list), so the parser re-derives them the way the engines need: a target
+variable never *assigned through nor parent of an assigned/child
+generator chain marked built* is decided by the ``built`` marker — by
+default, the **last** generator of each mapping's target list is
+quantified and the earlier ones are constant tags, matching the
+compiler's output shape.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..errors import MappingError
+from .functions import AGGREGATE_FUNCTIONS, SCALAR_FUNCTIONS
+from .tgd import (
+    AggregateApp,
+    Assignment,
+    Constant,
+    FunctionApp,
+    GroupByApp,
+    Membership,
+    NestedTgd,
+    Proj,
+    SchemaRoot,
+    SourceGenerator,
+    TargetGenerator,
+    TgdComparison,
+    TgdExpr,
+    TgdMapping,
+    Var,
+    derive_distribution,
+)
+
+_TOKEN = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<forall>∀|\bforall\b)
+    | (?P<exists>∃|\bexists\b)
+    | (?P<elem>∈|\bin\b)
+    | (?P<arrow>→|->)
+    | (?P<bottom>⊥|_\|_)
+    | (?P<top>⊤)
+    | (?P<string>'[^']*')
+    | (?P<number>-?\d+(?:\.\d+)?)
+    | (?P<name>@?[A-Za-z_][\w\-]*(?:′|')*)
+    | (?P<op><=|>=|!=|=|<|>)
+    | (?P<punct>[(),.\[\]|])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str):
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text!r}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise MappingError(f"cannot tokenize tgd at {text[position:position+24]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(kind)))
+    return tokens
+
+
+def _canon_name(text: str) -> str:
+    """Primes normalize to apostrophes (``d′`` → ``d'``)."""
+    return text.replace("′", "'")
+
+
+
+
+
+def parse_tgd(
+    text: str, *, source_root: str = "source", target_root: str = "target"
+) -> NestedTgd:
+    """Parse a nested tgd written in the paper's notation.
+
+    ``source_root``/``target_root`` name the two schema roots so the
+    parser can tell source expressions from target expressions (the
+    paper relies on the reader for this).
+    """
+    parser = _TgdParser(_tokenize(text), source_root, target_root)
+    return parser.parse()
+
+
+class _TgdParser:
+    def __init__(self, tokens: list[_Token], source_root: str, target_root: str):
+        self.tokens = tokens
+        self.position = 0
+        self.source_root = source_root
+        self.target_root = target_root
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise MappingError("unexpected end of tgd")
+        self.position += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.accept(kind, text)
+        if token is None:
+            found = self.peek()
+            raise MappingError(
+                f"expected {text or kind} in tgd, found "
+                f"{found.text if found else 'end of input'!r}"
+            )
+        return token
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse(self) -> NestedTgd:
+        functions: list[str] = []
+        wrapped = False
+        if (
+            self.peek() is not None
+            and self.peek().kind == "exists"
+            and self.peek(1) is not None
+            and self.peek(1).kind == "name"
+            and self._is_function_name(self.peek(1).text)
+        ):
+            self.next()  # ∃
+            functions.append(self.next().text)
+            while self.accept("punct", ","):
+                functions.append(self.expect("name").text)
+            self.expect("punct", "(")
+            wrapped = True
+        roots = [self.mapping()]
+        while True:
+            if self.accept("punct", ","):
+                roots.append(self.mapping())
+            elif self.peek() is not None and self.peek().kind == "forall":
+                # Root mappings are rendered one after the other.
+                roots.append(self.mapping())
+            else:
+                break
+        if wrapped:
+            self.expect("punct", ")")
+        if self.peek() is not None:
+            raise MappingError(f"trailing content at {self.peek().text!r}")
+        roots = list(derive_distribution(tuple(roots)))
+        return NestedTgd(
+            tuple(roots),
+            functions=tuple(functions),
+            source_root=self.source_root,
+            target_root=self.target_root,
+        )
+
+    @staticmethod
+    def _is_function_name(name: str) -> bool:
+        return name in AGGREGATE_FUNCTIONS or name == "group-by"
+
+    def mapping(self) -> TgdMapping:
+        self.expect("forall")
+        source_gens: list[SourceGenerator] = []
+        if not self.accept("top"):
+            source_gens.append(self._source_generator())
+            while self.accept("punct", ","):
+                source_gens.append(self._source_generator())
+        where: list = []
+        if self.accept("punct", "|"):
+            where.append(self._condition())
+            while self.accept("punct", ","):
+                where.append(self._condition())
+        target_gens: list[TargetGenerator] = []
+        skolem = None
+        grouped_var: Optional[str] = None
+        assignments: list[Assignment] = []
+        submappings: list[TgdMapping] = []
+        if self.accept("arrow"):
+            if self.peek() is not None and self.peek().kind == "exists":
+                self.next()
+                target_gens.append(self._target_generator())
+                while self._lookahead_generator():
+                    self.expect("punct", ",")
+                    target_gens.append(self._target_generator())
+                if self.accept("punct", "|"):
+                    skolem, grouped_var, assignments = self._rhs_terms()
+            while True:
+                if self.accept("punct", ","):
+                    continue
+                if self.accept("punct", "["):
+                    submappings.append(self.mapping())
+                    self.expect("punct", "]")
+                    continue
+                break
+        # The last target generator is the built one; earlier entries are
+        # the minimum-cardinality constant tags (compiler convention).
+        finalized = tuple(
+            TargetGenerator(g.var, g.expr, quantified=(index == len(target_gens) - 1))
+            for index, g in enumerate(target_gens)
+        )
+        return TgdMapping(
+            source_gens=tuple(source_gens),
+            where=tuple(where),
+            target_gens=finalized,
+            assignments=tuple(assignments),
+            submappings=tuple(submappings),
+            skolem=skolem,
+            grouped_var=grouped_var,
+        )
+
+    def _lookahead_generator(self) -> bool:
+        """After a target generator: is the next comma followed by
+        ``name ∈ …`` (another generator) rather than a term/submapping?"""
+        if self.peek() is None or not (
+            self.peek().kind == "punct" and self.peek().text == ","
+        ):
+            return False
+        one, two = self.peek(1), self.peek(2)
+        return (
+            one is not None
+            and one.kind == "name"
+            and two is not None
+            and two.kind == "elem"
+        )
+
+    def _source_generator(self) -> SourceGenerator:
+        var = _canon_name(self.expect("name").text)
+        self.expect("elem")
+        expr = self._expression()
+        return SourceGenerator(var, expr)
+
+    def _target_generator(self) -> TargetGenerator:
+        var = _canon_name(self.expect("name").text)
+        self.expect("elem")
+        expr = self._expression()
+        return TargetGenerator(var, expr)
+
+    def _rhs_terms(self):
+        """Skolem binding and assignments after the target ``|``."""
+        skolem = None
+        grouped_var = None
+        assignments: list[Assignment] = []
+        while True:
+            checkpoint = self.position
+            token = self.peek()
+            if token is None or token.kind != "name":
+                break
+            target_expr = self._expression()
+            if self.accept("op", "=") is None:
+                self.position = checkpoint
+                break
+            if (
+                self.peek() is not None
+                and self.peek().kind == "name"
+                and self.peek().text == "group-by"
+            ):
+                app, member_var = self._group_by_app()
+                root = target_expr
+                while isinstance(root, Proj):
+                    root = root.base
+                skolem = (root.name if isinstance(root, Var) else str(root), app)
+                grouped_var = member_var
+            else:
+                assignments.append(Assignment(target_expr, self._term()))
+            if not self.accept("punct", ","):
+                break
+            if self.peek() is not None and self.peek().kind == "punct" and self.peek().text == "[":
+                self.position -= 1  # hand the comma back to mapping()
+                break
+        return skolem, grouped_var, assignments
+
+    def _group_by_app(self):
+        self.expect("name", "group-by")
+        self.expect("punct", "(")
+        context: Optional[tuple[str, ...]] = None
+        if self.accept("bottom") is None:
+            names = [_canon_name(self.expect("name").text)]
+            while self.peek() is not None and self.peek().kind == "name":
+                names.append(_canon_name(self.next().text))
+            context = tuple(names)
+        self.expect("punct", ",")
+        self.expect("punct", "[")
+        attrs = [self._expression()]
+        while self.accept("punct", ","):
+            attrs.append(self._expression())
+        self.expect("punct", "]")
+        self.expect("punct", ")")
+        grouped = None
+        if attrs:
+            root = attrs[0]
+            while isinstance(root, Proj):
+                root = root.base
+            if isinstance(root, Var):
+                grouped = root.name
+        return GroupByApp(context, tuple(attrs)), grouped
+
+    def _condition(self):
+        left = self._expression()
+        if self.accept("elem"):
+            return Membership(left, self._expression())
+        op = self.expect("op").text
+        right = self._operand()
+        return TgdComparison(left, op, right)
+
+    def _operand(self):
+        token = self.peek()
+        if token is not None and token.kind == "string":
+            self.next()
+            return Constant(token.text[1:-1])
+        if token is not None and token.kind == "number":
+            self.next()
+            literal = token.text
+            return Constant(float(literal) if "." in literal else int(literal))
+        if token is not None and token.kind == "name" and token.text in ("true", "false"):
+            self.next()
+            return Constant(token.text == "true")
+        return self._expression()
+
+    def _term(self):
+        token = self.peek()
+        if token is not None and token.kind == "name":
+            name = token.text
+            nxt = self.peek(1)
+            if nxt is not None and nxt.kind == "punct" and nxt.text == "(":
+                if name in AGGREGATE_FUNCTIONS:
+                    self.next()
+                    self.next()
+                    arg = self._expression()
+                    self.expect("punct", ")")
+                    return AggregateApp(AGGREGATE_FUNCTIONS[name], arg)
+            if nxt is not None and nxt.kind == "punct" and nxt.text == "[":
+                if name in SCALAR_FUNCTIONS:
+                    self.next()
+                    self.next()
+                    args = [self._expression()]
+                    while self.accept("punct", ","):
+                        args.append(self._expression())
+                    self.expect("punct", "]")
+                    return FunctionApp(SCALAR_FUNCTIONS[name], tuple(args))
+        return self._operand()
+
+    def _expression(self) -> TgdExpr:
+        head = self.expect("name").text
+        name = _canon_name(head)
+        if name == self.source_root:
+            expr: TgdExpr = SchemaRoot(self.source_root)
+        elif name == self.target_root:
+            expr = SchemaRoot(self.target_root)
+        else:
+            expr = Var(name)
+        while (
+            self.peek() is not None
+            and self.peek().kind == "punct"
+            and self.peek().text == "."
+        ):
+            self.next()
+            label = self.expect("name").text
+            expr = Proj(expr, label)
+        return expr

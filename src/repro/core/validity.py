@@ -1,0 +1,431 @@
+"""Validity of Clip mappings — the syntactic rules of Section III.
+
+"Not all combinations of value mappings and builders produce valid
+target instances … Clip marks these mappings as invalid, but does not
+restrict the user from entering them."  Accordingly, :func:`check`
+returns a :class:`ValidityReport` rather than raising; compile/execute
+entry points consult the report and raise
+:class:`~repro.errors.InvalidMappingError` when asked to require
+validity.
+
+Rules implemented (ids appear in the report):
+
+* ``SAFE_BUILDER`` — a builder must go from more-constraining to
+  less-constraining elements: a repeating iteration (repeating source,
+  Cartesian product, or group) cannot feed a non-repeating target.
+* ``CPT_ALIGNMENT`` — the hierarchy of build nodes must reflect the
+  hierarchy of the target elements reached by their outgoing builders
+  (the *inverted invalid* example: CPT not aligned with the target).
+* ``VM_DRIVER`` — every (non-aggregate) value mapping needs a driver:
+  walking up from its target node, the first target element that is the
+  target side of a builder.
+* ``VM_SOURCE_SCOPE`` — for every source node of a (non-aggregate)
+  value mapping there must be a driver source element whose residual
+  path contains no repeating elements (otherwise Clip "does not know
+  how to iterate over that set").
+* ``VM_GROUPED_VALUE`` — under a group node, only grouping attributes
+  (or aggregates) may be mapped to the grouped element's values.
+* ``VAR_SCOPE`` / ``GROUP_ATTRS`` — structural: condition variables
+  must be bound in scope; grouping attributes must use the group node's
+  own incoming variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..xsd.schema import ElementDecl, ValueNode
+from .expr import VarPath
+from .mapping import BuilderArc, BuildNode, ClipMapping, ValueMapping
+
+
+@dataclass(frozen=True)
+class ValidityIssue:
+    """One violated rule, with a human-readable explanation."""
+
+    rule: str
+    message: str
+    severity: str = "error"  # "error" | "warning"
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.message}"
+
+
+@dataclass
+class ValidityReport:
+    """The outcome of checking a Clip mapping."""
+
+    issues: list[ValidityIssue]
+
+    @property
+    def is_valid(self) -> bool:
+        return not any(issue.severity == "error" for issue in self.issues)
+
+    def errors(self) -> list[ValidityIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    def by_rule(self, rule: str) -> list[ValidityIssue]:
+        return [i for i in self.issues if i.rule == rule]
+
+    def __str__(self) -> str:
+        if self.is_valid:
+            return "valid mapping"
+        return "; ".join(str(i) for i in self.errors())
+
+
+# -- driver computation (shared with the compiler) -------------------------
+
+
+def find_driver(clip: ClipMapping, vm: ValueMapping) -> Optional[BuildNode]:
+    """The driver of a value mapping (Section III-B).
+
+    Starting from ``target(vm)``, search upward in
+    ``path(target(vm))`` and stop at the first target element that is
+    the target side of a builder; the build node owning that builder is
+    the driver.  Returns ``None`` when no builder encompasses the value
+    mapping.
+    """
+    holder = vm.target.element
+    for candidate in reversed(holder.path()):
+        nodes = clip.builders_to(candidate)
+        if not nodes:
+            continue
+        if len(nodes) == 1:
+            return nodes[0]
+        # Several builders reach the same target element (two sibling
+        # builders into G, as in Figure 10): prefer the one whose
+        # in-scope sources actually cover this value mapping.
+        for node in nodes:
+            if _covers_sources(node, vm):
+                return node
+        return nodes[-1]
+    return None
+
+
+def _covers_sources(node: BuildNode, vm: ValueMapping) -> bool:
+    for source in vm.sources:
+        element = source.element if isinstance(source, ValueNode) else source
+        anchor = source_anchor(node, element)
+        if anchor is None:
+            return False
+        _, arc = anchor
+        if residual_repeats(arc.source, element):
+            return False
+    return True
+
+
+def source_anchor(
+    node: BuildNode, element: ElementDecl
+) -> Optional[tuple[BuildNode, BuilderArc]]:
+    """The in-scope incoming arc whose source element is the nearest
+    ancestor-or-self of ``element`` (how value mappings and conditions
+    resolve their source side at a build node)."""
+    best: Optional[tuple[BuildNode, BuilderArc]] = None
+    best_depth = -1
+    for owner, arc in node.arcs_in_scope():
+        anchor = arc.source
+        if anchor is element or anchor.is_ancestor_of(element):
+            depth = anchor.depth()
+            if depth > best_depth:
+                best = (owner, arc)
+                best_depth = depth
+    return best
+
+
+def residual_repeats(anchor: ElementDecl, element: ElementDecl) -> list[ElementDecl]:
+    """Repeating elements on ``path(element) \\ path(anchor)`` — the
+    residual the VM_SOURCE_SCOPE rule must find empty.  The element
+    itself counts; the anchor does not."""
+    anchor_path = set(anchor.path())
+    return [
+        e for e in element.path() if e not in anchor_path and e.is_repeating
+    ]
+
+
+# -- the checker ---------------------------------------------------------
+
+
+def check(clip: ClipMapping) -> ValidityReport:
+    """Check a Clip mapping against the Section III rules."""
+    issues: list[ValidityIssue] = []
+    for node in clip.build_nodes():
+        _check_builder_safety(node, issues)
+        _check_structure(clip, node, issues)
+    _check_cpt_alignment(clip, issues)
+    _check_distribution_scope(clip, issues)
+    for vm in clip.value_mappings:
+        _check_value_mapping(clip, vm, issues)
+    return ValidityReport(issues)
+
+
+def _iteration_is_repeating(node: BuildNode) -> bool:
+    """Can this build node's iteration produce more than one tuple?"""
+    if len(node.incoming) > 1:
+        return True  # Cartesian product of the incoming sets
+    if node.is_group:
+        return True  # one element per distinct grouping value: still a set
+    return node.incoming[0].source.is_repeating
+
+
+def _check_builder_safety(node: BuildNode, issues: list[ValidityIssue]) -> None:
+    if node.target is None:
+        return
+    if _iteration_is_repeating(node) and not node.target.is_repeating:
+        issues.append(
+            ValidityIssue(
+                "SAFE_BUILDER",
+                f"builder into non-repeating <{node.target.path_string()}> "
+                "from a repeating iteration "
+                f"({', '.join(a.source.path_string() for a in node.incoming)}); "
+                "no valid target instance can accommodate the result",
+            )
+        )
+
+
+def _check_cpt_alignment(clip: ClipMapping, issues: list[ValidityIssue]) -> None:
+    for node in clip.build_nodes():
+        if node.target is None:
+            continue
+        anchor = _nearest_output_ancestor(node)
+        if anchor is None:
+            continue
+        if not anchor.target.is_ancestor_of(node.target):
+            issues.append(
+                ValidityIssue(
+                    "CPT_ALIGNMENT",
+                    f"CPT not aligned with the target schema: build node for "
+                    f"<{node.target.path_string()}> is nested under the node for "
+                    f"<{anchor.target.path_string()}>, which is not its target "
+                    "ancestor",
+                )
+            )
+
+
+def _nearest_output_ancestor(node: BuildNode) -> Optional[BuildNode]:
+    for ancestor in node.ancestors():
+        if ancestor.target is not None:
+            return ancestor
+    return None
+
+
+def _cpt_root(node: BuildNode) -> BuildNode:
+    while node.parent is not None:
+        node = node.parent
+    return node
+
+
+def _check_distribution_scope(clip: ClipMapping, issues: list[ValidityIssue]) -> None:
+    """A builder whose target path crosses an element built by a
+    *non-ancestor* node distributes its content over that element's
+    instances.  The paper defines this only for independent top-level
+    trees ("omitting the context arc causes all employees … to appear,
+    repeated, within all departments", Figure 4); from *inside* a CPT —
+    under a context level or a group — it is ambiguous which instances
+    of the shared iteration should receive the content.  Clip marks
+    those drawings invalid and asks the user to attach the builder
+    below the node that constructs the container."""
+    for node in clip.build_nodes():
+        if node.target is None:
+            continue
+        anchor = _nearest_output_ancestor(node)
+        start = anchor.target if anchor is not None else None
+        for element in node.target.path()[:-1]:
+            if start is not None and (
+                element is start or not start.is_ancestor_of(element)
+            ):
+                continue
+            crossing_builders = [
+                other
+                for other in clip.builders_to(element)
+                if other is not node and other not in node.ancestors()
+            ]
+            if not crossing_builders:
+                continue
+            if node.parent is not None:
+                issues.append(
+                    ValidityIssue(
+                        "DISTRIBUTION_SCOPE",
+                        f"builder into <{node.target.path_string()}> crosses "
+                        f"<{element.path_string()}>, which another build node "
+                        "constructs; from inside a context propagation tree the "
+                        "containment is ambiguous — attach this builder below "
+                        "the node that constructs the container, or draw it as "
+                        "an independent tree",
+                    )
+                )
+            elif any(_cpt_root(other) is _cpt_root(node) for other in crossing_builders):
+                issues.append(
+                    ValidityIssue(
+                        "DISTRIBUTION_SCOPE",
+                        f"builder into <{node.target.path_string()}> crosses "
+                        f"<{element.path_string()}>, which a node of the same "
+                        "CPT constructs; attach this builder below that node",
+                    )
+                )
+
+
+def _check_structure(clip: ClipMapping, node: BuildNode, issues: list[ValidityIssue]) -> None:
+    # Condition variables must be bound at this node or an ancestor.
+    if node.condition is not None:
+        for name in sorted(node.condition.variables()):
+            try:
+                node.variable_arc(name)
+            except Exception:
+                issues.append(
+                    ValidityIssue(
+                        "VAR_SCOPE",
+                        f"condition {node.condition} references ${name}, which no "
+                        "in-scope builder binds",
+                    )
+                )
+    # A group node's scope is fixed by built ancestors (the skolem's
+    # context parameter is a list of bound *target* variables, Section
+    # IV); a context-only node between the group and its nearest built
+    # ancestor provides no target context, leaving the grouping scope
+    # ill-defined.
+    if node.is_group:
+        for ancestor in node.ancestors():
+            if ancestor.target is not None:
+                break
+            issues.append(
+                ValidityIssue(
+                    "GROUP_CONTEXT",
+                    "group node hangs below a context-only node; grouping "
+                    "scope must be fixed by built ancestors (give the parent "
+                    "an outgoing builder, or draw the group at the root)",
+                )
+            )
+            break
+    # Grouping attributes must reference the group node's own arcs.
+    own = {arc.variable for arc in node.incoming if arc.variable}
+    for attr in node.grouping:
+        if attr.var not in own:
+            issues.append(
+                ValidityIssue(
+                    "GROUP_ATTRS",
+                    f"grouping attribute {attr} must use one of the group node's "
+                    f"own variables {sorted(own) or '(none)'}",
+                )
+            )
+    # Schema ownership.
+    for arc in node.incoming:
+        if not clip.source.owns(arc.source):
+            issues.append(
+                ValidityIssue(
+                    "SCHEMA_SIDE",
+                    f"builder source <{arc.source.path_string()}> is not part of "
+                    "the source schema",
+                )
+            )
+    if node.target is not None and not clip.target.owns(node.target):
+        issues.append(
+            ValidityIssue(
+                "SCHEMA_SIDE",
+                f"builder target <{node.target.path_string()}> is not part of "
+                "the target schema",
+            )
+        )
+
+
+def _check_value_mapping(
+    clip: ClipMapping, vm: ValueMapping, issues: list[ValidityIssue]
+) -> None:
+    if vm.is_aggregate:
+        # "The driver of an aggregate value mapping is always valid."
+        return
+    driver = find_driver(clip, vm)
+    if driver is None:
+        if clip.has_builders():
+            issues.append(
+                ValidityIssue(
+                    "VM_DRIVER",
+                    f"value mapping into {vm.target} has no driver: no builder "
+                    "reaches any element on its target path",
+                )
+            )
+        # With no builders at all, Clip's default minimum-cardinality
+        # generation applies (Figure 3 discussion) — always valid.
+        return
+    grouped_elements = (
+        {arc.source for arc in driver.incoming} if driver.is_group else set()
+    )
+    for source in vm.sources:
+        element = source.element if isinstance(source, ValueNode) else source
+        anchor = source_anchor(driver, element)
+        if anchor is None:
+            repeats = [e for e in element.path() if e.is_repeating]
+            if repeats:
+                issues.append(
+                    ValidityIssue(
+                        "VM_SOURCE_SCOPE",
+                        f"value mapping source {_describe(source)} lies inside "
+                        f"repeating <{repeats[-1].path_string()}> which no driver "
+                        "builder bounds; Clip does not know how to iterate over "
+                        "that set",
+                    )
+                )
+            continue
+        owner, arc = anchor
+        leftover = residual_repeats(arc.source, element)
+        if leftover:
+            issues.append(
+                ValidityIssue(
+                    "VM_SOURCE_SCOPE",
+                    f"value mapping source {_describe(source)} is separated from "
+                    f"driver element <{arc.source.path_string()}> by repeating "
+                    f"<{leftover[0].path_string()}> not bounded by any builder",
+                )
+            )
+            continue
+        if driver.is_group and arc.source in grouped_elements:
+            if not _is_grouping_attribute(driver, arc, source):
+                issues.append(
+                    ValidityIssue(
+                        "VM_GROUPED_VALUE",
+                        f"value mapping source {_describe(source)} is a "
+                        "non-grouping value of a grouped element; it has multiple "
+                        "a-priori different values per group and cannot be mapped "
+                        "without an aggregate function",
+                    )
+                )
+
+
+def _describe(source) -> str:
+    if isinstance(source, ValueNode):
+        return str(source)
+    return source.path_string()
+
+
+def _is_grouping_attribute(driver: BuildNode, arc: BuilderArc, source: ValueNode) -> bool:
+    """Does this value node coincide with one of the node's grouping
+    attributes (``$p.pname.value`` covers ``Proj/pname/text()``)?"""
+    for attr in driver.grouping:
+        if attr.var != arc.variable:
+            continue
+        if _varpath_matches(attr, arc.source, source):
+            return True
+    return False
+
+
+def _varpath_matches(attr: VarPath, anchor: ElementDecl, source: ValueNode) -> bool:
+    """Walk ``attr``'s dotted segments down the schema from ``anchor``
+    and check they land exactly on ``source``."""
+    element = anchor
+    segments = list(attr.segments)
+    if not segments:
+        return False
+    leaf = segments[-1]
+    for name in segments[:-1]:
+        if name.startswith("@") or name == "value":
+            return False
+        nxt = element.child(name)
+        if nxt is None:
+            return False
+        element = nxt
+    if leaf.startswith("@"):
+        return source.element is element and source.attribute == leaf[1:]
+    if leaf == "value":
+        return source.element is element and source.attribute is None
+    nxt = element.child(leaf)
+    return nxt is not None and source.element is nxt and source.attribute is None

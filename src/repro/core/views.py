@@ -1,0 +1,132 @@
+"""Focused views over large mappings (the paper's second future-work item).
+
+"… adding filters highlighting some of the lines and of the source and
+target structures, providing a clear rendering of the lines in the
+middle; these view mechanisms allow users to concentrate on a portion
+of the schemas at a time."
+
+:func:`focus` filters a mapping's "lines" to those touching a chosen
+source and/or target subtree; the resulting :class:`MappingView` keeps
+enough CPT context (ancestor build nodes) to stay readable and renders
+through the same diagram notation as the full mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..xsd.schema import ElementDecl
+from .mapping import BuildNode, ClipMapping, ValueMapping
+from .render import render_build_node, render_value_mapping
+
+
+def _within(element: ElementDecl, scope: Optional[ElementDecl]) -> bool:
+    if scope is None:
+        return True
+    return element is scope or scope.is_ancestor_of(element)
+
+
+def _vm_touches(vm: ValueMapping, source_scope, target_scope) -> bool:
+    source_hit = source_scope is None or any(
+        _within(e, source_scope) for e in vm.source_elements()
+    )
+    target_hit = target_scope is None or _within(vm.target.element, target_scope)
+    return source_hit and target_hit
+
+
+def _node_touches(node: BuildNode, source_scope, target_scope) -> bool:
+    source_hit = source_scope is None or any(
+        _within(arc.source, source_scope) for arc in node.incoming
+    )
+    target_hit = target_scope is None or (
+        node.target is not None and _within(node.target, target_scope)
+    )
+    if source_scope is not None and target_scope is not None:
+        return source_hit and target_hit
+    return source_hit and (target_scope is None or target_hit)
+
+
+@dataclass
+class MappingView:
+    """A filtered set of a mapping's lines, with CPT context."""
+
+    clip: ClipMapping
+    value_mappings: list[ValueMapping]
+    #: Matching build nodes (highlight set).
+    build_nodes: list[BuildNode]
+    #: Matching nodes plus their CPT ancestors (render set).
+    visible_nodes: list[BuildNode]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.value_mappings and not self.build_nodes
+
+    def render(self) -> str:
+        lines = ["FOCUSED VIEW"]
+        lines.append("builders:")
+        if self.visible_nodes:
+            highlighted = {id(n) for n in self.build_nodes}
+            roots = [n for n in self.visible_nodes if n.parent is None
+                     or id(n.parent) not in {id(v) for v in self.visible_nodes}]
+            for root in roots:
+                for node, rendered in self._render_subtree(root, 0):
+                    marker = "»" if id(node) in highlighted else " "
+                    lines.append(f"  {marker} {rendered}")
+        else:
+            lines.append("    (none in focus)")
+        lines.append("value mappings:")
+        if self.value_mappings:
+            lines.extend("    " + render_value_mapping(vm) for vm in self.value_mappings)
+        else:
+            lines.append("    (none in focus)")
+        return "\n".join(lines)
+
+    def _render_subtree(self, node: BuildNode, depth: int):
+        visible = {id(n) for n in self.visible_nodes}
+        own = render_build_node(node, indent=depth)
+        # render_build_node renders the whole subtree; re-filter lines of
+        # hidden children by rendering manually instead.
+        yield node, own[0]
+        if node.condition:
+            yield node, own[1]
+        for child in node.children:
+            if id(child) in visible:
+                yield from self._render_subtree(child, depth + 1)
+
+
+def focus(
+    clip: ClipMapping,
+    *,
+    source: Optional[Union[str, ElementDecl]] = None,
+    target: Optional[Union[str, ElementDecl]] = None,
+) -> MappingView:
+    """Filter the mapping's lines to those touching the given subtrees.
+
+    ``source``/``target`` are element paths (or declarations) in the
+    respective schemas; passing neither yields the full view.
+    """
+    source_scope = clip.source.element(source) if isinstance(source, str) else source
+    target_scope = clip.target.element(target) if isinstance(target, str) else target
+
+    vms = [
+        vm
+        for vm in clip.value_mappings
+        if _vm_touches(vm, source_scope, target_scope)
+    ]
+    hits = [
+        node
+        for node in clip.build_nodes()
+        if _node_touches(node, source_scope, target_scope)
+    ]
+    visible: list[BuildNode] = []
+    seen: set[int] = set()
+    for node in hits:
+        for member in [node, *node.ancestors()]:
+            if id(member) not in seen:
+                seen.add(id(member))
+                visible.append(member)
+    # Keep pre-order for stable rendering.
+    order = {id(n): i for i, n in enumerate(clip.build_nodes())}
+    visible.sort(key=lambda n: order[id(n)])
+    return MappingView(clip, vms, hits, visible)

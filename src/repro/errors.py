@@ -1,0 +1,90 @@
+"""Exception hierarchy for the Clip reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the subsystems:
+instances (:class:`XmlError`), schemas (:class:`SchemaError`), the Clip
+language (:class:`MappingError`), mapping generation
+(:class:`GenerationError`) and query translation/evaluation
+(:class:`XQueryError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class XmlError(ReproError):
+    """Malformed XML instance data or an illegal instance operation."""
+
+
+class XmlParseError(XmlError):
+    """The XML text could not be parsed into an instance tree."""
+
+
+class PathError(XmlError):
+    """A path expression is malformed or cannot be evaluated."""
+
+
+class SchemaError(ReproError):
+    """An XML Schema is malformed or an illegal schema operation occurred."""
+
+
+class SchemaParseError(SchemaError):
+    """The XSD text could not be parsed into a schema tree."""
+
+
+class ValidationError(SchemaError):
+    """An instance does not conform to its schema.
+
+    The validator normally returns a report of violations; this exception
+    is raised by ``validate(..., raise_on_error=True)`` convenience calls.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = "; ".join(str(v) for v in self.violations) or "invalid instance"
+        super().__init__(lines)
+
+
+class MappingError(ReproError):
+    """A Clip mapping is structurally malformed (not merely *invalid*).
+
+    Invalid-but-expressible mappings (Section III of the paper) are
+    reported through :class:`repro.core.validity.ValidityReport`; this
+    exception is reserved for constructions the object model cannot
+    represent at all (e.g. a build node with two outgoing builders).
+    """
+
+
+class InvalidMappingError(MappingError):
+    """Raised when a compile/execute step requires a valid mapping.
+
+    Carries the validity report so callers can inspect the offending
+    rules.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(str(report))
+
+
+class CompileError(MappingError):
+    """The Clip-to-tgd compiler could not translate a mapping."""
+
+
+class ExecutionError(ReproError):
+    """The tgd executor failed to evaluate a mapping over an instance."""
+
+
+class GenerationError(ReproError):
+    """Mapping generation (tableaux/skeletons/nesting) failed."""
+
+
+class XQueryError(ReproError):
+    """XQuery emission, serialization or interpretation failed."""
+
+
+class XQueryTypeError(XQueryError):
+    """An XQuery expression was applied to values of the wrong type."""

@@ -1,0 +1,6 @@
+"""Direct tgd execution engine, with an instrumented explain mode."""
+
+from .engine import GroupBinding, execute
+from .stats import ExecutionReport, LevelStats, explain
+
+__all__ = ["execute", "GroupBinding", "explain", "ExecutionReport", "LevelStats"]

@@ -1,0 +1,54 @@
+"""Mapping generation: tableaux, skeletons, Clio baseline, Clip extension."""
+
+from .clio import GenerationResult, generate_clio
+from .clip_ext import (
+    add_product_tableau,
+    clip_mapping_from_forest,
+    explain_generation,
+    find_general_root,
+    generate_clip,
+    skeleton_for_build_node,
+)
+from .nesting import NestNode, can_nest_under, nest_forest
+from .skeletons import (
+    ActiveSkeleton,
+    Skeleton,
+    activate,
+    emitted_skeletons,
+    skeleton_matrix,
+)
+from .tableaux import (
+    JoinCondition,
+    Tableau,
+    chase,
+    compute_tableaux,
+    dependency_graph,
+    primary_tableaux,
+    product_tableau,
+)
+
+__all__ = [
+    "generate_clio",
+    "generate_clip",
+    "GenerationResult",
+    "find_general_root",
+    "add_product_tableau",
+    "skeleton_for_build_node",
+    "clip_mapping_from_forest",
+    "explain_generation",
+    "NestNode",
+    "nest_forest",
+    "can_nest_under",
+    "Skeleton",
+    "ActiveSkeleton",
+    "skeleton_matrix",
+    "activate",
+    "emitted_skeletons",
+    "Tableau",
+    "JoinCondition",
+    "primary_tableaux",
+    "chase",
+    "compute_tableaux",
+    "product_tableau",
+    "dependency_graph",
+]

@@ -1,0 +1,239 @@
+"""Clip's extension to Clio's mapping generation (Section V-B).
+
+Clio cannot nest ``AB → FG`` and ``AD → FG`` (Figure 10) because the
+more general skeleton ``A → F`` is not active.  The extension:
+
+1. compute the nested mappings as usual;
+2. identify the *root* nested mappings;
+3. walk up the skeleton hierarchy looking for a more general skeleton
+   that intersects all the roots' upward paths — the most specific
+   ``(s, t)`` with ``s`` contained in every active mapping's source
+   tableau and ``t`` properly contained in every root's target tableau;
+4. activate it (with no value mappings of its own) and recompute the
+   nesting.
+
+The second half of Section V-B — build nodes correspond to mapping
+skeletons and a CPT *is* a nested mapping — is implemented by
+:func:`clip_mapping_from_forest`, which synthesizes an explicit Clip
+mapping (builders, build nodes, context arcs) from the generated
+nesting forest, and by :func:`skeleton_for_build_node`, which maps a
+drawn build node back onto the skeleton matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.mapping import BuildNode, ClipMapping, ValueMapping
+from ..xsd.schema import ElementDecl, Schema
+from .clio import GenerationResult, _ForestEmitter, generate_clio
+from .nesting import NestNode, nest_forest
+from .skeletons import ActiveSkeleton, Skeleton
+from .tableaux import Tableau, compute_tableaux, product_tableau
+
+
+def _intersection_candidates(
+    tableaux: Sequence[Tableau], bounds: Sequence[Tableau]
+) -> list[Tableau]:
+    """Tableaux contained in every bound."""
+    return [
+        t for t in tableaux if all(t.is_subset_of(bound) for bound in bounds)
+    ]
+
+
+def _most_specific(tableaux: Sequence[Tableau]) -> Optional[Tableau]:
+    for candidate in tableaux:
+        if not any(
+            candidate.is_proper_subset_of(other) for other in tableaux
+        ):
+            return candidate
+    return None
+
+
+def find_general_root(
+    result: GenerationResult,
+) -> Optional[Skeleton]:
+    """The more general skeleton Clip activates over the current roots.
+
+    Source side: the most specific tableau contained in every *active*
+    mapping's source.  Target side: the most specific tableau properly
+    contained in every root's target (so each root can nest under it).
+    Returns ``None`` when no such skeleton exists or when it is already
+    a root.
+    """
+    roots = [node.active.skeleton for node in result.forest]
+    if not roots:
+        return None
+    source_bounds = [a.skeleton.source for a in result.active] or [
+        r.source for r in roots
+    ]
+    source_candidates = _intersection_candidates(result.source_tableaux, source_bounds)
+    target_candidates = [
+        t
+        for t in _intersection_candidates(
+            result.target_tableaux, [r.target for r in roots]
+        )
+        if all(t != r.target for r in roots)
+    ]
+    source = _most_specific(
+        sorted(source_candidates, key=lambda t: -len(t.generators))
+    ) if source_candidates else None
+    target = _most_specific(
+        sorted(target_candidates, key=lambda t: -len(t.generators))
+    ) if target_candidates else None
+    if source is None or target is None:
+        return None
+    general = Skeleton(source, target)
+    if any(general == r for r in roots):
+        return None
+    return general
+
+
+def generate_clip(
+    source: Schema,
+    target: Schema,
+    value_mappings: Sequence[ValueMapping],
+    *,
+    use_chase: bool = True,
+    extra_source_tableaux: Sequence[Tableau] = (),
+) -> GenerationResult:
+    """Clio's pipeline followed by Clip's root-generalization extension."""
+    result = generate_clio(
+        source,
+        target,
+        value_mappings,
+        nest=True,
+        use_chase=use_chase,
+        extra_source_tableaux=extra_source_tableaux,
+    )
+    for _ in range(8):  # generalization reaches fixpoint quickly
+        general = find_general_root(result)
+        if general is None:
+            break
+        emitted = [ActiveSkeleton(general, ())] + list(result.emitted)
+        forest = nest_forest(emitted)
+        tgd = _ForestEmitter(source, target).emit(forest)
+        result = GenerationResult(
+            tgd=tgd,
+            source_tableaux=result.source_tableaux,
+            target_tableaux=result.target_tableaux,
+            active=result.active,
+            emitted=emitted,
+            forest=forest,
+        )
+    return result
+
+
+def add_product_tableau(
+    schema: Schema, elements: Sequence[ElementDecl]
+) -> Tableau:
+    """Register the user-added product tableau of Figure 10 (``A(B×D)``)."""
+    return product_tableau(schema, elements)
+
+
+# -- build nodes ↔ skeletons ------------------------------------------------
+
+
+def skeleton_for_build_node(
+    clip: ClipMapping, node: BuildNode
+) -> Skeleton:
+    """The mapping skeleton that matches a drawn build node.
+
+    "For each build node, we look at all its source side builders and
+    match them against the computed source tableaux.  If a build node
+    appears in a context propagation tree, we collect all source-side
+    builder arcs [of the node and its ancestors] … If no source tableau
+    is found, we create a new tableau that will cover our source
+    builders."  The same happens on the target side.
+    """
+    source_tableaux = compute_tableaux(clip.source)
+    target_tableaux = compute_tableaux(clip.target)
+    source_elements = [arc.source for _, arc in node.arcs_in_scope()]
+    source = _matching_tableau(source_tableaux, source_elements)
+    if source is None:
+        source = product_tableau(clip.source, source_elements)
+    target_elements = [
+        n.target
+        for n in [node, *node.ancestors()]
+        if n.target is not None
+    ]
+    if target_elements:
+        target = _matching_tableau(target_tableaux, target_elements)
+        if target is None:
+            target = product_tableau(clip.target, target_elements)
+    else:
+        target = Tableau(())
+    return Skeleton(source, target)
+
+
+def _matching_tableau(
+    tableaux: Sequence[Tableau], elements: Sequence[ElementDecl]
+) -> Optional[Tableau]:
+    """The most general tableau covering all the given elements."""
+    covering = [
+        t for t in tableaux if all(t.covers_element(e) for e in elements)
+    ]
+    for candidate in sorted(covering, key=lambda t: len(t.generators)):
+        return candidate
+    return None
+
+
+def clip_mapping_from_forest(
+    source: Schema,
+    target: Schema,
+    value_mappings: Sequence[ValueMapping],
+    forest: Sequence[NestNode],
+) -> ClipMapping:
+    """Synthesize an explicit Clip mapping (builders + CPT) from a
+    generated nesting forest — "a CPT is a nested mapping"."""
+    clip = ClipMapping(source, target)
+    for vm in value_mappings:
+        clip.value_mappings.append(vm)
+
+    def convert(node: NestNode, parent: Optional[BuildNode], bound_src, bound_tgt):
+        skeleton = node.active.skeleton
+        new_sources = [
+            e for e in skeleton.source.generators if id(e) not in bound_src
+        ]
+        new_targets = [
+            e for e in skeleton.target.generators if id(e) not in bound_tgt
+        ]
+        built = new_targets[-1] if new_targets else None
+        arcs = new_sources or [skeleton.source.generators[-1]]
+        if built is not None:
+            build_node = clip.build(arcs, built, parent=parent)
+        else:
+            build_node = clip.context(arcs, parent=parent)
+        next_src = set(bound_src) | {id(e) for e in new_sources}
+        next_tgt = set(bound_tgt) | {id(e) for e in new_targets}
+        for child in node.children:
+            convert(child, build_node, next_src, next_tgt)
+
+    for root in forest:
+        convert(root, None, set(), set())
+    return clip
+
+
+def explain_generation(result: GenerationResult) -> str:
+    """A human-readable account of the pipeline, used by examples."""
+    lines = ["source tableaux:"]
+    lines.extend(f"  {t.shorthand()}" for t in result.source_tableaux)
+    lines.append("target tableaux:")
+    lines.extend(f"  {t.shorthand()}" for t in result.target_tableaux)
+    lines.append("active skeletons:")
+    lines.extend(
+        f"  {a.skeleton.shorthand()}  covering {len(a.value_mappings)} value mapping(s)"
+        for a in result.active
+    )
+    lines.append("emitted (not implied/subsumed):")
+    lines.extend(f"  {a.skeleton.shorthand()}" for a in result.emitted)
+
+    def draw(node: NestNode, depth: int):
+        lines.append("  " * (depth + 1) + node.active.skeleton.shorthand())
+        for child in node.children:
+            draw(child, depth + 1)
+
+    lines.append("nesting forest:")
+    for root in result.forest:
+        draw(root, 0)
+    return "\n".join(lines)

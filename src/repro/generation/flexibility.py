@@ -1,0 +1,449 @@
+"""Flexibility measurement — the machinery behind Table I.
+
+"The main 'performance' metric for Clip is the number of legal Clip
+mappings that can be generated for a given set of value mappings. …
+Table I shows a lower-bound of how many more different meaningful
+mappings we could draw using Clip starting from the same value
+mappings" (Section VII).
+
+:func:`measure_flexibility` makes this operational:
+
+1. enumerate the Clip mappings a user could draw over the given value
+   mappings — builders for every mapped target, optional context
+   builders for shared ancestors, context-arc toggles, group-node
+   toggles (grouped by the element's own mapped value), and join-
+   condition toggles where a referential constraint suggests one;
+2. keep the candidates that pass the Section III validity rules and
+   compile;
+3. execute each on a witness instance and identify *meaningful,
+   different* mappings with distinct canonical outputs;
+4. compare against the outputs of Clio's own generation (the nested
+   mappings of [2]): the *extra* count is the number of distinct Clip
+   outputs that Clio's generation cannot produce.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..core.compile import compile_clip
+from ..core.mapping import BuildNode, ClipMapping, ValueMapping
+from ..core.validity import check as check_validity
+from ..errors import ReproError
+from ..executor import execute
+from ..xml.model import XmlElement
+from ..xsd.constraints import suggest_join
+from ..xsd.schema import ElementDecl, Schema
+from .clio import generate_clio
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One enumerated Clip mapping with a human-readable description."""
+
+    description: str
+    clip: ClipMapping
+
+
+@dataclass
+class FlexibilityResult:
+    """The outcome of a flexibility measurement."""
+
+    candidates_total: int
+    candidates_valid: int
+    clio_outputs: list
+    clip_outputs: list
+    #: Distinct valid Clip outputs that Clio's generation cannot produce.
+    extra_descriptions: list[str] = field(default_factory=list)
+
+    @property
+    def extra(self) -> int:
+        return len(self.extra_descriptions)
+
+
+# -- planning ---------------------------------------------------------------
+
+
+def _deepest_repeating(element: ElementDecl) -> Optional[ElementDecl]:
+    repeating = [e for e in element.path() if e.is_repeating]
+    return repeating[-1] if repeating else None
+
+
+@dataclass
+class _NodePlan:
+    """One prospective build node: a mapped target element, the source
+    elements its arcs come from, and its value mappings."""
+
+    target: ElementDecl
+    arcs: list[ElementDecl]
+    vms: list[ValueMapping]
+
+
+def _plan_nodes(source: Schema, vms: Sequence[ValueMapping]) -> list[_NodePlan]:
+    plans: dict[int, _NodePlan] = {}
+    order: list[int] = []
+    for vm in vms:
+        built = _deepest_repeating(vm.target.element)
+        if built is None:
+            continue  # mapped onto non-repeating content: wrapper-only
+        plan = plans.get(id(built))
+        if plan is None:
+            plan = _NodePlan(built, [], [])
+            plans[id(built)] = plan
+            order.append(id(built))
+        plan.vms.append(vm)
+        for element in vm.source_elements():
+            anchor = _deepest_repeating(element)
+            if anchor is not None and all(a is not anchor for a in plan.arcs):
+                plan.arcs.append(anchor)
+    plans_list = [plans[key] for key in order]
+    plans_list.sort(key=lambda p: p.target.depth())
+    return plans_list
+
+
+def _context_elements(
+    target: Schema, plans: Sequence[_NodePlan]
+) -> list[ElementDecl]:
+    """Repeating target elements above the mapped ones that could carry
+    their own (context) builder."""
+    built_ids = {id(p.target) for p in plans}
+    out: list[ElementDecl] = []
+    for plan in plans:
+        for ancestor in plan.target.path()[:-1]:
+            if ancestor.is_repeating and id(ancestor) not in built_ids:
+                if all(e is not ancestor for e in out):
+                    out.append(ancestor)
+    return out
+
+
+def _context_sources(
+    source: Schema, plans: Sequence[_NodePlan]
+) -> list[ElementDecl]:
+    """Source elements that could drive a context builder: repeating
+    ancestors of the planned arcs."""
+    out: list[ElementDecl] = []
+    for plan in plans:
+        for arc in plan.arcs:
+            for ancestor in arc.path()[:-1]:
+                if ancestor.is_repeating and all(e is not ancestor for e in out):
+                    out.append(ancestor)
+    return out
+
+
+def _grouping_options(plan: _NodePlan, limit: int = 1) -> list[Optional[tuple[str, ...]]]:
+    """Group-by candidates for a node: ``None`` (no grouping), the first
+    mapped value(s) of its primary arc element, and — when several
+    values are mapped — the *full key* (group by all of them, the
+    deduplication mapping).  Grouping by a strict subset while mapping
+    the rest is invalid per Section II, so those combinations are not
+    proposed."""
+    options: list[Optional[tuple[str, ...]]] = [None]
+    primary = plan.arcs[0] if plan.arcs else None
+    if primary is None:
+        return options
+    attrs: list[str] = []
+    for vm in plan.vms:
+        if vm.is_aggregate or len(vm.sources) != 1:
+            continue
+        node = vm.sources[0]
+        holder = getattr(node, "element", node)
+        if _deepest_repeating(holder) is not primary:
+            continue
+        segments = _relative_dotted(primary, node)
+        if segments is not None:
+            attrs.append(segments)
+    if not attrs:
+        return options
+    for single in attrs[:limit]:
+        options.append((single,))
+    if len(attrs) > 1:
+        options.append(tuple(attrs))
+    return options
+
+
+def _relative_dotted(anchor: ElementDecl, node) -> Optional[str]:
+    holder = getattr(node, "element", node)
+    path = list(holder.path())
+    if anchor not in path:
+        return None
+    labels = [e.name for e in path[path.index(anchor) + 1 :]]
+    attribute = getattr(node, "attribute", None)
+    if isinstance(node, ElementDecl):
+        leaf: Optional[str] = None
+    elif attribute is not None:
+        leaf = f"@{attribute}"
+    else:
+        leaf = "value"
+    segments = labels + ([leaf] if leaf else [])
+    if not segments:
+        return None
+    return ".".join(segments)
+
+
+# -- enumeration ---------------------------------------------------------------
+
+
+def enumerate_candidates(
+    source: Schema,
+    target: Schema,
+    vms: Sequence[ValueMapping],
+    *,
+    grouping_limit: int = 1,
+) -> Iterator[Candidate]:
+    """Enumerate the drawable Clip mappings for the given value mappings."""
+    plans = _plan_nodes(source, vms)
+    if not plans:
+        return
+    ctx_elements = _context_elements(target, plans)
+    ctx_source_options: list[Optional[ElementDecl]] = [None]
+    ctx_source_options.extend(_context_sources(source, plans))
+
+    # The no-builders default is always drawable.
+    yield Candidate("no builders (default generation)", _assemble(source, target, vms, None, {}, {}, {}, set()))
+
+    node_group_options = [_grouping_options(p, grouping_limit) for p in plans]
+    # Parent options per node: root, the context node (if chosen), or a
+    # sibling node whose target is a proper ancestor.
+    parent_options: list[list[Optional[object]]] = []
+    for index, plan in enumerate(plans):
+        options: list[Optional[object]] = [None, "ctx"]
+        for other_index, other in enumerate(plans):
+            if other_index != index and other.target.is_ancestor_of(plan.target):
+                options.append(other_index)
+        parent_options.append(options)
+
+    join_toggles: list[list[bool]] = []
+    for index, plan in enumerate(plans):
+        has_join = len(plan.arcs) >= 2 and suggest_join(source, plan.arcs[0], plan.arcs[1])
+        # A parent-correlated join is also drawable: the child node's
+        # condition equates its arc with the parent node's arc over the
+        # keyref (the natural company/grant join of Figure 1 in [1]).
+        if not has_join:
+            for other_index, other in enumerate(plans):
+                if (
+                    other_index != index
+                    and other.target.is_ancestor_of(plan.target)
+                    and plan.arcs
+                    and other.arcs
+                    and suggest_join(source, plan.arcs[0], other.arcs[0])
+                ):
+                    has_join = True
+                    break
+        join_toggles.append([True, False] if has_join else [False])
+
+    for ctx_source in ctx_source_options:
+        for parents in itertools.product(*parent_options):
+            for groupings in itertools.product(*node_group_options):
+                for joins in itertools.product(*join_toggles):
+                    if ctx_source is None and any(p == "ctx" for p in parents):
+                        continue
+                    description = _describe(plans, ctx_source, parents, groupings, joins)
+                    try:
+                        clip = _assemble_nodes(
+                            source, target, vms, plans, ctx_elements,
+                            ctx_source, parents, groupings, joins,
+                        )
+                    except ReproError:
+                        continue
+                    yield Candidate(description, clip)
+
+
+def _describe(plans, ctx_source, parents, groupings, joins) -> str:
+    bits = []
+    if ctx_source is not None:
+        bits.append(f"context {ctx_source.name}")
+    for plan, parent, grouping, join in zip(plans, parents, groupings, joins):
+        part = plan.target.name
+        if grouping:
+            part += " group-by " + "+".join(grouping)
+        if parent == "ctx":
+            part += " (in context)"
+        elif isinstance(parent, int):
+            part += f" (under {plans[parent].target.name})"
+        if join:
+            part += " join"
+        bits.append(part)
+    return "; ".join(bits) or "plain"
+
+
+def _assemble(source, target, vms, ctx_source, a, b, c, d) -> ClipMapping:
+    clip = ClipMapping(source, target)
+    clip.value_mappings.extend(vms)
+    return clip
+
+
+def _assemble_nodes(
+    source: Schema,
+    target: Schema,
+    vms: Sequence[ValueMapping],
+    plans: Sequence[_NodePlan],
+    ctx_elements: Sequence[ElementDecl],
+    ctx_source: Optional[ElementDecl],
+    parents: Sequence[object],
+    groupings: Sequence[Optional[str]],
+    joins: Sequence[bool],
+) -> ClipMapping:
+    clip = ClipMapping(source, target)
+    clip.value_mappings.extend(vms)
+    var_counter = itertools.count(1)
+    node_vars: dict[int, list[str]] = {}
+
+    ctx_node: Optional[BuildNode] = None
+    if ctx_source is not None:
+        # The context builder targets the deepest context element the
+        # mapped nodes share; with none, it is a context-only node.
+        ctx_target = ctx_elements[-1] if ctx_elements else None
+        var = f"c{next(var_counter)}"
+        if ctx_target is not None:
+            ctx_node = clip.build(ctx_source, ctx_target, var=var)
+        else:
+            ctx_node = clip.context(ctx_source, var=var)
+
+    nodes: list[Optional[BuildNode]] = [None] * len(plans)
+
+    def build_plan(index: int) -> BuildNode:
+        if nodes[index] is not None:
+            return nodes[index]
+        plan = plans[index]
+        parent_choice = parents[index]
+        parent_node: Optional[BuildNode] = None
+        if parent_choice == "ctx":
+            parent_node = ctx_node
+        elif isinstance(parent_choice, int):
+            parent_node = build_plan(parent_choice)
+        arc_vars = [f"x{next(var_counter)}" for _ in plan.arcs]
+        node_vars[index] = arc_vars
+        condition = None
+        if joins[index] and len(plan.arcs) >= 2:
+            suggestion = suggest_join(source, plan.arcs[0], plan.arcs[1])
+            if suggestion is not None:
+                left, right = suggestion
+                condition = _join_condition(
+                    suggestion,
+                    {id(plan.arcs[0]): arc_vars[0], id(plan.arcs[1]): arc_vars[1]},
+                    (plan.arcs[0], plan.arcs[1]),
+                )
+        elif joins[index] and isinstance(parent_choice, int) and plan.arcs:
+            parent_plan = plans[parent_choice]
+            suggestion = (
+                suggest_join(source, plan.arcs[0], parent_plan.arcs[0])
+                if parent_plan.arcs
+                else None
+            )
+            if suggestion is not None:
+                parent_vars = node_vars[parent_choice]
+                condition = _join_condition(
+                    suggestion,
+                    {
+                        id(plan.arcs[0]): arc_vars[0],
+                        id(parent_plan.arcs[0]): parent_vars[0],
+                    },
+                    (plan.arcs[0], parent_plan.arcs[0]),
+                )
+        grouping = groupings[index]
+        if grouping:
+            node = clip.group(
+                list(plan.arcs),
+                plan.target,
+                var=arc_vars,
+                by=[f"${arc_vars[0]}.{attr}" for attr in grouping],
+                condition=condition,
+                parent=parent_node,
+            )
+        else:
+            node = clip.build(
+                list(plan.arcs),
+                plan.target,
+                var=arc_vars,
+                condition=condition,
+                parent=parent_node,
+            )
+        nodes[index] = node
+        return node
+
+    for index in range(len(plans)):
+        build_plan(index)
+    return clip
+
+
+# -- measurement ---------------------------------------------------------------
+
+
+def _leaf_of(value_node) -> str:
+    return f"@{value_node.attribute}" if value_node.attribute else "value"
+
+
+def _join_condition(suggestion, var_by_arc, arcs) -> Optional[str]:
+    """A condition label equating the suggested value-node pair, with
+    each side's path written relative to the arc element that covers
+    its holder."""
+    sides = []
+    for value_node in suggestion:
+        anchor = None
+        for arc in arcs:
+            holder = value_node.element
+            if arc is holder or arc.is_ancestor_of(holder):
+                anchor = arc
+                break
+        if anchor is None:
+            return None
+        dotted = _relative_dotted(anchor, value_node)
+        if dotted is None:
+            return None
+        sides.append(f"${var_by_arc[id(anchor)]}.{dotted}")
+    return f"{sides[0]} = {sides[1]}"
+
+
+def _canonical_key(instance: XmlElement):
+    return instance.canonical()._key()
+
+
+def measure_flexibility(
+    source: Schema,
+    target: Schema,
+    vms: Sequence[ValueMapping],
+    witness: XmlElement,
+    *,
+    grouping_limit: int = 1,
+) -> FlexibilityResult:
+    """Count the distinct meaningful Clip mappings beyond Clio's."""
+    clio_keys = {}
+    try:
+        clio = generate_clio(source, target, list(vms))
+        clio_keys[_canonical_key(execute(clio.tgd, witness))] = "clio nested"
+    except ReproError:
+        pass
+
+    clip_keys: dict = {}
+    total = 0
+    valid = 0
+    for candidate in enumerate_candidates(
+        source, target, vms, grouping_limit=grouping_limit
+    ):
+        total += 1
+        report = check_validity(candidate.clip)
+        if not report.is_valid:
+            continue
+        try:
+            tgd = compile_clip(candidate.clip)
+            output = execute(tgd, witness)
+        except ReproError:
+            continue
+        valid += 1
+        key = _canonical_key(output)
+        if key not in clip_keys:
+            clip_keys[key] = candidate.description
+    extra = [
+        description
+        for key, description in clip_keys.items()
+        if key not in clio_keys
+    ]
+    return FlexibilityResult(
+        candidates_total=total,
+        candidates_valid=valid,
+        clio_outputs=list(clio_keys.values()),
+        clip_outputs=list(clip_keys.values()),
+        extra_descriptions=extra,
+    )

@@ -1,0 +1,74 @@
+"""Nested-mapping rewriting (the [2] refinement, Section V-A).
+
+Logical mappings that share part of their source and target expressions
+can be nested inside one another, "reducing the overall number of
+mapping expressions" and — crucially for the paper's Figure 1 problem —
+sharing the construction of the common target elements.
+
+A mapping ``m1`` nests under ``m2`` when ``m2``'s tableaux are
+componentwise subsets of ``m1``'s and ``m2``'s *target* tableau is a
+proper subset ("ABD → FG is not a sub-mapping of AB → FG … because the
+target side of the mappings is the same").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .skeletons import ActiveSkeleton
+
+
+@dataclass
+class NestNode:
+    """One node of the nesting forest."""
+
+    active: ActiveSkeleton
+    children: list["NestNode"] = field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def can_nest_under(child: ActiveSkeleton, parent: ActiveSkeleton) -> bool:
+    """May ``child`` be nested inside ``parent``?"""
+    ps, cs = parent.skeleton, child.skeleton
+    if not ps.is_componentwise_subset_of(cs):
+        return False
+    return ps.target != cs.target
+
+
+def nest_forest(emitted: Sequence[ActiveSkeleton]) -> list[NestNode]:
+    """Arrange emitted mappings into the nesting forest.
+
+    Each mapping hangs under its most specific admissible parent; the
+    rest become roots.
+    """
+    nodes = [NestNode(active) for active in emitted]
+    roots: list[NestNode] = []
+    for node in nodes:
+        admissible = [
+            candidate
+            for candidate in nodes
+            if candidate is not node and can_nest_under(node.active, candidate.active)
+        ]
+        # Most specific parent: one that no other admissible parent
+        # properly contains.
+        parent: Optional[NestNode] = None
+        for candidate in admissible:
+            if not any(
+                other is not candidate
+                and candidate.active.skeleton.is_componentwise_subset_of(
+                    other.active.skeleton
+                )
+                for other in admissible
+            ):
+                parent = candidate
+                break
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots

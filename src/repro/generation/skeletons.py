@@ -1,0 +1,136 @@
+"""Mapping skeletons: the source × target tableau matrix (Section V-A).
+
+"Clio creates a matrix source vs. target tableaux.  Each entry … is
+called a mapping skeleton.  For each value mapping entered by the user,
+Clio matches the source and target end-points … and marks as active
+those skeletons encompassing some value mappings.  Each active skeleton
+that is not implied or subsumed by others emits a logical mapping."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.mapping import ValueMapping
+from .tableaux import Tableau
+
+
+@dataclass(frozen=True)
+class Skeleton:
+    """One matrix entry: a source tableau paired with a target tableau."""
+
+    source: Tableau
+    target: Tableau
+
+    def encompasses(self, vm: ValueMapping) -> bool:
+        """Does this skeleton cover the value mapping's end points?"""
+        if not self.target.covers_value(vm.target):
+            return False
+        return all(self.source.covers_value(s) for s in vm.sources)
+
+    def is_componentwise_subset_of(self, other: "Skeleton") -> bool:
+        return self.source.is_subset_of(other.source) and self.target.is_subset_of(
+            other.target
+        )
+
+    def shorthand(self) -> str:
+        return f"{self.source.shorthand()} -> {self.target.shorthand()}"
+
+    def __repr__(self) -> str:
+        return f"Skeleton({self.shorthand()})"
+
+
+@dataclass(frozen=True)
+class ActiveSkeleton:
+    """An active skeleton together with the value mappings it covers."""
+
+    skeleton: Skeleton
+    value_mappings: tuple[ValueMapping, ...]
+
+
+def skeleton_matrix(
+    source_tableaux: Sequence[Tableau], target_tableaux: Sequence[Tableau]
+) -> list[Skeleton]:
+    """The full source × target matrix."""
+    return [
+        Skeleton(source, target)
+        for source in source_tableaux
+        for target in target_tableaux
+    ]
+
+
+def activate(
+    matrix: Sequence[Skeleton], value_mappings: Sequence[ValueMapping]
+) -> list[ActiveSkeleton]:
+    """Mark the skeletons that encompass at least one value mapping."""
+    active: list[ActiveSkeleton] = []
+    for skeleton in matrix:
+        covered = tuple(vm for vm in value_mappings if skeleton.encompasses(vm))
+        if covered:
+            active.append(ActiveSkeleton(skeleton, covered))
+    return active
+
+
+def emitted_skeletons(
+    active: Sequence[ActiveSkeleton],
+    user_source_tableaux: Sequence[Tableau] = (),
+) -> list[ActiveSkeleton]:
+    """The active skeletons that emit logical mappings.
+
+    Every value mapping is emitted at its componentwise-*minimal*
+    covering skeletons (larger skeletons covering the same value mapping
+    are *implied* and dropped — ``{A-B-C} → {F-G}`` never fires when
+    ``{A-B} → {F-G}`` covers the correspondence).  Skeletons whose
+    source tableau was added explicitly by the user (the ``A(B×D)``
+    product of Figure 10) are emitted with everything they cover and
+    *subsume* the minimal skeletons whose value mappings they contain —
+    reproducing the paper's second Section V-B walkthrough, where
+    ``ABD → FG`` replaces ``AB → FG`` and ``AD → FG``.
+    """
+    user_ids = {id(t) for t in user_source_tableaux}
+
+    # Group the active skeletons by the value mappings they cover.
+    buckets: dict[int, tuple[ValueMapping, list[ActiveSkeleton]]] = {}
+    for candidate in active:
+        for vm in candidate.value_mappings:
+            bucket = buckets.get(id(vm))
+            if bucket is None:
+                buckets[id(vm)] = (vm, [candidate])
+            else:
+                bucket[1].append(candidate)
+
+    chosen: dict[int, tuple[Skeleton, list[ValueMapping]]] = {}
+    for vm, coverers in buckets.values():
+        for candidate in coverers:
+            if id(candidate.skeleton.source) in user_ids:
+                continue  # user products are handled below
+            is_minimal = not any(
+                other.skeleton != candidate.skeleton
+                and other.skeleton.is_componentwise_subset_of(candidate.skeleton)
+                for other in coverers
+            )
+            if not is_minimal:
+                continue
+            entry = chosen.get(id(candidate.skeleton))
+            if entry is None:
+                chosen[id(candidate.skeleton)] = (candidate.skeleton, [vm])
+            elif all(existing is not vm for existing in entry[1]):
+                entry[1].append(vm)
+
+    emitted = [
+        ActiveSkeleton(skeleton, tuple(vms)) for skeleton, vms in chosen.values()
+    ]
+    # User-requested products emit with everything they cover and
+    # subsume the minimal skeletons they contain.
+    for candidate in active:
+        if id(candidate.skeleton.source) not in user_ids:
+            continue
+        covered = set(map(id, candidate.value_mappings))
+        emitted = [
+            entry
+            for entry in emitted
+            if not set(map(id, entry.value_mappings)) <= covered
+        ]
+        emitted.append(candidate)
+    return emitted

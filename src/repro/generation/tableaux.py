@@ -1,0 +1,189 @@
+"""Tableau computation (Section V-A).
+
+"A tableau is a set of schema elements (or attributes) that are
+semantically related" — one primary tableau per repeating element (its
+chain of repeating ancestors), extended by *chasing* over referential
+constraints: a tableau whose elements carry a foreign key is enlarged
+with the referred element's primary path plus the join condition.
+
+For the paper's source schema this produces exactly the three tableaux
+of Section V-A: ``{dept}``, ``{dept-Proj}`` and
+``{dept-Proj-regEmp, @pid=@pid}``.
+
+Users may additionally register *product* tableaux (the ``A(B×D)``
+tableau of Figure 10) with :func:`product_tableau`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import GenerationError
+from ..xsd.constraints import KeyRef
+from ..xsd.schema import ElementDecl, Schema, ValueNode
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equality between two value nodes, introduced by the chase."""
+
+    left: ValueNode
+    right: ValueNode
+
+    def shorthand(self) -> str:
+        left = f"@{self.left.attribute}" if self.left.attribute else "value"
+        right = f"@{self.right.attribute}" if self.right.attribute else "value"
+        return f"{left}={right}"
+
+    def __str__(self) -> str:
+        return f"{self.left.path_string()} = {self.right.path_string()}"
+
+
+@dataclass(frozen=True)
+class Tableau:
+    """A set of related repeating elements plus join conditions.
+
+    ``generators`` keeps discovery order (outermost first for primary
+    paths); identity is set-based, so ``{A,B}`` equals ``{B,A}``.
+    """
+
+    generators: tuple[ElementDecl, ...]
+    conditions: tuple[JoinCondition, ...] = ()
+
+    def element_set(self) -> frozenset[int]:
+        return frozenset(id(e) for e in self.generators)
+
+    def covers_element(self, element: ElementDecl) -> bool:
+        """All repeating elements on the element's root path belong to
+        this tableau (so the tableau can iterate down to it)."""
+        ids = self.element_set()
+        return all(
+            id(ancestor) in ids
+            for ancestor in element.path()
+            if ancestor.is_repeating
+        )
+
+    def covers_value(self, node) -> bool:
+        element = node.element if isinstance(node, ValueNode) else node
+        return self.covers_element(element)
+
+    def is_subset_of(self, other: "Tableau") -> bool:
+        if not self.element_set() <= other.element_set():
+            return False
+        mine = {(c.left.path_string(), c.right.path_string()) for c in self.conditions}
+        theirs = {(c.left.path_string(), c.right.path_string()) for c in other.conditions}
+        return mine <= theirs
+
+    def is_proper_subset_of(self, other: "Tableau") -> bool:
+        return self.is_subset_of(other) and not other.is_subset_of(self)
+
+    def shorthand(self) -> str:
+        names = "-".join(e.name for e in self.generators) or "∅"
+        if self.conditions:
+            conds = ", ".join(c.shorthand() for c in self.conditions)
+            return f"{{{names}, {conds}}}"
+        return f"{{{names}}}"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Tableau):
+            return NotImplemented
+        return self.is_subset_of(other) and other.is_subset_of(self)
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.element_set(),
+                frozenset(
+                    (c.left.path_string(), c.right.path_string())
+                    for c in self.conditions
+                ),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"Tableau{self.shorthand()}"
+
+
+def primary_tableaux(schema: Schema) -> list[Tableau]:
+    """One tableau per repeating element: its repeating root path."""
+    out = []
+    for element in schema.repeating_elements():
+        out.append(Tableau(schema.repeating_path(element)))
+    return out
+
+
+def chase(tableau: Tableau, schema: Schema) -> Tableau:
+    """Chase a tableau over the schema's keyrefs to fixpoint."""
+    generators = list(tableau.generators)
+    conditions = list(tableau.conditions)
+    changed = True
+    while changed:
+        changed = False
+        ids = {id(e) for e in generators}
+        for constraint in schema.constraints:
+            if not isinstance(constraint, KeyRef):
+                continue
+            if id(constraint.referring_element) not in ids:
+                continue
+            if id(constraint.referred_element) in ids:
+                continue
+            for ancestor in schema.repeating_path(constraint.referred_element):
+                if id(ancestor) not in ids:
+                    generators.append(ancestor)
+                    ids.add(id(ancestor))
+            conditions.append(JoinCondition(constraint.referring, constraint.referred))
+            changed = True
+    return Tableau(tuple(generators), tuple(conditions))
+
+
+def compute_tableaux(schema: Schema, *, use_chase: bool = True) -> list[Tableau]:
+    """All tableaux of a schema: primary paths, chased over constraints.
+
+    With ``use_chase=False`` the raw primary tableaux are returned — the
+    ablation showing why ``{dept-regEmp}`` alone cannot express the
+    project/employee association.
+    """
+    tableaux = primary_tableaux(schema)
+    if use_chase:
+        tableaux = [chase(t, schema) for t in tableaux]
+    unique: list[Tableau] = []
+    for tableau in tableaux:
+        if tableau not in unique:
+            unique.append(tableau)
+    return unique
+
+
+def product_tableau(
+    schema: Schema, elements: Iterable[ElementDecl]
+) -> Tableau:
+    """A user-added product tableau (Figure 10's ``A(B×D)``): the union
+    of the repeating paths of the given elements, with no conditions."""
+    generators: list[ElementDecl] = []
+    ids: set[int] = set()
+    for element in elements:
+        for ancestor in schema.repeating_path(element):
+            if id(ancestor) not in ids:
+                generators.append(ancestor)
+                ids.add(id(ancestor))
+    if not generators:
+        raise GenerationError("a product tableau needs at least one repeating element")
+    return Tableau(tuple(generators))
+
+
+def dependency_graph(tableaux: list[Tableau]) -> list[tuple[Tableau, Tableau]]:
+    """The Hasse diagram of the tableau subset order (Figure 10's
+    dependency graph): edges (general, specific) with no tableau in
+    between."""
+    edges: list[tuple[Tableau, Tableau]] = []
+    for lower in tableaux:
+        for upper in tableaux:
+            if not lower.is_proper_subset_of(upper):
+                continue
+            if any(
+                lower.is_proper_subset_of(mid) and mid.is_proper_subset_of(upper)
+                for mid in tableaux
+            ):
+                continue
+            edges.append((lower, upper))
+    return edges

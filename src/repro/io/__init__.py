@@ -1,0 +1,5 @@
+"""Persistence: mapping documents (save/load Clip projects as JSON)."""
+
+from .documents import dumps, from_document, load, loads, save, to_document
+
+__all__ = ["dumps", "loads", "save", "load", "to_document", "from_document"]

@@ -1,0 +1,186 @@
+"""Persistent mapping documents.
+
+A schema-mapping tool must save and reload what the user drew.  This
+module serializes a complete mapping project — the two schemas and the
+Clip mapping (value mappings, builders, build/group nodes, context
+arcs, conditions, functions) — to a JSON document, and loads it back.
+
+The format is deliberately explicit and version-tagged::
+
+    {
+      "format": "clip-mapping",
+      "version": 1,
+      "source": "<xsd text>",
+      "target": "<xsd text>",
+      "value_mappings": [
+        {"sources": ["dept/regEmp/ename/text()"], "target": "…/@name",
+         "function": null, "aggregate": null}, …
+      ],
+      "build_nodes": [
+        {"id": 0, "parent": null, "sources": ["dept"], "variables": ["d"],
+         "target": "department", "condition": null, "group_by": []}, …
+      ]
+    }
+
+Schemas travel as embedded XSD text (the subset of
+:mod:`repro.xsd.parser`), so a document is self-contained.
+Round-trip property: ``loads(dumps(clip))`` reproduces the mapping —
+same compiled tgd, same transformation results.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.functions import aggregate as _aggregate, scalar as _scalar
+from ..core.mapping import BuildNode, ClipMapping, ValueMapping
+from ..errors import MappingError
+from ..xsd.parser import parse_xsd, to_xsd
+from ..xsd.schema import ElementDecl, Schema, ValueNode
+
+FORMAT = "clip-mapping"
+VERSION = 1
+
+
+def _node_path(node) -> str:
+    """A loadable path for a schema node (without the root segment)."""
+    if isinstance(node, ValueNode):
+        inner = "/".join(node.element.path_string().split("/")[1:])
+        leaf = f"@{node.attribute}" if node.attribute is not None else "text()"
+        return f"{inner}/{leaf}" if inner else leaf
+    return "/".join(node.path_string().split("/")[1:])
+
+
+def _dump_value_mapping(vm: ValueMapping) -> dict:
+    return {
+        "sources": [_node_path(s) for s in vm.sources],
+        "target": _node_path(vm.target),
+        "function": vm.function.name if vm.function else None,
+        "aggregate": vm.aggregate.name if vm.aggregate else None,
+    }
+
+
+def _dump_build_nodes(clip: ClipMapping) -> list[dict]:
+    entries: list[dict] = []
+    ids: dict[int, int] = {}
+    for node in clip.build_nodes():  # pre-order: parents precede children
+        ids[id(node)] = len(entries)
+        entries.append(
+            {
+                "id": ids[id(node)],
+                "parent": ids[id(node.parent)] if node.parent is not None else None,
+                "sources": [_node_path(arc.source) for arc in node.incoming],
+                "variables": [arc.variable for arc in node.incoming],
+                "target": _node_path(node.target) if node.target is not None else None,
+                "condition": str(node.condition) if node.condition else None,
+                "group_by": [str(g) for g in node.grouping],
+            }
+        )
+    return entries
+
+
+def to_document(clip: ClipMapping) -> dict:
+    """Serialize a mapping project to a plain dict (JSON-ready)."""
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "source": to_xsd(clip.source),
+        "target": to_xsd(clip.target),
+        "value_mappings": [_dump_value_mapping(vm) for vm in clip.value_mappings],
+        "build_nodes": _dump_build_nodes(clip),
+    }
+
+
+def dumps(clip: ClipMapping, *, indent: int = 2) -> str:
+    """Serialize a mapping project to JSON text."""
+    return json.dumps(to_document(clip), indent=indent)
+
+
+def _load_value_source(schema: Schema, path: str, aggregate: bool):
+    node = schema.node(path)
+    if isinstance(node, ElementDecl) and not aggregate:
+        raise MappingError(
+            f"value-mapping source {path!r} is an element but the mapping "
+            "carries no aggregate"
+        )
+    return node
+
+
+def from_document(document: dict) -> ClipMapping:
+    """Rebuild a mapping project from a dict produced by :func:`to_document`."""
+    if document.get("format") != FORMAT:
+        raise MappingError(
+            f"not a {FORMAT} document (format={document.get('format')!r})"
+        )
+    if document.get("version") != VERSION:
+        raise MappingError(
+            f"unsupported document version {document.get('version')!r}"
+        )
+    source = parse_xsd(document["source"])
+    target = parse_xsd(document["target"])
+    clip = ClipMapping(source, target)
+
+    for entry in document.get("value_mappings", ()):
+        aggregate_name = entry.get("aggregate")
+        function_name = entry.get("function")
+        sources = [
+            _load_value_source(source, path, aggregate_name is not None)
+            for path in entry["sources"]
+        ]
+        vm = ValueMapping(
+            sources,
+            target.value(entry["target"]),
+            function=_scalar(function_name) if function_name else None,
+            aggregate=_aggregate(aggregate_name) if aggregate_name else None,
+        )
+        clip.value_mappings.append(vm)
+
+    nodes: dict[int, BuildNode] = {}
+    for entry in document.get("build_nodes", ()):
+        parent_id = entry.get("parent")
+        parent = None
+        if parent_id is not None:
+            try:
+                parent = nodes[parent_id]
+            except KeyError:
+                raise MappingError(
+                    f"build node {entry.get('id')} refers to unknown parent "
+                    f"{parent_id}"
+                ) from None
+        grouping = entry.get("group_by") or []
+        kwargs = dict(
+            var=entry.get("variables"),
+            condition=entry.get("condition"),
+            parent=parent,
+        )
+        if entry.get("target") is None:
+            if grouping:
+                raise MappingError("a group node requires an outgoing builder")
+            node = clip.context(entry["sources"], **kwargs)
+        elif grouping:
+            node = clip.group(entry["sources"], entry["target"], by=grouping, **kwargs)
+        else:
+            node = clip.build(entry["sources"], entry["target"], **kwargs)
+        nodes[entry["id"]] = node
+    return clip
+
+
+def loads(text: str) -> ClipMapping:
+    """Rebuild a mapping project from JSON text."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise MappingError(f"malformed mapping document: {exc}") from exc
+    return from_document(document)
+
+
+def save(clip: ClipMapping, path: str) -> None:
+    """Write a mapping project to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(clip))
+
+
+def load(path: str) -> ClipMapping:
+    """Read a mapping project from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

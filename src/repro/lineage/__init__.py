@@ -1,0 +1,17 @@
+"""Lineage and impact analysis over compiled mappings."""
+
+from .analysis import (
+    LineageEntry,
+    impact_of_source,
+    impact_of_target,
+    lineage,
+    render_lineage,
+)
+
+__all__ = [
+    "LineageEntry",
+    "lineage",
+    "impact_of_source",
+    "impact_of_target",
+    "render_lineage",
+]

@@ -1,0 +1,190 @@
+"""Lineage and impact analysis over compiled mappings.
+
+The paper's introduction names a second use of schema mappings:
+"to maintain relationships between schema elements, for later use in
+impact analysis (change management) and data lineage".  The paper does
+not pursue it; this module provides the natural implementation on top
+of our nested tgds:
+
+* :func:`lineage` — for every target path the mapping writes, the set
+  of source paths whose values (or sets, for aggregates) feed it, with
+  the function applied and the iteration context (the generators in
+  scope);
+* :func:`impact_of_source` / :func:`impact_of_target` — which target
+  (resp. source) paths are affected when a schema element changes: the
+  questions a change-management tool asks before editing a schema.
+
+Everything is derived from the tgd, so the analysis covers exactly what
+the executable transformation does — including filters, joins, grouping
+keys and aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tgd import (
+    AggregateApp,
+    Constant,
+    FunctionApp,
+    Membership,
+    NestedTgd,
+    SchemaRoot,
+    TgdComparison,
+    TgdExpr,
+    TgdMapping,
+    expr_labels,
+    expr_root,
+)
+
+
+@dataclass(frozen=True)
+class LineageEntry:
+    """One target path and everything that feeds it."""
+
+    target_path: str
+    source_paths: tuple[str, ...]
+    #: "copy", a scalar function name, or "<<aggregate>>" tag.
+    via: str
+    #: Source paths appearing in the filters/joins guarding this value.
+    conditions: tuple[str, ...]
+    #: The source paths iterated to produce each occurrence.
+    iteration: tuple[str, ...]
+
+    def __str__(self) -> str:
+        sources = ", ".join(self.source_paths)
+        return f"{self.target_path}  <=[{self.via}]=  {sources}"
+
+
+class _Resolver:
+    """Resolve tgd expressions to absolute slash paths."""
+
+    def __init__(self, source_root: str, target_root: str):
+        self.source_root = source_root
+        self.target_root = target_root
+        #: variable → absolute path of its binding
+        self.bindings: dict[str, str] = {}
+
+    def bind(self, var: str, expr: TgdExpr) -> str:
+        path = self.resolve(expr)
+        self.bindings[var] = path
+        return path
+
+    def resolve(self, expr: TgdExpr) -> str:
+        root = expr_root(expr)
+        labels = expr_labels(expr)
+        if isinstance(root, SchemaRoot):
+            head = root.name
+        else:
+            head = self.bindings.get(root.name, f"${root.name}")
+        segments = [head]
+        for label in labels:
+            if label == "value":
+                segments.append("text()")
+            else:
+                segments.append(label)
+        return "/".join(segments)
+
+
+def _term_sources(term, resolver: _Resolver) -> tuple[tuple[str, ...], str]:
+    if isinstance(term, Constant):
+        return (), "constant"
+    if isinstance(term, AggregateApp):
+        return (resolver.resolve(term.arg),), f"<<{term.function.name}>>"
+    if isinstance(term, FunctionApp):
+        return tuple(resolver.resolve(a) for a in term.args), term.function.name
+    return (resolver.resolve(term),), "copy"
+
+
+def _condition_paths(conditions, resolver: _Resolver) -> tuple[str, ...]:
+    found: list[str] = []
+    for condition in conditions:
+        if isinstance(condition, TgdComparison):
+            for side in (condition.left, condition.right):
+                if not isinstance(side, Constant):
+                    found.append(resolver.resolve(side))
+        elif isinstance(condition, Membership):
+            found.append(resolver.resolve(condition.member))
+            found.append(resolver.resolve(condition.collection))
+    return tuple(found)
+
+
+def lineage(tgd: NestedTgd) -> list[LineageEntry]:
+    """Compute the lineage table of a compiled mapping."""
+    entries: list[LineageEntry] = []
+
+    def walk(mapping: TgdMapping, resolver: _Resolver, iteration: tuple[str, ...]):
+        local = _Resolver(resolver.source_root, resolver.target_root)
+        local.bindings = dict(resolver.bindings)
+        level_iteration = list(iteration)
+        for gen in mapping.source_gens:
+            path = local.bind(gen.var, gen.expr)
+            level_iteration.append(path)
+        for gen in mapping.target_gens:
+            local.bind(gen.var, gen.expr)
+        if mapping.skolem is not None:
+            var, app = mapping.skolem
+            # grouping keys feed the *identity* of the grouped element
+            grouped_path = local.bindings.get(var, var)
+            entries.append(
+                LineageEntry(
+                    target_path=grouped_path,
+                    source_paths=tuple(local.resolve(a) for a in app.attrs),
+                    via="group-by",
+                    conditions=_condition_paths(mapping.where, local),
+                    iteration=tuple(level_iteration),
+                )
+            )
+        conditions = _condition_paths(mapping.where, local)
+        for assignment in mapping.assignments:
+            sources, via = _term_sources(assignment.value, local)
+            entries.append(
+                LineageEntry(
+                    target_path=local.resolve(assignment.target),
+                    source_paths=sources,
+                    via=via,
+                    conditions=conditions,
+                    iteration=tuple(level_iteration),
+                )
+            )
+        for sub in mapping.submappings:
+            walk(sub, local, tuple(level_iteration))
+
+    for root in tgd.roots:
+        walk(root, _Resolver(tgd.source_root, tgd.target_root), ())
+    return entries
+
+
+def _touches(path: str, element_path: str) -> bool:
+    return path == element_path or path.startswith(element_path + "/")
+
+
+def impact_of_source(tgd: NestedTgd, source_path: str) -> list[LineageEntry]:
+    """All lineage entries affected if the given source path changes
+    (as a value source, a condition operand, or an iteration anchor)."""
+    out = []
+    for entry in lineage(tgd):
+        if (
+            any(_touches(p, source_path) for p in entry.source_paths)
+            or any(_touches(p, source_path) for p in entry.conditions)
+            or any(_touches(p, source_path) for p in entry.iteration)
+        ):
+            out.append(entry)
+    return out
+
+
+def impact_of_target(tgd: NestedTgd, target_path: str) -> list[LineageEntry]:
+    """All lineage entries writing at or below the given target path."""
+    return [e for e in lineage(tgd) if _touches(e.target_path, target_path)]
+
+
+def render_lineage(entries: list[LineageEntry]) -> str:
+    """A readable lineage report."""
+    lines = []
+    for entry in entries:
+        lines.append(str(entry))
+        if entry.conditions:
+            lines.append("    guarded by: " + ", ".join(dict.fromkeys(entry.conditions)))
+        if entry.iteration:
+            lines.append("    per: " + " × ".join(entry.iteration))
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Schema matching (the paper's future-work extension)."""
+
+from .matcher import (
+    Match,
+    bootstrap_mapping,
+    name_similarity,
+    path_similarity,
+    score_pair,
+    suggest_value_mappings,
+    token_similarity,
+    tokenize,
+    type_compatibility,
+)
+
+__all__ = [
+    "Match",
+    "suggest_value_mappings",
+    "bootstrap_mapping",
+    "score_pair",
+    "name_similarity",
+    "path_similarity",
+    "token_similarity",
+    "type_compatibility",
+    "tokenize",
+]

@@ -1,0 +1,195 @@
+"""Schema matching: suggesting value mappings between two schemas.
+
+The paper's future work: "the GUI will be augmented by including schema
+matching tools, i.e. tools suggesting related elements and structures
+within two complex source and target XML schemas".  This module
+implements that extension with a classic name/type matcher:
+
+* names are split into tokens (camelCase, digits, separators), and
+  pairs of tokens are scored by normalized edit distance with an
+  affix bonus (``pname`` ↔ ``name``, ``regEmp`` ↔ ``employee``);
+* a value-node pair's score combines the leaf-name similarity, the
+  similarity of the *paths* of enclosing elements, and a type
+  compatibility factor;
+* :func:`suggest_value_mappings` returns the score-ranked one-to-one
+  assignment (greedy stable matching above a threshold);
+* :func:`bootstrap_mapping` feeds the suggestions straight into Clip's
+  Section V generation pipeline — schemas in, nested mapping out.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..core.mapping import ValueMapping
+from ..generation.clip_ext import generate_clip
+from ..xsd.schema import ElementDecl, Schema, ValueNode
+
+_TOKEN_SPLIT = re.compile(r"[^A-Za-z0-9]+|(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Za-z])(?=\d)")
+
+
+def tokenize(name: str) -> list[str]:
+    """Split an XML name into lowercase tokens.
+
+    >>> tokenize("regEmp")
+    ['reg', 'emp']
+    >>> tokenize("avg-sal")
+    ['avg', 'sal']
+    """
+    return [t.lower() for t in _TOKEN_SPLIT.split(name) if t]
+
+
+def _edit_distance(a: str, b: str) -> int:
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (ca != cb),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def token_similarity(left: str, right: str) -> float:
+    """Similarity of two tokens in [0, 1]: exact = 1; affix containment
+    scores by coverage; otherwise normalized edit distance."""
+    if left == right:
+        return 1.0
+    shorter, longer = sorted((left, right), key=len)
+    if len(shorter) >= 2 and (longer.startswith(shorter) or longer.endswith(shorter)):
+        return 0.6 + 0.4 * len(shorter) / len(longer)
+    distance = _edit_distance(left, right)
+    return max(0.0, 1.0 - distance / max(len(left), len(right)))
+
+
+def name_similarity(left: str, right: str) -> float:
+    """Similarity of two names: best-pair average over their tokens."""
+    lefts, rights = tokenize(left), tokenize(right)
+    if not lefts or not rights:
+        return 0.0
+    def best(tokens, others):
+        return sum(max(token_similarity(t, o) for o in others) for t in tokens)
+    return (best(lefts, rights) + best(rights, lefts)) / (len(lefts) + len(rights))
+
+
+def _path_names(element: ElementDecl) -> list[str]:
+    return [e.name for e in element.path()[1:]]  # skip the schema root
+
+
+def path_similarity(left: ElementDecl, right: ElementDecl) -> float:
+    """Similarity of the enclosing element paths (order-insensitive
+    best-pair average; roots excluded)."""
+    lefts, rights = _path_names(left), _path_names(right)
+    if not lefts or not rights:
+        return 0.5  # a root-level node carries no path evidence either way
+    def best(names, others):
+        return sum(max(name_similarity(n, o) for o in others) for n in names)
+    return (best(lefts, rights) + best(rights, lefts)) / (len(lefts) + len(rights))
+
+
+def _leaf_name(node: ValueNode) -> str:
+    if node.attribute is not None:
+        return node.attribute
+    return node.element.name
+
+
+def type_compatibility(left: ValueNode, right: ValueNode) -> float:
+    """1.0 for equal types, 0.8 for numeric-to-numeric, 0.5 otherwise
+    (strings absorb anything in practice)."""
+    lt, rt = left.type, right.type
+    if lt is rt:
+        return 1.0
+    numeric = {"int", "float"}
+    if lt.name.lower() in numeric and rt.name.lower() in numeric:
+        return 0.8
+    return 0.5
+
+
+@dataclass(frozen=True)
+class Match:
+    """A suggested correspondence with its score in [0, 1]."""
+
+    source: ValueNode
+    target: ValueNode
+    score: float
+
+    def as_value_mapping(self) -> ValueMapping:
+        return ValueMapping([self.source], self.target)
+
+    def __str__(self) -> str:
+        return f"{self.source} ~ {self.target}  ({self.score:.2f})"
+
+
+def _value_nodes(schema: Schema) -> list[ValueNode]:
+    nodes: list[ValueNode] = []
+    for element in schema.elements():
+        for attribute in element.attributes:
+            nodes.append(ValueNode(element, attribute.name))
+        if element.text_type is not None:
+            nodes.append(ValueNode(element, None))
+    return nodes
+
+
+def score_pair(source: ValueNode, target: ValueNode) -> float:
+    """The combined score of one source/target value-node pair."""
+    leaf = name_similarity(_leaf_name(source), _leaf_name(target))
+    path = path_similarity(source.element, target.element)
+    return (0.6 * leaf + 0.4 * path) * type_compatibility(source, target)
+
+
+def suggest_value_mappings(
+    source: Schema,
+    target: Schema,
+    *,
+    threshold: float = 0.45,
+    one_to_one: bool = True,
+) -> list[Match]:
+    """Suggest value mappings between two schemas, best first.
+
+    With ``one_to_one=True`` (the default) a greedy assignment keeps
+    each source and target node in at most one suggestion.
+    """
+    candidates: list[Match] = []
+    for source_node in _value_nodes(source):
+        for target_node in _value_nodes(target):
+            score = score_pair(source_node, target_node)
+            if score >= threshold:
+                candidates.append(Match(source_node, target_node, score))
+    candidates.sort(key=lambda m: (-m.score, str(m.source), str(m.target)))
+    if not one_to_one:
+        return candidates
+    taken_sources: set[str] = set()
+    taken_targets: set[str] = set()
+    chosen: list[Match] = []
+    for match in candidates:
+        skey, tkey = str(match.source), str(match.target)
+        if skey in taken_sources or tkey in taken_targets:
+            continue
+        taken_sources.add(skey)
+        taken_targets.add(tkey)
+        chosen.append(match)
+    return chosen
+
+
+def bootstrap_mapping(
+    source: Schema,
+    target: Schema,
+    *,
+    threshold: float = 0.45,
+):
+    """Schemas in, generated nested mapping out: suggest value mappings,
+    then run Clip's generation pipeline on them.
+
+    Returns ``(matches, generation_result)``.
+    """
+    matches = suggest_value_mappings(source, target, threshold=threshold)
+    vms = [m.as_value_mapping() for m in matches]
+    return matches, generate_clip(source, target, vms)

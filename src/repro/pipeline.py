@@ -1,0 +1,104 @@
+"""Sequential composition of schema mappings.
+
+Data integration chains mappings: staging → canonical → mart.  The
+theory of composing the *logical* mappings is its own research line
+(the paper cites Fagin et al.'s second-order tgds [8]); what every
+practical tool ships is the operational version — run the
+transformations in sequence, checking that each stage's output schema
+feeds the next stage's input schema.  :class:`Pipeline` provides that,
+with per-stage validation and inspection hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from . import Transformer
+from .core.mapping import ClipMapping
+from .errors import MappingError, ValidationError
+from .xml.model import XmlElement
+from .xsd.render import render_schema
+from .xsd.validate import validate
+
+
+@dataclass
+class StageResult:
+    """One stage's output, kept for inspection."""
+
+    index: int
+    instance: XmlElement
+    violations: list
+
+
+class Pipeline:
+    """A chain of Clip mappings applied in sequence.
+
+    The stages' schemas must line up: stage *i*'s target schema is
+    stage *i+1*'s source schema (compared structurally, since schema
+    objects may have been built twice from the same definition).
+    """
+
+    def __init__(self, mappings: Sequence[ClipMapping], *, engine: str = "tgd"):
+        if not mappings:
+            raise MappingError("a pipeline needs at least one mapping")
+        self.transformers = [Transformer(m, engine=engine) for m in mappings]
+        for index in range(len(mappings) - 1):
+            upstream = mappings[index].target
+            downstream = mappings[index + 1].source
+            if render_schema(upstream) != render_schema(downstream):
+                raise MappingError(
+                    f"pipeline stage {index} produces schema "
+                    f"{upstream.root.name!r} but stage {index + 1} consumes "
+                    f"{downstream.root.name!r} (structures differ)"
+                )
+
+    def __len__(self) -> int:
+        return len(self.transformers)
+
+    def run(
+        self,
+        instance: XmlElement,
+        *,
+        validate_stages: bool = False,
+        keep_intermediates: bool = False,
+    ):
+        """Apply all stages.  Returns the final instance, or — with
+        ``keep_intermediates=True`` — the list of :class:`StageResult`.
+
+        ``validate_stages=True`` validates each stage's output against
+        its target schema and raises :class:`ValidationError` on the
+        first violation.
+        """
+        current = instance
+        results: list[StageResult] = []
+        for index, transformer in enumerate(self.transformers):
+            current = transformer(current)
+            violations = (
+                validate(current, transformer.mapping.target)
+                if validate_stages
+                else []
+            )
+            if validate_stages and violations:
+                raise ValidationError(violations)
+            if keep_intermediates:
+                results.append(StageResult(index, current, violations))
+        if keep_intermediates:
+            return results
+        return current
+
+    def __call__(self, instance: XmlElement) -> XmlElement:
+        return self.run(instance)
+
+    def describe(self) -> str:
+        """One line per stage: source root → target root."""
+        lines = []
+        for index, transformer in enumerate(self.transformers):
+            mapping = transformer.mapping
+            lines.append(
+                f"stage {index}: {mapping.source.root.name} → "
+                f"{mapping.target.root.name} "
+                f"({len(mapping.value_mappings)} value mappings, "
+                f"{len(mapping.build_nodes())} build nodes)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Paper scenarios: the running example, Figure 10, Table I rows, workloads."""
+
+from . import deptstore, generic, published, workload
+from .deptstore import FIGURES, FigureScenario, scenario
+from .published import TABLE1_ROWS, PublishedExample
+from .workload import (
+    DeptstoreSpec,
+    GenericSpec,
+    make_deptstore_instance,
+    make_generic_instance,
+)
+
+__all__ = [
+    "deptstore",
+    "generic",
+    "published",
+    "workload",
+    "FIGURES",
+    "FigureScenario",
+    "scenario",
+    "TABLE1_ROWS",
+    "PublishedExample",
+    "DeptstoreSpec",
+    "GenericSpec",
+    "make_deptstore_instance",
+    "make_generic_instance",
+]

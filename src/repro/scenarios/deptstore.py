@@ -1,0 +1,519 @@
+"""The paper's running example: the department/project/employee source.
+
+This module transcribes, verbatim from the paper:
+
+* the source XML Schema (left side of Figure 1) with the ``@pid``
+  referential constraint;
+* the two-department source instance of Section I-A;
+* for every figure (1, 3–9), the target schema, the Clip mapping and
+  the expected output instance printed in the paper.
+
+Each figure is packaged as a :class:`FigureScenario` so tests, examples
+and benchmarks can all iterate over the same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.mapping import ClipMapping
+from ..xml.model import XmlElement, element
+from ..xsd.dsl import attr, elem, keyref, schema
+from ..xsd.schema import Schema
+from ..xsd.types import FLOAT, INT, STRING
+
+
+# -- source side -----------------------------------------------------------
+
+
+def source_schema() -> Schema:
+    """The source schema on the left of Figure 1."""
+    return schema(
+        elem(
+            "source",
+            elem(
+                "dept",
+                "[1..*]",
+                elem("dname", text=STRING),
+                elem(
+                    "Proj",
+                    "[0..*]",
+                    attr("pid", INT),
+                    elem("pname", text=STRING),
+                ),
+                elem(
+                    "regEmp",
+                    "[0..*]",
+                    attr("pid", INT),
+                    elem("ename", text=STRING),
+                    elem("sal", text=INT),
+                ),
+            ),
+        ),
+        keyref("dept/regEmp/@pid", "dept/Proj/@pid"),
+    )
+
+
+def _proj(pid: int, pname: str) -> XmlElement:
+    return element("Proj", element("pname", text=pname), pid=pid)
+
+
+def _emp(pid: int, ename: str, sal: int) -> XmlElement:
+    return element(
+        "regEmp", element("ename", text=ename), element("sal", text=sal), pid=pid
+    )
+
+
+def source_instance() -> XmlElement:
+    """The two-department instance of Section I-A."""
+    return element(
+        "source",
+        element(
+            "dept",
+            element("dname", text="ICT"),
+            _proj(1, "Appliances"),
+            _proj(2, "Robotics"),
+            _emp(1, "John Smith", 10000),
+            _emp(1, "Andrew Clarence", 12000),
+            _emp(2, "Mark Tane", 10500),
+            _emp(2, "Jim Bellish", 11000),
+        ),
+        element(
+            "dept",
+            element("dname", text="Marketing"),
+            _proj(1, "Brand promotion"),
+            _proj(32, "Appliances"),
+            _emp(1, "Richard Dawson", 30000),
+            _emp(32, "Mark Tane", 10000),
+            _emp(1, "Steven Aiking", 20000),
+        ),
+    )
+
+
+# -- target schemas ----------------------------------------------------------
+
+
+def target_schema_departments() -> Schema:
+    """The target on the right of Figures 1 and 5: departments with
+    nested projects and employees."""
+    return schema(
+        elem(
+            "target",
+            elem(
+                "department",
+                "[1..*]",
+                elem("project", "[0..*]", attr("name", STRING)),
+                elem("employee", "[0..*]", attr("name", STRING)),
+            ),
+        )
+    )
+
+
+def target_schema_fig3() -> Schema:
+    """The Figure 3 target: employees (with optional works-in) and areas."""
+    return schema(
+        elem(
+            "target",
+            elem(
+                "department",
+                "[1..*]",
+                elem(
+                    "employee",
+                    "[0..*]",
+                    attr("name", STRING),
+                    elem("works-in", "[0..1]", text=INT),
+                ),
+                elem("area", "[0..*]", text=INT),
+            ),
+        )
+    )
+
+
+def target_schema_projemp() -> Schema:
+    """The Figure 6 target: a flat list of project-emp associations."""
+    return schema(
+        elem(
+            "target",
+            elem(
+                "project-emp",
+                "[1..*]",
+                attr("pname", STRING),
+                attr("ename", STRING),
+            ),
+        )
+    )
+
+
+def target_schema_grouped_projects() -> Schema:
+    """The Figure 7 target: projects (grouped by name) with employees."""
+    return schema(
+        elem(
+            "target",
+            elem(
+                "project",
+                "[1..*]",
+                attr("name", STRING),
+                elem("employee", "[0..*]", attr("name", STRING)),
+            ),
+        )
+    )
+
+
+def target_schema_inverted() -> Schema:
+    """The Figure 8 target: projects with the departments they run in."""
+    return schema(
+        elem(
+            "target",
+            elem(
+                "project",
+                "[1..*]",
+                attr("name", STRING),
+                elem("department", "[0..*]", attr("name", STRING)),
+            ),
+        )
+    )
+
+
+def target_schema_aggregates() -> Schema:
+    """The Figure 9 target: departments with aggregate attributes.
+
+    ``@avg-sal`` is optional — XQuery's ``avg(())`` is the empty
+    sequence, so a department without employees carries no average —
+    and decimal-typed, since averages need not be integral (the paper
+    writes ``int`` because its example data happens to average evenly).
+    """
+    return schema(
+        elem(
+            "target",
+            elem(
+                "department",
+                "[1..*]",
+                attr("name", STRING),
+                attr("numProj", INT),
+                attr("numEmps", INT),
+                attr("avg-sal", FLOAT, required=False),
+            ),
+        )
+    )
+
+
+# -- figure mappings ------------------------------------------------------------
+
+
+def mapping_fig3() -> ClipMapping:
+    """Figure 3: an employee per regEmp with salary > 11000."""
+    clip = ClipMapping(source_schema(), target_schema_fig3())
+    clip.build("dept/regEmp", "department/employee", var="r",
+               condition="$r.sal.value > 11000")
+    clip.value("dept/regEmp/ename/value", "department/employee/@name")
+    return clip
+
+
+def mapping_fig4(*, context_arc: bool = True) -> ClipMapping:
+    """Figure 4: context propagation — employees within their dept's
+    department.  With ``context_arc=False``, the paper's variant where
+    employees repeat within all departments."""
+    clip = ClipMapping(source_schema(), target_schema_departments())
+    dept_node = clip.build("dept", "department", var="d")
+    clip.build(
+        "dept/regEmp",
+        "department/employee",
+        var="r",
+        condition="$r.sal.value > 11000",
+        parent=dept_node if context_arc else None,
+    )
+    clip.value("dept/regEmp/ename/value", "department/employee/@name")
+    return clip
+
+
+def mapping_fig5() -> ClipMapping:
+    """Figure 5: a CPT propagating the dept context to both projects
+    and employees — the mapping 'no state-of-the-art tool' captures."""
+    clip = ClipMapping(source_schema(), target_schema_departments())
+    dept_node = clip.build("dept", "department", var="d")
+    clip.build("dept/Proj", "department/project", var="p", parent=dept_node)
+    clip.build("dept/regEmp", "department/employee", var="r", parent=dept_node)
+    clip.value("dept/Proj/pname/value", "department/project/@name")
+    clip.value("dept/regEmp/ename/value", "department/employee/@name")
+    return clip
+
+
+def mapping_fig1_desired() -> ClipMapping:
+    """The Section I motivating mapping, expressed correctly in Clip
+    (it coincides with Figure 5's CPT)."""
+    return mapping_fig5()
+
+
+def mapping_fig6(
+    *, join_condition: bool = True, outer_context: bool = True
+) -> ClipMapping:
+    """Figure 6: join of Projs and regEmps within a dept context.
+
+    The flags give the paper's two variants: without the join condition
+    (full per-dept Cartesian product) and additionally without the
+    top-level build node (document-wide Cartesian product).
+    """
+    clip = ClipMapping(source_schema(), target_schema_projemp())
+    parent = clip.context("dept", var="d") if outer_context else None
+    clip.build(
+        ["dept/Proj", "dept/regEmp"],
+        "project-emp",
+        var=["p", "r"],
+        condition="$p.@pid = $r.@pid" if join_condition else None,
+        parent=parent,
+    )
+    clip.value("dept/Proj/pname/value", "project-emp/@pname")
+    clip.value("dept/regEmp/ename/value", "project-emp/@ename")
+    return clip
+
+
+def mapping_fig7() -> ClipMapping:
+    """Figure 7: group Projs by name; employees joined per group."""
+    clip = ClipMapping(source_schema(), target_schema_grouped_projects())
+    group = clip.group(
+        "dept/Proj", "project", var="p", by=["$p.pname.value"]
+    )
+    clip.build(
+        ["dept/Proj", "dept/regEmp"],
+        "project/employee",
+        var=["p2", "r"],
+        condition="$p2.@pid = $r.@pid",
+        parent=group,
+    )
+    clip.value("dept/Proj/pname/value", "project/@name")
+    clip.value("dept/regEmp/ename/value", "project/employee/@name")
+    return clip
+
+
+def mapping_fig8() -> ClipMapping:
+    """Figure 8: invert the hierarchy — departments under grouped projects."""
+    clip = ClipMapping(source_schema(), target_schema_inverted())
+    group = clip.group(
+        "dept/Proj", "project", var="p", by=["$p.pname.value"]
+    )
+    clip.build("dept", "project/department", var="d2", parent=group)
+    clip.value("dept/Proj/pname/value", "project/@name")
+    clip.value("dept/dname/value", "project/department/@name")
+    return clip
+
+
+def mapping_fig9() -> ClipMapping:
+    """Figure 9: per-dept aggregates (counts and average salary)."""
+    clip = ClipMapping(source_schema(), target_schema_aggregates())
+    clip.build("dept", "department", var="d")
+    clip.value("dept/dname/value", "department/@name")
+    clip.value_aggregate("count", "dept/Proj", "department/@numProj")
+    clip.value_aggregate("count", "dept/regEmp", "department/@numEmps")
+    clip.value_aggregate("avg", "dept/regEmp/sal/value", "department/@avg-sal")
+    return clip
+
+
+# -- expected outputs (transcribed from the paper) ----------------------------------
+
+
+def expected_fig3() -> XmlElement:
+    return element(
+        "target",
+        element(
+            "department",
+            element("employee", name="Andrew Clarence"),
+            element("employee", name="Richard Dawson"),
+            element("employee", name="Steven Aiking"),
+        ),
+    )
+
+
+def expected_fig4() -> XmlElement:
+    return element(
+        "target",
+        element("department", element("employee", name="Andrew Clarence")),
+        element(
+            "department",
+            element("employee", name="Richard Dawson"),
+            element("employee", name="Steven Aiking"),
+        ),
+    )
+
+
+def expected_fig4_no_arc() -> XmlElement:
+    employees = ["Andrew Clarence", "Richard Dawson", "Steven Aiking"]
+    return element(
+        "target",
+        element("department", *[element("employee", name=n) for n in employees]),
+        element("department", *[element("employee", name=n) for n in employees]),
+    )
+
+
+def expected_fig5() -> XmlElement:
+    """Also the desired output of the Section I motivating example."""
+    return element(
+        "target",
+        element(
+            "department",
+            element("project", name="Appliances"),
+            element("project", name="Robotics"),
+            element("employee", name="John Smith"),
+            element("employee", name="Andrew Clarence"),
+            element("employee", name="Mark Tane"),
+            element("employee", name="Jim Bellish"),
+        ),
+        element(
+            "department",
+            element("project", name="Brand promotion"),
+            element("project", name="Appliances"),
+            element("employee", name="Richard Dawson"),
+            element("employee", name="Mark Tane"),
+            element("employee", name="Steven Aiking"),
+        ),
+    )
+
+
+def expected_fig6() -> XmlElement:
+    pairs = [
+        ("Appliances", "John Smith"),
+        ("Appliances", "Andrew Clarence"),
+        ("Robotics", "Mark Tane"),
+        ("Robotics", "Jim Bellish"),
+        ("Brand promotion", "Richard Dawson"),
+        ("Appliances", "Mark Tane"),
+        ("Brand promotion", "Steven Aiking"),
+    ]
+    return element(
+        "target",
+        *[element("project-emp", pname=p, ename=e) for p, e in pairs],
+    )
+
+
+def expected_fig7() -> XmlElement:
+    return element(
+        "target",
+        element(
+            "project",
+            element("employee", name="John Smith"),
+            element("employee", name="Andrew Clarence"),
+            element("employee", name="Mark Tane"),
+            name="Appliances",
+        ),
+        element(
+            "project",
+            element("employee", name="Mark Tane"),
+            element("employee", name="Jim Bellish"),
+            name="Robotics",
+        ),
+        element(
+            "project",
+            element("employee", name="Richard Dawson"),
+            element("employee", name="Steven Aiking"),
+            name="Brand promotion",
+        ),
+    )
+
+
+def expected_fig8() -> XmlElement:
+    return element(
+        "target",
+        element(
+            "project",
+            element("department", name="ICT"),
+            element("department", name="Marketing"),
+            name="Appliances",
+        ),
+        element("project", element("department", name="ICT"), name="Robotics"),
+        element(
+            "project",
+            element("department", name="Marketing"),
+            name="Brand promotion",
+        ),
+    )
+
+
+def expected_fig9() -> XmlElement:
+    return element(
+        "target",
+        element("department", **{"name": "ICT", "numProj": 2, "numEmps": 4, "avg-sal": 10875}),
+        element(
+            "department",
+            **{"name": "Marketing", "numProj": 2, "numEmps": 3, "avg-sal": 20000},
+        ),
+    )
+
+
+# -- packaged scenarios ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FigureScenario:
+    """One executable paper figure: mapping factory plus expected output."""
+
+    figure: str
+    description: str
+    make_mapping: Callable[[], ClipMapping]
+    expected: Callable[[], XmlElement]
+    #: True when sibling order in the expected output is semantically
+    #: meaningful in the paper's printed result.
+    ordered: bool = True
+
+
+FIGURES: tuple[FigureScenario, ...] = (
+    FigureScenario(
+        "fig3",
+        "simple filtered mapping with minimum-cardinality department",
+        mapping_fig3,
+        expected_fig3,
+    ),
+    FigureScenario(
+        "fig4",
+        "context propagation: employees nested per department",
+        mapping_fig4,
+        expected_fig4,
+    ),
+    FigureScenario(
+        "fig4-no-arc",
+        "no context arc: employees repeated within all departments",
+        lambda: mapping_fig4(context_arc=False),
+        expected_fig4_no_arc,
+    ),
+    FigureScenario(
+        "fig5",
+        "context propagation tree: the Section I motivating mapping",
+        mapping_fig5,
+        expected_fig5,
+    ),
+    FigureScenario(
+        "fig6",
+        "join of Projs and regEmps constrained by a CPT",
+        mapping_fig6,
+        expected_fig6,
+        # The paper's engine produced the join pairs regEmp-major; ours
+        # iterates Proj-major.  The multiset of pairs is identical, so
+        # the comparison is order-insensitive.
+        ordered=False,
+    ),
+    FigureScenario(
+        "fig7",
+        "grouping by project name with per-group join",
+        mapping_fig7,
+        expected_fig7,
+    ),
+    FigureScenario(
+        "fig8",
+        "hierarchy inversion: departments under grouped projects",
+        mapping_fig8,
+        expected_fig8,
+    ),
+    FigureScenario(
+        "fig9",
+        "aggregates: project/employee counts and average salary",
+        mapping_fig9,
+        expected_fig9,
+    ),
+)
+
+
+def scenario(figure: str) -> FigureScenario:
+    """Look up a packaged figure scenario by id (e.g. ``"fig7"``)."""
+    for candidate in FIGURES:
+        if candidate.figure == figure:
+            return candidate
+    raise KeyError(f"unknown figure scenario {figure!r}")

@@ -1,0 +1,114 @@
+"""The generic schemas of Figure 10 and the Section V-B walkthrough.
+
+Source: ``ROOT → A[0..*]{B[0..*]{C[0..*]}, D[0..*]{E[0..*]}}``;
+target: ``ROOT → F[0..*]{@att1, G[0..*]{@att2, @att3}}``.
+
+The paper draws value nodes on ``A``/``B``/``D`` as text circles; since
+our model (like XML Schema's non-mixed content) does not allow an
+element to carry both text and children, the values of the *inner*
+elements B, C, D, E stay text nodes while A's value is modeled as the
+attribute ``@aval`` — same mapping semantics, documented substitution.
+
+Tableaux expected (Section V-B): ``A``, ``AB``, ``ABC``, ``AD``,
+``ADE`` for the source (plus the user-added ``A(B×D)``), ``F``, ``FG``
+for the target.
+"""
+
+from __future__ import annotations
+
+from ..core.mapping import ClipMapping, ValueMapping
+from ..xml.model import XmlElement, element
+from ..xsd.dsl import attr, elem, schema
+from ..xsd.schema import Schema
+from ..xsd.types import STRING
+
+
+def source_schema() -> Schema:
+    return schema(
+        elem(
+            "ROOT",
+            elem(
+                "A",
+                "[0..*]",
+                attr("aval", STRING),
+                elem("B", "[0..*]", elem("C", "[0..*]", text=STRING), attr("bval", STRING)),
+                elem("D", "[0..*]", elem("E", "[0..*]", text=STRING), attr("dval", STRING)),
+            ),
+        )
+    )
+
+
+def target_schema() -> Schema:
+    return schema(
+        elem(
+            "TROOT",
+            elem(
+                "F",
+                "[0..*]",
+                attr("att1", STRING, required=False),
+                elem(
+                    "G",
+                    "[0..*]",
+                    attr("att2", STRING, required=False),
+                    attr("att3", STRING, required=False),
+                ),
+            ),
+        )
+    )
+
+
+def value_mappings_bd(source: Schema, target: Schema) -> list[ValueMapping]:
+    """The Section V-B input: only the value mappings from B and D
+    (the user did not enter the one from A)."""
+    return [
+        ValueMapping([source.value("A/B/@bval")], target.value("F/G/@att2")),
+        ValueMapping([source.value("A/D/@dval")], target.value("F/G/@att3")),
+    ]
+
+
+def value_mapping_a(source: Schema, target: Schema) -> ValueMapping:
+    """The value mapping from A that Figure 10 draws but Section V-B
+    withholds."""
+    return ValueMapping([source.value("A/@aval")], target.value("F/@att1"))
+
+
+def sample_instance() -> XmlElement:
+    """A small instance exercising the Cartesian-product semantics."""
+    return element(
+        "ROOT",
+        element(
+            "A",
+            element("B", element("C", text="c1"), bval="b1"),
+            element("B", element("C", text="c2"), bval="b2"),
+            element("D", element("E", text="e1"), dval="d1"),
+            aval="a1",
+        ),
+        element(
+            "A",
+            element("B", element("C", text="c3"), bval="b3"),
+            element("D", element("E", text="e2"), dval="d2"),
+            element("D", element("E", text="e3"), dval="d3"),
+            aval="a2",
+        ),
+    )
+
+
+def clip_mapping_nested(source: Schema, target: Schema) -> ClipMapping:
+    """The Clip mapping matching the paper's first nested expression:
+    ``∀ a ∈ A → ∃ f ∈ F [∀ b ∈ a.B → …], [∀ d ∈ a.D → …]``."""
+    clip = ClipMapping(source, target)
+    a_node = clip.build("A", "F", var="a")
+    clip.build("A/B", "F/G", var="b", parent=a_node)
+    clip.build("A/D", "F/G", var="d", parent=a_node)
+    clip.value_mappings.extend(value_mappings_bd(source, target))
+    return clip
+
+
+def clip_mapping_product(source: Schema, target: Schema) -> ClipMapping:
+    """The Clip mapping matching the paper's second nested expression:
+    the Cartesian product of B and D with respect to A."""
+    clip = ClipMapping(source, target)
+    a_node = clip.context("A", var="a")
+    clip.build(["A/B", "A/D"], "F/G", var=["b", "d"], parent=a_node)
+    clip.value_mappings.extend(value_mappings_bd(source, target))
+    return clip

@@ -1,0 +1,145 @@
+"""A second full domain scenario: a publications (DBLP-style) catalog.
+
+The paper's running example is departments; this scenario stresses the
+same constructs on a different shape — a bibliography with venues,
+papers and authors related by a key — and chains two mappings into a
+pipeline:
+
+* **stage 1 (normalize)**: flatten the per-venue feed into a canonical
+  catalog, joining papers to their venue records;
+* **stage 2 (publish)**: group the canonical catalog by author,
+  inverting the hierarchy (author → papers), with per-author
+  aggregates — grouping, inversion and aggregates on a fresh schema.
+
+Used by the `publications_pipeline` example and the scenario tests.
+"""
+
+from __future__ import annotations
+
+from ..core.mapping import ClipMapping
+from ..xml.model import XmlElement, element
+from ..xsd.dsl import attr, elem, keyref, schema
+from ..xsd.schema import Schema
+from ..xsd.types import INT, STRING
+
+
+def feed_schema() -> Schema:
+    """Stage-1 input: the raw per-venue feed."""
+    return schema(
+        elem(
+            "feed",
+            elem(
+                "venue",
+                "[1..*]",
+                attr("vid", INT),
+                elem("vname", text=STRING),
+                elem("year", text=INT),
+            ),
+            elem(
+                "paper",
+                "[0..*]",
+                attr("vid", INT),
+                elem("title", text=STRING),
+                elem("author", "[1..*]", text=STRING),
+                elem("pages", text=INT),
+            ),
+        ),
+        keyref("paper/@vid", "venue/@vid"),
+    )
+
+
+def catalog_schema() -> Schema:
+    """Stage-1 output / stage-2 input: the canonical catalog."""
+    return schema(
+        elem(
+            "catalog",
+            elem(
+                "publication",
+                "[0..*]",
+                attr("venue", STRING),
+                attr("year", INT),
+                elem("title", text=STRING),
+                elem("writer", "[1..*]", text=STRING),
+            ),
+        )
+    )
+
+
+def report_schema() -> Schema:
+    """Stage-2 output: the per-author report."""
+    return schema(
+        elem(
+            "report",
+            elem(
+                "author",
+                "[0..*]",
+                attr("name", STRING),
+                attr("papers", INT),
+                elem("work", "[0..*]", attr("title", STRING, required=False)),
+            ),
+        )
+    )
+
+
+def normalize_mapping() -> ClipMapping:
+    """Stage 1: join papers to venues; flatten into publications."""
+    clip = ClipMapping(feed_schema(), catalog_schema())
+    node = clip.build(
+        ["paper", "venue"],
+        "publication",
+        var=["p", "v"],
+        condition="$p.@vid = $v.@vid",
+    )
+    clip.build("paper/author", "publication/writer", var="a", parent=node)
+    clip.value("venue/vname/value", "publication/@venue")
+    clip.value("venue/year/value", "publication/@year")
+    clip.value("paper/title/value", "publication/title/value")
+    clip.value("paper/author/value", "publication/writer/value")
+    return clip
+
+
+def publish_mapping() -> ClipMapping:
+    """Stage 2: group by author (inversion) with a per-author count."""
+    clip = ClipMapping(catalog_schema(), report_schema())
+    group = clip.group(
+        "publication/writer", "author", var="w", by=["$w.value"]
+    )
+    clip.build("publication", "author/work", var="p2", parent=group)
+    clip.value("publication/writer/value", "author/@name")
+    clip.value_aggregate("count", "publication/writer", "author/@papers")
+    clip.value("publication/title/value", "author/work/@title")
+    return clip
+
+
+def feed_instance() -> XmlElement:
+    """A small feed with shared authors across venues."""
+    return element(
+        "feed",
+        element("venue", element("vname", text="ICDE"), element("year", text=2008), vid=1),
+        element("venue", element("vname", text="VLDB"), element("year", text=2006), vid=2),
+        element(
+            "paper",
+            element("title", text="Clip"),
+            element("author", text="Raffio"),
+            element("author", text="Braga"),
+            element("author", text="Ceri"),
+            element("pages", text=10),
+            vid=1,
+        ),
+        element(
+            "paper",
+            element("title", text="Nested Mappings"),
+            element("author", text="Fuxman"),
+            element("author", text="Papotti"),
+            element("pages", text=12),
+            vid=2,
+        ),
+        element(
+            "paper",
+            element("title", text="XQBE"),
+            element("author", text="Braga"),
+            element("author", text="Ceri"),
+            element("pages", text=3),
+            vid=1,
+        ),
+    )

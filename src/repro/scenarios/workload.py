@@ -1,0 +1,120 @@
+"""Synthetic workload generation for benchmarks and property tests.
+
+The paper's instances are small illustrations; the benchmark harness
+needs the *same shapes* at scale.  :func:`make_deptstore_instance`
+produces arbitrarily large instances of the paper's source schema with
+controlled fan-outs, and :func:`make_generic_instance` scales the
+Figure 10 schema.  Both are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..xml.model import XmlElement, element
+
+_FIRST = ["John", "Mary", "Andrew", "Lucy", "Mark", "Jim", "Sara", "Paul",
+          "Rita", "Tom", "Nina", "Carl", "Dana", "Hugo", "Iris", "Ben"]
+_LAST = ["Smith", "Clarence", "Tane", "Bellish", "Dawson", "Aiking",
+         "Rossi", "Verdi", "Kent", "Lane", "Moss", "Nash", "Boyd", "Cole"]
+_PROJECTS = ["Appliances", "Robotics", "Brand promotion", "Analytics",
+             "Cloud", "Mobility", "Security", "Logistics", "Vision", "Audio"]
+_DEPARTMENTS = ["ICT", "Marketing", "Sales", "R&D", "Finance", "Legal",
+                "Operations", "Support", "Design", "QA"]
+
+
+@dataclass(frozen=True)
+class DeptstoreSpec:
+    """Fan-out parameters for a synthetic dept-store instance."""
+
+    departments: int = 10
+    projects_per_dept: int = 5
+    employees_per_dept: int = 20
+    #: How many distinct project names to draw from — smaller values
+    #: create more cross-department homonyms (heavier grouping).
+    project_name_pool: int = 10
+    seed: int = 7
+
+    @property
+    def total_elements(self) -> int:
+        per_dept = 1 + 2 * self.projects_per_dept + 3 * self.employees_per_dept + 1
+        return 1 + self.departments * per_dept
+
+
+def make_deptstore_instance(spec: DeptstoreSpec = DeptstoreSpec()) -> XmlElement:
+    """A synthetic instance of the paper's source schema.
+
+    Every employee's ``@pid`` refers to a project of the same
+    department, so the referential constraint holds by construction.
+    """
+    rng = random.Random(spec.seed)
+    root = XmlElement("source")
+    pool = [
+        _PROJECTS[i % len(_PROJECTS)] + ("" if i < len(_PROJECTS) else f" {i}")
+        for i in range(max(1, spec.project_name_pool))
+    ]
+    for d in range(spec.departments):
+        name = _DEPARTMENTS[d % len(_DEPARTMENTS)] + (
+            "" if d < len(_DEPARTMENTS) else f" {d}"
+        )
+        dept = element("dept", element("dname", text=name))
+        pids = []
+        for p in range(spec.projects_per_dept):
+            pid = p + 1
+            pids.append(pid)
+            dept.append(
+                element(
+                    "Proj",
+                    element("pname", text=rng.choice(pool)),
+                    pid=pid,
+                )
+            )
+        for _ in range(spec.employees_per_dept):
+            full_name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+            dept.append(
+                element(
+                    "regEmp",
+                    element("ename", text=full_name),
+                    element("sal", text=rng.randrange(8000, 32000, 500)),
+                    pid=rng.choice(pids) if pids else 1,
+                )
+            )
+        root.append(dept)
+    return root
+
+
+@dataclass(frozen=True)
+class GenericSpec:
+    """Fan-out parameters for a synthetic Figure 10 instance."""
+
+    a_count: int = 10
+    b_per_a: int = 4
+    d_per_a: int = 4
+    seed: int = 11
+
+
+def make_generic_instance(spec: GenericSpec = GenericSpec()) -> XmlElement:
+    """A synthetic instance of the Figure 10 source schema."""
+    rng = random.Random(spec.seed)
+    root = XmlElement("ROOT")
+    for a in range(spec.a_count):
+        node = element("A", aval=f"a{a}")
+        for b in range(spec.b_per_a):
+            node.append(
+                element(
+                    "B",
+                    element("C", text=f"c{rng.randrange(100)}"),
+                    bval=f"b{a}.{b}",
+                )
+            )
+        for d in range(spec.d_per_a):
+            node.append(
+                element(
+                    "D",
+                    element("E", text=f"e{rng.randrange(100)}"),
+                    dval=f"d{a}.{d}",
+                )
+            )
+        root.append(node)
+    return root

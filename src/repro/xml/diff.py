@@ -1,0 +1,96 @@
+"""Structural diff between XML instances.
+
+Mapping developers iterate: change a line, re-run, inspect what moved.
+:func:`diff` compares two instances and reports the differences as
+located edit records — attribute changes, text changes, and
+inserted/removed subtrees — matching siblings positionally per tag (the
+natural alignment for mapping outputs, whose order is generation
+order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import zip_longest
+from typing import Optional
+
+from .model import AtomicValue, XmlElement
+
+
+@dataclass(frozen=True)
+class Difference:
+    """One point of divergence between two instances."""
+
+    kind: str  # "attribute" | "text" | "missing" | "extra" | "tag"
+    location: str
+    left: Optional[AtomicValue] = None
+    right: Optional[AtomicValue] = None
+
+    def __str__(self) -> str:
+        if self.kind == "missing":
+            return f"{self.location}: only in left"
+        if self.kind == "extra":
+            return f"{self.location}: only in right"
+        return f"{self.location}: {self.kind} {self.left!r} != {self.right!r}"
+
+
+def diff(left: XmlElement, right: XmlElement, *, max_differences: int = 1000) -> list[Difference]:
+    """All differences between two instances (up to ``max_differences``)."""
+    out: list[Difference] = []
+    _diff_elements(left, right, f"/{left.tag}", out, max_differences)
+    return out
+
+
+def _push(out: list[Difference], limit: int, difference: Difference) -> bool:
+    if len(out) >= limit:
+        return False
+    out.append(difference)
+    return True
+
+
+def _diff_elements(
+    left: XmlElement,
+    right: XmlElement,
+    location: str,
+    out: list[Difference],
+    limit: int,
+) -> None:
+    if len(out) >= limit:
+        return
+    if left.tag != right.tag:
+        _push(out, limit, Difference("tag", location, left.tag, right.tag))
+        return
+    for name in dict.fromkeys([*left.attributes, *right.attributes]):
+        lv, rv = left.attribute(name), right.attribute(name)
+        if lv != rv:
+            if not _push(out, limit, Difference("attribute", f"{location}/@{name}", lv, rv)):
+                return
+    if left.text != right.text:
+        if not _push(out, limit, Difference("text", f"{location}/text()", left.text, right.text)):
+            return
+    # Positional alignment per tag.
+    tags = list(dict.fromkeys(
+        [c.tag for c in left.children] + [c.tag for c in right.children]
+    ))
+    for tag in tags:
+        lefts = left.findall(tag)
+        rights = right.findall(tag)
+        for index, (lc, rc) in enumerate(zip_longest(lefts, rights), start=1):
+            child_location = f"{location}/{tag}[{index}]"
+            if lc is None:
+                if not _push(out, limit, Difference("extra", child_location)):
+                    return
+            elif rc is None:
+                if not _push(out, limit, Difference("missing", child_location)):
+                    return
+            else:
+                _diff_elements(lc, rc, child_location, out, limit)
+                if len(out) >= limit:
+                    return
+
+
+def render_diff(differences: list[Difference]) -> str:
+    """One line per difference, or a friendly 'identical' marker."""
+    if not differences:
+        return "(instances are identical)"
+    return "\n".join(str(d) for d in differences)

@@ -1,0 +1,276 @@
+"""Ordered-tree XML instance model.
+
+This is the data substrate of the reproduction: both the direct tgd
+executor and the XQuery interpreter produce and consume these trees, and
+the paper's printed example instances are transcribed into them.
+
+The model is deliberately small and explicit:
+
+* an :class:`XmlElement` has a tag, an ordered attribute map, and either
+  child elements or an atomic text value (mirroring the paper's schema
+  drawings, where an element owns attributes, sub-elements and at most
+  one ``value`` node);
+* atomic values are plain Python values (``str``, ``int``, ``float``,
+  ``bool``) so that filter predicates such as ``$r.sal.value > 11000``
+  compare numerically, exactly as the paper's examples require.
+
+Elements compare equal when their tag, attributes, text and children are
+equal *in document order* (XML is an ordered model).  For data-exchange
+results where sibling order is not semantically meaningful, use
+:meth:`XmlElement.canonical` to obtain an order-normalized copy before
+comparing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Union
+
+from ..errors import XmlError
+
+#: Atomic values an attribute or text node can carry.
+AtomicValue = Union[str, int, float, bool]
+
+_ATOMIC_TYPES = (str, int, float, bool)
+
+
+def _check_atomic(value: AtomicValue, what: str) -> AtomicValue:
+    if not isinstance(value, _ATOMIC_TYPES):
+        raise XmlError(f"{what} must be str/int/float/bool, got {type(value).__name__}")
+    return value
+
+
+def _check_name(name: str, what: str) -> str:
+    if not isinstance(name, str) or not name:
+        raise XmlError(f"{what} must be a non-empty string")
+    if name[0].isdigit() or any(c.isspace() for c in name):
+        raise XmlError(f"{what} {name!r} is not a legal XML name")
+    return name
+
+
+class XmlElement:
+    """A node of an XML instance tree.
+
+    Parameters
+    ----------
+    tag:
+        The element name.
+    attributes:
+        Attribute name → atomic value.  Names are stored without the
+        leading ``@``; accessors accept either form.
+    children:
+        Child elements, in document order.
+    text:
+        The atomic text value.  An element with a text value cannot also
+        have element children (the paper's model keeps values on leaves).
+    """
+
+    __slots__ = ("tag", "_attributes", "_children", "_text", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[Mapping[str, AtomicValue]] = None,
+        children: Optional[Iterable["XmlElement"]] = None,
+        text: Optional[AtomicValue] = None,
+    ):
+        self.tag = _check_name(tag, "element tag")
+        self._attributes: dict[str, AtomicValue] = {}
+        self._children: list[XmlElement] = []
+        self._text: Optional[AtomicValue] = None
+        self.parent: Optional[XmlElement] = None
+        if attributes:
+            for name, value in attributes.items():
+                self.set_attribute(name, value)
+        if children:
+            for child in children:
+                self.append(child)
+        if text is not None:
+            self.set_text(text)
+
+    # -- construction -------------------------------------------------
+
+    def append(self, child: "XmlElement") -> "XmlElement":
+        """Append ``child`` and return it (for chaining)."""
+        if not isinstance(child, XmlElement):
+            raise XmlError(f"child must be an XmlElement, got {type(child).__name__}")
+        if self._text is not None:
+            raise XmlError(
+                f"element <{self.tag}> has a text value and cannot have children"
+            )
+        if child.parent is not None:
+            raise XmlError(
+                f"element <{child.tag}> already has a parent <{child.parent.tag}>"
+            )
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def extend(self, children: Iterable["XmlElement"]) -> None:
+        for child in children:
+            self.append(child)
+
+    def remove(self, child: "XmlElement") -> None:
+        """Detach a direct child (identity match)."""
+        for index, candidate in enumerate(self._children):
+            if candidate is child:
+                del self._children[index]
+                child.parent = None
+                return
+        raise XmlError(f"<{child.tag}> is not a child of <{self.tag}>")
+
+    def set_attribute(self, name: str, value: AtomicValue) -> None:
+        name = _check_name(name.lstrip("@"), "attribute name")
+        self._attributes[name] = _check_atomic(value, f"attribute @{name}")
+
+    def set_text(self, value: AtomicValue) -> None:
+        if self._children:
+            raise XmlError(
+                f"element <{self.tag}> has children and cannot carry a text value"
+            )
+        self._text = _check_atomic(value, f"text of <{self.tag}>")
+
+    # -- access --------------------------------------------------------
+
+    @property
+    def attributes(self) -> Mapping[str, AtomicValue]:
+        """Read-only view of the attribute map (insertion-ordered)."""
+        return dict(self._attributes)
+
+    @property
+    def children(self) -> tuple["XmlElement", ...]:
+        return tuple(self._children)
+
+    @property
+    def text(self) -> Optional[AtomicValue]:
+        return self._text
+
+    def attribute(self, name: str, default: Optional[AtomicValue] = None):
+        """Return the attribute value, accepting ``name`` or ``@name``."""
+        return self._attributes.get(name.lstrip("@"), default)
+
+    def has_attribute(self, name: str) -> bool:
+        return name.lstrip("@") in self._attributes
+
+    def find(self, tag: str) -> Optional["XmlElement"]:
+        """Return the first child with the given tag, or ``None``."""
+        for child in self._children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def findall(self, tag: str) -> list["XmlElement"]:
+        """Return all children with the given tag, in document order."""
+        return [child for child in self._children if child.tag == tag]
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first pre-order traversal over this element and descendants."""
+        yield self
+        for child in self._children:
+            yield from child.iter()
+
+    def descendants(self, tag: str) -> list["XmlElement"]:
+        """All descendants (not self) with the given tag, in document order."""
+        return [node for node in self.iter() if node is not self and node.tag == tag]
+
+    def path_from_root(self) -> list["XmlElement"]:
+        """Elements on the path root → self, inclusive."""
+        chain: list[XmlElement] = []
+        node: Optional[XmlElement] = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        chain.reverse()
+        return chain
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __iter__(self) -> Iterator["XmlElement"]:
+        return iter(self._children)
+
+    def size(self) -> int:
+        """Total number of element nodes in this subtree."""
+        return sum(1 for _ in self.iter())
+
+    # -- copies and comparison -----------------------------------------
+
+    def copy(self) -> "XmlElement":
+        """Deep copy of this subtree (the copy has no parent)."""
+        clone = XmlElement(self.tag, attributes=self._attributes)
+        if self._text is not None:
+            clone.set_text(self._text)
+        for child in self._children:
+            clone.append(child.copy())
+        return clone
+
+    def _key(self):
+        return (
+            self.tag,
+            tuple(sorted(self._attributes.items())),
+            self._text,
+            tuple(child._key() for child in self._children),
+        )
+
+    def _canonical_key(self):
+        # Children are ordered by the repr of their keys: a total order
+        # even when sibling values mix types (str vs int).
+        return (
+            self.tag,
+            tuple(sorted(self._attributes.items(), key=lambda kv: (kv[0], repr(kv[1])))),
+            self._text,
+            tuple(
+                sorted(
+                    (child._canonical_key() for child in self._children), key=repr
+                )
+            ),
+        )
+
+    def canonical(self) -> "XmlElement":
+        """Return a copy with children recursively sorted into a canonical
+        order, for order-insensitive comparison of data-exchange results."""
+        clone = XmlElement(self.tag, attributes=dict(self._attributes))
+        if self._text is not None:
+            clone.set_text(self._text)
+        for child in sorted(self._children, key=lambda c: repr(c._canonical_key())):
+            clone.append(child.canonical())
+        return clone
+
+    def equals_canonically(self, other: "XmlElement") -> bool:
+        """Order-insensitive deep equality."""
+        if not isinstance(other, XmlElement):
+            return False
+        return self._canonical_key() == other._canonical_key()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, XmlElement):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        bits = [f"<{self.tag}"]
+        if self._attributes:
+            bits.append(" " + " ".join(f"{k}={v!r}" for k, v in self._attributes.items()))
+        if self._text is not None:
+            bits.append(f">{self._text!r}</{self.tag}>")
+        elif self._children:
+            bits.append(f"> …{len(self._children)} children… </{self.tag}>")
+        else:
+            bits.append("/>")
+        return "".join(bits)
+
+
+def element(
+    tag: str,
+    *children: XmlElement,
+    text: Optional[AtomicValue] = None,
+    **attributes: AtomicValue,
+) -> XmlElement:
+    """Concise constructor used throughout tests and scenarios.
+
+    >>> element("Proj", element("pname", text="Robotics"), pid=2)
+    <Proj pid=2> …1 children… </Proj>
+    """
+    return XmlElement(tag, attributes=attributes, children=children, text=text)

@@ -1,0 +1,65 @@
+"""Parse XML text into :class:`~repro.xml.model.XmlElement` trees.
+
+Built on the standard library's :mod:`xml.etree.ElementTree` parser; no
+third-party XML dependency is needed.  Attribute and text values are
+parsed as strings; :func:`parse_xml` can optionally be given a schema so
+that values are coerced to their declared atomic types (``int`` salaries
+compare numerically in predicates, as the paper's examples require).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as _ET
+from typing import Optional
+
+from ..errors import XmlParseError
+from .model import XmlElement
+
+
+def parse_xml(text: str, schema: Optional[object] = None) -> XmlElement:
+    """Parse XML text into an instance tree.
+
+    Parameters
+    ----------
+    text:
+        The XML document text.
+    schema:
+        Optional :class:`repro.xsd.schema.Schema`; when given, attribute
+        and text values are coerced to the types the schema declares.
+    """
+    try:
+        etree_root = _ET.fromstring(text)
+    except _ET.ParseError as exc:
+        raise XmlParseError(f"malformed XML: {exc}") from exc
+    root = _convert(etree_root)
+    if schema is not None:
+        _coerce(root, schema.root)
+    return root
+
+
+def _convert(node: "_ET.Element") -> XmlElement:
+    tag = node.tag.split("}")[-1]  # drop any namespace prefix
+    out = XmlElement(tag, attributes={k.split("}")[-1]: v for k, v in node.attrib.items()})
+    children = list(node)
+    if children:
+        for child in children:
+            out.append(_convert(child))
+    else:
+        text = (node.text or "").strip()
+        if text:
+            out.set_text(text)
+    return out
+
+
+def _coerce(node: XmlElement, decl) -> None:
+    """Recursively coerce string values to the schema's declared types."""
+    for attr_decl in decl.attributes:
+        raw = node.attribute(attr_decl.name)
+        if isinstance(raw, str):
+            node.set_attribute(attr_decl.name, attr_decl.type.parse(raw))
+    if decl.text_type is not None and isinstance(node.text, str):
+        node.set_text(decl.text_type.parse(node.text))
+    for child in node.children:
+        child_decl = decl.child(child.tag)
+        if child_decl is not None:
+            _coerce(child, child_decl)

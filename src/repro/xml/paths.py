@@ -1,0 +1,168 @@
+"""A small XPath-like path language over :class:`~repro.xml.model.XmlElement`.
+
+The paper's mappings navigate instances with dotted projections such as
+``$r.sal.value`` and ``$p.@pid``; its XQuery listings use slash paths like
+``source/dept/Proj`` and ``$p/pname/text()``.  Both surface syntaxes
+compile to the same :class:`Path` of :class:`Step` objects, which the
+validator, executor and XQuery interpreter all evaluate through
+:func:`evaluate`.
+
+Supported steps:
+
+* ``tag`` — child elements with that tag (one step may match many nodes);
+* ``@name`` — an attribute value;
+* ``text()`` / ``value`` — the element's text value;
+* ``*`` — all child elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..errors import PathError
+from .model import AtomicValue, XmlElement
+
+
+@dataclass(frozen=True)
+class ChildStep:
+    """Navigate to child elements with a given tag (``*`` matches all)."""
+
+    tag: str
+
+    def __str__(self) -> str:
+        return self.tag
+
+
+@dataclass(frozen=True)
+class AttributeStep:
+    """Navigate to an attribute value."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class TextStep:
+    """Navigate to the element's text value."""
+
+    def __str__(self) -> str:
+        return "text()"
+
+
+Step = Union[ChildStep, AttributeStep, TextStep]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A compiled sequence of navigation steps."""
+
+    steps: tuple[Step, ...]
+
+    def __str__(self) -> str:
+        return "/".join(str(step) for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def concat(self, other: "Path") -> "Path":
+        return Path(self.steps + other.steps)
+
+
+def parse_path(text: str, *, dotted: bool = False) -> Path:
+    """Compile a path from its textual form.
+
+    ``parse_path("dept/Proj/@pid")`` handles slash syntax;
+    ``parse_path("sal.value", dotted=True)`` handles the paper's dotted
+    projection syntax, where the trailing ``value`` segment denotes the
+    text node.
+    """
+    if not isinstance(text, str):
+        raise PathError(f"path must be a string, got {type(text).__name__}")
+    text = text.strip()
+    if not text:
+        return Path(())
+    separator = "." if dotted else "/"
+    steps: list[Step] = []
+    for raw in text.split(separator):
+        segment = raw.strip()
+        if not segment:
+            raise PathError(f"empty step in path {text!r}")
+        steps.append(parse_step(segment, dotted=dotted))
+    return Path(tuple(steps))
+
+
+def parse_step(segment: str, *, dotted: bool = False) -> Step:
+    """Compile one step of a path."""
+    if segment.startswith("@"):
+        name = segment[1:]
+        if not name:
+            raise PathError("attribute step with empty name")
+        return AttributeStep(name)
+    if segment == "text()" or (dotted and segment == "value"):
+        return TextStep()
+    if "(" in segment or ")" in segment:
+        raise PathError(f"unsupported function step {segment!r}")
+    return ChildStep(segment)
+
+
+Result = Union[XmlElement, AtomicValue]
+
+
+def evaluate(path: Path, roots: Union[XmlElement, Iterable[XmlElement]]) -> list[Result]:
+    """Evaluate ``path`` starting from one or more context elements.
+
+    Returns a document-ordered list; element steps produce elements,
+    attribute/text steps produce atomic values (missing attributes or
+    text simply contribute nothing, as in XPath).
+    """
+    if isinstance(roots, XmlElement):
+        current: list[Result] = [roots]
+    else:
+        current = list(roots)
+    for step in path.steps:
+        nxt: list[Result] = []
+        for node in current:
+            if not isinstance(node, XmlElement):
+                raise PathError(
+                    f"step {step} applied to atomic value {node!r}; "
+                    "only element nodes can be navigated"
+                )
+            if isinstance(step, ChildStep):
+                if step.tag == "*":
+                    nxt.extend(node.children)
+                else:
+                    nxt.extend(node.findall(step.tag))
+            elif isinstance(step, AttributeStep):
+                if node.has_attribute(step.name):
+                    nxt.append(node.attribute(step.name))
+            else:  # TextStep
+                if node.text is not None:
+                    nxt.append(node.text)
+        current = nxt
+    return current
+
+
+def evaluate_one(path: Path, root: XmlElement) -> Result:
+    """Evaluate a path expected to produce exactly one result."""
+    results = evaluate(path, root)
+    if len(results) != 1:
+        raise PathError(
+            f"path {path} produced {len(results)} results where exactly one "
+            "was expected"
+        )
+    return results[0]
+
+
+def atomize(results: Sequence[Result]) -> list[AtomicValue]:
+    """XPath-style atomization: elements contribute their text value."""
+    atoms: list[AtomicValue] = []
+    for item in results:
+        if isinstance(item, XmlElement):
+            if item.text is not None:
+                atoms.append(item.text)
+        else:
+            atoms.append(item)
+    return atoms

@@ -1,0 +1,8 @@
+"""XQuery subsystem: AST, tgd → XQuery emission, serialization, interpreter."""
+
+from .emit import emit_xquery
+from .parser import parse_xquery
+from .interp import evaluate_query, run_query
+from .serialize import serialize
+
+__all__ = ["emit_xquery", "parse_xquery", "serialize", "evaluate_query", "run_query"]

@@ -1,0 +1,224 @@
+"""AST for the XQuery subset that Clip's translation emits (Section VI).
+
+The subset covers exactly what the tgd → XQuery translation needs:
+FLWOR expressions (``for``/``let``/``where``/``return``), path
+expressions, direct element constructors with computed attributes,
+general comparisons, ``some … satisfies`` with node-identity ``is``
+(used for the membership conditions of grouping/inversion), sequences,
+and the built-in functions ``distinct-values``, ``count``, ``avg``,
+``sum``, ``min``, ``max``, ``concat``, ``exists``.
+
+The same AST is consumed by :mod:`repro.xquery.serialize` (query text)
+and :mod:`repro.xquery.interp` (evaluation) — the emitted query is both
+printable and runnable offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+# -- path steps ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChildStep:
+    tag: str
+
+    def __str__(self) -> str:
+        return self.tag
+
+
+@dataclass(frozen=True)
+class AttrStep:
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class TextStep:
+    def __str__(self) -> str:
+        return "text()"
+
+
+Step = Union[ChildStep, AttrStep, TextStep]
+
+
+# -- expressions ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StringLit:
+    value: str
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """``$name``"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DocRoot:
+    """The document root of the source instance (paths printed from the
+    root element name, as the paper does: ``source/dept``)."""
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """``base/step/step…``; ``base`` is a variable or the document root."""
+
+    base: Union[VarRef, DocRoot]
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class SequenceExpr:
+    """``(e1, e2, …)``"""
+
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    """General comparison with existential semantics over sequences."""
+
+    left: "Expr"
+    op: str  # = != < <= > >=
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class SomeExpr:
+    """``some $var in collection satisfies condition``"""
+
+    var: str
+    collection: "Expr"
+    condition: "Expr"
+
+
+@dataclass(frozen=True)
+class IsExpr:
+    """Node identity: ``e1 is e2``."""
+
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A built-in function call."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class ArithExpr:
+    """Binary arithmetic: ``e1 op e2`` with op ∈ { + - * div }."""
+
+    left: "Expr"
+    op: str
+    right: "Expr"
+
+
+# -- FLWOR ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ForClause:
+    var: str
+    expr: "Expr"
+
+
+@dataclass(frozen=True)
+class LetClause:
+    var: str
+    expr: "Expr"
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    expr: "Expr"
+
+
+Clause = Union[ForClause, LetClause, WhereClause]
+
+
+@dataclass(frozen=True)
+class Flwor:
+    clauses: tuple[Clause, ...]
+    return_expr: "Expr"
+
+
+# -- constructors ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttributeCtor:
+    """``name="{expr}"`` inside a direct element constructor.  An
+    empty-sequence value omits the attribute."""
+
+    name: str
+    expr: "Expr"
+
+
+@dataclass(frozen=True)
+class ElementCtor:
+    """``<tag attr…>{children…}</tag>``"""
+
+    tag: str
+    attributes: tuple[AttributeCtor, ...] = ()
+    children: tuple["Expr", ...] = ()
+
+
+Expr = Union[
+    StringLit,
+    NumberLit,
+    BoolLit,
+    VarRef,
+    DocRoot,
+    PathExpr,
+    SequenceExpr,
+    ComparisonExpr,
+    AndExpr,
+    SomeExpr,
+    IsExpr,
+    FunctionCall,
+    ArithExpr,
+    Flwor,
+    ElementCtor,
+]
+
+
+def path(base: Union[VarRef, DocRoot], *segments: str) -> PathExpr:
+    """Build a path from compact segment strings (``"dept"``, ``"@pid"``,
+    ``"text()"``)."""
+    steps: list[Step] = []
+    for segment in segments:
+        if segment.startswith("@"):
+            steps.append(AttrStep(segment[1:]))
+        elif segment == "text()":
+            steps.append(TextStep())
+        else:
+            steps.append(ChildStep(segment))
+    return PathExpr(base, tuple(steps))

@@ -1,0 +1,524 @@
+"""Translate nested tgds into XQuery (Section VI).
+
+The translation follows the paper's algorithm:
+
+* every (sub)mapping becomes one nested FLWOR: ``for`` clauses for the
+  universally quantified variables, ``where`` for C1, and a ``return``
+  constructing the target elements with the C2 value mappings;
+* **minimum cardinality** — target elements that are not builder-driven
+  become *constant tags wrapping the FLWOR* instead of per-iteration
+  constructors ("all the for clauses … are pushed as down as possible");
+* **grouping** — XQuery 1.0 has no group-by clause, so the emitted
+  query uses the paper's template: a ``let $context`` collecting the
+  grouped items, ``distinct-values`` over each grouping attribute, a
+  ``for`` over the distinct values, and a ``let $group`` refilter;
+  submappings receive the current ``$group`` as their context;
+* **aggregates** — native XQuery functions (``count``, ``avg``, …) whose
+  path argument starts at the variable fixing the aggregation context;
+* **membership conditions** (inversion, per-dept join under grouping)
+  become ``some $m in collection satisfies $m is $member``;
+* **distribution** (the Figure 4 no-context-arc variant) relocates the
+  mapping's FLWOR inside the constructor of the builder that creates
+  the shared element, uncorrelated with the host's iteration — exactly
+  the query a Clio-style tool would produce for that diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import XQueryError
+from ..core.functions import (
+    ADD,
+    CONCAT,
+    DIVIDE,
+    IDENTITY,
+    LOWER,
+    MULTIPLY,
+    SUBTRACT,
+    UPPER,
+)
+from ..core.tgd import (
+    AggregateApp,
+    Constant,
+    FunctionApp,
+    Membership,
+    NestedTgd,
+    Proj,
+    SchemaRoot,
+    TargetGenerator,
+    TgdComparison,
+    TgdExpr,
+    TgdMapping,
+    Var,
+    expr_labels,
+    expr_root,
+)
+from . import ast
+
+
+def emit_xquery(tgd: NestedTgd) -> ast.ElementCtor:
+    """Emit the XQuery query that implements a nested tgd.
+
+    The result constructs the target root element; serialize it with
+    :func:`repro.xquery.serialize.serialize` or run it directly with
+    :func:`repro.xquery.interp.run_query`.
+    """
+    return _Emitter(tgd).emit()
+
+
+def _flatten(mapping: TgdMapping) -> list[TgdMapping]:
+    """Merge *context-only* levels (no target generators, no grouping,
+    no assignments) into their submappings.
+
+    "All the for clauses in the generated FLWOR expressions are pushed
+    as down as possible, whenever their nesting level is not enforced by
+    explicit quantification" — and dually, constant tags wrap the whole
+    merged FLWOR, so an element nobody builds (Figure 6's variant where
+    only G is built under an unmapped F) is created once, not once per
+    outer iteration.
+    """
+    if mapping.target_gens or mapping.skolem is not None or mapping.assignments:
+        return [mapping]
+    if not mapping.submappings:
+        return [mapping]
+    kept: list[TgdMapping] = [s for s in mapping.submappings if s.skolem is not None]
+    if len(kept) == len(mapping.submappings):
+        # Only grouped submappings: nothing to flatten — grouped levels
+        # must stay nested so the enclosing FLWOR keeps the context
+        # variables bound for the grouping template.
+        return [mapping]
+    flattened: list[TgdMapping] = []
+    for sub in mapping.submappings:
+        if sub.skolem is not None:
+            continue
+        merged = TgdMapping(
+            source_gens=mapping.source_gens + sub.source_gens,
+            where=mapping.where + sub.where,
+            target_gens=sub.target_gens,
+            assignments=sub.assignments,
+            submappings=sub.submappings,
+            skolem=sub.skolem,
+            grouped_var=sub.grouped_var,
+        )
+        flattened.extend(_flatten(merged))
+    if kept:
+        flattened.append(
+            TgdMapping(
+                source_gens=mapping.source_gens,
+                where=mapping.where,
+                target_gens=(),
+                assignments=(),
+                submappings=tuple(kept),
+            )
+        )
+    return flattened
+
+
+# -- constructor assembly ---------------------------------------------------
+
+
+class _CtorBuilder:
+    """Mutable assembly of a direct element constructor."""
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.attributes: list[ast.AttributeCtor] = []
+        self.text: Optional[ast.Expr] = None
+        self.children: list[Union["_CtorBuilder", ast.Expr]] = []
+        self._singletons: dict[str, "_CtorBuilder"] = {}
+
+    def singleton(self, tag: str) -> "_CtorBuilder":
+        """Get-or-create a singleton child constructor (deep-assignment
+        intermediates, Section III-B example b)."""
+        found = self._singletons.get(tag)
+        if found is None:
+            found = _CtorBuilder(tag)
+            self._singletons[tag] = found
+            self.children.append(found)
+        return found
+
+    def build(self) -> ast.ElementCtor:
+        children: list[ast.Expr] = []
+        if self.text is not None:
+            children.append(self.text)
+        for child in self.children:
+            children.append(child.build() if isinstance(child, _CtorBuilder) else child)
+        return ast.ElementCtor(self.tag, tuple(self.attributes), tuple(children))
+
+
+@dataclass
+class _EmitEnv:
+    """Variable → AST expression mapping plus grouping substitutions."""
+
+    vars: dict[str, ast.Expr] = field(default_factory=dict)
+    substitutions: dict[TgdExpr, ast.Expr] = field(default_factory=dict)
+
+    def child(self) -> "_EmitEnv":
+        return _EmitEnv(dict(self.vars), dict(self.substitutions))
+
+
+class _Emitter:
+    def __init__(self, tgd: NestedTgd):
+        self.tgd = tgd
+        self._fresh_counter = 0
+        # Mappings relocated inside another mapping's constructor
+        # (distribution): host mapping id → list of (mapping, remaining gens).
+        self._extras: dict[int, list[tuple[TgdMapping, tuple[TargetGenerator, ...]]]] = {}
+        self._relocated: set[int] = set()
+
+    # -- public ------------------------------------------------------------
+
+    def emit(self) -> ast.ElementCtor:
+        # Flatten context-only levels first: distribution hosts are
+        # matched against the mappings that will actually be emitted.
+        flat_roots: list[TgdMapping] = []
+        for mapping in self.tgd.roots:
+            flat_roots.extend(_flatten(mapping))
+        self._plan_distribution(flat_roots)
+        root = _CtorBuilder(self.tgd.target_root)
+        for mapping in flat_roots:
+            if id(mapping) in self._relocated:
+                continue
+            self._emit_into(root, mapping, mapping.target_gens, _EmitEnv())
+        return root.build()
+
+    # -- distribution -----------------------------------------------------------
+
+    def _plan_distribution(self, flat_roots: list[TgdMapping]) -> None:
+        for mapping in flat_roots:
+            index = next(
+                (i for i, g in enumerate(mapping.target_gens) if g.distribute), None
+            )
+            if index is None:
+                continue
+            tag = mapping.target_gens[index].expr.label
+            host = self._find_host(flat_roots, mapping, tag)
+            if host is None:
+                continue  # fall back to normal wrapper emission
+            remaining = mapping.target_gens[index + 1 :]
+            self._extras.setdefault(id(host), []).append((mapping, remaining))
+            self._relocated.add(id(mapping))
+
+    def _find_host(
+        self, flat_roots: list[TgdMapping], mapping: TgdMapping, tag: str
+    ) -> Optional[TgdMapping]:
+        for root in flat_roots:
+            for candidate in root.walk():
+                if candidate is mapping:
+                    continue
+                for gen in candidate.target_gens:
+                    if (
+                        gen.quantified
+                        and isinstance(gen.expr, Proj)
+                        and gen.expr.label == tag
+                    ):
+                        return candidate
+        return None
+
+    # -- expression conversion -----------------------------------------------------
+
+    def _fresh(self, hint: str) -> str:
+        self._fresh_counter += 1
+        return f"{hint}_{self._fresh_counter}"
+
+    @staticmethod
+    def _xname(var: str) -> str:
+        return var.replace("'", "_p")
+
+    def _convert(self, expr: TgdExpr, env: _EmitEnv) -> ast.Expr:
+        if expr in env.substitutions:
+            return env.substitutions[expr]
+        if isinstance(expr, SchemaRoot):
+            return ast.PathExpr(ast.DocRoot(), (ast.ChildStep(expr.name),))
+        if isinstance(expr, Var):
+            return env.vars.get(expr.name, ast.VarRef(self._xname(expr.name)))
+        base = self._convert(expr.base, env)
+        step = self._step(expr.label)
+        if isinstance(base, ast.PathExpr):
+            return ast.PathExpr(base.base, base.steps + (step,))
+        if isinstance(base, ast.VarRef):
+            return ast.PathExpr(base, (step,))
+        raise XQueryError(f"cannot extend expression {base!r} with a path step")
+
+    @staticmethod
+    def _step(label: str) -> ast.Step:
+        if label.startswith("@"):
+            return ast.AttrStep(label[1:])
+        if label == "value":
+            return ast.TextStep()
+        return ast.ChildStep(label)
+
+    def _convert_operand(self, operand, env: _EmitEnv) -> ast.Expr:
+        if isinstance(operand, Constant):
+            if isinstance(operand.value, bool):
+                return ast.BoolLit(operand.value)
+            if isinstance(operand.value, (int, float)):
+                return ast.NumberLit(operand.value)
+            return ast.StringLit(operand.value)
+        return self._convert(operand, env)
+
+    def _convert_condition(self, condition, env: _EmitEnv) -> ast.Expr:
+        if isinstance(condition, TgdComparison):
+            return ast.ComparisonExpr(
+                self._convert_operand(condition.left, env),
+                condition.op,
+                self._convert_operand(condition.right, env),
+            )
+        if isinstance(condition, Membership):
+            probe = self._fresh("m")
+            return ast.SomeExpr(
+                probe,
+                self._convert(condition.collection, env),
+                ast.IsExpr(ast.VarRef(probe), self._convert(condition.member, env)),
+            )
+        raise XQueryError(f"unsupported condition {condition!r}")
+
+    def _convert_term(self, term, env: _EmitEnv) -> ast.Expr:
+        if isinstance(term, AggregateApp):
+            return ast.FunctionCall(term.function.name, (self._convert(term.arg, env),))
+        if isinstance(term, FunctionApp):
+            return self._convert_function(term, env)
+        return self._convert_operand(term, env)
+
+    def _convert_function(self, term: FunctionApp, env: _EmitEnv) -> ast.Expr:
+        args = [self._convert(arg, env) for arg in term.args]
+        name = term.function.name
+        if name == IDENTITY.name:
+            return args[0]
+        if name == CONCAT.name:
+            return ast.FunctionCall("concat", tuple(args))
+        if name == UPPER.name:
+            return ast.FunctionCall("upper-case", tuple(args))
+        if name == LOWER.name:
+            return ast.FunctionCall("lower-case", tuple(args))
+        operators = {ADD.name: "+", SUBTRACT.name: "-", MULTIPLY.name: "*", DIVIDE.name: "div"}
+        if name in operators:
+            op = operators[name]
+            out = args[0]
+            for arg in args[1:]:
+                out = ast.ArithExpr(out, op, arg)
+            return out
+        raise XQueryError(f"no XQuery rendering for scalar function {name!r}")
+
+    # -- mapping emission ------------------------------------------------------------
+
+    def _emit_into(
+        self,
+        parent: _CtorBuilder,
+        mapping: TgdMapping,
+        target_gens: tuple[TargetGenerator, ...],
+        env: _EmitEnv,
+    ) -> None:
+        """Emit ``mapping`` (with the given effective target generators)
+        into ``parent``'s content."""
+        # Context-only levels dissolve into their children so that
+        # constant tags wrap the whole merged FLWOR (see _flatten).
+        if target_gens == mapping.target_gens:
+            flats = _flatten(mapping)
+            if len(flats) != 1 or flats[0] is not mapping:
+                for flat in flats:
+                    self._emit_into(parent, flat, flat.target_gens, env)
+                return
+        # Constant tags wrap the FLWOR: peel unquantified prefix gens.
+        index = 0
+        while index < len(target_gens) and not target_gens[index].quantified:
+            gen = target_gens[index]
+            if not isinstance(gen.expr, Proj):
+                raise XQueryError(f"malformed target generator {gen}")
+            parent = parent.singleton(gen.expr.label)
+            index += 1
+        remaining = target_gens[index:]
+        if not mapping.source_gens and not remaining:
+            # Pure constant content (whole-document aggregates).
+            self._apply_assignments(parent, mapping, env)
+            for sub in mapping.submappings:
+                self._emit_into(parent, sub, sub.target_gens, env)
+            return
+        parent.children.append(self._emit_flwor(mapping, remaining, env))
+
+    def _emit_flwor(
+        self,
+        mapping: TgdMapping,
+        built_gens: tuple[TargetGenerator, ...],
+        env: _EmitEnv,
+    ) -> ast.Expr:
+        if mapping.skolem is not None:
+            return self._emit_grouped(mapping, built_gens, env)
+        clauses: list[ast.Clause] = [
+            ast.ForClause(self._xname(gen.var), self._convert(gen.expr, env))
+            for gen in mapping.source_gens
+        ]
+        for condition in mapping.where:
+            clauses.append(ast.WhereClause(self._convert_condition(condition, env)))
+        body = self._emit_return(mapping, built_gens, env)
+        if not clauses:
+            return body
+        return ast.Flwor(tuple(clauses), body)
+
+    def _emit_return(
+        self,
+        mapping: TgdMapping,
+        built_gens: tuple[TargetGenerator, ...],
+        env: _EmitEnv,
+    ) -> ast.Expr:
+        if not built_gens:
+            # Context-only level: the return concatenates the submappings.
+            parts = tuple(
+                self._emit_flwor(sub, sub.target_gens, env.child())
+                for sub in mapping.submappings
+            )
+            if len(parts) == 1:
+                return parts[0]
+            return ast.SequenceExpr(parts)
+        # Nested per-iteration constructors (possibly several, as in the
+        # Clio-baseline tgds where department and employee are both
+        # existential per iteration).
+        builders: dict[str, _CtorBuilder] = {}
+        top: Optional[_CtorBuilder] = None
+        deepest: Optional[tuple[str, _CtorBuilder]] = None
+        for gen in built_gens:
+            if not isinstance(gen.expr, Proj):
+                raise XQueryError(f"malformed target generator {gen}")
+            builder = _CtorBuilder(gen.expr.label)
+            base = gen.expr.base
+            if isinstance(base, Var) and base.name in builders:
+                builders[base.name].children.append(builder)
+            elif top is None:
+                top = builder
+            else:
+                raise XQueryError(
+                    f"target generator {gen} does not chain below the previous one"
+                )
+            builders[gen.var] = builder
+            deepest = (gen.var, builder)
+        assert top is not None and deepest is not None
+        self._apply_assignments_to(builders, mapping, env)
+        host_builder = deepest[1]
+        for sub in mapping.submappings:
+            self._emit_into(host_builder, sub, sub.target_gens, env.child())
+        for extra, extra_gens in self._extras.get(id(mapping), ()):
+            self._emit_into(host_builder, extra, extra_gens, _EmitEnv())
+        return top.build()
+
+    # -- assignments -----------------------------------------------------------------
+
+    def _apply_assignments(self, builder: _CtorBuilder, mapping: TgdMapping, env: _EmitEnv) -> None:
+        builders = {gen.var: builder for gen in mapping.target_gens}
+        self._apply_assignments_to(builders, mapping, env)
+
+    def _apply_assignments_to(
+        self, builders: dict[str, _CtorBuilder], mapping: TgdMapping, env: _EmitEnv
+    ) -> None:
+        for assignment in mapping.assignments:
+            root = expr_root(assignment.target)
+            if not isinstance(root, Var) or root.name not in builders:
+                raise XQueryError(
+                    f"assignment target {assignment.target} is not anchored at a "
+                    "constructed element"
+                )
+            holder = builders[root.name]
+            labels = expr_labels(assignment.target)
+            leaf = labels[-1]
+            for tag in labels[:-1]:
+                holder = holder.singleton(tag)
+            value = self._convert_term(assignment.value, env)
+            if leaf.startswith("@"):
+                holder.attributes.append(ast.AttributeCtor(leaf[1:], value))
+            elif leaf == "value":
+                holder.text = value
+            else:
+                holder.singleton(leaf).text = value
+
+    # -- grouping (the Section VI template) ----------------------------------------------
+
+    def _emit_grouped(
+        self,
+        mapping: TgdMapping,
+        built_gens: tuple[TargetGenerator, ...],
+        env: _EmitEnv,
+    ) -> ast.Expr:
+        _, skolem_app = mapping.skolem
+        grouped = mapping.grouped_var
+        if grouped is None:
+            raise XQueryError("grouped mapping without a grouped variable")
+        for attr in skolem_app.attrs:
+            if not (isinstance(expr_root(attr), Var) and expr_root(attr).name == grouped):
+                raise XQueryError(
+                    "the XQuery grouping template requires all grouping "
+                    f"attributes to be rooted at ${grouped}"
+                )
+
+        ctx_var = self._fresh(f"context_{self._xname(grouped)}")
+        group_var = self._fresh(f"group_{self._xname(grouped)}")
+        probe_var = self._fresh(self._xname(grouped))
+
+        # let $context := (for … where … return $grouped)
+        inner_clauses: list[ast.Clause] = [
+            ast.ForClause(self._xname(gen.var), self._convert(gen.expr, env))
+            for gen in mapping.source_gens
+        ]
+        for condition in mapping.where:
+            inner_clauses.append(ast.WhereClause(self._convert_condition(condition, env)))
+        context_flwor = ast.Flwor(
+            tuple(inner_clauses), ast.VarRef(self._xname(grouped))
+        )
+        clauses: list[ast.Clause] = [ast.LetClause(ctx_var, context_flwor)]
+
+        # One distinct-values dimension per grouping attribute.
+        value_vars: list[str] = []
+        attr_paths: list[ast.Expr] = []
+        for position, attr in enumerate(skolem_app.attrs, start=1):
+            probe_env = env.child()
+            probe_env.vars[grouped] = ast.VarRef(probe_var)
+            attr_path = self._convert(attr, probe_env)
+            attr_paths.append(attr_path)
+            dim_var = self._fresh(f"dim{position}")
+            value_var = self._fresh(f"val{position}")
+            value_vars.append(value_var)
+            clauses.append(
+                ast.LetClause(
+                    dim_var,
+                    ast.FunctionCall(
+                        "distinct-values",
+                        (ast.Flwor(
+                            (ast.ForClause(probe_var, ast.VarRef(ctx_var)),),
+                            attr_path,
+                        ),),
+                    ),
+                )
+            )
+            clauses.append(ast.ForClause(value_var, ast.VarRef(dim_var)))
+
+        # let $group := (for $probe in $context where attrs = vals return $probe)
+        refilter_conditions = [
+            ast.ComparisonExpr(attr_path, "=", ast.VarRef(value_var))
+            for attr_path, value_var in zip(attr_paths, value_vars)
+        ]
+        refilter = ast.Flwor(
+            (
+                ast.ForClause(probe_var, ast.VarRef(ctx_var)),
+                ast.WhereClause(
+                    refilter_conditions[0]
+                    if len(refilter_conditions) == 1
+                    else ast.AndExpr(tuple(refilter_conditions))
+                ),
+            ),
+            ast.VarRef(probe_var),
+        )
+        clauses.append(ast.LetClause(group_var, refilter))
+        if len(skolem_app.attrs) > 1:
+            # The Cartesian product of the dimensions can name empty groups.
+            clauses.append(
+                ast.WhereClause(ast.FunctionCall("exists", (ast.VarRef(group_var),)))
+            )
+
+        # The group body: the grouped variable now denotes $group, and
+        # grouping-attribute expressions denote the current key value.
+        group_env = env.child()
+        group_env.vars[grouped] = ast.VarRef(group_var)
+        for attr, value_var in zip(skolem_app.attrs, value_vars):
+            group_env.substitutions[attr] = ast.VarRef(value_var)
+        body = self._emit_return(mapping, built_gens, group_env)
+        return ast.Flwor(tuple(clauses), body)

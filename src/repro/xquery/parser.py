@@ -1,0 +1,361 @@
+"""Parser for the emitted XQuery subset.
+
+The Section VI translation produces query *text*; this parser reads
+that text back into the AST, closing the loop::
+
+    tgd --emit--> AST --serialize--> text --parse--> AST --interp--> instance
+
+Round-trip property (tested): parsing the serializer's output yields an
+AST that evaluates identically, for every query the emitter can
+produce.  It also lets users hand-edit a generated ``.xq`` file and run
+it through the bundled interpreter.
+
+Grammar (the emitted subset):
+
+* FLWOR expressions with ``for``/``let``/``where``/``return``;
+* direct element constructors ``<tag attr="{expr}"> { content } </tag>``
+  (attribute values are always computed, as the emitter produces);
+* paths ``$var/step/…`` and root paths ``name/step/…`` with ``@attr``
+  and ``text()`` steps;
+* general comparisons, ``and``, ``some … satisfies``, ``is``;
+* function calls, arithmetic ``+ - * div``, string/number/boolean
+  literals, parenthesized sequences.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..errors import XQueryError
+from . import ast
+
+_TOKEN = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<string>"(?:[^"]|"")*")
+    | (?P<number>-?\d+(?:\.\d+)?)
+    | (?P<var>\$[A-Za-z_][\w\-]*)
+    | (?P<word>[A-Za-z][\w\-]*(?:\(\))?)
+    | (?P<attr>@[A-Za-z_][\w\-]*)
+    | (?P<assign>:=)
+    | (?P<op><=|>=|!=|=|<(?=[^A-Za-z/!])|>)
+    | (?P<ctag></[A-Za-z][\w\-]*\s*>)
+    | (?P<otag><[A-Za-z][\w\-]*)
+    | (?P<selfclose>/>)
+    | (?P<punct>[{}(),/*+\-])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"for", "let", "where", "return", "in", "and", "some", "satisfies",
+             "is", "div"}
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str):
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise XQueryError(f"cannot tokenize query at {text[position:position+24]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group(kind)
+        if kind == "word" and value in _KEYWORDS:
+            kind = "kw"
+        tokens.append(_Token(kind, value))
+    return tokens
+
+
+def parse_xquery(text: str) -> ast.Expr:
+    """Parse query text (the emitted subset) into an AST."""
+    parser = _Parser(_tokenize(text))
+    expr = parser.expression()
+    parser.expect_end()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise XQueryError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.accept(kind, text)
+        if token is None:
+            found = self.peek()
+            raise XQueryError(
+                f"expected {text or kind}, found {found.text if found else 'end of query'!r}"
+            )
+        return token
+
+    def expect_end(self) -> None:
+        if self.peek() is not None:
+            raise XQueryError(f"trailing content at {self.peek().text!r}")
+
+    # -- grammar ------------------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        token = self.peek()
+        if token is None:
+            raise XQueryError("empty query")
+        if token.kind == "kw" and token.text in ("for", "let"):
+            return self.flwor()
+        if token.kind == "kw" and token.text == "some":
+            return self.some()
+        return self.or_less()  # comparisons and below
+
+    def flwor(self) -> ast.Flwor:
+        clauses: list[ast.Clause] = []
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "kw":
+                break
+            if token.text == "for":
+                self.next()
+                var = self.expect("var").text[1:]
+                self.expect("kw", "in")
+                clauses.append(ast.ForClause(var, self.single()))
+            elif token.text == "let":
+                self.next()
+                var = self.expect("var").text[1:]
+                self.expect("assign")
+                clauses.append(ast.LetClause(var, self.single()))
+            elif token.text == "where":
+                self.next()
+                clauses.append(ast.WhereClause(self.condition()))
+            elif token.text == "return":
+                self.next()
+                return ast.Flwor(tuple(clauses), self.expression())
+            else:
+                break
+        raise XQueryError("FLWOR without a return clause")
+
+    def some(self) -> ast.SomeExpr:
+        self.expect("kw", "some")
+        var = self.expect("var").text[1:]
+        self.expect("kw", "in")
+        collection = self.single()
+        self.expect("kw", "satisfies")
+        condition = self.condition()
+        return ast.SomeExpr(var, collection, condition)
+
+    def condition(self) -> ast.Expr:
+        """Comparison chains joined by ``and``."""
+        parts = [self.comparison()]
+        while self.accept("kw", "and"):
+            parts.append(self.comparison())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.AndExpr(tuple(parts))
+
+    def comparison(self) -> ast.Expr:
+        if self.peek() is not None and self.peek().kind == "kw" and self.peek().text == "some":
+            return self.some()
+        left = self.additive()
+        token = self.peek()
+        if token is not None and token.kind == "op":
+            op = self.next().text
+            right = self.additive()
+            return ast.ComparisonExpr(left, op, right)
+        if token is not None and token.kind == "kw" and token.text == "is":
+            self.next()
+            return ast.IsExpr(left, self.additive())
+        return left
+
+    def or_less(self) -> ast.Expr:
+        return self.condition()
+
+    def additive(self) -> ast.Expr:
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == "punct" and token.text in "+-":
+                op = self.next().text
+                left = ast.ArithExpr(left, op, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> ast.Expr:
+        left = self.single()
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == "punct" and token.text == "*":
+                self.next()
+                left = ast.ArithExpr(left, "*", self.single())
+            elif token is not None and token.kind == "kw" and token.text == "div":
+                self.next()
+                left = ast.ArithExpr(left, "div", self.single())
+            else:
+                return left
+
+    def single(self) -> ast.Expr:
+        token = self.peek()
+        if token is None:
+            raise XQueryError("unexpected end of query")
+        if token.kind == "string":
+            self.next()
+            return ast.StringLit(token.text[1:-1].replace('""', '"'))
+        if token.kind == "number":
+            self.next()
+            literal = token.text
+            return ast.NumberLit(float(literal) if "." in literal else int(literal))
+        if token.kind == "var":
+            self.next()
+            return self.path_from(ast.VarRef(token.text[1:]))
+        if token.kind == "otag":
+            return self.constructor()
+        if token.kind == "punct" and token.text == "(":
+            return self.parenthesized()
+        if token.kind == "word":
+            return self.word_expression()
+        if token.kind == "kw" and token.text in ("for", "let"):
+            return self.flwor()
+        raise XQueryError(f"unexpected token {token.text!r}")
+
+    def word_expression(self) -> ast.Expr:
+        token = self.next()
+        word = token.text
+        if word.endswith("()"):
+            name = word[:-2]
+            if name in ("true", "false"):
+                return ast.BoolLit(name == "true")
+            return ast.FunctionCall(name, ())
+        nxt = self.peek()
+        if nxt is not None and nxt.kind == "punct" and nxt.text == "(":
+            self.next()
+            args: list[ast.Expr] = []
+            if not (self.peek() and self.peek().kind == "punct" and self.peek().text == ")"):
+                args.append(self.expression())
+                while self.accept("punct", ","):
+                    args.append(self.expression())
+            self.expect("punct", ")")
+            return ast.FunctionCall(word, tuple(args))
+        # A bare name starts a root path: source/dept/…
+        return self.path_from(ast.DocRoot(), first=ast.ChildStep(word))
+
+    def path_from(self, base, first: Optional[ast.Step] = None) -> ast.Expr:
+        steps: list[ast.Step] = [first] if first is not None else []
+        while self.accept("punct", "/"):
+            token = self.next()
+            if token.kind == "word":
+                if token.text == "text()":
+                    steps.append(ast.TextStep())
+                else:
+                    steps.append(ast.ChildStep(token.text))
+            elif token.kind == "attr":
+                steps.append(ast.AttrStep(token.text[1:]))
+            elif token.kind == "kw":
+                steps.append(ast.ChildStep(token.text))
+            else:
+                raise XQueryError(f"unexpected path step {token.text!r}")
+        if not steps and isinstance(base, ast.VarRef):
+            return base
+        return ast.PathExpr(base, tuple(steps))
+
+    def parenthesized(self) -> ast.Expr:
+        self.expect("punct", "(")
+        if self.accept("punct", ")"):
+            return ast.SequenceExpr(())
+        items = [self.expression()]
+        while self.accept("punct", ","):
+            items.append(self.expression())
+        self.expect("punct", ")")
+        if len(items) == 1:
+            return items[0]
+        return ast.SequenceExpr(tuple(items))
+
+    # -- constructors -----------------------------------------------------------
+
+    def constructor(self) -> ast.ElementCtor:
+        open_token = self.expect("otag")
+        tag = open_token.text[1:]
+        attributes: list[ast.AttributeCtor] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                raise XQueryError(f"unterminated constructor <{tag}>")
+            if token.kind == "word":
+                name_token = self.next()
+                self.expect("op", "=")
+                value = self.expect("string").text
+                inner = value[1:-1]
+                if not (inner.startswith("{") and inner.endswith("}")):
+                    attributes.append(
+                        ast.AttributeCtor(name_token.text, ast.StringLit(inner))
+                    )
+                else:
+                    sub = _Parser(_tokenize(inner[1:-1]))
+                    expr = sub.expression()
+                    sub.expect_end()
+                    attributes.append(ast.AttributeCtor(name_token.text, expr))
+            elif token.kind == "selfclose":
+                self.next()
+                return ast.ElementCtor(tag, tuple(attributes), ())
+            elif token.kind == "op" and token.text == ">":
+                self.next()
+                break
+            else:
+                raise XQueryError(
+                    f"unexpected token {token.text!r} in constructor <{tag}>"
+                )
+        children: list[ast.Expr] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                raise XQueryError(f"unterminated constructor <{tag}>")
+            if token.kind == "ctag":
+                closing = self.next().text[2:-1].strip()
+                if closing != tag:
+                    raise XQueryError(
+                        f"constructor <{tag}> closed by </{closing}>"
+                    )
+                return ast.ElementCtor(tag, tuple(attributes), tuple(children))
+            if token.kind == "punct" and token.text == "{":
+                self.next()
+                children.append(self.expression())
+                while self.accept("punct", ","):
+                    children.append(self.expression())
+                self.expect("punct", "}")
+            elif token.kind == "otag":
+                children.append(self.constructor())
+            else:
+                raise XQueryError(
+                    f"unexpected token {token.text!r} inside <{tag}>"
+                )

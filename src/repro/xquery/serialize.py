@@ -1,0 +1,135 @@
+"""Pretty-print XQuery ASTs as query text.
+
+The output follows the formatting of the paper's Section VI listings:
+FLWOR clauses on their own lines, direct constructors with computed
+attributes as ``name="{expr}"``, and paths printed from the source
+root's element name (``source/dept/Proj``).
+"""
+
+from __future__ import annotations
+
+from ..errors import XQueryError
+from .ast import (
+    AndExpr,
+    ArithExpr,
+    BoolLit,
+    ComparisonExpr,
+    DocRoot,
+    ElementCtor,
+    Expr,
+    Flwor,
+    ForClause,
+    FunctionCall,
+    IsExpr,
+    LetClause,
+    NumberLit,
+    PathExpr,
+    SequenceExpr,
+    SomeExpr,
+    StringLit,
+    VarRef,
+    WhereClause,
+)
+
+_INDENT = "  "
+
+
+def serialize(expr: Expr) -> str:
+    """Serialize an XQuery expression to query text."""
+    lines = _serialize(expr, 0)
+    return "\n".join(lines)
+
+
+def _inline(expr: Expr) -> str:
+    """Single-line rendering, used inside attribute values and conditions."""
+    if isinstance(expr, StringLit):
+        escaped = expr.value.replace('"', '""')
+        return f'"{escaped}"'
+    if isinstance(expr, NumberLit):
+        return str(expr.value)
+    if isinstance(expr, BoolLit):
+        return "true()" if expr.value else "false()"
+    if isinstance(expr, VarRef):
+        return f"${expr.name}"
+    if isinstance(expr, DocRoot):
+        return ""
+    if isinstance(expr, PathExpr):
+        base = _inline(expr.base)
+        steps = "/".join(str(step) for step in expr.steps)
+        if not base:
+            return steps
+        return f"{base}/{steps}" if steps else base
+    if isinstance(expr, SequenceExpr):
+        return "(" + ", ".join(_inline(item) for item in expr.items) + ")"
+    if isinstance(expr, ComparisonExpr):
+        return f"{_inline(expr.left)} {expr.op} {_inline(expr.right)}"
+    if isinstance(expr, AndExpr):
+        return " and ".join(_inline(item) for item in expr.items)
+    if isinstance(expr, SomeExpr):
+        return (
+            f"some ${expr.var} in {_inline(expr.collection)} "
+            f"satisfies {_inline(expr.condition)}"
+        )
+    if isinstance(expr, IsExpr):
+        return f"{_inline(expr.left)} is {_inline(expr.right)}"
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(_inline(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ArithExpr):
+        return f"({_inline(expr.left)} {expr.op} {_inline(expr.right)})"
+    if isinstance(expr, Flwor):
+        return " ".join(_serialize(expr, 0))
+    if isinstance(expr, ElementCtor):
+        return " ".join(_serialize(expr, 0))
+    raise XQueryError(f"cannot serialize expression {expr!r}")
+
+
+def _serialize(expr: Expr, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(expr, Flwor):
+        lines: list[str] = []
+        for clause in expr.clauses:
+            if isinstance(clause, ForClause):
+                lines.append(f"{pad}for ${clause.var} in {_inline(clause.expr)}")
+            elif isinstance(clause, LetClause):
+                value = clause.expr
+                if isinstance(value, Flwor):
+                    inner = _serialize(value, depth + 1)
+                    lines.append(f"{pad}let ${clause.var} := (")
+                    lines.extend(inner)
+                    lines.append(f"{pad})")
+                else:
+                    lines.append(f"{pad}let ${clause.var} := {_inline(value)}")
+            elif isinstance(clause, WhereClause):
+                lines.append(f"{pad}where {_inline(clause.expr)}")
+        ret = expr.return_expr
+        if isinstance(ret, (ElementCtor, Flwor, SequenceExpr)):
+            lines.append(f"{pad}return")
+            lines.extend(_serialize(ret, depth + 1))
+        else:
+            lines.append(f"{pad}return {_inline(ret)}")
+        return lines
+    if isinstance(expr, ElementCtor):
+        attrs = "".join(
+            f' {a.name}="{{{_inline(a.expr)}}}"' for a in expr.attributes
+        )
+        if not expr.children:
+            return [f"{pad}<{expr.tag}{attrs}/>"]
+        lines = [f"{pad}<{expr.tag}{attrs}> {{"]
+        for index, child in enumerate(expr.children):
+            if index:
+                last = lines.pop()
+                lines.append(last + ",")
+            lines.extend(_serialize(child, depth + 1))
+        lines.append(f"{pad}}} </{expr.tag}>")
+        return lines
+    if isinstance(expr, SequenceExpr):
+        lines = [f"{pad}("]
+        for index, item in enumerate(expr.items):
+            if index:
+                last = lines.pop()
+                lines.append(last + ",")
+            lines.extend(_serialize(item, depth + 1))
+        lines.append(f"{pad})")
+        return lines
+    return [pad + _inline(expr)]

@@ -1,0 +1,69 @@
+"""XML Schema substrate: schema trees, DSL, XSD parsing, validation."""
+
+from .constraints import KeyRef, suggest_join
+from .dsl import attr, elem, keyref, schema
+from .parser import parse_xsd, to_xsd
+from .relational import (
+    Column,
+    ForeignKey,
+    RelationalSchema,
+    Table,
+    rows_to_instance,
+    to_xml_schema,
+)
+from .render import render_schema
+from .schema import (
+    MANY,
+    ONE,
+    ONE_OR_MORE,
+    OPTIONAL,
+    UNBOUNDED,
+    AttributeDecl,
+    Cardinality,
+    ElementDecl,
+    Schema,
+    SchemaNode,
+    ValueNode,
+    parse_cardinality,
+)
+from .types import BOOLEAN, FLOAT, INT, STRING, AtomicType, type_by_name
+from .validate import Violation, is_valid, validate
+
+__all__ = [
+    "KeyRef",
+    "suggest_join",
+    "attr",
+    "elem",
+    "keyref",
+    "schema",
+    "parse_xsd",
+    "to_xsd",
+    "Column",
+    "ForeignKey",
+    "Table",
+    "RelationalSchema",
+    "to_xml_schema",
+    "rows_to_instance",
+    "render_schema",
+    "Cardinality",
+    "parse_cardinality",
+    "ONE",
+    "OPTIONAL",
+    "MANY",
+    "ONE_OR_MORE",
+    "UNBOUNDED",
+    "AttributeDecl",
+    "ElementDecl",
+    "ValueNode",
+    "SchemaNode",
+    "Schema",
+    "AtomicType",
+    "type_by_name",
+    "STRING",
+    "INT",
+    "FLOAT",
+    "BOOLEAN",
+    "Violation",
+    "validate",
+    "is_valid",
+]

@@ -1,0 +1,91 @@
+"""Minimum-cardinality instance construction and completion.
+
+"When no builders are given, Clip generates the minimum number of
+elements necessary for the result to comply with the target schema"
+(Section II-A).  This module provides the two schema-level operations
+behind that sentence:
+
+* :func:`minimal_instance` — the smallest instance a schema admits:
+  required children at their minimum occurrence, required attributes and
+  text at type-default values;
+* :func:`complete` — extend an existing (possibly partial) instance
+  with whatever mandatory content it misses, leaving present content
+  untouched.  Transformation results that could not populate mandatory
+  target fields (no source data) can be post-processed into
+  schema-valid instances this way.
+
+Type defaults: ``""`` for strings, ``0`` for integers, ``0.0`` for
+decimals, ``false`` for booleans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xml.model import AtomicValue, XmlElement
+from .schema import ElementDecl, Schema
+from .types import AtomicType
+
+
+def type_default(type_: AtomicType) -> AtomicValue:
+    """The default value used to satisfy a mandatory typed node."""
+    if type_.python_type is bool:
+        return False
+    if type_.python_type is int:
+        return 0
+    if type_.python_type is float:
+        return 0.0
+    return ""
+
+
+def minimal_instance(schema: Schema) -> XmlElement:
+    """The smallest instance that conforms to the schema."""
+    return _minimal_element(schema.root)
+
+
+def _minimal_element(decl: ElementDecl) -> XmlElement:
+    node = XmlElement(decl.name)
+    for attribute in decl.attributes:
+        if attribute.required:
+            node.set_attribute(attribute.name, type_default(attribute.type))
+    if decl.text_type is not None:
+        node.set_text(type_default(decl.text_type))
+    for child in decl.children:
+        for _ in range(child.cardinality.min):
+            node.append(_minimal_element(child))
+    return node
+
+
+def complete(instance: XmlElement, schema: Schema) -> XmlElement:
+    """A copy of ``instance`` extended with the mandatory content it
+    misses (attributes, text, minimum child occurrences).
+
+    Present values are never modified; undeclared content is preserved
+    verbatim (the validator will still flag it).
+    """
+    return _complete_element(instance, schema.root)
+
+
+def _complete_element(node: XmlElement, decl: Optional[ElementDecl]) -> XmlElement:
+    out = XmlElement(node.tag, attributes=node.attributes)
+    if decl is not None:
+        for attribute in decl.attributes:
+            if attribute.required and not out.has_attribute(attribute.name):
+                out.set_attribute(attribute.name, type_default(attribute.type))
+    counts: dict[str, int] = {}
+    for child in node.children:
+        child_decl = decl.child(child.tag) if decl is not None else None
+        counts[child.tag] = counts.get(child.tag, 0) + 1
+        out.append(_complete_element(child, child_decl))
+    if decl is not None:
+        if decl.text_type is not None and node.text is None and not node.children:
+            out.set_text(type_default(decl.text_type))
+        elif node.text is not None:
+            out.set_text(node.text)
+        for child_decl in decl.children:
+            missing = child_decl.cardinality.min - counts.get(child_decl.name, 0)
+            for _ in range(max(0, missing)):
+                out.append(_minimal_element(child_decl))
+    elif node.text is not None:
+        out.set_text(node.text)
+    return out

@@ -1,0 +1,64 @@
+"""Intra-schema referential constraints.
+
+The paper draws referential integrity as a dashed line between value
+nodes (``@pid`` of ``regEmp`` refers to ``@pid`` of ``Proj``).  These
+constraints feed two mechanisms:
+
+* tableau computation *chases* over them, producing the joined tableau
+  ``{dept-Proj-regEmp, @pid=@pid}`` of Section V-A;
+* the GUI-level join suggestion of Figure 6 ("this join condition … can
+  be automatically suggested using the existing referential integrity
+  constraint") — surfaced here as :func:`suggest_join`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .schema import ElementDecl, Schema, ValueNode
+
+
+@dataclass(frozen=True)
+class KeyRef:
+    """Referential integrity: every ``referring`` value appears among the
+    ``referred`` values (a foreign key in relational terms)."""
+
+    referring: ValueNode
+    referred: ValueNode
+
+    def __str__(self) -> str:
+        return f"{self.referring.path_string()} -> {self.referred.path_string()}"
+
+    @property
+    def referring_element(self) -> ElementDecl:
+        return self.referring.element
+
+    @property
+    def referred_element(self) -> ElementDecl:
+        return self.referred.element
+
+
+def suggest_join(
+    schema: Schema, left: ElementDecl, right: ElementDecl
+) -> Optional[tuple[ValueNode, ValueNode]]:
+    """Suggest a join condition between two elements from a keyref.
+
+    Returns the pair of value nodes to equate (left-side first), or
+    ``None`` when no referential constraint links the two elements.
+    This reproduces Figure 6's automatic suggestion of
+    ``$p.@pid = $r.@pid``.
+    """
+    def covers(anchor: ElementDecl, holder: ElementDecl) -> bool:
+        return anchor is holder or anchor.is_ancestor_of(holder)
+
+    for constraint in schema.constraints:
+        if not isinstance(constraint, KeyRef):
+            continue
+        referring = constraint.referring_element
+        referred = constraint.referred_element
+        if covers(left, referring) and covers(right, referred):
+            return (constraint.referring, constraint.referred)
+        if covers(right, referring) and covers(left, referred):
+            return (constraint.referred, constraint.referring)
+    return None

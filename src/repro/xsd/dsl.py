@@ -1,0 +1,110 @@
+"""Compact construction DSL for schema trees.
+
+The paper draws schemas as indented trees with cardinality labels; this
+DSL lets scenarios build them with matching concision::
+
+    source = schema(
+        elem("source", elem("dept", "[1..*]",
+            elem("dname", text=STRING),
+            elem("Proj", "[0..*]", attr("pid", INT),
+                 elem("pname", text=STRING)),
+            elem("regEmp", "[0..*]", attr("pid", INT),
+                 elem("ename", text=STRING),
+                 elem("sal", text=INT)))),
+        keyref("dept/regEmp/@pid", "dept/Proj/@pid"),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import SchemaError
+from .constraints import KeyRef
+from .schema import (
+    ONE,
+    AttributeDecl,
+    Cardinality,
+    ElementDecl,
+    Schema,
+    parse_cardinality,
+)
+from .types import AtomicType, type_by_name
+
+
+def attr(name: str, type_: Union[AtomicType, str], required: bool = True) -> AttributeDecl:
+    """Declare an attribute value node: ``attr("pid", INT)``."""
+    if isinstance(type_, str):
+        type_ = type_by_name(type_)
+    return AttributeDecl(name, type_, required=required)
+
+
+def elem(
+    name: str,
+    *parts: Union[str, Cardinality, AttributeDecl, ElementDecl],
+    text: Optional[Union[AtomicType, str]] = None,
+) -> ElementDecl:
+    """Declare an element.
+
+    Positional parts may be, in any order: one cardinality (a
+    :class:`Cardinality` or a label like ``"[0..*]"``), attribute
+    declarations, and child elements.  ``text=`` gives the element a
+    text value node.
+    """
+    cardinality = ONE
+    saw_cardinality = False
+    attributes: list[AttributeDecl] = []
+    children: list[ElementDecl] = []
+    for part in parts:
+        if isinstance(part, (str, Cardinality)):
+            if saw_cardinality:
+                raise SchemaError(f"element <{name}> declares two cardinalities")
+            cardinality = parse_cardinality(part) if isinstance(part, str) else part
+            saw_cardinality = True
+        elif isinstance(part, AttributeDecl):
+            attributes.append(part)
+        elif isinstance(part, ElementDecl):
+            children.append(part)
+        else:
+            raise SchemaError(
+                f"unexpected part {part!r} in element <{name}> declaration"
+            )
+    if isinstance(text, str):
+        text = type_by_name(text)
+    return ElementDecl(
+        name,
+        cardinality=cardinality,
+        attributes=attributes,
+        children=children,
+        text_type=text,
+    )
+
+
+def keyref(referring: str, referred: str) -> "UnresolvedKeyRef":
+    """Declare referential integrity between two value-node paths.
+
+    Paths are resolved against the schema when :func:`schema` assembles
+    it, so ``keyref`` can be written inline before the tree exists.
+    """
+    return UnresolvedKeyRef(referring, referred)
+
+
+class UnresolvedKeyRef:
+    """A keyref declared by path strings, resolved at schema assembly."""
+
+    def __init__(self, referring: str, referred: str):
+        self.referring = referring
+        self.referred = referred
+
+    def resolve(self, target: Schema) -> KeyRef:
+        return KeyRef(target.value(self.referring), target.value(self.referred))
+
+
+def schema(root: ElementDecl, *constraints: Union[KeyRef, UnresolvedKeyRef]) -> Schema:
+    """Assemble a :class:`Schema` from a root element and constraints."""
+    assembled = Schema(root)
+    assembled.constraints = tuple(
+        c.resolve(assembled) if isinstance(c, UnresolvedKeyRef) else c
+        for c in constraints
+    )
+    return assembled

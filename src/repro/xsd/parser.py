@@ -1,0 +1,268 @@
+"""Parse and serialize a practical subset of W3C XML Schema (XSD).
+
+Clip consumes schema *trees*; real-world schemas arrive as ``.xsd``
+files.  This module maps between the two for the subset that covers the
+paper's figures and the canonical relational encoding:
+
+* one global ``xs:element`` as the document root;
+* ``xs:complexType``/``xs:sequence`` with nested ``xs:element`` children
+  carrying ``minOccurs``/``maxOccurs``;
+* ``xs:attribute`` with ``use="required|optional"``;
+* simple-typed elements (``type="xs:string"`` etc.), including
+  ``xs:simpleContent``/``xs:extension`` for text-plus-attributes;
+* referential constraints via ``xs:key``/``xs:keyref`` with
+  ``xs:selector``/``xs:field``.
+
+Round-trip property: ``parse_xsd(to_xsd(s))`` reproduces ``s``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as _ET
+from typing import Optional
+
+from ..errors import SchemaParseError
+from .constraints import KeyRef
+from .schema import (
+    UNBOUNDED,
+    AttributeDecl,
+    Cardinality,
+    ElementDecl,
+    Schema,
+)
+from .types import AtomicType, type_by_xsd_name
+
+_XS = "{http://www.w3.org/2001/XMLSchema}"
+
+
+def _local(tag: str) -> str:
+    return tag.split("}")[-1]
+
+
+def _occurs(node: "_ET.Element") -> Cardinality:
+    minimum = int(node.get("minOccurs", "1"))
+    raw_max = node.get("maxOccurs", "1")
+    maximum = UNBOUNDED if raw_max == "unbounded" else int(raw_max)
+    return Cardinality(minimum, maximum)
+
+
+def parse_xsd(text: str) -> Schema:
+    """Parse XSD text into a :class:`Schema`."""
+    try:
+        root = _ET.fromstring(text)
+    except _ET.ParseError as exc:
+        raise SchemaParseError(f"malformed XSD document: {exc}") from exc
+    if _local(root.tag) != "schema":
+        raise SchemaParseError(f"expected xs:schema root, found <{_local(root.tag)}>")
+    top_elements = [c for c in root if _local(c.tag) == "element"]
+    if len(top_elements) != 1:
+        raise SchemaParseError(
+            f"expected exactly one global xs:element, found {len(top_elements)}"
+        )
+    keys: dict[str, str] = {}
+    keyrefs: list[tuple[str, str, str]] = []  # (refer, selector/field path, ...)
+    root_decl = _parse_element(top_elements[0], keys, keyrefs, is_root=True)
+    assembled = Schema(root_decl)
+    constraints = []
+    for refer, selector, field in keyrefs:
+        if refer not in keys:
+            raise SchemaParseError(f"xs:keyref refers to unknown key {refer!r}")
+        referred = assembled.value(keys[refer])
+        referring = assembled.value(f"{selector}/{field}")
+        constraints.append(KeyRef(referring, referred))
+    assembled.constraints = tuple(constraints)
+    return assembled
+
+
+def _parse_element(
+    node: "_ET.Element",
+    keys: dict[str, str],
+    keyrefs: list[tuple[str, str, str]],
+    *,
+    is_root: bool = False,
+) -> ElementDecl:
+    name = node.get("name")
+    if not name:
+        raise SchemaParseError("xs:element without a name")
+    cardinality = Cardinality(1, 1) if is_root else _occurs(node)
+
+    _collect_identity_constraints(node, name, keys, keyrefs)
+
+    type_name = node.get("type")
+    complex_type = next((c for c in node if _local(c.tag) == "complexType"), None)
+    if type_name is not None and complex_type is not None:
+        raise SchemaParseError(f"element {name!r} has both type= and inline complexType")
+    if type_name is not None:
+        return ElementDecl(name, cardinality=cardinality, text_type=type_by_xsd_name(type_name))
+    if complex_type is None:
+        # An element with neither a type nor content: model as empty string.
+        return ElementDecl(name, cardinality=cardinality)
+    return _parse_complex(name, cardinality, complex_type, keys, keyrefs)
+
+
+def _parse_complex(
+    name: str,
+    cardinality: Cardinality,
+    complex_type: "_ET.Element",
+    keys: dict[str, str],
+    keyrefs: list[tuple[str, str, str]],
+) -> ElementDecl:
+    attributes: list[AttributeDecl] = []
+    children: list[ElementDecl] = []
+    text_type: Optional[AtomicType] = None
+    for part in complex_type:
+        tag = _local(part.tag)
+        if tag == "sequence":
+            for child in part:
+                if _local(child.tag) != "element":
+                    raise SchemaParseError(
+                        f"unsupported particle <{_local(child.tag)}> in sequence of {name!r}"
+                    )
+                children.append(_parse_element(child, keys, keyrefs))
+        elif tag == "attribute":
+            attributes.append(_parse_attribute(part, name))
+        elif tag == "simpleContent":
+            extension = next((c for c in part if _local(c.tag) == "extension"), None)
+            if extension is None:
+                raise SchemaParseError(f"simpleContent of {name!r} without extension")
+            text_type = type_by_xsd_name(extension.get("base", "xs:string"))
+            for sub in extension:
+                if _local(sub.tag) == "attribute":
+                    attributes.append(_parse_attribute(sub, name))
+        else:
+            raise SchemaParseError(f"unsupported construct <{tag}> in type of {name!r}")
+    return ElementDecl(
+        name,
+        cardinality=cardinality,
+        attributes=attributes,
+        children=children,
+        text_type=text_type,
+    )
+
+
+def _parse_attribute(node: "_ET.Element", owner: str) -> AttributeDecl:
+    name = node.get("name")
+    if not name:
+        raise SchemaParseError(f"xs:attribute without a name on element {owner!r}")
+    type_ = type_by_xsd_name(node.get("type", "xs:string"))
+    required = node.get("use", "optional") == "required"
+    return AttributeDecl(name, type_, required=required)
+
+
+def _collect_identity_constraints(
+    node: "_ET.Element",
+    element_name: str,
+    keys: dict[str, str],
+    keyrefs: list[tuple[str, str, str]],
+) -> None:
+    for part in node:
+        tag = _local(part.tag)
+        if tag not in ("key", "keyref"):
+            continue
+        selector = next((c for c in part if _local(c.tag) == "selector"), None)
+        field = next((c for c in part if _local(c.tag) == "field"), None)
+        if selector is None or field is None:
+            raise SchemaParseError(f"xs:{tag} on {element_name!r} missing selector/field")
+        selector_path = selector.get("xpath", "").replace(".//", "")
+        field_path = field.get("xpath", "")
+        if field_path == ".":
+            field_path = "text()"  # a field of "." selects the element's text
+        if tag == "key":
+            keys[part.get("name", "")] = f"{selector_path}/{field_path}"
+        else:
+            keyrefs.append((part.get("refer", "").split(":")[-1], selector_path, field_path))
+
+
+# -- serialization ------------------------------------------------------
+
+
+def to_xsd(target: Schema) -> str:
+    """Serialize a schema to XSD text (the subset :func:`parse_xsd` reads)."""
+    lines = ['<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">']
+    constraint_lines: list[str] = []
+    for index, constraint in enumerate(target.constraints):
+        if isinstance(constraint, KeyRef):
+            constraint_lines.extend(_keyref_lines(target, constraint, index))
+    _write_element(target.root, lines, depth=1, is_root=True, trailer=constraint_lines)
+    lines.append("</xs:schema>")
+    return "\n".join(lines)
+
+
+def _relative_value_path(target: Schema, value_node) -> tuple[str, str]:
+    segments = value_node.element.path_string().split("/")[1:]
+    selector = ".//" + "/".join(segments) if segments else "."
+    field = f"@{value_node.attribute}" if value_node.attribute is not None else "."
+    return selector, field
+
+
+def _keyref_lines(target: Schema, constraint: KeyRef, index: int) -> list[str]:
+    key_selector, key_field = _relative_value_path(target, constraint.referred)
+    ref_selector, ref_field = _relative_value_path(target, constraint.referring)
+    ref_selector = ref_selector.replace(".//", "")
+    key_name = f"key{index}"
+    return [
+        f'<xs:key name="{key_name}">',
+        f'  <xs:selector xpath="{key_selector.replace(".//", "")}"/>',
+        f'  <xs:field xpath="{key_field}"/>',
+        "</xs:key>",
+        f'<xs:keyref name="keyref{index}" refer="{key_name}">',
+        f'  <xs:selector xpath="{ref_selector}"/>',
+        f'  <xs:field xpath="{ref_field}"/>',
+        "</xs:keyref>",
+    ]
+
+
+def _occurs_attrs(decl: ElementDecl) -> str:
+    bits = []
+    if decl.cardinality.min != 1:
+        bits.append(f' minOccurs="{decl.cardinality.min}"')
+    if decl.cardinality.max is UNBOUNDED:
+        bits.append(' maxOccurs="unbounded"')
+    elif decl.cardinality.max != 1:
+        bits.append(f' maxOccurs="{decl.cardinality.max}"')
+    return "".join(bits)
+
+
+def _attribute_line(attribute: AttributeDecl, pad: str) -> str:
+    use = ' use="required"' if attribute.required else ""
+    return f'{pad}<xs:attribute name="{attribute.name}" type="{attribute.type.xsd_name}"{use}/>'
+
+
+def _write_element(
+    decl: ElementDecl,
+    lines: list[str],
+    depth: int,
+    *,
+    is_root: bool = False,
+    trailer: Optional[list[str]] = None,
+) -> None:
+    pad = "  " * depth
+    occurs = "" if is_root else _occurs_attrs(decl)
+    trailer = trailer or []
+    simple = decl.text_type is not None and not decl.attributes and not decl.children
+    if simple and not trailer:
+        lines.append(
+            f'{pad}<xs:element name="{decl.name}" type="{decl.text_type.xsd_name}"{occurs}/>'
+        )
+        return
+    lines.append(f'{pad}<xs:element name="{decl.name}"{occurs}>')
+    lines.append(f"{pad}  <xs:complexType>")
+    if decl.text_type is not None:
+        lines.append(f"{pad}    <xs:simpleContent>")
+        lines.append(f'{pad}      <xs:extension base="{decl.text_type.xsd_name}">')
+        for attribute in decl.attributes:
+            lines.append(_attribute_line(attribute, pad + "        "))
+        lines.append(f"{pad}      </xs:extension>")
+        lines.append(f"{pad}    </xs:simpleContent>")
+    else:
+        if decl.children:
+            lines.append(f"{pad}    <xs:sequence>")
+            for child in decl.children:
+                _write_element(child, lines, depth + 3)
+            lines.append(f"{pad}    </xs:sequence>")
+        for attribute in decl.attributes:
+            lines.append(_attribute_line(attribute, pad + "    "))
+    lines.append(f"{pad}  </xs:complexType>")
+    for extra in trailer:
+        lines.append(f"{pad}  {extra}")
+    lines.append(f"{pad}</xs:element>")

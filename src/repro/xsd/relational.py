@@ -1,0 +1,138 @@
+"""Canonical conversion of relational schemas into XML Schemas.
+
+"Clip also works with relational schemas, as long as they are converted
+in a canonical way into XML Schemas" (Section I).  The canonical
+encoding used here is the standard one from the Clio papers: a database
+becomes a root element; each table becomes a repeating element
+``[0..*]`` under the root; each column becomes an attribute typed after
+the column; foreign keys become keyrefs between the corresponding
+attributes.  Rows of data convert the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import SchemaError
+from ..xml.model import AtomicValue, XmlElement
+from .constraints import KeyRef
+from .schema import MANY, AttributeDecl, Cardinality, ElementDecl, Schema, ValueNode
+from .types import AtomicType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A relational column with its atomic type."""
+
+    name: str
+    type: AtomicType
+    nullable: bool = False
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``table.column`` references ``referred_table.referred_column``."""
+
+    column: str
+    referred_table: str
+    referred_column: str
+
+
+@dataclass(frozen=True)
+class Table:
+    """A relational table: name, columns, primary key, foreign keys."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+
+    def column(self, name: str) -> Column:
+        for candidate in self.columns:
+            if candidate.name == name:
+                return candidate
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+
+@dataclass(frozen=True)
+class RelationalSchema:
+    """A set of tables under one database name."""
+
+    name: str
+    tables: tuple[Table, ...] = field(default_factory=tuple)
+
+    def table(self, name: str) -> Table:
+        for candidate in self.tables:
+            if candidate.name == name:
+                return candidate
+        raise SchemaError(f"schema {self.name!r} has no table {name!r}")
+
+
+def to_xml_schema(relational: RelationalSchema) -> Schema:
+    """Canonically encode a relational schema as an XML Schema."""
+    table_elements = []
+    for table in relational.tables:
+        attributes = [
+            AttributeDecl(col.name, col.type, required=not col.nullable)
+            for col in table.columns
+        ]
+        table_elements.append(
+            ElementDecl(table.name, cardinality=MANY, attributes=attributes)
+        )
+    root = ElementDecl(relational.name, cardinality=Cardinality(1, 1), children=table_elements)
+    converted = Schema(root)
+    constraints: list[KeyRef] = []
+    for table in relational.tables:
+        holder = root.child(table.name)
+        for fk in table.foreign_keys:
+            referred_holder = root.child(fk.referred_table)
+            if referred_holder is None:
+                raise SchemaError(
+                    f"foreign key on {table.name!r} references unknown table "
+                    f"{fk.referred_table!r}"
+                )
+            constraints.append(
+                KeyRef(
+                    ValueNode(holder, fk.column),
+                    ValueNode(referred_holder, fk.referred_column),
+                )
+            )
+    converted.constraints = tuple(constraints)
+    return converted
+
+
+Row = Mapping[str, AtomicValue]
+
+
+def rows_to_instance(
+    relational: RelationalSchema,
+    data: Mapping[str, Sequence[Row]],
+    *,
+    validate_columns: bool = True,
+) -> XmlElement:
+    """Canonically encode relational rows as an XML instance.
+
+    ``data`` maps table name → rows; each row maps column → value.
+    Nullable columns may be omitted from a row.
+    """
+    root = XmlElement(relational.name)
+    for table in relational.tables:
+        for row in data.get(table.name, ()):
+            node = XmlElement(table.name)
+            if validate_columns:
+                unknown = set(row) - {c.name for c in table.columns}
+                if unknown:
+                    raise SchemaError(
+                        f"row for {table.name!r} has unknown columns {sorted(unknown)}"
+                    )
+            for column in table.columns:
+                if column.name in row:
+                    node.set_attribute(column.name, row[column.name])
+                elif not column.nullable:
+                    raise SchemaError(
+                        f"row for {table.name!r} misses non-nullable column "
+                        f"{column.name!r}"
+                    )
+            root.append(node)
+    return root

@@ -1,0 +1,44 @@
+"""ASCII rendering of schema trees in the paper's visual notation.
+
+Elements print as ``name [min..max]`` (with a leading ``?`` for optional
+ones, matching the question-mark icon), attributes as ``@name: type``
+(black circles) and text nodes as ``value: type`` (white circles)::
+
+    source
+      dept [1..*]
+        dname
+          value: String
+        Proj [0..*]
+          @pid: int
+          pname
+            value: String
+"""
+
+from __future__ import annotations
+
+from .schema import ElementDecl, Schema
+
+
+def render_element(decl: ElementDecl, *, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    prefix = "? " if decl.is_optional else ""
+    label = decl.name
+    if decl.cardinality.min != 1 or decl.cardinality.max != 1:
+        label = f"{label} {decl.cardinality}"
+    lines = [f"{pad}{prefix}{label}"]
+    child_pad = "  " * (indent + 1)
+    for attribute in decl.attributes:
+        lines.append(f"{child_pad}{attribute}")
+    if decl.text_type is not None:
+        lines.append(f"{child_pad}value: {decl.text_type}")
+    for child in decl.children:
+        lines.extend(render_element(child, indent=indent + 1))
+    return lines
+
+
+def render_schema(target: Schema) -> str:
+    """Render a full schema, appending its referential constraints."""
+    lines = render_element(target.root)
+    for constraint in target.constraints:
+        lines.append(f"  -- keyref: {constraint}")
+    return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""XML Schema trees, as drawn in the paper's figures.
+
+A schema is a tree of :class:`ElementDecl` nodes.  Each element carries a
+:class:`Cardinality` (``[1..*]``, ``[0..1]`` …), a list of
+:class:`AttributeDecl` (the black circles), an optional text type (the
+white ``value`` circles), and child elements.  The Clip constructs refer
+to schema nodes through :class:`SchemaNode` references — either an
+element itself or one of its value nodes — addressed with slash paths
+like ``dept/regEmp/sal/text()`` or ``dept/Proj/@pid``.
+
+The structural notions the paper's validity rules build on live here:
+
+* :meth:`ElementDecl.path` — the unique chain of schema nodes from the
+  root down to an element (the paper's ``path(e)``);
+* :meth:`ElementDecl.is_repeating` — maximum cardinality above one, the
+  shadowed icons with a ``*``;
+* :meth:`Schema.repeating_path` — the repeating elements on a node's
+  root path, which drive tableau computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from ..errors import SchemaError
+from .types import AtomicType
+
+#: Maximum-cardinality value standing for ``unbounded`` (the XSD ``*``).
+UNBOUNDED: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Cardinality:
+    """An occurrence range ``[min..max]``; ``max=None`` means unbounded."""
+
+    min: int
+    max: Optional[int]
+
+    def __post_init__(self):
+        if self.min < 0:
+            raise SchemaError(f"negative minimum cardinality {self.min}")
+        if self.max is not None and self.max < self.min:
+            raise SchemaError(f"cardinality [{self.min}..{self.max}] has max < min")
+
+    @property
+    def is_optional(self) -> bool:
+        """True when zero occurrences are allowed (the ``?`` icon)."""
+        return self.min == 0
+
+    @property
+    def is_repeating(self) -> bool:
+        """True when more than one occurrence is allowed (the ``*`` icon)."""
+        return self.max is None or self.max > 1
+
+    def admits(self, count: int) -> bool:
+        if count < self.min:
+            return False
+        return self.max is None or count <= self.max
+
+    def __str__(self) -> str:
+        upper = "*" if self.max is None else str(self.max)
+        return f"[{self.min}..{upper}]"
+
+
+ONE = Cardinality(1, 1)
+OPTIONAL = Cardinality(0, 1)
+MANY = Cardinality(0, UNBOUNDED)
+ONE_OR_MORE = Cardinality(1, UNBOUNDED)
+
+
+def parse_cardinality(label: str) -> Cardinality:
+    """Parse ``"[0..*]"``/``"1..1"`` style labels."""
+    text = label.strip().strip("[]")
+    try:
+        low, high = text.split("..")
+        maximum = UNBOUNDED if high.strip() == "*" else int(high)
+        minimum = int(low)
+    except ValueError:
+        raise SchemaError(f"malformed cardinality label {label!r}") from None
+    return Cardinality(minimum, maximum)
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """An attribute value node (black circle): ``@name: type``."""
+
+    name: str
+    type: AtomicType
+    required: bool = True
+
+    def __str__(self) -> str:
+        suffix = "" if self.required else "?"
+        return f"@{self.name}{suffix}: {self.type}"
+
+
+class ElementDecl:
+    """A schema element (square icon) with its content model."""
+
+    def __init__(
+        self,
+        name: str,
+        cardinality: Cardinality = ONE,
+        attributes: Iterable[AttributeDecl] = (),
+        children: Iterable["ElementDecl"] = (),
+        text_type: Optional[AtomicType] = None,
+    ):
+        if not name:
+            raise SchemaError("element name must be non-empty")
+        self.name = name
+        self.cardinality = cardinality
+        self.attributes: tuple[AttributeDecl, ...] = tuple(attributes)
+        self.text_type = text_type
+        self.parent: Optional[ElementDecl] = None
+        self._children: list[ElementDecl] = []
+        seen = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(f"duplicate attribute @{attr.name} on <{name}>")
+            seen.add(attr.name)
+        for child in children:
+            self._attach(child)
+        if text_type is not None and self._children:
+            raise SchemaError(
+                f"element <{name}> declares both a text type and child elements"
+            )
+
+    def _attach(self, child: "ElementDecl") -> None:
+        if child.parent is not None:
+            raise SchemaError(
+                f"element <{child.name}> is already attached under <{child.parent.name}>"
+            )
+        if self.child(child.name) is not None:
+            raise SchemaError(f"duplicate child element <{child.name}> under <{self.name}>")
+        child.parent = self
+        self._children.append(child)
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def children(self) -> tuple["ElementDecl", ...]:
+        return tuple(self._children)
+
+    def child(self, name: str) -> Optional["ElementDecl"]:
+        for candidate in self._children:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    def attribute(self, name: str) -> Optional[AttributeDecl]:
+        stripped = name.lstrip("@")
+        for candidate in self.attributes:
+            if candidate.name == stripped:
+                return candidate
+        return None
+
+    @property
+    def is_repeating(self) -> bool:
+        return self.cardinality.is_repeating
+
+    @property
+    def is_optional(self) -> bool:
+        return self.cardinality.is_optional
+
+    def iter(self) -> Iterator["ElementDecl"]:
+        """Pre-order traversal of this element and its descendants."""
+        yield self
+        for child in self._children:
+            yield from child.iter()
+
+    def path(self) -> tuple["ElementDecl", ...]:
+        """The paper's ``path(e)``: schema nodes from the root down to
+        (and including) this element."""
+        chain: list[ElementDecl] = []
+        node: Optional[ElementDecl] = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        chain.reverse()
+        return tuple(chain)
+
+    def path_string(self) -> str:
+        return "/".join(node.name for node in self.path())
+
+    def depth(self) -> int:
+        return len(self.path()) - 1
+
+    def is_ancestor_of(self, other: "ElementDecl") -> bool:
+        """True when ``self`` lies strictly above ``other``."""
+        return self is not other and self in other.path()
+
+    def __repr__(self) -> str:
+        return f"ElementDecl({self.path_string()} {self.cardinality})"
+
+
+@dataclass(frozen=True)
+class ValueNode:
+    """A reference to a value node: an attribute of, or the text of, an element."""
+
+    element: ElementDecl
+    attribute: Optional[str] = None  # None means the text node
+
+    def __post_init__(self):
+        if self.attribute is not None:
+            if self.element.attribute(self.attribute) is None:
+                raise SchemaError(
+                    f"element <{self.element.name}> has no attribute @{self.attribute}"
+                )
+        elif self.element.text_type is None:
+            raise SchemaError(f"element <{self.element.name}> has no text value node")
+
+    @property
+    def type(self) -> AtomicType:
+        if self.attribute is not None:
+            return self.element.attribute(self.attribute).type
+        return self.element.text_type
+
+    @property
+    def is_text(self) -> bool:
+        return self.attribute is None
+
+    def path_string(self) -> str:
+        leaf = "text()" if self.attribute is None else f"@{self.attribute}"
+        return f"{self.element.path_string()}/{leaf}"
+
+    def __str__(self) -> str:
+        return self.path_string()
+
+
+SchemaNode = Union[ElementDecl, ValueNode]
+
+
+class Schema:
+    """A complete schema: one root element plus referential constraints."""
+
+    def __init__(self, root: ElementDecl, constraints: Iterable[object] = ()):
+        if root.parent is not None:
+            raise SchemaError("schema root must not have a parent")
+        self.root = root
+        self.constraints: tuple[object, ...] = tuple(constraints)
+
+    # -- lookup ----------------------------------------------------------
+
+    def element(self, path: str) -> ElementDecl:
+        """Resolve a slash path (``dept/Proj``) to an element declaration.
+
+        The leading root segment may be included or omitted.
+        """
+        segments = [s for s in path.strip("/").split("/") if s]
+        if not segments:
+            raise SchemaError("empty element path")
+        if segments[0] == self.root.name:
+            segments = segments[1:]
+        node = self.root
+        for segment in segments:
+            nxt = node.child(segment)
+            if nxt is None:
+                raise SchemaError(
+                    f"schema {self.root.name!r} has no element at "
+                    f"{node.path_string()}/{segment}"
+                )
+            node = nxt
+        return node
+
+    def value(self, path: str) -> ValueNode:
+        """Resolve a slash path ending in ``@attr`` or ``text()``/``value``
+        to a value node."""
+        segments = [s for s in path.strip("/").split("/") if s]
+        if not segments:
+            raise SchemaError("empty value path")
+        leaf = segments[-1]
+        holder = self.element("/".join(segments[:-1])) if len(segments) > 1 else self.root
+        if leaf.startswith("@"):
+            return ValueNode(holder, leaf[1:])
+        if leaf in ("text()", "value"):
+            return ValueNode(holder, None)
+        # A bare trailing element name denotes that element's text node.
+        target = holder.child(leaf)
+        if target is None and holder is self.root and len(segments) == 1:
+            target = self.root if leaf == self.root.name else None
+        if target is None:
+            raise SchemaError(f"no value node at path {path!r}")
+        return ValueNode(target, None)
+
+    def node(self, path: str) -> SchemaNode:
+        """Resolve a path to either an element or a value node."""
+        leaf = path.strip("/").split("/")[-1]
+        if leaf.startswith("@") or leaf in ("text()", "value"):
+            return self.value(path)
+        return self.element(path)
+
+    def elements(self) -> Iterator[ElementDecl]:
+        return self.root.iter()
+
+    def repeating_elements(self) -> list[ElementDecl]:
+        """All repeating elements, in pre-order (these anchor tableaux)."""
+        return [e for e in self.elements() if e.is_repeating]
+
+    def repeating_path(self, node: SchemaNode) -> tuple[ElementDecl, ...]:
+        """The repeating elements on the root path of ``node`` (the
+        primary path of the tableau that covers it)."""
+        holder = node.element if isinstance(node, ValueNode) else node
+        return tuple(e for e in holder.path() if e.is_repeating)
+
+    def owns(self, node: SchemaNode) -> bool:
+        """True when the given node belongs to this schema tree."""
+        holder = node.element if isinstance(node, ValueNode) else node
+        return holder.path()[0] is self.root
+
+    def __repr__(self) -> str:
+        return f"Schema(root={self.root.name!r}, elements={sum(1 for _ in self.elements())})"

@@ -1,0 +1,152 @@
+"""Validation of XML instances against schema trees.
+
+Used throughout the reproduction to check that (a) the paper's source
+instance conforms to the source schema and (b) every transformation
+result — whether produced by the direct tgd executor or by the XQuery
+interpreter — conforms to the target schema.  This is how we test the
+paper's definition of a *valid mapping*: "given any instance of the
+source schema, the mapping produces a valid instance of the target
+schema" (Section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from ..xml.model import XmlElement
+from .constraints import KeyRef
+from .schema import ElementDecl, Schema
+from ..xml import paths as _paths
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One schema violation, located by the instance path where it occurred."""
+
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.message}"
+
+
+def validate(
+    instance: XmlElement,
+    schema: Schema,
+    *,
+    check_constraints: bool = True,
+    raise_on_error: bool = False,
+) -> list[Violation]:
+    """Validate an instance tree against a schema.
+
+    Returns the list of violations (empty when valid).  With
+    ``raise_on_error=True``, raises :class:`ValidationError` instead of
+    returning a non-empty list.
+    """
+    violations: list[Violation] = []
+    if instance.tag != schema.root.name:
+        violations.append(
+            Violation(
+                f"/{instance.tag}",
+                f"root element is <{instance.tag}>, schema expects <{schema.root.name}>",
+            )
+        )
+    else:
+        _validate_element(instance, schema.root, f"/{instance.tag}", violations)
+        if check_constraints:
+            for constraint in schema.constraints:
+                if isinstance(constraint, KeyRef):
+                    _validate_keyref(instance, schema, constraint, violations)
+    if violations and raise_on_error:
+        raise ValidationError(violations)
+    return violations
+
+
+def _validate_element(
+    node: XmlElement, decl: ElementDecl, location: str, violations: list[Violation]
+) -> None:
+    # Attributes -------------------------------------------------------
+    declared = {a.name: a for a in decl.attributes}
+    for name, value in node.attributes.items():
+        attr_decl = declared.get(name)
+        if attr_decl is None:
+            violations.append(Violation(location, f"undeclared attribute @{name}"))
+        elif not attr_decl.type.validates(value):
+            violations.append(
+                Violation(
+                    location,
+                    f"attribute @{name} has value {value!r}, expected {attr_decl.type}",
+                )
+            )
+    for name, attr_decl in declared.items():
+        if attr_decl.required and not node.has_attribute(name):
+            violations.append(Violation(location, f"missing required attribute @{name}"))
+
+    # Text value ---------------------------------------------------------
+    if decl.text_type is not None:
+        if node.text is None:
+            violations.append(Violation(location, "missing text value"))
+        elif not decl.text_type.validates(node.text):
+            violations.append(
+                Violation(
+                    location,
+                    f"text value {node.text!r} does not match type {decl.text_type}",
+                )
+            )
+    elif node.text is not None:
+        violations.append(
+            Violation(location, f"unexpected text value {node.text!r} (element-only content)")
+        )
+
+    # Children: declared, typed, within cardinality ------------------------
+    declared_children = {c.name: c for c in decl.children}
+    counts = {name: 0 for name in declared_children}
+    for child in node.children:
+        child_decl = declared_children.get(child.tag)
+        if child_decl is None:
+            violations.append(Violation(location, f"undeclared child element <{child.tag}>"))
+            continue
+        counts[child.tag] += 1
+        index = counts[child.tag]
+        _validate_element(child, child_decl, f"{location}/{child.tag}[{index}]", violations)
+    for name, child_decl in declared_children.items():
+        if not child_decl.cardinality.admits(counts[name]):
+            violations.append(
+                Violation(
+                    location,
+                    f"child <{name}> occurs {counts[name]} times, "
+                    f"allowed {child_decl.cardinality}",
+                )
+            )
+
+
+def _instance_path(schema: Schema, value_node) -> _paths.Path:
+    """Translate a schema value node into an instance path from the root."""
+    segments = value_node.element.path_string().split("/")[1:]  # drop the root tag
+    steps: list[_paths.Step] = [_paths.ChildStep(s) for s in segments]
+    if value_node.attribute is not None:
+        steps.append(_paths.AttributeStep(value_node.attribute))
+    else:
+        steps.append(_paths.TextStep())
+    return _paths.Path(tuple(steps))
+
+
+def _validate_keyref(
+    instance: XmlElement, schema: Schema, constraint: KeyRef, violations: list[Violation]
+) -> None:
+    referred = set(_paths.evaluate(_instance_path(schema, constraint.referred), instance))
+    referring = _paths.evaluate(_instance_path(schema, constraint.referring), instance)
+    for value in referring:
+        if value not in referred:
+            violations.append(
+                Violation(
+                    f"/{instance.tag}",
+                    f"keyref {constraint} violated: value {value!r} has no referent",
+                )
+            )
+
+
+def is_valid(instance: XmlElement, schema: Schema) -> bool:
+    """Convenience predicate over :func:`validate`."""
+    return not validate(instance, schema)

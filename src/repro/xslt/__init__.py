@@ -1,0 +1,7 @@
+"""XSLT rendering of mappings (the paper's alternative target language)."""
+
+from .emit import UnsupportedForXslt, emit_xslt
+from .interp import apply_stylesheet
+from .stylesheet import Stylesheet
+
+__all__ = ["emit_xslt", "apply_stylesheet", "Stylesheet", "UnsupportedForXslt"]

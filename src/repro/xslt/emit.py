@@ -1,0 +1,259 @@
+"""Translate nested tgds into XSLT 1.0 (the paper's alternative target).
+
+Supported subset: tgds **without grouping Skolems and without
+distribution** — XSLT 1.0 has no grouping construct (the Muenchian-keys
+workaround predates even the paper), and the document-at-once template
+model has no natural place for cross-template distribution.  Grouped or
+distributed mappings raise :class:`UnsupportedForXslt`; the XQuery
+pipeline covers them.
+
+Translation scheme (mirroring the XQuery emitter):
+
+* constant tags become literal result elements wrapping the iteration;
+* each source generator becomes ``xsl:for-each`` + an ``xsl:variable``
+  binding its tgd variable to the current node, so every downstream
+  reference is a uniform ``$var/…`` path;
+* C1 conditions become one ``xsl:if``;
+* assignments become ``xsl:attribute``/``xsl:value-of`` guarded by an
+  existence ``xsl:if`` (so absent source values omit the attribute,
+  matching the other engines);
+* aggregates use XPath 1.0 ``count()``/``sum()``; ``avg`` becomes
+  ``sum(…) div count(…)`` guarded by a non-empty test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.functions import AVG, COUNT, MAX, MIN, SUM
+from ..core.tgd import (
+    AggregateApp,
+    Assignment,
+    Constant,
+    FunctionApp,
+    Membership,
+    NestedTgd,
+    Proj,
+    SchemaRoot,
+    TgdComparison,
+    TgdExpr,
+    TgdMapping,
+    Var,
+    expr_labels,
+    expr_root,
+)
+from ..errors import XQueryError
+from .stylesheet import (
+    Arith,
+    AttributeInstr,
+    BooleanAnd,
+    Call,
+    Compare,
+    Expr,
+    ForEach,
+    If,
+    Literal,
+    LiteralElement,
+    Node,
+    Stylesheet,
+    ValueOf,
+    VariableBind,
+    XPath,
+)
+
+
+class UnsupportedForXslt(XQueryError):
+    """The tgd uses a construct outside the XSLT 1.0 subset."""
+
+
+def emit_xslt(tgd: NestedTgd) -> Stylesheet:
+    """Emit the XSLT stylesheet implementing a nested tgd."""
+    for mapping in tgd.walk():
+        if mapping.skolem is not None:
+            raise UnsupportedForXslt(
+                "grouping requires XSLT 2.0 (or Muenchian keys); use the "
+                "XQuery pipeline for grouped mappings"
+            )
+        for gen in mapping.target_gens:
+            if gen.distribute:
+                raise UnsupportedForXslt(
+                    "distributed mappings have no XSLT 1.0 rendering; use "
+                    "the XQuery pipeline"
+                )
+    emitter = _Emitter(tgd)
+    body = [LiteralElement(tgd.target_root, tuple(emitter.emit_roots()))]
+    return Stylesheet(tuple(body))
+
+
+def _steps(labels: list[str]) -> tuple[str, ...]:
+    out = []
+    for label in labels:
+        if label == "value":
+            out.append("text()")
+        else:
+            out.append(label)
+    return tuple(out)
+
+
+class _Emitter:
+    def __init__(self, tgd: NestedTgd):
+        self.tgd = tgd
+
+    def emit_roots(self) -> list[Node]:
+        out: list[Node] = []
+        for mapping in self.tgd.roots:
+            out.extend(self._emit_mapping(mapping))
+        return out
+
+    # -- expressions -------------------------------------------------------
+
+    def _path(self, expr: TgdExpr) -> XPath:
+        root = expr_root(expr)
+        labels = expr_labels(expr)
+        if isinstance(root, SchemaRoot):
+            return XPath((root.name, *_steps(labels)), var="/")
+        return XPath(_steps(labels), var=root.name)
+
+    def _operand(self, operand) -> Expr:
+        if isinstance(operand, Constant):
+            return Literal(operand.value)
+        return self._path(operand)
+
+    def _condition(self, condition) -> Expr:
+        if isinstance(condition, TgdComparison):
+            return Compare(
+                self._operand(condition.left),
+                condition.op,
+                self._operand(condition.right),
+            )
+        if isinstance(condition, Membership):
+            # XPath 1.0 node identity via generate-id().
+            return Compare(
+                Call("generate-id", (self._path(condition.member),)),
+                "=",
+                Call("generate-id", (self._path(condition.collection),)),
+            )
+        raise UnsupportedForXslt(f"unsupported condition {condition!r}")
+
+    def _term(self, term) -> tuple[Expr, Optional[Expr]]:
+        """The value expression and an optional existence guard."""
+        if isinstance(term, Constant):
+            return Literal(term.value), None
+        if isinstance(term, AggregateApp):
+            arg = self._path(term.arg)
+            if term.function is COUNT:
+                return Call("count", (arg,)), None
+            if term.function is SUM:
+                return Call("sum", (arg,)), None
+            if term.function is AVG:
+                guard = Compare(Call("count", (arg,)), ">", Literal(0))
+                return (
+                    Arith(Call("sum", (arg,)), "div", Call("count", (arg,))),
+                    guard,
+                )
+            if term.function in (MIN, MAX):
+                raise UnsupportedForXslt(
+                    f"{term.function.name}() needs XPath 2.0; use the XQuery "
+                    "pipeline"
+                )
+            raise UnsupportedForXslt(f"aggregate {term.function.name} unsupported")
+        if isinstance(term, FunctionApp):
+            if term.function.name == "concat":
+                return Call("concat", tuple(self._path(a) for a in term.args)), None
+            operators = {"add": "+", "subtract": "-", "multiply": "*", "divide": "div"}
+            if term.function.name in operators:
+                op = operators[term.function.name]
+                args = [self._path(a) for a in term.args]
+                expr: Expr = args[0]
+                for arg in args[1:]:
+                    expr = Arith(expr, op, arg)
+                return expr, None
+            raise UnsupportedForXslt(
+                f"scalar function {term.function.name} has no XSLT rendering"
+            )
+        path = self._path(term)
+        return path, path  # guarded by its own existence
+
+    # -- mappings ----------------------------------------------------------------
+
+    def _emit_mapping(self, mapping: TgdMapping) -> list[Node]:
+        # Innermost content: the built constructors + assignments + subs.
+        content = self._emit_return(mapping)
+        # Conditions wrap the content.
+        conditions = [self._condition(c) for c in mapping.where]
+        if conditions:
+            test = conditions[0] if len(conditions) == 1 else BooleanAnd(tuple(conditions))
+            content = [If(test, tuple(content))]
+        # Generators wrap outside-in; each binds its tgd variable.
+        for gen in reversed(mapping.source_gens):
+            body: list[Node] = [VariableBind(gen.var, XPath(()))]
+            body.extend(content)
+            content = [ForEach(self._path(gen.expr), tuple(body))]
+        # Constant tags wrap the whole iteration.
+        index = 0
+        gens = mapping.target_gens
+        while index < len(gens) and not gens[index].quantified:
+            index += 1
+        wrappers = gens[:index]
+        for wrapper in reversed(wrappers):
+            if not isinstance(wrapper.expr, Proj):
+                raise UnsupportedForXslt(f"malformed target generator {wrapper}")
+        # Wrapping happens tag-by-tag below (outermost first).
+        for wrapper in reversed(wrappers):
+            content = [LiteralElement(wrapper.expr.label, tuple(content))]
+        return content
+
+    def _emit_return(self, mapping: TgdMapping) -> list[Node]:
+        built = [g for g in mapping.target_gens if g.quantified]
+        assignments_by_var: dict[str, list[Assignment]] = {}
+        for assignment in mapping.assignments:
+            root = expr_root(assignment.target)
+            if not isinstance(root, Var):
+                raise UnsupportedForXslt(
+                    f"assignment target {assignment.target} is not variable-rooted"
+                )
+            assignments_by_var.setdefault(root.name, []).append(assignment)
+
+        sub_nodes: list[Node] = []
+        for sub in mapping.submappings:
+            sub_nodes.extend(self._emit_mapping(sub))
+
+        if not built:
+            if assignments_by_var:
+                raise UnsupportedForXslt(
+                    "assignments into constant tags are not supported in the "
+                    "XSLT rendering"
+                )
+            return sub_nodes
+
+        # Nest the built constructors innermost-last (chained generators).
+        content: list[Node] = sub_nodes
+        for index, gen in enumerate(reversed(built)):
+            body = self._assignment_nodes(
+                assignments_by_var.get(gen.var, []), gen.var
+            )
+            body.extend(content)
+            if not isinstance(gen.expr, Proj):
+                raise UnsupportedForXslt(f"malformed target generator {gen}")
+            content = [LiteralElement(gen.expr.label, tuple(body))]
+        return content
+
+    def _assignment_nodes(self, assignments: list[Assignment], var: str) -> list[Node]:
+        nodes: list[Node] = []
+        for assignment in assignments:
+            labels = expr_labels(assignment.target)
+            leaf = labels[-1]
+            value, guard = self._term(assignment.value)
+            if leaf.startswith("@"):
+                instr: Node = AttributeInstr(leaf[1:], value)
+            elif leaf == "value":
+                instr = ValueOf(value)
+            else:
+                instr = LiteralElement(leaf, (ValueOf(value),))
+            # Intermediate singleton elements on the way down:
+            for tag in reversed(labels[:-1]):
+                instr = LiteralElement(tag, (instr,))
+            if guard is not None:
+                instr = If(guard, (instr,))
+            nodes.append(instr)
+        return nodes

@@ -1,0 +1,204 @@
+"""AST and serializer for the emitted XSLT 1.0 subset.
+
+Clio "can render queries that convert source data into target data in a
+number of languages (XQuery, XSLT, SQL/XML, SQL)"; this package adds
+the XSLT rendering next to the XQuery one.  The emitted subset:
+
+* one root template over ``/`` producing the target document;
+* literal result elements with ``xsl:attribute`` instructions;
+* ``xsl:for-each`` for iteration, with an ``xsl:variable`` binding each
+  tgd variable to the current node so that joins and value mappings can
+  reference any in-scope variable uniformly (``$r/ename/text()``);
+* ``xsl:if`` for filters (and for omitting attributes whose source
+  value is absent);
+* ``xsl:value-of`` for values, with XPath 1.0's ``count()``/``sum()``
+  for aggregates (``avg`` becomes ``sum(…) div count(…)``).
+
+The XPath fragment is represented structurally (:class:`XPath` et al.)
+so the same AST serializes to stylesheet text and evaluates in
+:mod:`repro.xslt.interp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import XQueryError
+
+# -- XPath 1.0 fragment -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class XPath:
+    """A location path: absolute (``/source/dept``), relative to the
+    context node (``Proj``), or rooted at a variable (``$d/regEmp``)."""
+
+    steps: tuple[str, ...]  # "tag", "@attr", "text()"
+    var: str = ""  # "" → context-relative; "/" → absolute; else variable name
+
+    def serialize(self) -> str:
+        prefix = ""
+        if self.var == "/":
+            prefix = "/"
+        elif self.var:
+            prefix = f"${self.var}/" if self.steps else f"${self.var}"
+        return prefix + "/".join(self.steps)
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Union[str, int, float, bool]
+
+    def serialize(self) -> str:
+        if isinstance(self.value, bool):
+            return "true()" if self.value else "false()"
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Compare:
+    left: "Expr"
+    op: str  # = != < <= > >=
+    right: "Expr"
+
+    def serialize(self) -> str:
+        op = {"<": "&lt;", "<=": "&lt;=", ">": "&gt;", ">=": "&gt;="}.get(
+            self.op, self.op
+        )
+        return f"{self.left.serialize()} {op} {self.right.serialize()}"
+
+
+@dataclass(frozen=True)
+class BooleanAnd:
+    parts: tuple["Expr", ...]
+
+    def serialize(self) -> str:
+        return " and ".join(p.serialize() for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Call:
+    """count(), sum(), string-length()… — XPath 1.0 function call."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+    def serialize(self) -> str:
+        return f"{self.name}({', '.join(a.serialize() for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Arith:
+    left: "Expr"
+    op: str  # + - * div
+    right: "Expr"
+
+    def serialize(self) -> str:
+        return f"({self.left.serialize()} {self.op} {self.right.serialize()})"
+
+
+Expr = Union[XPath, Literal, Compare, BooleanAnd, Call, Arith]
+
+
+# -- template instructions ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValueOf:
+    select: Expr
+
+
+@dataclass(frozen=True)
+class AttributeInstr:
+    name: str
+    select: Expr
+
+
+@dataclass(frozen=True)
+class VariableBind:
+    name: str
+    select: Expr  # typically XPath((), "") — the current node "."
+
+    def serialize_select(self) -> str:
+        text = self.select.serialize()
+        return text if text else "."
+
+
+@dataclass(frozen=True)
+class ForEach:
+    select: XPath
+    body: tuple["Node", ...]
+
+
+@dataclass(frozen=True)
+class If:
+    test: Expr
+    body: tuple["Node", ...]
+
+
+@dataclass(frozen=True)
+class LiteralElement:
+    tag: str
+    body: tuple["Node", ...] = ()
+
+
+Node = Union[ValueOf, AttributeInstr, VariableBind, ForEach, If, LiteralElement]
+
+
+@dataclass(frozen=True)
+class Stylesheet:
+    """A single-template stylesheet matching the document root."""
+
+    body: tuple[Node, ...]
+
+    def serialize(self) -> str:
+        lines = [
+            '<xsl:stylesheet version="1.0"',
+            '                xmlns:xsl="http://www.w3.org/1999/XSL/Transform">',
+            '  <xsl:template match="/">',
+        ]
+        for node in self.body:
+            _write(node, lines, 2)
+        lines.append("  </xsl:template>")
+        lines.append("</xsl:stylesheet>")
+        return "\n".join(lines)
+
+
+def _write(node: Node, lines: list[str], depth: int) -> None:
+    pad = "  " * depth
+    if isinstance(node, LiteralElement):
+        if not node.body:
+            lines.append(f"{pad}<{node.tag}/>")
+            return
+        lines.append(f"{pad}<{node.tag}>")
+        for child in node.body:
+            _write(child, lines, depth + 1)
+        lines.append(f"{pad}</{node.tag}>")
+    elif isinstance(node, ForEach):
+        lines.append(f'{pad}<xsl:for-each select="{node.select.serialize()}">')
+        for child in node.body:
+            _write(child, lines, depth + 1)
+        lines.append(f"{pad}</xsl:for-each>")
+    elif isinstance(node, If):
+        lines.append(f'{pad}<xsl:if test="{node.test.serialize()}">')
+        for child in node.body:
+            _write(child, lines, depth + 1)
+        lines.append(f"{pad}</xsl:if>")
+    elif isinstance(node, VariableBind):
+        lines.append(
+            f'{pad}<xsl:variable name="{node.name}" '
+            f'select="{node.serialize_select()}"/>'
+        )
+    elif isinstance(node, AttributeInstr):
+        lines.append(f'{pad}<xsl:attribute name="{node.name}">')
+        lines.append(
+            f'{pad}  <xsl:value-of select="{node.select.serialize()}"/>'
+        )
+        lines.append(f"{pad}</xsl:attribute>")
+    elif isinstance(node, ValueOf):
+        lines.append(f'{pad}<xsl:value-of select="{node.select.serialize()}"/>')
+    else:
+        raise XQueryError(f"cannot serialize XSLT node {node!r}")

@@ -1,0 +1,32 @@
+"""Shared fixtures: the paper's schemas and instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import deptstore, generic
+
+
+@pytest.fixture
+def source_schema():
+    return deptstore.source_schema()
+
+
+@pytest.fixture
+def source_instance():
+    return deptstore.source_instance()
+
+
+@pytest.fixture
+def departments_target():
+    return deptstore.target_schema_departments()
+
+
+@pytest.fixture
+def generic_source():
+    return generic.source_schema()
+
+
+@pytest.fixture
+def generic_target():
+    return generic.target_schema()

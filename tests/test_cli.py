@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save
+from repro.scenarios import deptstore
+from repro.xml.parser import parse_xml
+from repro.xml.serialize import to_xml
+from repro.xsd.parser import to_xsd
+
+
+@pytest.fixture
+def mapping_file(tmp_path):
+    path = tmp_path / "fig4.json"
+    save(deptstore.mapping_fig4(), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "source.xml"
+    path.write_text(to_xml(deptstore.source_instance()), encoding="utf-8")
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_mapping_exits_zero(self, mapping_file, capsys):
+        assert main(["validate", mapping_file]) == 0
+        assert "valid mapping" in capsys.readouterr().out
+
+    def test_invalid_mapping_exits_one(self, tmp_path, capsys):
+        from repro.core.mapping import ClipMapping
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        target = schema(elem("t", elem("only", attr("n", STRING, required=False))))
+        clip = ClipMapping(deptstore.source_schema(), target)
+        clip.build("dept", "only", var="d")
+        path = tmp_path / "bad.json"
+        save(clip, str(path))
+        assert main(["validate", str(path)]) == 1
+        assert "SAFE_BUILDER" in capsys.readouterr().out
+
+
+class TestShowAndXquery:
+    def test_show_prints_diagram_and_tgd(self, mapping_file, capsys):
+        assert main(["show", mapping_file]) == 0
+        out = capsys.readouterr().out
+        assert "BUILDERS" in out
+        assert "∀ d ∈ source.dept" in out
+
+    def test_xquery_prints_query(self, mapping_file, capsys):
+        assert main(["xquery", mapping_file]) == 0
+        out = capsys.readouterr().out
+        assert "for $r in $d/regEmp" in out
+
+
+class TestRun:
+    def test_run_prints_tree(self, mapping_file, source_file, capsys):
+        assert main(["run", mapping_file, source_file]) == 0
+        out = capsys.readouterr().out
+        assert "@name = Andrew Clarence" in out
+
+    def test_run_writes_xml_output(self, mapping_file, source_file, tmp_path, capsys):
+        out_path = tmp_path / "out.xml"
+        assert main(["run", mapping_file, source_file, "-o", str(out_path)]) == 0
+        result = parse_xml(out_path.read_text(encoding="utf-8"))
+        assert result.tag == "target"
+        assert len(result.findall("department")) == 2
+
+    def test_run_with_xquery_engine_matches(self, mapping_file, source_file, tmp_path):
+        a, b = tmp_path / "a.xml", tmp_path / "b.xml"
+        assert main(["run", mapping_file, source_file, "-o", str(a)]) == 0
+        assert main(
+            ["run", mapping_file, source_file, "-o", str(b), "--engine", "xquery"]
+        ) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_missing_file_is_a_clean_error(self, mapping_file, capsys):
+        assert main(["run", mapping_file, "/nonexistent.xml"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLineageCommand:
+    def test_full_lineage(self, mapping_file, capsys):
+        assert main(["lineage", mapping_file]) == 0
+        assert "<=[copy]=" in capsys.readouterr().out
+
+    def test_source_impact(self, mapping_file, capsys):
+        assert main(["lineage", mapping_file, "--source", "source/dept/regEmp/sal"]) == 0
+        out = capsys.readouterr().out
+        assert "target/department/employee/@name" in out
+
+
+class TestSuggest:
+    def test_suggest_generates_mapping(self, tmp_path, capsys):
+        src = tmp_path / "src.xsd"
+        tgt = tmp_path / "tgt.xsd"
+        src.write_text(to_xsd(deptstore.source_schema()), encoding="utf-8")
+        tgt.write_text(
+            to_xsd(deptstore.target_schema_departments()), encoding="utf-8"
+        )
+        assert main(["suggest", str(src), str(tgt)]) == 0
+        out = capsys.readouterr().out
+        assert "suggested value mappings:" in out
+        assert "generated nested mapping:" in out
+
+    def test_no_matches_above_threshold(self, tmp_path, capsys):
+        src = tmp_path / "src.xsd"
+        tgt = tmp_path / "tgt.xsd"
+        src.write_text(to_xsd(deptstore.source_schema()), encoding="utf-8")
+        tgt.write_text(
+            to_xsd(deptstore.target_schema_departments()), encoding="utf-8"
+        )
+        assert main(["suggest", str(src), str(tgt), "--threshold", "0.999"]) == 1
+
+
+class TestPaperCommands:
+    def test_figures_single(self, capsys):
+        assert main(["figures", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "@avg-sal = 10875" in out
+        assert "matches the paper's printed output: yes" in out
+
+    def test_figures_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("matches the paper's printed output: yes") == len(
+            deptstore.FIGURES
+        )
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "all rows meet the paper's lower bounds" in capsys.readouterr().out
+
+
+class TestXsltCommand:
+    def test_xslt_prints_stylesheet(self, mapping_file, capsys):
+        assert main(["xslt", mapping_file]) == 0
+        out = capsys.readouterr().out
+        assert '<xsl:template match="/">' in out
+        assert '<xsl:for-each select="/source/dept">' in out
+
+    def test_run_with_xslt_engine_matches(self, mapping_file, source_file, tmp_path):
+        a, b = tmp_path / "a.xml", tmp_path / "b.xml"
+        assert main(["run", mapping_file, source_file, "-o", str(a)]) == 0
+        assert main(
+            ["run", mapping_file, source_file, "-o", str(b), "--engine", "xslt"]
+        ) == 0
+        assert a.read_text() == b.read_text()

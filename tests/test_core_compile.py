@@ -1,0 +1,225 @@
+"""Unit tests for the Clip → nested-tgd compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.core.mapping import ClipMapping
+from repro.core.tgd import (
+    AggregateApp,
+    Membership,
+    Proj,
+    SchemaRoot,
+    Var,
+)
+from repro.errors import CompileError
+from repro.scenarios import deptstore
+from repro.xsd.dsl import attr, elem, schema
+from repro.xsd.types import STRING
+
+
+class TestSourceGenerators:
+    def test_root_anchored_chain_introduces_repeating_intermediates(self, source_schema, departments_target):
+        clip = ClipMapping(source_schema, departments_target)
+        clip.build("dept/regEmp", "department/employee", var="r")
+        (mapping,) = compile_clip(clip).roots
+        assert [g.var for g in mapping.source_gens] == ["d", "r"]
+        assert str(mapping.source_gens[0].expr) == "source.dept"
+        assert str(mapping.source_gens[1].expr) == "d.regEmp"
+
+    def test_context_bound_arc_rebases_on_ancestor_variable(self):
+        tgd = compile_clip(deptstore.mapping_fig4())
+        child = tgd.roots[0].submappings[0]
+        (gen,) = child.source_gens
+        assert str(gen.expr) == "d.regEmp"
+
+    def test_non_repeating_intermediates_become_projection_labels(self):
+        source = schema(
+            elem(
+                "s",
+                elem("a", "[0..*]", elem("wrap", elem("b", "[0..*]", text=STRING))),
+            )
+        )
+        target = schema(elem("t", elem("x", "[0..*]", attr("v", STRING, required=False))))
+        clip = ClipMapping(source, target)
+        clip.build("a/wrap/b", "x", var="b")
+        (mapping,) = compile_clip(clip).roots
+        assert [str(g.expr) for g in mapping.source_gens] == ["s.a", "a.wrap.b"]
+
+    def test_same_node_arcs_are_uncorrelated(self):
+        """Figure 6 variant: no context node → whole-document product."""
+        clip = deptstore.mapping_fig6(join_condition=False, outer_context=False)
+        (mapping,) = compile_clip(clip).roots
+        assert [g.var for g in mapping.source_gens] == ["d", "p", "d2", "r"]
+
+    def test_group_membership_generator(self):
+        tgd = compile_clip(deptstore.mapping_fig7())
+        inner = tgd.roots[0].submappings[0]
+        assert str(inner.source_gens[0]) == "p2 ∈ p"
+
+    def test_inversion_adds_membership_condition(self):
+        tgd = compile_clip(deptstore.mapping_fig8())
+        inner = tgd.roots[0].submappings[0]
+        memberships = [c for c in inner.where if isinstance(c, Membership)]
+        assert len(memberships) == 1
+
+    def test_group_related_arc_correlates_through_common_ancestor(self):
+        tgd = compile_clip(deptstore.mapping_fig7())
+        inner = tgd.roots[0].submappings[0]
+        memberships = [c for c in inner.where if isinstance(c, Membership)]
+        assert len(memberships) == 1
+        assert str(memberships[0]) == "p2 ∈ d2.Proj"
+
+
+class TestTargetGenerators:
+    def test_unquantified_wrapper_for_unbuilt_ancestors(self):
+        tgd = compile_clip(deptstore.mapping_fig3())
+        (mapping,) = tgd.roots
+        wrapper, built = mapping.target_gens
+        assert not wrapper.quantified and not wrapper.distribute
+        assert built.quantified
+
+    def test_distribute_when_sibling_builds_the_element(self):
+        tgd = compile_clip(deptstore.mapping_fig4(context_arc=False))
+        employee_mapping = tgd.roots[1]
+        wrapper = employee_mapping.target_gens[0]
+        assert wrapper.distribute and not wrapper.quantified
+
+    def test_builder_var_derives_from_arc_variable(self):
+        tgd = compile_clip(deptstore.mapping_fig4())
+        assert tgd.roots[0].target_gens[0].var == "d'"
+
+    def test_skolem_context_is_bottom_at_cpt_root(self):
+        tgd = compile_clip(deptstore.mapping_fig7())
+        var, app = tgd.roots[0].skolem
+        assert app.context is None
+        assert var == "p'"
+
+    def test_skolem_context_lists_ancestor_target_vars(self, source_schema):
+        target = schema(
+            elem(
+                "t",
+                elem(
+                    "department",
+                    "[1..*]",
+                    elem("project", "[0..*]", attr("name", STRING, required=False)),
+                ),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        dept_node = clip.build("dept", "department", var="d")
+        clip.group("dept/Proj", "department/project", var="p",
+                   by=["$p.pname.value"], parent=dept_node)
+        tgd = compile_clip(clip)
+        _, app = tgd.roots[0].submappings[0].skolem
+        assert app.context == ("d'",)
+
+
+class TestAssignments:
+    def test_driver_attachment(self):
+        tgd = compile_clip(deptstore.mapping_fig5())
+        project_level = tgd.roots[0].submappings[0]
+        (assignment,) = project_level.assignments
+        assert str(assignment) == "p′.@name = p.pname.value"
+
+    def test_aggregate_assignment_scopes_to_driver_variable(self):
+        tgd = compile_clip(deptstore.mapping_fig9())
+        assignments = tgd.roots[0].assignments
+        aggregate = assignments[1].value
+        assert isinstance(aggregate, AggregateApp)
+        assert str(aggregate) == "count(d.Proj)"
+
+    def test_functions_declared_once_in_order(self):
+        tgd = compile_clip(deptstore.mapping_fig9())
+        assert tgd.functions == ("count", "avg")
+
+    def test_deep_assignment_projects_through_singletons(self, source_schema):
+        target = schema(
+            elem(
+                "t",
+                elem(
+                    "D",
+                    "[0..*]",
+                    elem("E", attr("att5", STRING, required=False)),
+                ),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        clip.build("dept", "D", var="d")
+        clip.value("dept/dname/value", "D/E/@att5")
+        (mapping,) = compile_clip(clip).roots
+        (assignment,) = mapping.assignments
+        assert str(assignment.target) == "d′.E.@att5"
+
+
+class TestDefaultCompilation:
+    def test_no_builders_builds_deepest_repeating_target_only(self, source_schema, departments_target):
+        clip = ClipMapping(source_schema, departments_target)
+        clip.value("dept/regEmp/ename/value", "department/employee/@name")
+        tgd = compile_clip(clip)
+        (mapping,) = tgd.roots
+        gens = mapping.target_gens
+        assert [g.quantified for g in gens] == [False, True]
+        assert [g.var for g in mapping.source_gens] == ["d", "r"]
+
+    def test_no_builders_merges_mappings_with_same_iteration(self, source_schema):
+        target = deptstore.target_schema_projemp()
+        clip = ClipMapping(source_schema, target)
+        clip.value("dept/Proj/pname/value", "project-emp/@pname")
+        clip.value("dept/Proj/pname/value", "project-emp/@ename")
+        tgd = compile_clip(clip)
+        assert len(tgd.roots) == 1
+        assert len(tgd.roots[0].assignments) == 2
+
+    def test_whole_document_aggregate_without_builders(self, source_schema):
+        target = schema(elem("t", elem("stats", attr("total", STRING, required=False))))
+        clip = ClipMapping(source_schema, target)
+        clip.value_aggregate("count", "dept/regEmp", "stats/@total")
+        tgd = compile_clip(clip)
+        (mapping,) = tgd.roots
+        assert mapping.source_gens == ()
+        (assignment,) = mapping.assignments
+        assert str(assignment.value) == "count(source.dept.regEmp)"
+
+
+class TestUndrivenAggregates:
+    def test_aggregate_without_driver_goes_to_document_scope(self, source_schema):
+        target = schema(
+            elem(
+                "t",
+                elem("x", "[0..*]", attr("n", STRING, required=False)),
+                elem("stats", attr("total", STRING, required=False)),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        clip.build("dept", "x", var="d")
+        clip.value("dept/dname/value", "x/@n")
+        clip.value_aggregate("count", "dept/regEmp", "stats/@total")
+        tgd = compile_clip(clip)
+        assert len(tgd.roots) == 2
+        doc_level = tgd.roots[1]
+        assert doc_level.source_gens == ()
+        assert str(doc_level.assignments[0].value) == "count(source.dept.regEmp)"
+
+
+class TestErrors:
+    def test_condition_with_unknown_variable_fails_compile(self, source_schema, departments_target):
+        clip = ClipMapping(source_schema, departments_target)
+        clip.build("dept", "department", var="d", condition="$zz.dname.value = 'x'")
+        with pytest.raises(CompileError):
+            compile_clip(clip, require_valid=False)
+
+    def test_undriven_plain_value_mapping_fails_compile(self, source_schema):
+        target = schema(
+            elem(
+                "t",
+                elem("x", "[0..*]", attr("n", STRING, required=False)),
+                elem("y", "[0..*]", attr("m", STRING, required=False)),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        clip.build("dept", "x", var="d")
+        clip.value("dept/dname/value", "y/@m")
+        with pytest.raises(CompileError):
+            compile_clip(clip, require_valid=False)

@@ -1,0 +1,118 @@
+"""Unit tests for the build-node condition language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expr import (
+    Comparison,
+    Condition,
+    Literal,
+    VarPath,
+    parse_condition,
+    parse_value_expr,
+)
+from repro.errors import MappingError
+
+
+class TestValueExpr:
+    def test_simple_varpath(self):
+        assert parse_value_expr("$r.sal.value") == VarPath("r", ("sal", "value"))
+
+    def test_attribute_segment(self):
+        assert parse_value_expr("$p.@pid") == VarPath("p", ("@pid",))
+
+    def test_bare_variable(self):
+        assert parse_value_expr("$x") == VarPath("x", ())
+
+    def test_requires_dollar(self):
+        with pytest.raises(MappingError):
+            parse_value_expr("r.sal.value")
+
+    def test_rejects_empty_segments(self):
+        with pytest.raises(MappingError):
+            parse_value_expr("$r..value")
+
+    def test_str_roundtrips(self):
+        assert str(parse_value_expr("$p2.@pid")) == "$p2.@pid"
+
+
+class TestConditionParsing:
+    def test_numeric_filter(self):
+        cond = parse_condition("$r.sal.value > 11000")
+        (cmp_,) = cond.comparisons
+        assert cmp_.op == ">"
+        assert cmp_.right == Literal(11000)
+
+    def test_join_condition(self):
+        cond = parse_condition("$p.@pid = $r.@pid")
+        assert cond.is_join()
+        assert cond.variables() == {"p", "r"}
+
+    def test_filter_is_not_join(self):
+        assert not parse_condition("$r.sal.value > 11000").is_join()
+
+    def test_conjunction(self):
+        cond = parse_condition("$a.x = 1 and $b.y != 'z'")
+        assert len(cond.comparisons) == 2
+        assert cond.variables() == {"a", "b"}
+
+    def test_string_literals_single_and_double_quotes(self):
+        assert parse_condition("$a.n = 'x'").comparisons[0].right == Literal("x")
+        assert parse_condition('$a.n = "x"').comparisons[0].right == Literal("x")
+
+    def test_float_and_negative_literals(self):
+        assert parse_condition("$a.x >= -2.5").comparisons[0].right == Literal(-2.5)
+
+    def test_boolean_literal(self):
+        assert parse_condition("$a.flag = true").comparisons[0].right == Literal(True)
+
+    def test_all_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            cond = parse_condition(f"$a.x {op} 1")
+            assert cond.comparisons[0].op == op
+
+    def test_none_means_empty_condition(self):
+        cond = parse_condition(None)
+        assert not cond
+
+    def test_passthrough_of_parsed_conditions(self):
+        cond = parse_condition("$a.x = 1")
+        assert parse_condition(cond) is cond
+
+    def test_rejects_garbage(self):
+        with pytest.raises(MappingError):
+            parse_condition("$a.x ~ 1")
+
+    def test_rejects_truncated_comparison(self):
+        with pytest.raises(MappingError):
+            parse_condition("$a.x =")
+
+    def test_rejects_missing_and(self):
+        with pytest.raises(MappingError):
+            parse_condition("$a.x = 1 $b.y = 2")
+
+    def test_rejects_empty(self):
+        with pytest.raises(MappingError):
+            parse_condition("   ")
+
+
+class TestComparisonSemantics:
+    def test_holds_each_operator(self):
+        c = lambda op: Comparison(VarPath("a"), op, Literal(0))
+        assert c("=").holds(1, 1) and not c("=").holds(1, 2)
+        assert c("!=").holds(1, 2)
+        assert c("<").holds(1, 2) and c("<=").holds(2, 2)
+        assert c(">").holds(3, 2) and c(">=").holds(2, 2)
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(MappingError):
+            Comparison(VarPath("a"), "<", Literal(0)).holds("x", 1)
+
+    def test_unknown_operator_rejected_at_construction(self):
+        with pytest.raises(MappingError):
+            Comparison(VarPath("a"), "~", Literal(0))
+
+    def test_condition_str(self):
+        cond = parse_condition("$p.@pid = $r.@pid and $r.sal.value > 11000")
+        assert str(cond) == "$p.@pid = $r.@pid and $r.sal.value > 11000"

@@ -1,0 +1,104 @@
+"""Unit tests for scalar and aggregate functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.functions import (
+    ADD,
+    AVG,
+    CONCAT,
+    COUNT,
+    DIVIDE,
+    IDENTITY,
+    LOWER,
+    MAX,
+    MIN,
+    MULTIPLY,
+    SUBTRACT,
+    SUM,
+    UPPER,
+    aggregate,
+    scalar,
+)
+from repro.errors import MappingError
+from repro.xml.model import element
+
+
+class TestScalars:
+    def test_identity(self):
+        assert IDENTITY.apply(["x"]) == "x"
+
+    def test_identity_arity_checked(self):
+        with pytest.raises(MappingError):
+            IDENTITY.apply(["a", "b"])
+
+    def test_concat_stringifies(self):
+        assert CONCAT.apply(["a", 1, "b"]) == "a1b"
+
+    def test_arithmetic(self):
+        assert ADD.apply([1, 2, 3]) == 6
+        assert SUBTRACT.apply([5, 2]) == 3
+        assert MULTIPLY.apply([2, 3, 4]) == 24
+        assert DIVIDE.apply([7, 2]) == 3.5
+
+    def test_integral_results_stay_int(self):
+        assert DIVIDE.apply([6, 2]) == 3
+        assert isinstance(DIVIDE.apply([6, 2]), int)
+
+    def test_division_by_zero(self):
+        with pytest.raises(MappingError):
+            DIVIDE.apply([1, 0])
+
+    def test_arithmetic_rejects_non_numbers(self):
+        with pytest.raises(MappingError):
+            ADD.apply([1, "x"])
+        with pytest.raises(MappingError):
+            ADD.apply([1, True])  # bools are not numbers here
+
+    def test_case_functions(self):
+        assert UPPER.apply(["ict"]) == "ICT"
+        assert LOWER.apply(["ICT"]) == "ict"
+
+    def test_registry_lookup(self):
+        assert scalar("concat") is CONCAT
+        with pytest.raises(MappingError):
+            scalar("reverse")
+
+
+class TestAggregates:
+    def test_count_counts_items_including_elements(self):
+        assert COUNT.apply([element("a"), element("b")]) == 2
+        assert COUNT.apply([]) == 0
+
+    def test_avg_matches_figure9(self):
+        assert AVG.apply([10000, 12000, 10500, 11000]) == 10875
+        assert AVG.apply([30000, 10000, 20000]) == 20000
+
+    def test_avg_atomizes_elements(self):
+        values = [element("sal", text=10), element("sal", text=20)]
+        assert AVG.apply(values) == 15
+
+    def test_avg_empty_raises(self):
+        with pytest.raises(MappingError):
+            AVG.apply([])
+
+    def test_sum_min_max(self):
+        assert SUM.apply([1, 2, 3]) == 6
+        assert MIN.apply([3, 1, 2]) == 1
+        assert MAX.apply([3, 1, 2]) == 3
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(MappingError):
+            MIN.apply([])
+        with pytest.raises(MappingError):
+            MAX.apply([])
+
+    def test_avg_rejects_non_numeric(self):
+        with pytest.raises(MappingError):
+            AVG.apply(["a"])
+
+    def test_registry_lookup(self):
+        assert aggregate("count") is COUNT
+        with pytest.raises(MappingError):
+            aggregate("median")

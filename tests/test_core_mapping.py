@@ -1,0 +1,160 @@
+"""Unit tests for the Clip object model and its construction API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapping import BuilderArc, BuildNode, ClipMapping, ValueMapping
+from repro.errors import MappingError
+from repro.scenarios import deptstore
+
+
+@pytest.fixture
+def clip(source_schema, departments_target):
+    return ClipMapping(source_schema, departments_target)
+
+
+class TestBuildApi:
+    def test_build_draws_builder_through_fresh_node(self, clip):
+        node = clip.build("dept", "department", var="d")
+        assert node.target.name == "department"
+        assert node.incoming[0].source.name == "dept"
+        assert node.incoming[0].variable == "d"
+        assert clip.roots == [node]
+
+    def test_context_node_has_no_output(self, clip):
+        node = clip.context("dept", var="d")
+        assert node.target is None
+        assert not node.has_output
+
+    def test_parent_attaches_context_arc(self, clip):
+        parent = clip.build("dept", "department", var="d")
+        child = clip.build("dept/regEmp", "department/employee", var="r", parent=parent)
+        assert child.parent is parent
+        assert parent.children == (child,)
+        assert clip.roots == [parent]  # child is not a root
+
+    def test_multi_arc_node_with_condition(self, source_schema):
+        clip = ClipMapping(source_schema, deptstore.target_schema_projemp())
+        node = clip.build(
+            ["dept/Proj", "dept/regEmp"],
+            "project-emp",
+            var=["p", "r"],
+            condition="$p.@pid = $r.@pid",
+        )
+        assert len(node.incoming) == 2
+        assert node.condition.is_join()
+
+    def test_group_node(self, source_schema):
+        clip = ClipMapping(source_schema, deptstore.target_schema_grouped_projects())
+        node = clip.group("dept/Proj", "project", var="p", by=["$p.pname.value"])
+        assert node.is_group
+        assert str(node.grouping[0]) == "$p.pname.value"
+
+    def test_group_requires_attributes(self, source_schema):
+        clip = ClipMapping(source_schema, deptstore.target_schema_grouped_projects())
+        with pytest.raises(MappingError):
+            clip.group("dept/Proj", "project", var="p", by=[])
+
+    def test_mismatched_vars_rejected(self, clip):
+        with pytest.raises(MappingError):
+            clip.build(["dept/Proj", "dept/regEmp"], "department", var=["p"])
+
+    def test_duplicate_variables_rejected(self, clip):
+        with pytest.raises(MappingError):
+            clip.build(["dept/Proj", "dept/regEmp"], "department", var=["x", "x"])
+
+    def test_node_needs_incoming_builder(self):
+        with pytest.raises(MappingError):
+            BuildNode([])
+
+    def test_double_context_arc_rejected(self, clip):
+        p1 = clip.build("dept", "department", var="d")
+        p2 = clip.context("dept", var="d2")
+        child = clip.build("dept/regEmp", "department/employee", var="r", parent=p1)
+        with pytest.raises(MappingError):
+            p2.attach(child)
+
+
+class TestValueApi:
+    def test_value_mapping_resolution(self, clip):
+        vm = clip.value("dept/regEmp/ename/value", "department/employee/@name")
+        assert vm.target.attribute == "name"
+        assert vm.sources[0].element.name == "ename"
+
+    def test_element_source_requires_aggregate(self, clip):
+        with pytest.raises(MappingError):
+            clip.value("dept/Proj", "department/employee/@name")
+
+    def test_aggregate_from_elements_allowed(self, source_schema):
+        clip = ClipMapping(source_schema, deptstore.target_schema_aggregates())
+        vm = clip.value_aggregate("count", "dept/Proj", "department/@numProj")
+        assert vm.is_aggregate
+        assert vm.aggregate.name == "count"
+
+    def test_multi_source_requires_function(self, clip):
+        with pytest.raises(MappingError):
+            ValueMapping(
+                [
+                    clip.source.value("dept/regEmp/ename/value"),
+                    clip.source.value("dept/dname/value"),
+                ],
+                clip.target.value("department/employee/@name"),
+            )
+
+    def test_multi_source_with_concat(self, clip):
+        from repro.core.functions import CONCAT
+
+        vm = clip.value(
+            ["dept/dname/value", "dept/regEmp/ename/value"],
+            "department/employee/@name",
+            function=CONCAT,
+        )
+        assert vm.function is CONCAT
+
+    def test_scalar_and_aggregate_conflict(self, clip):
+        from repro.core.functions import CONCAT, COUNT
+
+        with pytest.raises(MappingError):
+            ValueMapping(
+                [clip.source.value("dept/dname/value")],
+                clip.target.value("department/@name") if False else clip.target.value("department/employee/@name"),
+                function=CONCAT,
+                aggregate=COUNT,
+            )
+
+    def test_target_must_be_value_node(self, clip):
+        with pytest.raises(MappingError):
+            clip.value("dept/dname/value", "department")
+
+
+class TestScopes:
+    def test_arcs_in_scope_nearest_first(self, clip):
+        parent = clip.build("dept", "department", var="d")
+        child = clip.build("dept/regEmp", "department/employee", var="r", parent=parent)
+        scope = child.arcs_in_scope()
+        assert [arc.variable for _, arc in scope] == ["r", "d"]
+
+    def test_variable_arc_resolution(self, clip):
+        parent = clip.build("dept", "department", var="d")
+        child = clip.build("dept/regEmp", "department/employee", var="r", parent=parent)
+        node, arc = child.variable_arc("d")
+        assert node is parent and arc.variable == "d"
+        with pytest.raises(MappingError):
+            child.variable_arc("zz")
+
+    def test_subtree_preorder(self, clip):
+        parent = clip.build("dept", "department", var="d")
+        c1 = clip.build("dept/Proj", "department/project", var="p", parent=parent)
+        c2 = clip.build("dept/regEmp", "department/employee", var="r", parent=parent)
+        assert list(parent.subtree()) == [parent, c1, c2]
+
+    def test_builders_to(self, clip):
+        parent = clip.build("dept", "department", var="d")
+        target = clip.target.element("department")
+        assert clip.builders_to(target) == [parent]
+
+    def test_build_nodes_across_roots(self, clip):
+        clip.build("dept", "department", var="d")
+        clip.context("dept", var="c")
+        assert len(clip.build_nodes()) == 2

@@ -1,0 +1,83 @@
+"""Tests for the Clip diagram renderer."""
+
+from __future__ import annotations
+
+from repro.core.render import render_build_node, render_mapping, render_value_mapping
+from repro.scenarios import deptstore
+
+
+class TestValueMappingRendering:
+    def test_plain_copy(self):
+        clip = deptstore.mapping_fig3()
+        text = render_value_mapping(clip.value_mappings[0])
+        assert text == "dept/regEmp/ename/value ──> department/employee/@name"
+
+    def test_aggregate_tag(self):
+        clip = deptstore.mapping_fig9()
+        text = render_value_mapping(clip.value_mappings[1])
+        assert "<<count>>" in text
+        assert text.startswith("dept/Proj ──>")
+
+    def test_scalar_tag(self):
+        from repro.core.functions import CONCAT
+
+        clip = deptstore.mapping_fig5()
+        vm = clip.value(
+            ["dept/dname/value", "dept/Proj/pname/value"],
+            "department/project/@name",
+            function=CONCAT,
+        )
+        assert "[concat]" in render_value_mapping(vm)
+
+
+class TestBuildNodeRendering:
+    def test_builder_arrow_and_variable(self):
+        clip = deptstore.mapping_fig4()
+        lines = render_build_node(clip.roots[0])
+        assert lines[0] == "[$d:dept] ══> department"
+
+    def test_context_arc_indents_children(self):
+        clip = deptstore.mapping_fig4()
+        lines = render_build_node(clip.roots[0])
+        assert lines[1].startswith("  [$r:dept/regEmp]")
+
+    def test_condition_on_own_line(self):
+        clip = deptstore.mapping_fig3()
+        lines = render_build_node(clip.roots[0])
+        assert lines[1].strip() == "| $r.sal.value > 11000"
+
+    def test_group_label(self):
+        clip = deptstore.mapping_fig7()
+        lines = render_build_node(clip.roots[0])
+        assert "group-by { $p.pname.value }" in lines[0]
+
+    def test_context_only_marker(self):
+        clip = deptstore.mapping_fig6()
+        lines = render_build_node(clip.roots[0])
+        assert "(context only)" in lines[0]
+
+
+class TestFullDiagram:
+    def test_sections_present(self):
+        text = render_mapping(deptstore.mapping_fig7())
+        for section in ("SOURCE", "TARGET", "BUILDERS", "VALUE MAPPINGS"):
+            assert section in text
+
+    def test_mapping_without_builders(self):
+        from repro.core.mapping import ClipMapping
+
+        clip = ClipMapping(
+            deptstore.source_schema(), deptstore.target_schema_departments()
+        )
+        clip.value("dept/regEmp/ename/value", "department/employee/@name")
+        text = render_mapping(clip)
+        assert "default minimum-cardinality generation" in text
+
+    def test_mapping_without_value_mappings(self):
+        from repro.core.mapping import ClipMapping
+
+        clip = ClipMapping(
+            deptstore.source_schema(), deptstore.target_schema_departments()
+        )
+        clip.build("dept", "department", var="d")
+        assert "(none)" in render_mapping(clip)

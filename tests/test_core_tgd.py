@@ -1,0 +1,138 @@
+"""Unit tests for the nested-tgd AST and its paper-notation printer.
+
+The paper prints the tgd of every Section IV example; these tests pin
+our rendering to that notation (modulo documented variable naming).
+"""
+
+from __future__ import annotations
+
+from repro.core.compile import compile_clip
+from repro.core.tgd import (
+    Assignment,
+    Constant,
+    GroupByApp,
+    Membership,
+    NestedTgd,
+    Proj,
+    SchemaRoot,
+    SourceGenerator,
+    TargetGenerator,
+    TgdComparison,
+    TgdMapping,
+    Var,
+    expr_labels,
+    expr_root,
+    proj_path,
+)
+from repro.scenarios import deptstore
+
+
+class TestExpressions:
+    def test_proj_path_folds_labels(self):
+        expr = proj_path(Var("r"), ["sal", "value"])
+        assert str(expr) == "r.sal.value"
+
+    def test_expr_root_and_labels(self):
+        expr = proj_path(SchemaRoot("source"), ["dept", "regEmp"])
+        assert expr_root(expr) == SchemaRoot("source")
+        assert expr_labels(expr) == ["dept", "regEmp"]
+
+    def test_primed_variables_render_with_unicode_prime(self):
+        assert str(Var("d'")) == "d′"
+
+    def test_constants_render_by_type(self):
+        assert str(Constant("x")) == "'x'"
+        assert str(Constant(11000)) == "11000"
+        assert str(Constant(True)) == "true"
+
+    def test_membership_renders_with_element_of(self):
+        cond = Membership(Var("p2"), proj_path(Var("d2"), ["Proj"]))
+        assert str(cond) == "p2 ∈ d2.Proj"
+
+    def test_groupby_renders_bottom_for_unrestricted_context(self):
+        app = GroupByApp(None, (proj_path(Var("p"), ["pname", "value"]),))
+        assert str(app) == "group-by(⊥, [p.pname.value])"
+
+    def test_groupby_renders_context_variables(self):
+        app = GroupByApp(("d'",), (proj_path(Var("p"), ["pname", "value"]),))
+        assert str(app).startswith("group-by(d′,")
+
+
+class TestComparisonSemantics:
+    def test_holds(self):
+        cmp_ = TgdComparison(Var("x"), ">", Constant(1))
+        assert cmp_.holds(2, 1)
+        assert not cmp_.holds(1, 1)
+        for op, ok in [("=", (1, 1)), ("!=", (1, 2)), ("<", (1, 2)), ("<=", (1, 1)), (">=", (2, 1))]:
+            assert TgdComparison(Var("x"), op, Constant(0)).holds(*ok)
+
+
+class TestPaperNotation:
+    def test_fig3_tgd_matches_paper(self):
+        tgd = compile_clip(deptstore.mapping_fig3())
+        assert str(tgd) == (
+            "∀ d ∈ source.dept, r ∈ d.regEmp | r.sal.value > 11000 →\n"
+            "  ∃ d′ ∈ target.department, r′ ∈ d′.employee |\n"
+            "    r′.@name = r.ename.value"
+        )
+
+    def test_fig4_tgd_nests_submapping_in_brackets(self):
+        text = str(compile_clip(deptstore.mapping_fig4()))
+        assert text.startswith("∀ d ∈ source.dept →")
+        assert "[∀ r ∈ d.regEmp | r.sal.value > 11000 →" in text
+        assert text.rstrip().endswith("r′.@name = r.ename.value]")
+
+    def test_fig5_tgd_has_two_submappings(self):
+        text = str(compile_clip(deptstore.mapping_fig5()))
+        assert text.count("[∀") == 2
+        assert "∃ p′ ∈ d′.project" in text
+        assert "∃ r′ ∈ d′.employee" in text
+
+    def test_fig6_tgd_outer_level_builds_nothing(self):
+        text = str(compile_clip(deptstore.mapping_fig6()))
+        first_line, rest = text.split("\n", 1)
+        assert first_line == "∀ d ∈ source.dept →"
+        assert "∃ p′ ∈ target.project-emp" in rest
+        assert "p.@pid = r.@pid" in rest
+
+    def test_fig7_tgd_declares_group_by_function(self):
+        text = str(compile_clip(deptstore.mapping_fig7()))
+        assert text.startswith("∃ group-by(")
+        assert "p′ = group-by(⊥, [p.pname.value])" in text
+        assert "p2 ∈ p" in text
+        assert text.endswith(")")
+
+    def test_fig8_tgd_has_membership_condition(self):
+        text = str(compile_clip(deptstore.mapping_fig8()))
+        assert "∈ d2.Proj" in text  # the inversion membership
+
+    def test_fig9_tgd_matches_paper(self):
+        tgd = compile_clip(deptstore.mapping_fig9())
+        assert str(tgd) == (
+            "∃ count, avg(\n"
+            "  ∀ d ∈ source.dept →\n"
+            "    ∃ d′ ∈ target.department |\n"
+            "      d′.@name = d.dname.value,\n"
+            "      d′.@numProj = count(d.Proj),\n"
+            "      d′.@numEmps = count(d.regEmp),\n"
+            "      d′.@avg-sal = avg(d.regEmp.sal.value))"
+        )
+
+
+class TestWalk:
+    def test_walk_visits_all_levels(self):
+        tgd = compile_clip(deptstore.mapping_fig5())
+        assert len(list(tgd.walk())) == 3
+
+    def test_built_vars(self):
+        tgd = compile_clip(deptstore.mapping_fig3())
+        (mapping,) = tgd.roots
+        assert mapping.built_vars() == ["r'"]
+        # The department generator is printed but unquantified.
+        unquantified = [g for g in mapping.target_gens if not g.quantified]
+        assert [g.var for g in unquantified] == ["d'"]
+
+    def test_empty_generator_level_renders_as_top(self):
+        mapping = TgdMapping((), (), (TargetGenerator("x'", Proj(SchemaRoot("t"), "a"), quantified=False),), ())
+        text = str(NestedTgd((mapping,), source_root="s", target_root="t"))
+        assert text.startswith("∀ ⊤")

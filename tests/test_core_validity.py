@@ -1,0 +1,212 @@
+"""Unit tests for the Section III validity rules.
+
+The class names follow the paper's subsections: safe builders, valid
+CPTs (topological alignment with the target), and valid value mappings
+(driver existence and bounded source paths), including the paper's
+lettered a)–d) examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapping import ClipMapping
+from repro.core.validity import check, find_driver, residual_repeats, source_anchor
+from repro.errors import InvalidMappingError
+from repro.scenarios import deptstore
+from repro.xsd.dsl import attr, elem, schema
+from repro.xsd.types import STRING
+
+
+class TestSafeBuilders:
+    def test_single_to_repeating_is_safe(self, source_schema):
+        """Example a): a single element safely connects to a repeating one."""
+        target = schema(elem("target", elem("item", "[0..*]", attr("n", STRING, required=False))))
+        clip = ClipMapping(source_schema, target)
+        clip.build("dept/dname", "item", var="x")  # dname is [1..1]
+        assert check(clip).is_valid
+
+    def test_repeating_to_single_is_unsafe(self, source_schema):
+        target = schema(elem("target", elem("only", attr("n", STRING, required=False))))
+        clip = ClipMapping(source_schema, target)
+        clip.build("dept", "only", var="d")
+        report = check(clip)
+        assert not report.is_valid
+        assert report.by_rule("SAFE_BUILDER")
+
+    def test_cartesian_product_to_single_is_unsafe(self, source_schema):
+        """Example b): a product result cannot feed a non-repeating element."""
+        target = schema(elem("target", elem("only", attr("n", STRING, required=False))))
+        clip = ClipMapping(source_schema, target)
+        clip.build(["dept/dname", "dept/dname"], "only", var=["a", "b"])
+        assert check(clip).by_rule("SAFE_BUILDER")
+
+    def test_group_node_to_single_is_unsafe(self, source_schema):
+        target = schema(elem("target", elem("only", attr("n", STRING, required=False))))
+        clip = ClipMapping(source_schema, target)
+        clip.group("dept/Proj", "only", var="p", by=["$p.pname.value"])
+        assert check(clip).by_rule("SAFE_BUILDER")
+
+
+class TestCptAlignment:
+    def test_linear_valid(self, source_schema, departments_target):
+        """Linear valid: CPT aligned with both schemas."""
+        clip = ClipMapping(source_schema, departments_target)
+        parent = clip.build("dept", "department", var="d")
+        clip.build("dept/regEmp", "department/employee", var="r", parent=parent)
+        assert check(clip).is_valid
+
+    def test_inverted_valid(self, source_schema):
+        """Inverted valid: aligned with the target, not the source —
+        Figure 8's shape."""
+        clip = deptstore.mapping_fig8()
+        assert check(clip).is_valid
+
+    def test_inverted_invalid(self, source_schema, departments_target):
+        """Inverted INVALID: the CPT is not aligned with the target —
+        the child's target is not below the parent's."""
+        clip = ClipMapping(source_schema, departments_target)
+        parent = clip.build("dept/regEmp", "department/employee", var="r")
+        clip.build("dept", "department", var="d", parent=parent)
+        report = check(clip)
+        assert report.by_rule("CPT_ALIGNMENT")
+
+    def test_sibling_targets_under_common_parent_are_aligned(self, source_schema, departments_target):
+        clip = deptstore.mapping_fig5()
+        assert check(clip).is_valid
+
+
+class TestValueMappingDrivers:
+    def test_driver_is_first_builder_on_target_path(self):
+        clip = deptstore.mapping_fig4()
+        vm = clip.value_mappings[0]
+        driver = find_driver(clip, vm)
+        assert driver.target.name == "employee"
+
+    def test_driver_found_on_ancestor(self, source_schema):
+        """Example b): att5 does not directly descend from the built
+        element — the builder on the ancestor still drives it."""
+        target = schema(
+            elem(
+                "target",
+                elem(
+                    "D",
+                    "[0..*]",
+                    elem("E", attr("att5", STRING, required=False)),
+                ),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        clip.build("dept", "D", var="d")
+        clip.value("dept/dname/value", "D/E/@att5")
+        assert find_driver(clip, clip.value_mappings[0]).target.name == "D"
+        assert check(clip).is_valid
+
+    def test_no_driver_with_builders_is_invalid(self, source_schema):
+        """Rule (i): with a CPT present, a value mapping whose target
+        path meets no builder is invalid."""
+        target = schema(
+            elem(
+                "target",
+                elem("X", "[0..*]", attr("a", STRING, required=False)),
+                elem("Y", "[0..*]", attr("b", STRING, required=False)),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        clip.build("dept", "X", var="d")
+        clip.value("dept/dname/value", "Y/@b")
+        assert check(clip).by_rule("VM_DRIVER")
+
+    def test_no_builders_at_all_is_valid_default(self, source_schema, departments_target):
+        clip = ClipMapping(source_schema, departments_target)
+        clip.value("dept/regEmp/ename/value", "department/employee/@name")
+        assert check(clip).is_valid
+
+    def test_unbounded_repeating_source_is_invalid(self, source_schema, departments_target):
+        """Example d): the source value sits under a repeating element no
+        builder bounds — Clip does not know how to iterate it."""
+        clip = ClipMapping(source_schema, departments_target)
+        clip.build("dept", "department", var="d")
+        clip.value("dept/regEmp/ename/value", "department/project/@name")
+        assert check(clip).by_rule("VM_SOURCE_SCOPE")
+
+    def test_bounded_source_is_valid(self, source_schema, departments_target):
+        """Example c): the driver bounds an ancestor of the value node."""
+        clip = ClipMapping(source_schema, departments_target)
+        clip.build("dept", "department", var="d")
+        clip.value("dept/dname/value", "department/project/@name")
+        assert check(clip).is_valid
+
+    def test_aggregates_are_always_valid(self, source_schema):
+        """'The driver of an aggregate value mapping is always valid.'"""
+        clip = ClipMapping(source_schema, deptstore.target_schema_aggregates())
+        clip.build("dept", "department", var="d")
+        clip.value_aggregate("avg", "dept/regEmp/sal/value", "department/@avg-sal")
+        assert check(clip).is_valid
+
+
+class TestGroupedValues:
+    def test_grouping_attribute_may_be_mapped(self):
+        clip = deptstore.mapping_fig7()
+        assert check(clip).is_valid
+
+    def test_non_grouping_value_of_grouped_element_is_invalid(self, source_schema):
+        """'Non-grouping values have multiple and a-priori different
+        values, and cannot be mapped … unless condensed by aggregates.'"""
+        target = schema(
+            elem(
+                "target",
+                elem("project", "[1..*]", attr("name", STRING, required=False), attr("pid", STRING, required=False)),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        clip.group("dept/Proj", "project", var="p", by=["$p.pname.value"])
+        clip.value("dept/Proj/pname/value", "project/@name")  # grouping attr: ok
+        clip.value("dept/Proj/@pid", "project/@pid")  # non-grouping: not ok
+        report = check(clip)
+        assert report.by_rule("VM_GROUPED_VALUE")
+        assert len(report.errors()) == 1
+
+
+class TestStructuralRules:
+    def test_unbound_condition_variable(self, source_schema, departments_target):
+        clip = ClipMapping(source_schema, departments_target)
+        clip.build("dept", "department", var="d", condition="$zz.dname.value = 'ICT'")
+        assert check(clip).by_rule("VAR_SCOPE")
+
+    def test_grouping_attr_must_use_own_variables(self, source_schema):
+        clip = ClipMapping(source_schema, deptstore.target_schema_grouped_projects())
+        outer = clip.context("dept", var="d")
+        clip.group("dept/Proj", "project", var="p", by=["$d.dname.value"], parent=outer)
+        assert check(clip).by_rule("GROUP_ATTRS")
+
+    def test_foreign_schema_elements_rejected(self, source_schema, departments_target):
+        other = deptstore.source_schema()  # a *different* tree instance
+        clip = ClipMapping(source_schema, departments_target)
+        clip.build(other.element("dept"), "department", var="d")
+        assert check(clip).by_rule("SCHEMA_SIDE")
+
+
+class TestHelpers:
+    def test_residual_repeats(self, source_schema):
+        dept = source_schema.element("dept")
+        sal = source_schema.element("dept/regEmp/sal")
+        assert [e.name for e in residual_repeats(dept, sal)] == ["regEmp"]
+        reg = source_schema.element("dept/regEmp")
+        assert residual_repeats(reg, sal) == []
+
+    def test_source_anchor_prefers_deepest(self):
+        clip = deptstore.mapping_fig4()
+        employee_node = clip.roots[0].children[0]
+        ename = clip.source.element("dept/regEmp/ename")
+        owner, arc = source_anchor(employee_node, ename)
+        assert arc.variable == "r"
+
+    def test_invalid_mapping_error_carries_report(self, source_schema, departments_target):
+        from repro.core.compile import compile_clip
+
+        clip = ClipMapping(source_schema, departments_target)
+        clip.build("dept", "department", var="d", condition="$zz.x = 1")
+        with pytest.raises(InvalidMappingError) as exc:
+            compile_clip(clip)
+        assert exc.value.report.by_rule("VAR_SCOPE")

@@ -1,0 +1,113 @@
+"""Tests for the validity rules beyond Section III.
+
+Systematic enumeration over the Table I scenarios surfaced drawable
+diagrams the paper never gives a semantics for; `DISTRIBUTION_SCOPE`
+and `GROUP_CONTEXT` mark them invalid (see EXPERIMENTS.md, deviations).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapping import ClipMapping
+from repro.core.validity import check
+from repro.scenarios import deptstore
+
+
+class TestDistributionScope:
+    def test_root_level_distribution_is_valid(self):
+        """The paper's Figure 4 no-arc shape: two independent trees."""
+        clip = deptstore.mapping_fig4(context_arc=False)
+        assert check(clip).is_valid
+
+    def test_distribution_from_inside_a_cpt_is_invalid(self, source_schema, departments_target):
+        """An employee builder under a context node, crossing a
+        department another tree builds: ambiguous containment."""
+        clip = ClipMapping(source_schema, departments_target)
+        clip.build("dept", "department", var="d")          # independent tree
+        ctx = clip.context("dept", var="c")
+        clip.build("dept/regEmp", "department/employee", var="r", parent=ctx)
+        clip.value("dept/regEmp/ename/value", "department/employee/@name")
+        report = check(clip)
+        assert report.by_rule("DISTRIBUTION_SCOPE")
+
+    def test_sibling_distribution_in_same_tree_is_invalid(self, source_schema, departments_target):
+        """Both nodes under one context node: the child should be
+        attached below the department builder instead."""
+        clip = ClipMapping(source_schema, departments_target)
+        ctx = clip.context("dept", var="c")
+        clip.build("dept", "department", var="d", parent=ctx)
+        clip.build("dept/regEmp", "department/employee", var="r", parent=ctx)
+        clip.value("dept/regEmp/ename/value", "department/employee/@name")
+        assert check(clip).by_rule("DISTRIBUTION_SCOPE")
+
+    def test_properly_nested_builder_is_valid(self):
+        assert check(deptstore.mapping_fig4()).is_valid
+
+    def test_wrapper_without_other_builder_is_valid(self):
+        """fig3: department is a plain constant tag — nobody builds it."""
+        assert check(deptstore.mapping_fig3()).is_valid
+
+
+class TestGroupContext:
+    def test_group_at_root_is_valid(self):
+        assert check(deptstore.mapping_fig7()).is_valid
+
+    def test_group_under_built_ancestor_is_valid(self, source_schema):
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        target = schema(
+            elem(
+                "t",
+                elem(
+                    "department",
+                    "[1..*]",
+                    elem("project", "[0..*]", attr("name", STRING, required=False)),
+                ),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        dept = clip.build("dept", "department", var="d")
+        clip.group("dept/Proj", "department/project", var="p",
+                   by=["$p.pname.value"], parent=dept)
+        clip.value("dept/Proj/pname/value", "department/project/@name")
+        assert check(clip).is_valid
+
+    def test_group_under_context_only_node_is_invalid(self, source_schema):
+        clip = ClipMapping(source_schema, deptstore.target_schema_grouped_projects())
+        ctx = clip.context("dept", var="c")
+        clip.group("dept/Proj", "project", var="p",
+                   by=["$p.pname.value"], parent=ctx)
+        clip.value("dept/Proj/pname/value", "project/@name")
+        report = check(clip)
+        assert report.by_rule("GROUP_CONTEXT")
+
+    def test_engines_agree_on_group_under_built_ancestor(self, source_schema):
+        """The supported nested-grouping shape stays cross-checked."""
+        from repro.core.compile import compile_clip
+        from repro.executor import execute
+        from repro.xquery import emit_xquery, run_query
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        target = schema(
+            elem(
+                "t",
+                elem(
+                    "department",
+                    "[1..*]",
+                    attr("name", STRING, required=False),
+                    elem("project", "[0..*]", attr("name", STRING, required=False)),
+                ),
+            )
+        )
+        clip = ClipMapping(source_schema, target)
+        dept = clip.build("dept", "department", var="d")
+        clip.group("dept/Proj", "department/project", var="p",
+                   by=["$p.pname.value"], parent=dept)
+        clip.value("dept/dname/value", "department/@name")
+        clip.value("dept/Proj/pname/value", "department/project/@name")
+        tgd = compile_clip(clip)
+        instance = deptstore.source_instance()
+        assert execute(tgd, instance) == run_query(emit_xquery(tgd), instance)

@@ -1,0 +1,65 @@
+"""Tests for focused mapping views (filters/highlighting)."""
+
+from __future__ import annotations
+
+from repro.core.views import focus
+from repro.scenarios import deptstore
+
+
+class TestFocus:
+    def test_source_focus_filters_value_mappings(self):
+        clip = deptstore.mapping_fig5()
+        view = focus(clip, source="dept/Proj")
+        assert len(view.value_mappings) == 1
+        assert view.value_mappings[0].target.element.name == "project"
+
+    def test_target_focus_filters_builders(self):
+        clip = deptstore.mapping_fig5()
+        view = focus(clip, target="department/employee")
+        assert [n.target.name for n in view.build_nodes] == ["employee"]
+
+    def test_ancestor_context_kept_visible(self):
+        clip = deptstore.mapping_fig5()
+        view = focus(clip, target="department/employee")
+        visible_targets = [
+            n.target.name for n in view.visible_nodes if n.target is not None
+        ]
+        assert "department" in visible_targets  # the parent node stays visible
+
+    def test_both_scopes_intersect(self):
+        clip = deptstore.mapping_fig5()
+        view = focus(clip, source="dept/Proj", target="department/employee")
+        assert view.value_mappings == []
+
+    def test_no_scope_is_full_view(self):
+        clip = deptstore.mapping_fig5()
+        view = focus(clip)
+        assert len(view.value_mappings) == len(clip.value_mappings)
+        assert len(view.build_nodes) == len(clip.build_nodes())
+
+    def test_empty_view(self):
+        clip = deptstore.mapping_fig5()
+        view = focus(clip, source="dept/regEmp/sal")
+        assert view.value_mappings == []
+        assert view.is_empty or view.build_nodes == []
+
+    def test_render_marks_highlighted_nodes(self):
+        clip = deptstore.mapping_fig5()
+        view = focus(clip, target="department/employee")
+        text = view.render()
+        assert "»" in text           # the employee node is highlighted
+        assert "dept/regEmp" in text
+        assert "project" not in text.split("value mappings:")[0].replace(
+            "FOCUSED VIEW", ""
+        )  # the project sibling node is filtered out of the builders block
+
+    def test_render_empty_view(self):
+        clip = deptstore.mapping_fig5()
+        text = focus(clip, source="dept/regEmp/sal").render()
+        assert "(none in focus)" in text
+
+    def test_group_node_focus(self):
+        clip = deptstore.mapping_fig7()
+        view = focus(clip, target="project/employee")
+        assert len(view.build_nodes) == 1
+        assert view.visible_nodes[0].is_group  # the group parent kept

@@ -1,0 +1,69 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "XmlError",
+            "XmlParseError",
+            "PathError",
+            "SchemaError",
+            "SchemaParseError",
+            "ValidationError",
+            "MappingError",
+            "InvalidMappingError",
+            "CompileError",
+            "ExecutionError",
+            "GenerationError",
+            "XQueryError",
+            "XQueryTypeError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_sub_hierarchies(self):
+        assert issubclass(errors.XmlParseError, errors.XmlError)
+        assert issubclass(errors.SchemaParseError, errors.SchemaError)
+        assert issubclass(errors.ValidationError, errors.SchemaError)
+        assert issubclass(errors.InvalidMappingError, errors.MappingError)
+        assert issubclass(errors.CompileError, errors.MappingError)
+        assert issubclass(errors.XQueryTypeError, errors.XQueryError)
+
+    def test_one_except_clause_catches_the_world(self):
+        from repro.xml.parser import parse_xml
+
+        with pytest.raises(errors.ReproError):
+            parse_xml("<broken")
+
+
+class TestPayloads:
+    def test_validation_error_carries_violations(self):
+        from repro.scenarios import deptstore
+        from repro.xml.model import element
+        from repro.xsd.validate import validate
+
+        with pytest.raises(errors.ValidationError) as excinfo:
+            validate(element("source"), deptstore.source_schema(), raise_on_error=True)
+        assert excinfo.value.violations
+        assert "dept" in str(excinfo.value)
+
+    def test_invalid_mapping_error_carries_report(self):
+        from repro.core.compile import compile_clip
+        from repro.core.mapping import ClipMapping
+        from repro.scenarios import deptstore
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        target = schema(elem("t", elem("one", attr("n", STRING, required=False))))
+        clip = ClipMapping(deptstore.source_schema(), target)
+        clip.build("dept", "one", var="d")
+        with pytest.raises(errors.InvalidMappingError) as excinfo:
+            compile_clip(clip)
+        assert excinfo.value.report.by_rule("SAFE_BUILDER")
+        assert "SAFE_BUILDER" in str(excinfo.value)

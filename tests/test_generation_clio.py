@@ -1,0 +1,166 @@
+"""Unit tests for the Clio baseline generator."""
+
+from __future__ import annotations
+
+from repro.core.mapping import ValueMapping
+from repro.executor import execute
+from repro.generation import generate_clio
+from repro.scenarios import deptstore, generic
+
+
+def _fig4_vms(source, target):
+    return [
+        ValueMapping(
+            [source.value("dept/regEmp/ename/value")],
+            target.value("department/employee/@name"),
+        )
+    ]
+
+
+class TestSection5aExample:
+    def test_emitted_tgd_matches_paper(self, source_schema, departments_target):
+        """Section V-A prints the tgd Clio emits for the Figure 4 value
+        mapping: the chased join over Proj."""
+        result = generate_clio(source_schema, departments_target,
+                               _fig4_vms(source_schema, departments_target))
+        text = str(result.tgd)
+        assert "∀ d ∈ source.dept" in text
+        assert "r ∈ d.regEmp" in text
+        assert "p ∈ d.Proj" in text
+        assert ".@pid = " in text  # the chase-introduced join condition
+        assert "∃ d′ ∈ target.department, e′ ∈ d′.employee" in text
+        assert "e′.@name = r.ename.value" in text
+
+    def test_without_chase_no_join_condition(self, source_schema, departments_target):
+        result = generate_clio(
+            source_schema,
+            departments_target,
+            _fig4_vms(source_schema, departments_target),
+            use_chase=False,
+        )
+        (mapping,) = result.tgd.roots
+        assert mapping.where == ()
+        assert [g.var for g in mapping.source_gens] == ["d", "r"]
+
+
+class TestFigure1Problem:
+    def test_clio_encloses_each_node_in_its_own_department(
+        self, source_schema, departments_target, source_instance
+    ):
+        """The motivating failure: Clio's output has one department per
+        project and per employee."""
+        vms = [
+            ValueMapping(
+                [source_schema.value("dept/Proj/pname/value")],
+                departments_target.value("department/project/@name"),
+            ),
+            ValueMapping(
+                [source_schema.value("dept/regEmp/ename/value")],
+                departments_target.value("department/employee/@name"),
+            ),
+        ]
+        result = generate_clio(source_schema, departments_target, vms)
+        out = execute(result.tgd, source_instance)
+        departments = out.findall("department")
+        assert len(departments) == 4 + 7  # one per Proj + one per joined regEmp
+        assert all(len(d.children) == 1 for d in departments)
+
+    def test_the_two_mappings_cannot_nest(self, source_schema, departments_target):
+        vms = [
+            ValueMapping(
+                [source_schema.value("dept/Proj/pname/value")],
+                departments_target.value("department/project/@name"),
+            ),
+            ValueMapping(
+                [source_schema.value("dept/regEmp/ename/value")],
+                departments_target.value("department/employee/@name"),
+            ),
+        ]
+        result = generate_clio(source_schema, departments_target, vms)
+        assert len(result.forest) == 2
+        assert all(not node.children for node in result.forest)
+
+
+class TestFigure10:
+    def test_flat_roots_ab_and_ad(self, generic_source, generic_target):
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        result = generate_clio(generic_source, generic_target, vms)
+        names = sorted(a.skeleton.shorthand() for a in result.emitted)
+        assert names == ["{A-B} -> {F-G}", "{A-D} -> {F-G}"]
+        assert len(result.tgd.roots) == 2
+
+    def test_each_root_quantifies_f_per_iteration(self, generic_source, generic_target):
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        result = generate_clio(generic_source, generic_target, vms)
+        instance = generic.sample_instance()
+        out = execute(result.tgd, instance)
+        # A1 has 2 Bs + 1 D; A2 has 1 B + 2 Ds → 3 + 3 F elements.
+        assert len(out.findall("F")) == 6
+
+
+class TestNestingRefinement:
+    def test_nested_mappings_share_target_construction(
+        self, source_schema, source_instance
+    ):
+        """With a dept-level value mapping present, the employee mapping
+        nests inside the department mapping ([2])."""
+        target = deptstore.target_schema_aggregates()
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        target = schema(
+            elem(
+                "target",
+                elem(
+                    "department",
+                    "[1..*]",
+                    attr("name", STRING, required=False),
+                    elem("employee", "[0..*]", attr("name", STRING, required=False)),
+                ),
+            )
+        )
+        vms = [
+            ValueMapping(
+                [source_schema.value("dept/dname/value")],
+                target.value("department/@name"),
+            ),
+            ValueMapping(
+                [source_schema.value("dept/regEmp/ename/value")],
+                target.value("department/employee/@name"),
+            ),
+        ]
+        result = generate_clio(source_schema, target, vms)
+        assert len(result.forest) == 1
+        assert len(result.forest[0].children) == 1
+        out = execute(result.tgd, source_instance)
+        departments = out.findall("department")
+        assert [d.attribute("name") for d in departments] == ["ICT", "Marketing"]
+        assert len(departments[0].findall("employee")) == 4
+
+    def test_nest_false_emits_flat(self, source_schema):
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        target = schema(
+            elem(
+                "target",
+                elem(
+                    "department",
+                    "[1..*]",
+                    attr("name", STRING, required=False),
+                    elem("employee", "[0..*]", attr("name", STRING, required=False)),
+                ),
+            )
+        )
+        vms = [
+            ValueMapping(
+                [source_schema.value("dept/dname/value")],
+                target.value("department/@name"),
+            ),
+            ValueMapping(
+                [source_schema.value("dept/regEmp/ename/value")],
+                target.value("department/employee/@name"),
+            ),
+        ]
+        result = generate_clio(source_schema, target, vms, nest=False)
+        assert len(result.tgd.roots) == 2

@@ -1,0 +1,127 @@
+"""Unit tests for Clip's generation extension (Section V-B)."""
+
+from __future__ import annotations
+
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.generation import (
+    clip_mapping_from_forest,
+    find_general_root,
+    generate_clio,
+    generate_clip,
+    product_tableau,
+    skeleton_for_build_node,
+)
+from repro.scenarios import deptstore, generic
+
+
+class TestRootGeneralization:
+    def test_fig10_activates_a_to_f(self, generic_source, generic_target):
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        clio = generate_clio(generic_source, generic_target, vms)
+        general = find_general_root(clio)
+        assert general is not None
+        assert general.source.shorthand() == "{A}"
+        assert general.target.shorthand() == "{F}"
+
+    def test_fig10_nested_tgd_matches_paper(self, generic_source, generic_target):
+        """The paper's first Section V-B nested expression."""
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        result = generate_clip(generic_source, generic_target, vms)
+        assert len(result.forest) == 1
+        root = result.forest[0]
+        assert root.active.skeleton.shorthand() == "{A} -> {F}"
+        assert len(root.children) == 2
+        text = str(result.tgd)
+        assert text.startswith("∀ a ∈ ROOT.A →")
+        assert "[∀ b ∈ a.B →" in text
+        assert "[∀ d ∈ a.D →" in text
+        assert text.count("∃ f′ ∈ TROOT.F") == 1  # F built once, at the root
+
+    def test_fig10_abd_product_case(self, generic_source, generic_target):
+        """The paper's second walkthrough: ABD → FG nests under A → F and
+        computes the Cartesian product with respect to the A values."""
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        abd = product_tableau(
+            generic_source,
+            [generic_source.element("A/B"), generic_source.element("A/D")],
+        )
+        result = generate_clip(
+            generic_source, generic_target, vms, extra_source_tableaux=[abd]
+        )
+        assert len(result.forest) == 1
+        (child,) = result.forest[0].children
+        assert {e.name for e in child.active.skeleton.source.generators} == {"A", "B", "D"}
+        out = execute(result.tgd, generic.sample_instance())
+        # A1: 2 Bs × 1 D = 2 Gs; A2: 1 B × 2 Ds = 2 Gs — per-A products.
+        fs = out.findall("F")
+        assert [len(f.findall("G")) for f in fs] == [2, 2]
+
+    def test_generated_output_preserves_containment(self, generic_source, generic_target):
+        """Contrast with Clio's flat mappings: one F per A, with both
+        G kinds inside."""
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        result = generate_clip(generic_source, generic_target, vms)
+        out = execute(result.tgd, generic.sample_instance())
+        assert len(out.findall("F")) == 2
+        first = out.findall("F")[0]
+        assert len(first.findall("G")) == 3  # 2 Bs + 1 D of the first A
+
+    def test_no_generalization_when_none_exists(self, source_schema):
+        """A single mapping with nothing above it stays as-is."""
+        target = deptstore.target_schema_projemp()
+        from repro.core.mapping import ValueMapping
+
+        vms = [
+            ValueMapping(
+                [source_schema.value("dept/Proj/pname/value")],
+                target.value("project-emp/@pname"),
+            )
+        ]
+        clio = generate_clio(source_schema, target, vms)
+        result = generate_clip(source_schema, target, vms)
+        # target {project-emp} has no proper subset tableau → no new root.
+        assert len(result.forest) == len(clio.forest) == 1
+
+
+class TestBuildNodeSkeletons:
+    def test_build_node_matches_skeleton(self):
+        """'Clip's build nodes correspond to Clio's mapping skeletons.'"""
+        clip = deptstore.mapping_fig4()
+        employee_node = clip.roots[0].children[0]
+        skeleton = skeleton_for_build_node(clip, employee_node)
+        assert {e.name for e in skeleton.source.generators} >= {"dept", "regEmp"}
+        assert {e.name for e in skeleton.target.generators} == {
+            "department",
+            "employee",
+        }
+
+    def test_context_only_root_has_empty_target_tableau(self):
+        clip = deptstore.mapping_fig6()
+        root = clip.roots[0]
+        skeleton = skeleton_for_build_node(clip, root)
+        assert skeleton.target.generators == ()
+
+    def test_product_node_creates_new_tableau(self):
+        clip = deptstore.mapping_fig6(outer_context=False)
+        node = clip.roots[0]
+        skeleton = skeleton_for_build_node(clip, node)
+        names = {e.name for e in skeleton.source.generators}
+        assert names == {"dept", "Proj", "regEmp"}
+
+
+class TestCptSynthesis:
+    def test_forest_to_clip_mapping_roundtrip(self, generic_source, generic_target):
+        """'A CPT is a nested mapping': the generated forest converts to
+        an explicit Clip diagram computing the same instance."""
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        result = generate_clip(generic_source, generic_target, vms)
+        clip = clip_mapping_from_forest(
+            generic_source, generic_target, vms, result.forest
+        )
+        assert len(clip.roots) == 1
+        assert len(clip.roots[0].children) == 2
+        instance = generic.sample_instance()
+        direct = execute(result.tgd, instance)
+        via_clip = execute(compile_clip(clip, require_valid=False), instance)
+        assert via_clip.equals_canonically(direct)

@@ -1,0 +1,74 @@
+"""Unit tests for the nesting forest ([2] refinement)."""
+
+from __future__ import annotations
+
+from repro.core.mapping import ValueMapping
+from repro.generation.nesting import NestNode, can_nest_under, nest_forest
+from repro.generation.skeletons import ActiveSkeleton, Skeleton
+from repro.generation.tableaux import Tableau, compute_tableaux
+from repro.scenarios import generic
+
+
+def _skeletons(generic_source, generic_target):
+    src = compute_tableaux(generic_source)
+    tgt = compute_tableaux(generic_target)
+    by_name = {t.shorthand(): t for t in src + tgt}
+    return by_name
+
+
+class TestCanNest:
+    def test_proper_componentwise_subset_with_proper_target(
+        self, generic_source, generic_target
+    ):
+        names = _skeletons(generic_source, generic_target)
+        a_f = ActiveSkeleton(Skeleton(names["{A}"], names["{F}"]), ())
+        ab_fg = ActiveSkeleton(Skeleton(names["{A-B}"], names["{F-G}"]), ())
+        assert can_nest_under(ab_fg, a_f)
+        assert not can_nest_under(a_f, ab_fg)
+
+    def test_equal_targets_cannot_nest(self, generic_source, generic_target):
+        """'ABD → FG is not a sub-mapping of AB → FG … because the
+        target side of the mappings is the same.'"""
+        names = _skeletons(generic_source, generic_target)
+        ab_fg = ActiveSkeleton(Skeleton(names["{A-B}"], names["{F-G}"]), ())
+        abc_fg = ActiveSkeleton(Skeleton(names["{A-B-C}"], names["{F-G}"]), ())
+        assert not can_nest_under(abc_fg, ab_fg)
+
+    def test_incomparable_sources_cannot_nest(self, generic_source, generic_target):
+        names = _skeletons(generic_source, generic_target)
+        ab_fg = ActiveSkeleton(Skeleton(names["{A-B}"], names["{F-G}"]), ())
+        ad_f = ActiveSkeleton(Skeleton(names["{A-D}"], names["{F}"]), ())
+        assert not can_nest_under(ab_fg, ad_f)
+
+
+class TestForest:
+    def test_most_specific_parent_wins(self, generic_source, generic_target):
+        """ABC→FG can nest under both A→F and AB→F; the most specific
+        admissible parent (AB→F) wins.  A→F and AB→F share the target F,
+        so neither nests under the other — both stay roots."""
+        names = _skeletons(generic_source, generic_target)
+        a_f = ActiveSkeleton(Skeleton(names["{A}"], names["{F}"]), ())
+        ab_f = ActiveSkeleton(Skeleton(names["{A-B}"], names["{F}"]), ())
+        abc_fg = ActiveSkeleton(Skeleton(names["{A-B-C}"], names["{F-G}"]), ())
+        roots = nest_forest([a_f, ab_f, abc_fg])
+        assert {r.active.skeleton.shorthand() for r in roots} == {
+            "{A} -> {F}",
+            "{A-B} -> {F}",
+        }
+        (ab_node,) = [r for r in roots if r.active is ab_f]
+        (child,) = ab_node.children
+        assert child.active is abc_fg
+
+    def test_unrelated_mappings_stay_roots(self, generic_source, generic_target):
+        names = _skeletons(generic_source, generic_target)
+        ab_fg = ActiveSkeleton(Skeleton(names["{A-B}"], names["{F-G}"]), ())
+        ad_fg = ActiveSkeleton(Skeleton(names["{A-D}"], names["{F-G}"]), ())
+        roots = nest_forest([ab_fg, ad_fg])
+        assert len(roots) == 2
+
+    def test_walk(self, generic_source, generic_target):
+        names = _skeletons(generic_source, generic_target)
+        a_f = ActiveSkeleton(Skeleton(names["{A}"], names["{F}"]), ())
+        ab_fg = ActiveSkeleton(Skeleton(names["{A-B}"], names["{F-G}"]), ())
+        (root,) = nest_forest([a_f, ab_fg])
+        assert [n.active for n in root.walk()] == [a_f, ab_fg]

@@ -1,0 +1,103 @@
+"""Unit tests for the skeleton matrix, activation and subsumption."""
+
+from __future__ import annotations
+
+from repro.core.mapping import ValueMapping
+from repro.generation.skeletons import (
+    activate,
+    emitted_skeletons,
+    skeleton_matrix,
+)
+from repro.generation.tableaux import compute_tableaux
+from repro.scenarios import deptstore, generic
+
+
+class TestMatrix:
+    def test_matrix_is_full_product(self, source_schema, departments_target):
+        src = compute_tableaux(source_schema)
+        tgt = compute_tableaux(departments_target)
+        matrix = skeleton_matrix(src, tgt)
+        assert len(matrix) == len(src) * len(tgt)
+
+    def test_fig4_matrix_size_matches_paper(self, source_schema):
+        """'there are 3 source tableaux … and 2 target tableaux …
+        This creates 6 mapping skeletons.'"""
+        target = deptstore.target_schema_fig3()
+        src = compute_tableaux(source_schema)
+        tgt = compute_tableaux(target)
+        # fig3/fig4 target: {department}, {department-employee}, {department-area}
+        matrix = skeleton_matrix(src, [t for t in tgt if "area" not in t.shorthand()])
+        assert len(matrix) == 6
+
+
+class TestActivation:
+    def test_single_value_mapping_activates_unique_skeleton(self, source_schema):
+        """'The entered value correspondence will only match the
+        {dept-Proj-regEmp, @pid=@pid} source tableau.'"""
+        target = deptstore.target_schema_departments()
+        vm = ValueMapping(
+            [source_schema.value("dept/regEmp/ename/value")],
+            target.value("department/employee/@name"),
+        )
+        matrix = skeleton_matrix(
+            compute_tableaux(source_schema), compute_tableaux(target)
+        )
+        active = activate(matrix, [vm])
+        assert len(active) == 1
+        assert active[0].skeleton.source.shorthand() == "{dept-regEmp-Proj, @pid=@pid}"
+        assert active[0].skeleton.target.shorthand() == "{department-employee}"
+
+    def test_fig10_activation(self, generic_source, generic_target):
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        matrix = skeleton_matrix(
+            compute_tableaux(generic_source), compute_tableaux(generic_target)
+        )
+        active = activate(matrix, vms)
+        names = sorted(a.skeleton.shorthand() for a in active)
+        assert names == [
+            "{A-B-C} -> {F-G}",
+            "{A-B} -> {F-G}",
+            "{A-D-E} -> {F-G}",
+            "{A-D} -> {F-G}",
+        ]
+
+
+class TestEmission:
+    def test_implied_skeletons_dropped(self, generic_source, generic_target):
+        """{A-B-C} -> {F-G} covers the same vm with a larger tableau:
+        implied by {A-B} -> {F-G}."""
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        matrix = skeleton_matrix(
+            compute_tableaux(generic_source), compute_tableaux(generic_target)
+        )
+        emitted = emitted_skeletons(activate(matrix, vms))
+        names = sorted(a.skeleton.shorthand() for a in emitted)
+        assert names == ["{A-B} -> {F-G}", "{A-D} -> {F-G}"]
+
+    def test_subsumed_skeletons_dropped_with_product_tableau(
+        self, generic_source, generic_target
+    ):
+        """With the ABD product tableau, {A-B(×D)} -> {F-G} covers both
+        vms and subsumes the one-vm skeletons."""
+        from repro.generation.tableaux import product_tableau
+
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        abd = product_tableau(
+            generic_source,
+            [generic_source.element("A/B"), generic_source.element("A/D")],
+        )
+        src = compute_tableaux(generic_source) + [abd]
+        matrix = skeleton_matrix(src, compute_tableaux(generic_target))
+        emitted = emitted_skeletons(activate(matrix, vms), user_source_tableaux=[abd])
+        assert len(emitted) == 1
+        assert {e.name for e in emitted[0].skeleton.source.generators} == {"A", "B", "D"}
+        assert len(emitted[0].value_mappings) == 2
+
+    def test_encompasses_respects_both_sides(self, generic_source, generic_target):
+        from repro.generation.skeletons import Skeleton
+
+        vms = generic.value_mappings_bd(generic_source, generic_target)
+        src = compute_tableaux(generic_source)
+        tgt = compute_tableaux(generic_target)
+        f_only = Skeleton(src[1], tgt[0])  # {A-B} -> {F}
+        assert not f_only.encompasses(vms[0])  # @att2 lives on G

@@ -1,0 +1,125 @@
+"""Unit tests for tableau computation (Section V-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generation.tableaux import (
+    Tableau,
+    chase,
+    compute_tableaux,
+    dependency_graph,
+    primary_tableaux,
+    product_tableau,
+)
+from repro.scenarios import deptstore, generic
+
+
+class TestPrimaryTableaux:
+    def test_one_tableau_per_repeating_element(self, source_schema):
+        tableaux = primary_tableaux(source_schema)
+        assert [t.shorthand() for t in tableaux] == [
+            "{dept}",
+            "{dept-Proj}",
+            "{dept-regEmp}",
+        ]
+
+    def test_fig10_tableaux(self, generic_source):
+        names = [t.shorthand() for t in compute_tableaux(generic_source)]
+        assert names == ["{A}", "{A-B}", "{A-B-C}", "{A-D}", "{A-D-E}"]
+
+    def test_fig10_target_tableaux(self, generic_target):
+        names = [t.shorthand() for t in compute_tableaux(generic_target)]
+        assert names == ["{F}", "{F-G}"]
+
+
+class TestChase:
+    def test_paper_section5_example(self, source_schema):
+        """'Clio detects three tableaux in that schema: {dept},
+        {dept-Proj}, and {dept-Proj-regEmp, @pid=@pid}.'"""
+        tableaux = compute_tableaux(source_schema)
+        assert len(tableaux) == 3
+        chased = tableaux[2]
+        names = {e.name for e in chased.generators}
+        assert names == {"dept", "Proj", "regEmp"}
+        assert len(chased.conditions) == 1
+        assert chased.conditions[0].shorthand() == "@pid=@pid"
+
+    def test_chase_is_fixpoint(self, source_schema):
+        tableaux = compute_tableaux(source_schema)
+        assert [chase(t, source_schema) for t in tableaux] == tableaux
+
+    def test_chase_can_be_disabled(self, source_schema):
+        tableaux = compute_tableaux(source_schema, use_chase=False)
+        assert all(not t.conditions for t in tableaux)
+
+    def test_unrelated_tableaux_untouched(self, source_schema):
+        dept_only = primary_tableaux(source_schema)[0]
+        assert chase(dept_only, source_schema) == dept_only
+
+
+class TestCoverage:
+    def test_covers_value_requires_all_repeating_ancestors(self, source_schema):
+        tableaux = compute_tableaux(source_schema)
+        ename = source_schema.value("dept/regEmp/ename/value")
+        assert not tableaux[0].covers_value(ename)  # {dept}
+        assert not tableaux[1].covers_value(ename)  # {dept-Proj}
+        assert tableaux[2].covers_value(ename)      # the chased tableau
+
+    def test_covers_element_of_non_repeating_descendant(self, source_schema):
+        dept_tableau = compute_tableaux(source_schema)[0]
+        assert dept_tableau.covers_element(source_schema.element("dept/dname"))
+
+
+class TestOrder:
+    def test_subset_order(self, generic_source):
+        a, ab, abc, ad, ade = compute_tableaux(generic_source)
+        assert a.is_proper_subset_of(ab)
+        assert ab.is_proper_subset_of(abc)
+        assert not ab.is_subset_of(ad)
+        assert a.is_subset_of(a)
+
+    def test_conditions_participate_in_order(self, source_schema):
+        plain, with_cond = (
+            compute_tableaux(source_schema, use_chase=False)[2],
+            compute_tableaux(source_schema)[2],
+        )
+        assert plain.is_proper_subset_of(with_cond) or not plain.is_subset_of(with_cond)
+
+    def test_equality_is_set_based(self, generic_source):
+        a_elem = generic_source.element("A")
+        b_elem = generic_source.element("A/B")
+        assert Tableau((a_elem, b_elem)) == Tableau((b_elem, a_elem))
+
+    def test_dependency_graph_is_hasse_diagram(self, generic_source):
+        tableaux = compute_tableaux(generic_source)
+        edges = dependency_graph(tableaux)
+        shorthand = {(lo.shorthand(), hi.shorthand()) for lo, hi in edges}
+        assert ("{A}", "{A-B}") in shorthand
+        assert ("{A}", "{A-D}") in shorthand
+        assert ("{A-B}", "{A-B-C}") in shorthand
+        # Transitive edge must be absent from the Hasse diagram:
+        assert ("{A}", "{A-B-C}") not in shorthand
+
+
+class TestProductTableau:
+    def test_abd_product(self, generic_source):
+        abd = product_tableau(
+            generic_source,
+            [generic_source.element("A/B"), generic_source.element("A/D")],
+        )
+        assert {e.name for e in abd.generators} == {"A", "B", "D"}
+
+    def test_product_requires_repeating_elements(self, generic_source):
+        with pytest.raises(GenerationError):
+            product_tableau(generic_source, [])
+
+    def test_product_participates_in_order(self, generic_source):
+        tableaux = compute_tableaux(generic_source)
+        abd = product_tableau(
+            generic_source,
+            [generic_source.element("A/B"), generic_source.element("A/D")],
+        )
+        ab = tableaux[1]
+        assert ab.is_proper_subset_of(abd)

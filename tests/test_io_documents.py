@@ -1,0 +1,129 @@
+"""Tests for mapping-document persistence (save/load round trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.errors import MappingError
+from repro.executor import execute
+from repro.io import dumps, from_document, load, loads, save, to_document
+from repro.scenarios import deptstore, generic
+
+
+ALL_FIGURES = [f.figure for f in deptstore.FIGURES]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fig", ALL_FIGURES)
+    def test_every_figure_mapping_roundtrips(self, fig):
+        clip = deptstore.scenario(fig).make_mapping()
+        recovered = loads(dumps(clip))
+        instance = deptstore.source_instance()
+        assert execute(compile_clip(recovered), instance) == execute(
+            compile_clip(clip), instance
+        )
+
+    def test_structure_preserved(self):
+        clip = deptstore.mapping_fig7()
+        recovered = loads(dumps(clip))
+        (root,) = recovered.roots
+        assert root.is_group
+        assert str(root.grouping[0]) == "$p.pname.value"
+        (child,) = root.children
+        assert [a.variable for a in child.incoming] == ["p2", "r"]
+        assert str(child.condition) == "$p2.@pid = $r.@pid"
+
+    def test_aggregate_tags_survive(self):
+        clip = deptstore.mapping_fig9()
+        recovered = loads(dumps(clip))
+        tags = [vm.aggregate.name for vm in recovered.value_mappings if vm.is_aggregate]
+        assert tags == ["count", "count", "avg"]
+
+    def test_scalar_functions_survive(self):
+        from repro.core.functions import CONCAT
+
+        clip = deptstore.mapping_fig5()
+        clip.value(
+            ["dept/dname/value", "dept/dname/value"],
+            "department/project/@name",
+            function=CONCAT,
+        )
+        recovered = loads(dumps(clip))
+        assert recovered.value_mappings[-1].function is CONCAT
+
+    def test_keyref_constraints_survive(self):
+        clip = deptstore.mapping_fig6()
+        recovered = loads(dumps(clip))
+        assert len(recovered.source.constraints) == 1
+
+    def test_generic_mappings_roundtrip(self, generic_source, generic_target):
+        clip = generic.clip_mapping_product(generic_source, generic_target)
+        recovered = loads(dumps(clip))
+        instance = generic.sample_instance()
+        assert execute(compile_clip(recovered), instance) == execute(
+            compile_clip(clip), instance
+        )
+
+    def test_file_save_load(self, tmp_path):
+        clip = deptstore.mapping_fig4()
+        path = tmp_path / "mapping.json"
+        save(clip, str(path))
+        recovered = load(str(path))
+        assert len(recovered.build_nodes()) == 2
+
+
+class TestDocumentShape:
+    def test_header_fields(self):
+        document = to_document(deptstore.mapping_fig3())
+        assert document["format"] == "clip-mapping"
+        assert document["version"] == 1
+        assert "xs:schema" in document["source"]
+
+    def test_node_ids_are_topological(self):
+        document = to_document(deptstore.mapping_fig7())
+        nodes = document["build_nodes"]
+        for entry in nodes:
+            if entry["parent"] is not None:
+                assert entry["parent"] < entry["id"]
+
+    def test_json_is_stable(self):
+        clip = deptstore.mapping_fig5()
+        assert dumps(clip) == dumps(loads(dumps(clip)))
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(MappingError):
+            from_document({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        document = to_document(deptstore.mapping_fig3())
+        document["version"] = 99
+        with pytest.raises(MappingError):
+            from_document(document)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(MappingError):
+            loads("{not json")
+
+    def test_dangling_parent_rejected(self):
+        document = to_document(deptstore.mapping_fig4())
+        document["build_nodes"][1]["parent"] = 42
+        with pytest.raises(MappingError):
+            from_document(document)
+
+    def test_group_without_target_rejected(self):
+        document = to_document(deptstore.mapping_fig7())
+        document["build_nodes"][0]["target"] = None
+        with pytest.raises(MappingError):
+            from_document(document)
+
+    def test_element_source_without_aggregate_rejected(self):
+        document = to_document(deptstore.mapping_fig9())
+        for vm in document["value_mappings"]:
+            vm["aggregate"] = None
+        with pytest.raises(MappingError):
+            from_document(document)

@@ -1,0 +1,98 @@
+"""Tests for lineage and impact analysis."""
+
+from __future__ import annotations
+
+from repro.core.compile import compile_clip
+from repro.lineage import (
+    impact_of_source,
+    impact_of_target,
+    lineage,
+    render_lineage,
+)
+from repro.scenarios import deptstore
+
+
+def _entries(fig):
+    return lineage(compile_clip(deptstore.scenario(fig).make_mapping()))
+
+
+class TestLineageEntries:
+    def test_simple_copy(self):
+        entries = _entries("fig3")
+        (entry,) = entries
+        assert entry.target_path == "target/department/employee/@name"
+        assert entry.source_paths == ("source/dept/regEmp/ename/text()",)
+        assert entry.via == "copy"
+        assert entry.conditions == ("source/dept/regEmp/sal/text()",)
+
+    def test_iteration_context(self):
+        (entry,) = _entries("fig3")
+        assert entry.iteration == ("source/dept", "source/dept/regEmp")
+
+    def test_nested_levels_accumulate_iteration(self):
+        entries = _entries("fig4")
+        (entry,) = entries
+        assert entry.iteration == ("source/dept", "source/dept/regEmp")
+
+    def test_join_conditions_reported(self):
+        entries = _entries("fig6")
+        by_target = {e.target_path: e for e in entries}
+        pname = by_target["target/project-emp/@pname"]
+        assert "source/dept/Proj/@pid" in pname.conditions
+        assert "source/dept/regEmp/@pid" in pname.conditions
+
+    def test_grouping_key_reported(self):
+        entries = _entries("fig7")
+        group_entries = [e for e in entries if e.via == "group-by"]
+        (entry,) = group_entries
+        assert entry.target_path == "target/project"
+        assert entry.source_paths == ("source/dept/Proj/pname/text()",)
+
+    def test_aggregates_tagged(self):
+        entries = _entries("fig9")
+        by_target = {e.target_path: e for e in entries}
+        assert by_target["target/department/@numProj"].via == "<<count>>"
+        assert by_target["target/department/@avg-sal"].via == "<<avg>>"
+        assert by_target["target/department/@avg-sal"].source_paths == (
+            "source/dept/regEmp/sal/text()",
+        )
+
+
+class TestImpactAnalysis:
+    def test_source_change_impact(self):
+        tgd = compile_clip(deptstore.mapping_fig5())
+        affected = impact_of_source(tgd, "source/dept/Proj")
+        targets = {e.target_path for e in affected}
+        assert "target/department/project/@name" in targets
+        assert "target/department/employee/@name" not in targets
+
+    def test_source_change_impact_through_conditions(self):
+        """Changing sal affects the employee mapping even though sal is
+        never copied: it guards the filter."""
+        tgd = compile_clip(deptstore.mapping_fig4())
+        affected = impact_of_source(tgd, "source/dept/regEmp/sal")
+        assert {e.target_path for e in affected} == {
+            "target/department/employee/@name"
+        }
+
+    def test_target_impact(self):
+        tgd = compile_clip(deptstore.mapping_fig5())
+        entries = impact_of_target(tgd, "target/department/employee")
+        assert len(entries) == 1
+        assert entries[0].source_paths == ("source/dept/regEmp/ename/text()",)
+
+    def test_unrelated_paths_not_affected(self):
+        tgd = compile_clip(deptstore.mapping_fig5())
+        assert impact_of_source(tgd, "source/nothing") == []
+        assert impact_of_target(tgd, "target/nothing") == []
+
+
+class TestRendering:
+    def test_report_mentions_guards_and_iteration(self):
+        text = render_lineage(_entries("fig3"))
+        assert "<=[copy]=" in text
+        assert "guarded by: source/dept/regEmp/sal/text()" in text
+        assert "per: source/dept × source/dept/regEmp" in text
+
+    def test_empty_report(self):
+        assert render_lineage([]) == ""

@@ -1,0 +1,134 @@
+"""Tests for the schema-matching extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import (
+    bootstrap_mapping,
+    name_similarity,
+    score_pair,
+    suggest_value_mappings,
+    token_similarity,
+    tokenize,
+    type_compatibility,
+)
+from repro.scenarios import deptstore
+from repro.xsd.dsl import attr, elem, schema
+from repro.xsd.schema import ValueNode
+from repro.xsd.types import INT, STRING
+
+
+class TestTokenization:
+    def test_camel_case(self):
+        assert tokenize("regEmp") == ["reg", "emp"]
+
+    def test_separators(self):
+        assert tokenize("avg-sal") == ["avg", "sal"]
+        assert tokenize("num_proj") == ["num", "proj"]
+
+    def test_digits_split(self):
+        assert tokenize("att2") == ["att", "2"]
+
+    def test_plain(self):
+        assert tokenize("department") == ["department"]
+
+
+class TestSimilarity:
+    def test_exact_token(self):
+        assert token_similarity("name", "name") == 1.0
+
+    def test_affix_containment(self):
+        assert token_similarity("emp", "employee") > 0.6
+        assert token_similarity("name", "pname") > 0.6
+
+    def test_unrelated_tokens_score_low(self):
+        assert token_similarity("salary", "project") < 0.4
+
+    def test_name_similarity_symmetry(self):
+        assert name_similarity("regEmp", "employee") == name_similarity(
+            "employee", "regEmp"
+        )
+
+    def test_name_similarity_favors_related_names(self):
+        related = name_similarity("pname", "name")
+        unrelated = name_similarity("pname", "salary")
+        assert related > unrelated
+
+
+class TestTypeCompatibility:
+    def test_same_type(self, source_schema):
+        pid = source_schema.value("dept/Proj/@pid")
+        sal = source_schema.value("dept/regEmp/sal/value")
+        assert type_compatibility(pid, sal) == 1.0
+
+    def test_numeric_promotion(self, source_schema):
+        target = schema(elem("t", elem("x", "[0..*]", attr("v", "float"))))
+        sal = source_schema.value("dept/regEmp/sal/value")
+        v = target.value("x/@v")
+        assert type_compatibility(sal, v) == 0.8
+
+    def test_cross_kind_discounted(self, source_schema):
+        dname = source_schema.value("dept/dname/value")
+        pid = source_schema.value("dept/Proj/@pid")
+        assert type_compatibility(dname, pid) == 0.5
+
+
+class TestSuggestions:
+    def test_recovers_figure1_value_mappings(self, source_schema, departments_target):
+        matches = suggest_value_mappings(source_schema, departments_target)
+        pairs = {(str(m.source), str(m.target)) for m in matches}
+        assert (
+            "source/dept/Proj/pname/text()",
+            "target/department/project/@name",
+        ) in pairs
+        assert (
+            "source/dept/regEmp/ename/text()",
+            "target/department/employee/@name",
+        ) in pairs
+
+    def test_scores_sorted_descending(self, source_schema, departments_target):
+        matches = suggest_value_mappings(source_schema, departments_target)
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_one_to_one_by_default(self, source_schema, departments_target):
+        matches = suggest_value_mappings(source_schema, departments_target)
+        assert len({str(m.source) for m in matches}) == len(matches)
+        assert len({str(m.target) for m in matches}) == len(matches)
+
+    def test_many_to_many_available(self, source_schema, departments_target):
+        all_matches = suggest_value_mappings(
+            source_schema, departments_target, one_to_one=False
+        )
+        assert len(all_matches) >= len(
+            suggest_value_mappings(source_schema, departments_target)
+        )
+
+    def test_threshold_filters(self, source_schema, departments_target):
+        none = suggest_value_mappings(
+            source_schema, departments_target, threshold=0.999
+        )
+        assert none == []
+
+    def test_path_context_disambiguates(self):
+        """Two 'name' targets: the project one should pair with pname,
+        the employee one with ename — path similarity decides."""
+        source = deptstore.source_schema()
+        target = deptstore.target_schema_departments()
+        pname = source.value("dept/Proj/pname/value")
+        project_name = target.value("department/project/@name")
+        employee_name = target.value("department/employee/@name")
+        assert score_pair(pname, project_name) > score_pair(pname, employee_name)
+
+
+class TestBootstrap:
+    def test_schemas_in_nested_mapping_out(self, source_schema, departments_target):
+        matches, generation = bootstrap_mapping(source_schema, departments_target)
+        assert len(matches) >= 2
+        assert generation.tgd.roots
+        # The generated mapping must actually run.
+        from repro.executor import execute
+
+        out = execute(generation.tgd, deptstore.source_instance())
+        assert out.findall("department")

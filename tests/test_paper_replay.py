@@ -1,0 +1,258 @@
+"""The whole paper, top to bottom, as one executable document.
+
+Each test replays one passage of the publication in reading order and
+asserts the artifact the paper prints at that point.  Run with ``-v``
+to read the reproduction as a table of contents:
+
+    Section I-A   the source instance and the desired output
+    Section I-A   Clio's attempt and its failure
+    Section II    each mapping example and its printed result
+    Section III   the validity rules' lettered examples
+    Section IV    every printed tgd
+    Section V     tableaux, skeletons, Clio vs Clip generation
+    Section VI    the XQuery translations
+    Section VII   Table I
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.core.mapping import ValueMapping
+from repro.executor import execute
+from repro.generation import (
+    compute_tableaux,
+    generate_clio,
+    generate_clip,
+    product_tableau,
+)
+from repro.generation.flexibility import measure_flexibility
+from repro.scenarios import deptstore, generic
+from repro.scenarios.published import TABLE1_ROWS
+from repro.xquery import emit_xquery, run_query, serialize
+from repro.xsd.validate import validate
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return deptstore.source_instance()
+
+
+# ---------------------------------------------------------------- Section I-A
+
+
+def test_section1_source_instance_shape(instance):
+    """Two departments; ICT has 2 projects and 4 regEmps, Marketing has
+    2 projects and 3 regEmps; @pids resolve within each dept."""
+    depts = instance.findall("dept")
+    assert [d.find("dname").text for d in depts] == ["ICT", "Marketing"]
+    assert [len(d.findall("Proj")) for d in depts] == [2, 2]
+    assert [len(d.findall("regEmp")) for d in depts] == [4, 3]
+    assert validate(instance, deptstore.source_schema()) == []
+
+
+def test_section1_desired_output_is_reachable(instance):
+    out = execute(compile_clip(deptstore.mapping_fig1_desired()), instance)
+    assert out == deptstore.expected_fig5()
+
+
+def test_section1_clio_attempt_fails_as_printed(instance):
+    """'it compiles to a transformation that outputs projects and
+    employees, but encloses each node in a different department
+    element'."""
+    source = deptstore.source_schema()
+    target = deptstore.target_schema_departments()
+    vms = [
+        ValueMapping([source.value("dept/Proj/pname/value")],
+                     target.value("department/project/@name")),
+        ValueMapping([source.value("dept/regEmp/ename/value")],
+                     target.value("department/employee/@name")),
+    ]
+    out = execute(generate_clio(source, target, vms).tgd, instance)
+    assert all(len(d.children) == 1 for d in out.findall("department"))
+    assert len(out.findall("department")) == 11
+
+
+# ---------------------------------------------------------------- Section II
+
+
+@pytest.mark.parametrize("fig", [f.figure for f in deptstore.FIGURES])
+def test_section2_examples(fig, instance):
+    scenario = deptstore.scenario(fig)
+    out = execute(compile_clip(scenario.make_mapping()), instance)
+    expected = scenario.expected()
+    assert out == expected if scenario.ordered else out.equals_canonically(expected)
+
+
+def test_section2_minimum_cardinality_quote(instance):
+    """'we adopt a minimum-cardinality principle and build as few
+    elements as possible'."""
+    out = execute(compile_clip(deptstore.mapping_fig3()), instance)
+    assert len(out.findall("department")) == 1
+
+
+# ---------------------------------------------------------------- Section III
+
+
+def test_section3_safe_and_unsafe_builders(source_schema):
+    from repro.core.mapping import ClipMapping
+    from repro.core.validity import check
+    from repro.xsd.dsl import attr, elem, schema
+    from repro.xsd.types import STRING
+
+    singleton_target = schema(
+        elem("t", elem("one", attr("n", STRING, required=False)))
+    )
+    # a) single → repeating: safe.
+    repeating_target = schema(
+        elem("t", elem("many", "[0..*]", attr("n", STRING, required=False)))
+    )
+    safe = ClipMapping(source_schema, repeating_target)
+    safe.build("dept/dname", "many", var="x")
+    assert check(safe).is_valid
+    # b) product → non-repeating: unsafe.
+    unsafe = ClipMapping(source_schema, singleton_target)
+    unsafe.build(["dept/Proj", "dept/regEmp"], "one", var=["p", "r"])
+    assert check(unsafe).by_rule("SAFE_BUILDER")
+
+
+def test_section3_invalid_mappings_are_enterable_but_rejected_at_compile(source_schema):
+    from repro.core.mapping import ClipMapping
+    from repro.errors import InvalidMappingError
+    from repro.xsd.dsl import attr, elem, schema
+    from repro.xsd.types import STRING
+
+    target = schema(elem("t", elem("one", attr("n", STRING, required=False))))
+    clip = ClipMapping(source_schema, target)
+    clip.build("dept", "one", var="d")  # entering it succeeds (paper: not restricted)
+    with pytest.raises(InvalidMappingError):
+        compile_clip(clip)  # ascribing semantics does not
+
+
+# ---------------------------------------------------------------- Section IV
+
+
+def test_section4_simple_tgd_verbatim():
+    assert str(compile_clip(deptstore.mapping_fig3())) == (
+        "∀ d ∈ source.dept, r ∈ d.regEmp | r.sal.value > 11000 →\n"
+        "  ∃ d′ ∈ target.department, r′ ∈ d′.employee |\n"
+        "    r′.@name = r.ename.value"
+    )
+
+
+def test_section4_context_propagation_tgd_structure():
+    tgd = compile_clip(deptstore.mapping_fig4())
+    (root,) = tgd.roots
+    assert len(root.submappings) == 1
+    assert root.target_gens[0].var == "d'"
+
+
+def test_section4_grouping_skolem_form():
+    tgd = compile_clip(deptstore.mapping_fig7())
+    text = str(tgd)
+    assert "p′ = group-by(⊥, [p.pname.value])" in text
+
+
+def test_section4_aggregates_tgd_verbatim():
+    text = str(compile_clip(deptstore.mapping_fig9()))
+    assert text.startswith("∃ count, avg(")
+    assert "d′.@numProj = count(d.Proj)" in text
+    assert "d′.@avg-sal = avg(d.regEmp.sal.value)" in text
+
+
+# ---------------------------------------------------------------- Section V
+
+
+def test_section5_dept_tableaux_quote():
+    """'Clio detects three tableaux in that schema: {dept}, {dept-Proj},
+    and {dept-Proj-regEmp, @pid=@pid}.'"""
+    tableaux = compute_tableaux(deptstore.source_schema())
+    assert [t.shorthand() for t in tableaux] == [
+        "{dept}",
+        "{dept-Proj}",
+        "{dept-regEmp-Proj, @pid=@pid}",
+    ]
+
+
+def test_section5_clio_emits_the_printed_tgd():
+    source = deptstore.source_schema()
+    target = deptstore.target_schema_departments()
+    vms = [
+        ValueMapping([source.value("dept/regEmp/ename/value")],
+                     target.value("department/employee/@name")),
+    ]
+    text = str(generate_clio(source, target, vms).tgd)
+    assert "∃ d′ ∈ target.department, e′ ∈ d′.employee" in text
+    assert "e′.@name = r.ename.value" in text
+
+
+def test_section5_extension_first_example(generic_source, generic_target):
+    vms = generic.value_mappings_bd(generic_source, generic_target)
+    text = str(generate_clip(generic_source, generic_target, vms).tgd)
+    assert text == (
+        "∀ a ∈ ROOT.A →\n"
+        "  ∃ f′ ∈ TROOT.F\n"
+        "    [∀ b ∈ a.B →\n"
+        "      ∃ g′ ∈ f′.G |\n"
+        "        g′.@att2 = b.@bval],\n"
+        "    [∀ d ∈ a.D →\n"
+        "      ∃ g2′ ∈ f′.G |\n"
+        "        g2′.@att3 = d.@dval]"
+    )
+
+
+def test_section5_extension_product_example(generic_source, generic_target):
+    vms = generic.value_mappings_bd(generic_source, generic_target)
+    abd = product_tableau(
+        generic_source,
+        [generic_source.element("A/B"), generic_source.element("A/D")],
+    )
+    text = str(
+        generate_clip(
+            generic_source, generic_target, vms, extra_source_tableaux=[abd]
+        ).tgd
+    )
+    assert text == (
+        "∀ a ∈ ROOT.A →\n"
+        "  ∃ f′ ∈ TROOT.F\n"
+        "    [∀ b ∈ a.B, d ∈ a.D →\n"
+        "      ∃ g′ ∈ f′.G |\n"
+        "        g′.@att2 = b.@bval,\n"
+        "        g′.@att3 = d.@dval]"
+    )
+
+
+# ---------------------------------------------------------------- Section VI
+
+
+def test_section6_constant_tags_wrap_the_flwor():
+    text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig3())))
+    assert text.index("<department>") < text.index("for $d in source/dept")
+
+
+def test_section6_grouping_template_as_printed(instance):
+    text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig7())))
+    for fragment in ("let $context", "distinct-values(", "let $group"):
+        assert fragment in text
+    tgd = compile_clip(deptstore.mapping_fig7())
+    assert run_query(emit_xquery(tgd), instance) == execute(tgd, instance)
+
+
+def test_section6_aggregate_translation_as_printed():
+    text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig9())))
+    assert 'numProj="{count($d/Proj)}"' in text
+
+
+# ---------------------------------------------------------------- Section VII
+
+
+def test_section7_table1_lower_bounds():
+    for factory in TABLE1_ROWS:
+        example = factory()
+        result = measure_flexibility(
+            example.source, example.target, list(example.value_mappings),
+            example.witness,
+        )
+        assert result.extra >= example.paper_extra, example.row
+        assert len(result.clip_outputs) > len(result.clio_outputs), example.row

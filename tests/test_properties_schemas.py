@@ -1,0 +1,107 @@
+"""Property-based tests over *random schemas* (hypothesis).
+
+The figure tests pin behaviour on the paper's schemas; these properties
+quantify over schema space itself: for random schema trees,
+
+* the XSD serializer/parser round-trips the structure;
+* :func:`minimal_instance` conforms;
+* :func:`random_instance` conforms, for any seed;
+* completion is idempotent and repairs any pruned instance.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.xsd.complete import complete, minimal_instance
+from repro.xsd.dsl import attr as attr_dsl, elem
+from repro.xsd.generate import GeneratorSpec, random_instance
+from repro.xsd.parser import parse_xsd, to_xsd
+from repro.xsd.render import render_schema
+from repro.xsd.schema import Cardinality, Schema
+from repro.xsd.types import BOOLEAN, FLOAT, INT, STRING
+from repro.xsd.validate import validate
+
+_types = st.sampled_from([STRING, INT, FLOAT, BOOLEAN])
+_names = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta"]
+)
+_cards = st.sampled_from(
+    [Cardinality(1, 1), Cardinality(0, 1), Cardinality(0, None),
+     Cardinality(1, None), Cardinality(2, 5)]
+)
+
+
+@st.composite
+def schema_trees(draw, depth=0):
+    """Random element declarations with unique child/attribute names."""
+    name = draw(_names) + str(draw(st.integers(0, 99)))
+    cardinality = draw(_cards) if depth > 0 else Cardinality(1, 1)
+    n_attrs = draw(st.integers(0, 2))
+    attrs = []
+    for index in range(n_attrs):
+        attrs.append(
+            attr_dsl(
+                f"a{index}", draw(_types), required=draw(st.booleans())
+            )
+        )
+    as_leaf = depth >= 3 or draw(st.booleans())
+    if as_leaf:
+        text = draw(st.one_of(st.none(), _types))
+        return elem(name, cardinality, *attrs, text=text)
+    children = draw(st.lists(schema_trees(depth=depth + 1), min_size=0, max_size=3))
+    # elem() rejects duplicate child names; dedupe here.
+    seen, unique = set(), []
+    for child in children:
+        if child.name not in seen:
+            seen.add(child.name)
+            unique.append(child)
+    return elem(name, cardinality, *attrs, *unique)
+
+
+@st.composite
+def schemas(draw):
+    return Schema(draw(schema_trees()))
+
+
+@settings(max_examples=50, deadline=None)
+@given(target=schemas())
+def test_xsd_roundtrip_on_random_schemas(target):
+    recovered = parse_xsd(to_xsd(target))
+    assert render_schema(recovered) == render_schema(target)
+
+
+@settings(max_examples=50, deadline=None)
+@given(target=schemas())
+def test_minimal_instance_conforms(target):
+    assert validate(minimal_instance(target), target) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(target=schemas(), seed=st.integers(0, 10_000))
+def test_random_instances_conform(target, seed):
+    instance = random_instance(target, GeneratorSpec(seed=seed, max_repeat=3))
+    assert validate(instance, target) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(target=schemas(), seed=st.integers(0, 10_000))
+def test_completion_is_idempotent_on_valid_instances(target, seed):
+    instance = random_instance(target, GeneratorSpec(seed=seed, max_repeat=2))
+    completed = complete(instance, target)
+    assert completed == instance
+    assert complete(completed, target) == completed
+
+
+@settings(max_examples=50, deadline=None)
+@given(target=schemas())
+def test_completion_repairs_the_empty_shell(target):
+    from repro.xml.model import XmlElement
+
+    shell = XmlElement(target.root.name)
+    if target.root.text_type is not None:
+        # A bare shell of a text-typed root is completed with a default.
+        pass
+    repaired = complete(shell, target)
+    assert validate(repaired, target) == []

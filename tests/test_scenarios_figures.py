@@ -1,0 +1,172 @@
+"""Integration tests: every paper figure, end to end, on both engines.
+
+For each figure of the paper we (a) check the Clip mapping is valid,
+(b) compile it to a nested tgd, (c) execute the tgd directly, (d) emit
+XQuery and run it through the interpreter, and (e) compare both results
+against the output printed in the paper — plus schema-validity of the
+produced instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.core.validity import check
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.scenarios.deptstore import FIGURES, scenario, source_instance
+from repro.xquery import emit_xquery, run_query
+from repro.xsd.validate import validate
+
+
+@pytest.fixture(scope="module")
+def paper_instance():
+    return source_instance()
+
+
+@pytest.mark.parametrize("fig", [f.figure for f in FIGURES])
+def test_figure_mapping_is_valid(fig):
+    report = check(scenario(fig).make_mapping())
+    assert report.is_valid, str(report)
+
+
+@pytest.mark.parametrize("fig", [f.figure for f in FIGURES])
+def test_figure_executor_matches_paper(fig, paper_instance):
+    fs = scenario(fig)
+    tgd = compile_clip(fs.make_mapping())
+    out = execute(tgd, paper_instance)
+    expected = fs.expected()
+    if fs.ordered:
+        assert out == expected
+    else:
+        assert out.equals_canonically(expected)
+
+
+@pytest.mark.parametrize("fig", [f.figure for f in FIGURES])
+def test_figure_xquery_matches_paper(fig, paper_instance):
+    fs = scenario(fig)
+    tgd = compile_clip(fs.make_mapping())
+    out = run_query(emit_xquery(tgd), paper_instance)
+    expected = fs.expected()
+    if fs.ordered:
+        assert out == expected
+    else:
+        assert out.equals_canonically(expected)
+
+
+@pytest.mark.parametrize("fig", [f.figure for f in FIGURES])
+def test_figure_engines_agree_exactly(fig, paper_instance):
+    fs = scenario(fig)
+    tgd = compile_clip(fs.make_mapping())
+    assert execute(tgd, paper_instance) == run_query(emit_xquery(tgd), paper_instance)
+
+
+@pytest.mark.parametrize("fig", [f.figure for f in FIGURES])
+def test_figure_output_conforms_to_target_schema(fig, paper_instance):
+    fs = scenario(fig)
+    clip = fs.make_mapping()
+    out = execute(compile_clip(clip), paper_instance)
+    violations = validate(out, clip.target)
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_source_instance_conforms_to_source_schema(paper_instance):
+    assert validate(paper_instance, deptstore.source_schema()) == []
+
+
+# -- figure-specific behaviours discussed in the text ------------------------
+
+
+def test_fig3_minimum_cardinality_single_department(paper_instance):
+    """'We adopt a minimum-cardinality principle': one department, not
+    one per employee."""
+    out = execute(compile_clip(deptstore.mapping_fig3()), paper_instance)
+    assert len(out.findall("department")) == 1
+    names = [e.attribute("name") for e in out.findall("department")[0].findall("employee")]
+    assert names == ["Andrew Clarence", "Richard Dawson", "Steven Aiking"]
+
+
+def test_fig4_salary_filter_is_strict(paper_instance):
+    """Jim Bellish earns exactly 11000 and must be excluded (>, not >=)."""
+    out = execute(compile_clip(deptstore.mapping_fig4()), paper_instance)
+    names = {e.attribute("name") for d in out for e in d.findall("employee")}
+    assert "Jim Bellish" not in names
+
+
+def test_fig4_no_arc_repeats_employees_everywhere(paper_instance):
+    """'Omitting the context arc causes all employees … to appear,
+    repeated, within all departments.'"""
+    out = execute(
+        compile_clip(deptstore.mapping_fig4(context_arc=False)), paper_instance
+    )
+    departments = out.findall("department")
+    assert len(departments) == 2
+    for dept in departments:
+        names = [e.attribute("name") for e in dept.findall("employee")]
+        assert names == ["Andrew Clarence", "Richard Dawson", "Steven Aiking"]
+
+
+def test_fig6_without_join_computes_per_dept_cartesian(paper_instance):
+    """'If we omit the join condition, then a full Cartesian product is
+    computed' — each Proj with all regEmps of its dept."""
+    clip = deptstore.mapping_fig6(join_condition=False)
+    out = execute(compile_clip(clip), paper_instance)
+    # ICT: 2 Projs × 4 regEmps; Marketing: 2 × 3 = 14 pairs in total.
+    assert len(out.findall("project-emp")) == 2 * 4 + 2 * 3
+
+
+def test_fig6_without_outer_node_computes_global_cartesian(paper_instance):
+    """'If we also omit the top-level build node, then Clip computes the
+    overall Cartesian product … in the whole document.'"""
+    clip = deptstore.mapping_fig6(join_condition=False, outer_context=False)
+    out = execute(compile_clip(clip), paper_instance)
+    assert len(out.findall("project-emp")) == 4 * 7  # 4 Projs × 7 regEmps
+
+
+def test_fig7_group_count_is_distinct_pnames(paper_instance):
+    """'as many project elements as there are distinct values of project
+    names in the source instance'."""
+    out = execute(compile_clip(deptstore.mapping_fig7()), paper_instance)
+    names = [p.attribute("name") for p in out.findall("project")]
+    assert names == ["Appliances", "Robotics", "Brand promotion"]
+
+
+def test_fig7_employees_follow_their_own_departments_projects(paper_instance):
+    """Mark Tane (Marketing, pid 32) lands in Appliances; Richard Dawson
+    (Marketing, pid 1 = Brand promotion) must not."""
+    out = execute(compile_clip(deptstore.mapping_fig7()), paper_instance)
+    appliances = out.findall("project")[0]
+    names = [e.attribute("name") for e in appliances.findall("employee")]
+    assert names == ["John Smith", "Andrew Clarence", "Mark Tane"]
+
+
+def test_fig8_inverts_hierarchy(paper_instance):
+    out = execute(compile_clip(deptstore.mapping_fig8()), paper_instance)
+    by_project = {
+        p.attribute("name"): [d.attribute("name") for d in p.findall("department")]
+        for p in out.findall("project")
+    }
+    assert by_project == {
+        "Appliances": ["ICT", "Marketing"],
+        "Robotics": ["ICT"],
+        "Brand promotion": ["Marketing"],
+    }
+
+
+def test_fig9_aggregate_values(paper_instance):
+    out = execute(compile_clip(deptstore.mapping_fig9()), paper_instance)
+    ict, marketing = out.findall("department")
+    assert ict.attribute("name") == "ICT"
+    assert ict.attribute("numProj") == 2
+    assert ict.attribute("numEmps") == 4
+    assert ict.attribute("avg-sal") == 10875
+    assert marketing.attribute("numProj") == 2
+    assert marketing.attribute("numEmps") == 3
+    assert marketing.attribute("avg-sal") == 20000
+
+
+def test_fig5_solves_the_section1_motivating_problem(paper_instance):
+    """The Section I desired output: containment and siblings preserved."""
+    out = execute(compile_clip(deptstore.mapping_fig1_desired()), paper_instance)
+    assert out == deptstore.expected_fig5()

@@ -1,0 +1,87 @@
+"""Tests for the synthetic workload generators and published scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore, generic
+from repro.scenarios.published import TABLE1_ROWS
+from repro.scenarios.workload import (
+    DeptstoreSpec,
+    GenericSpec,
+    make_deptstore_instance,
+    make_generic_instance,
+)
+from repro.xsd.validate import validate
+
+
+class TestDeptstoreWorkload:
+    def test_instances_conform_to_the_source_schema(self):
+        spec = DeptstoreSpec(departments=6, projects_per_dept=3, employees_per_dept=9)
+        instance = make_deptstore_instance(spec)
+        assert validate(instance, deptstore.source_schema()) == []
+
+    def test_deterministic_in_seed(self):
+        assert make_deptstore_instance(DeptstoreSpec(seed=3)) == make_deptstore_instance(
+            DeptstoreSpec(seed=3)
+        )
+        assert make_deptstore_instance(DeptstoreSpec(seed=3)) != make_deptstore_instance(
+            DeptstoreSpec(seed=4)
+        )
+
+    def test_fanout_controls_shape(self):
+        spec = DeptstoreSpec(departments=4, projects_per_dept=2, employees_per_dept=5)
+        instance = make_deptstore_instance(spec)
+        depts = instance.findall("dept")
+        assert len(depts) == 4
+        assert all(len(d.findall("Proj")) == 2 for d in depts)
+        assert all(len(d.findall("regEmp")) == 5 for d in depts)
+
+    def test_total_elements_estimate(self):
+        spec = DeptstoreSpec(departments=3, projects_per_dept=2, employees_per_dept=2)
+        assert make_deptstore_instance(spec).size() == spec.total_elements
+
+    def test_name_pool_creates_homonyms(self):
+        spec = DeptstoreSpec(departments=10, projects_per_dept=5, project_name_pool=2)
+        instance = make_deptstore_instance(spec)
+        names = {
+            p.find("pname").text
+            for d in instance.findall("dept")
+            for p in d.findall("Proj")
+        }
+        assert len(names) <= 2
+
+    @pytest.mark.parametrize("fig", [f.figure for f in deptstore.FIGURES])
+    def test_every_figure_mapping_runs_on_synthetic_data(self, fig):
+        instance = make_deptstore_instance(DeptstoreSpec(departments=4))
+        scenario = deptstore.scenario(fig)
+        clip = scenario.make_mapping()
+        out = execute(compile_clip(clip), instance)
+        assert validate(out, clip.target) == []
+
+
+class TestGenericWorkload:
+    def test_conforms_to_fig10_schema(self):
+        instance = make_generic_instance(GenericSpec(a_count=5))
+        assert validate(instance, generic.source_schema()) == []
+
+    def test_fanout(self):
+        instance = make_generic_instance(GenericSpec(a_count=3, b_per_a=2, d_per_a=4))
+        a_nodes = instance.findall("A")
+        assert len(a_nodes) == 3
+        assert all(len(a.findall("B")) == 2 for a in a_nodes)
+        assert all(len(a.findall("D")) == 4 for a in a_nodes)
+
+
+class TestPublishedScenarios:
+    @pytest.mark.parametrize("factory", TABLE1_ROWS, ids=lambda f: f.__name__)
+    def test_witnesses_conform_to_their_schemas(self, factory):
+        example = factory()
+        assert validate(example.witness, example.source) == []
+
+    @pytest.mark.parametrize("factory", TABLE1_ROWS, ids=lambda f: f.__name__)
+    def test_value_mapping_counts_match_table1(self, factory):
+        example = factory()
+        assert len(example.value_mappings) == example.paper_value_mappings

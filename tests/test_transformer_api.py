@@ -1,0 +1,101 @@
+"""Tests for the top-level public API (Transformer and re-exports)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Transformer
+from repro.errors import InvalidMappingError
+from repro.scenarios import deptstore
+
+
+class TestTransformer:
+    def test_compiles_once_and_transforms(self):
+        transformer = Transformer(deptstore.mapping_fig5())
+        out = transformer(deptstore.source_instance())
+        assert out == deptstore.expected_fig5()
+
+    def test_exposes_validity_report_and_tgd(self):
+        transformer = Transformer(deptstore.mapping_fig3())
+        assert transformer.report.is_valid
+        assert "∀ d ∈ source.dept" in str(transformer.tgd)
+
+    def test_xquery_text_lazy(self):
+        transformer = Transformer(deptstore.mapping_fig9())
+        assert transformer._query is None
+        text = transformer.xquery_text
+        assert "count($d/Proj)" in text
+        assert transformer._query is not None
+
+    def test_xquery_engine(self):
+        direct = Transformer(deptstore.mapping_fig7())
+        xquery = Transformer(deptstore.mapping_fig7(), engine="xquery")
+        instance = deptstore.source_instance()
+        assert direct(instance) == xquery(instance)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Transformer(deptstore.mapping_fig3(), engine="sql")
+
+    def test_invalid_mapping_rejected_by_default(self, source_schema):
+        from repro.core.mapping import ClipMapping
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        target = schema(elem("t", elem("only", attr("n", STRING, required=False))))
+        clip = ClipMapping(source_schema, target)
+        clip.build("dept", "only", var="d")
+        with pytest.raises(InvalidMappingError):
+            Transformer(clip)
+        # But the report is still inspectable with require_valid=False:
+        relaxed = Transformer(clip, require_valid=False)
+        assert not relaxed.report.is_valid
+
+    def test_reusable_across_instances(self):
+        from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+
+        transformer = Transformer(deptstore.mapping_fig9())
+        small = transformer(make_deptstore_instance(DeptstoreSpec(departments=2)))
+        large = transformer(make_deptstore_instance(DeptstoreSpec(departments=7)))
+        assert len(small.findall("department")) == 2
+        assert len(large.findall("department")) == 7
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_key_names_exported(self):
+        for name in (
+            "Transformer",
+            "ClipMapping",
+            "NestedTgd",
+            "compile_clip",
+            "check",
+            "execute",
+            "emit_xquery",
+            "run_query",
+            "serialize_xquery",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_subpackages_reachable(self):
+        assert repro.core.parse_tgd
+        assert repro.generation.generate_clip
+        assert repro.xquery.parse_xquery
+        assert repro.scenarios.FIGURES
+
+
+class TestExplain:
+    def test_explain_matches_call(self):
+        transformer = Transformer(deptstore.mapping_fig4())
+        instance = deptstore.source_instance()
+        report = transformer.explain(instance)
+        assert report.result == transformer(instance)
+        assert report.total_iterations == 5  # 2 depts + 3 surviving emps
+
+    def test_explain_render(self):
+        transformer = Transformer(deptstore.mapping_fig6())
+        text = transformer.explain(deptstore.source_instance()).render()
+        assert "filtered=7" in text  # 14 candidate pairs − 7 join survivors

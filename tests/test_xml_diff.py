@@ -1,0 +1,76 @@
+"""Tests for the structural instance diff."""
+
+from __future__ import annotations
+
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.xml.diff import diff, render_diff
+from repro.xml.model import element
+
+
+class TestBasics:
+    def test_identical_instances(self):
+        a = deptstore.source_instance()
+        b = deptstore.source_instance()
+        assert diff(a, b) == []
+        assert render_diff([]) == "(instances are identical)"
+
+    def test_attribute_change(self):
+        a = element("t", element("e", n=1))
+        b = element("t", element("e", n=2))
+        (d,) = diff(a, b)
+        assert d.kind == "attribute"
+        assert d.location == "/t/e[1]/@n"
+        assert (d.left, d.right) == (1, 2)
+
+    def test_attribute_only_on_one_side(self):
+        a = element("t", element("e", n=1))
+        b = element("t", element("e"))
+        (d,) = diff(a, b)
+        assert (d.left, d.right) == (1, None)
+
+    def test_text_change(self):
+        a = element("t", element("e", text="x"))
+        b = element("t", element("e", text="y"))
+        (d,) = diff(a, b)
+        assert d.kind == "text" and d.location == "/t/e[1]/text()"
+
+    def test_missing_and_extra_children(self):
+        a = element("t", element("e"), element("e"))
+        b = element("t", element("e"))
+        (d,) = diff(a, b)
+        assert d.kind == "missing" and d.location == "/t/e[2]"
+        (d2,) = diff(b, a)
+        assert d2.kind == "extra"
+
+    def test_tag_mismatch_at_root(self):
+        (d,) = diff(element("a"), element("b"))
+        assert d.kind == "tag"
+
+    def test_positional_alignment_per_tag(self):
+        a = element("t", element("x", n=1), element("y"), element("x", n=2))
+        b = element("t", element("x", n=1), element("x", n=3))
+        differences = diff(a, b)
+        kinds = sorted((d.kind, d.location) for d in differences)
+        assert ("attribute", "/t/x[2]/@n") in kinds
+        assert ("missing", "/t/y[1]") in kinds
+
+    def test_limit_respected(self):
+        a = element("t", *[element("e", n=i) for i in range(20)])
+        b = element("t", *[element("e", n=i + 100) for i in range(20)])
+        assert len(diff(a, b, max_differences=5)) == 5
+
+
+class TestMappingWorkflow:
+    def test_diff_shows_what_the_context_arc_changes(self):
+        """The developer workflow: compare fig4 with and without the arc."""
+        instance = deptstore.source_instance()
+        with_arc = execute(compile_clip(deptstore.mapping_fig4()), instance)
+        without = execute(
+            compile_clip(deptstore.mapping_fig4(context_arc=False)), instance
+        )
+        differences = diff(with_arc, without)
+        assert differences  # the repeated employees show up
+        text = render_diff(differences)
+        assert "/target/department[1]/employee[2]" in text

@@ -1,0 +1,67 @@
+"""Unit tests for parsing XML text into instance trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.scenarios import deptstore
+from repro.xml.parser import parse_xml
+
+
+class TestParsing:
+    def test_basic_structure(self):
+        tree = parse_xml("<a><b x='1'>hi</b><c/></a>")
+        assert tree.tag == "a"
+        assert tree.find("b").text == "hi"
+        assert tree.find("b").attribute("x") == "1"  # untyped without schema
+        assert tree.find("c").text is None
+
+    def test_whitespace_only_text_is_ignored(self):
+        tree = parse_xml("<a>\n  <b>v</b>\n</a>")
+        assert tree.text is None
+
+    def test_namespace_prefixes_are_stripped(self):
+        tree = parse_xml('<n:a xmlns:n="urn:x"><n:b n:k="1"/></n:a>')
+        assert tree.tag == "a"
+        assert tree.find("b").attribute("k") == "1"
+
+    def test_malformed_raises(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a><b></a>")
+
+    def test_entities_unescaped(self):
+        tree = parse_xml("<a>x &amp; y</a>")
+        assert tree.text == "x & y"
+
+
+class TestSchemaCoercion:
+    def test_values_typed_per_schema(self):
+        schema = deptstore.source_schema()
+        text = """
+        <source>
+          <dept>
+            <dname>ICT</dname>
+            <Proj pid="0001"><pname>Appliances</pname></Proj>
+            <regEmp pid="0001"><ename>John Smith</ename><sal>10000</sal></regEmp>
+          </dept>
+        </source>
+        """
+        tree = parse_xml(text, schema=schema)
+        proj = tree.find("dept").find("Proj")
+        emp = tree.find("dept").find("regEmp")
+        assert proj.attribute("pid") == 1           # int, not "0001"
+        assert emp.find("sal").text == 10000        # int
+        assert emp.find("ename").text == "John Smith"
+
+    def test_undeclared_elements_stay_strings(self):
+        schema = deptstore.source_schema()
+        tree = parse_xml("<source><dept><dname>ICT</dname><bogus>5</bogus></dept></source>", schema=schema)
+        assert tree.find("dept").find("bogus").text == "5"
+
+    def test_paper_instance_roundtrip_with_types(self):
+        schema = deptstore.source_schema()
+        instance = deptstore.source_instance()
+        from repro.xml.serialize import to_xml
+
+        assert parse_xml(to_xml(instance), schema=schema) == instance

@@ -1,0 +1,106 @@
+"""Unit tests for the path language over instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PathError
+from repro.xml.model import element
+from repro.xml.paths import (
+    AttributeStep,
+    ChildStep,
+    Path,
+    TextStep,
+    atomize,
+    evaluate,
+    evaluate_one,
+    parse_path,
+)
+
+
+@pytest.fixture
+def tree():
+    return element(
+        "source",
+        element(
+            "dept",
+            element("Proj", element("pname", text="Appliances"), pid=1),
+            element("Proj", element("pname", text="Robotics"), pid=2),
+        ),
+        element("dept", element("Proj", element("pname", text="Brand"), pid=1)),
+    )
+
+
+class TestParsing:
+    def test_slash_syntax(self):
+        path = parse_path("dept/Proj/@pid")
+        assert path.steps == (ChildStep("dept"), ChildStep("Proj"), AttributeStep("pid"))
+
+    def test_dotted_syntax_value_is_text(self):
+        path = parse_path("sal.value", dotted=True)
+        assert path.steps == (ChildStep("sal"), TextStep())
+
+    def test_text_function_step(self):
+        assert parse_path("pname/text()").steps[-1] == TextStep()
+
+    def test_empty_path_is_identity(self):
+        assert parse_path("") == Path(())
+
+    def test_rejects_empty_steps(self):
+        with pytest.raises(PathError):
+            parse_path("dept//Proj")
+
+    def test_rejects_unknown_functions(self):
+        with pytest.raises(PathError):
+            parse_path("dept/last()")
+
+    def test_rejects_bare_at(self):
+        with pytest.raises(PathError):
+            parse_path("dept/@")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(PathError):
+            parse_path(42)
+
+    def test_concat_paths(self):
+        joined = parse_path("dept").concat(parse_path("Proj/@pid"))
+        assert str(joined) == "dept/Proj/@pid"
+
+
+class TestEvaluation:
+    def test_child_steps_collect_in_document_order(self, tree):
+        pids = evaluate(parse_path("dept/Proj/@pid"), tree)
+        assert pids == [1, 2, 1]
+
+    def test_text_step_returns_typed_values(self, tree):
+        names = evaluate(parse_path("dept/Proj/pname/text()"), tree)
+        assert names == ["Appliances", "Robotics", "Brand"]
+
+    def test_missing_attribute_contributes_nothing(self, tree):
+        assert evaluate(parse_path("dept/@missing"), tree) == []
+
+    def test_wildcard_step(self, tree):
+        assert len(evaluate(parse_path("dept/*"), tree)) == 3
+
+    def test_starting_from_multiple_roots(self, tree):
+        depts = tree.findall("dept")
+        assert len(evaluate(parse_path("Proj"), depts)) == 3
+
+    def test_step_on_atomic_raises(self, tree):
+        with pytest.raises(PathError):
+            evaluate(parse_path("dept/Proj/@pid/deeper"), tree)
+
+    def test_evaluate_one_requires_singleton(self, tree):
+        proj = tree.findall("dept")[1].findall("Proj")[0]
+        assert evaluate_one(parse_path("pname/text()"), proj) == "Brand"
+        with pytest.raises(PathError):
+            evaluate_one(parse_path("dept"), tree)  # two depts
+
+    def test_empty_path_returns_context(self, tree):
+        assert evaluate(Path(()), tree) == [tree]
+
+
+class TestAtomize:
+    def test_elements_contribute_text(self):
+        items = [element("e", text=5), 7, element("no-text")]
+        assert atomize(items) == [5, 7]

@@ -1,0 +1,165 @@
+"""Unit tests for the tgd → XQuery emitter (Section VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.core.mapping import ClipMapping
+from repro.executor import execute
+from repro.scenarios import deptstore, generic
+from repro.xquery import emit_xquery, run_query, serialize
+from repro.xquery.serialize import serialize as serialize_query
+from repro.xsd.dsl import attr, elem, schema
+from repro.xsd.types import STRING
+
+
+@pytest.fixture
+def instance():
+    return deptstore.source_instance()
+
+
+class TestEmittedShape:
+    def test_constant_tags_wrap_the_flwor(self):
+        """Figure 3: the department tag is outside the for clause."""
+        text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig3())))
+        dept_pos = text.index("<department>")
+        for_pos = text.index("for $d in source/dept")
+        assert dept_pos < for_pos
+
+    def test_builder_constructor_inside_return(self):
+        text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig4())))
+        assert "return" in text
+        assert '<department> {' in text
+        assert '<employee name="{$r/ename/text()}"/>' in text
+
+    def test_where_clause_renders_condition(self):
+        text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig3())))
+        assert "where $r/sal/text() > 11000" in text
+
+    def test_join_emits_two_fors_and_where(self):
+        text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig6())))
+        assert "for $p in $d/Proj" in text
+        assert "for $r in $d/regEmp" in text
+        assert "where $p/@pid = $r/@pid" in text
+
+    def test_grouping_template_structure(self):
+        """The Section VI template: let $context, distinct-values, for
+        over the dimension, let $group refilter."""
+        text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig7())))
+        assert "let $context" in text
+        assert "distinct-values(" in text
+        assert "let $group" in text
+        assert text.index("let $context") < text.index("distinct-values(")
+        assert text.index("distinct-values(") < text.index("let $group")
+
+    def test_group_members_feed_submappings(self):
+        text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig7())))
+        assert "for $p2 in $group" in text
+
+    def test_membership_emits_some_satisfies_is(self):
+        text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig8())))
+        assert "some $" in text
+        assert " is $" in text
+
+    def test_aggregates_use_native_functions(self):
+        """Figure 9's listing: count($d/Proj) with the context variable
+        as the path's starting point."""
+        text = serialize(emit_xquery(compile_clip(deptstore.mapping_fig9())))
+        assert 'numProj="{count($d/Proj)}"' in text
+        assert 'avg-sal="{avg($d/regEmp/sal/text())}"' in text
+
+    def test_distribution_relocates_inside_host_constructor(self):
+        text = serialize(
+            emit_xquery(compile_clip(deptstore.mapping_fig4(context_arc=False)))
+        )
+        # The employee FLWOR appears inside the department constructor
+        # even though the mappings are unrelated roots.
+        dept_open = text.index("<department>")
+        dept_close = text.index("</department>")
+        emp = text.index("<employee")
+        assert dept_open < emp < dept_close
+
+    def test_target_variables_never_leak_primes(self):
+        for fig in deptstore.FIGURES:
+            text = serialize(emit_xquery(compile_clip(fig.make_mapping())))
+            assert "'" not in text.replace("'", "", 0) or "′" not in text
+
+
+class TestScalarFunctions:
+    def _one_shot(self, function, sources):
+        source = deptstore.source_schema()
+        target = schema(
+            elem("t", elem("o", "[0..*]", attr("v", STRING, required=False)))
+        )
+        clip = ClipMapping(source, target)
+        clip.build("dept", "o", var="d")
+        clip.value(sources, "o/@v", function=function)
+        return clip
+
+    def test_concat_renders_as_fn_concat(self):
+        from repro.core.functions import CONCAT
+
+        clip = self._one_shot(CONCAT, ["dept/dname/value", "dept/dname/value"])
+        text = serialize(emit_xquery(compile_clip(clip)))
+        assert "concat($d/dname/text(), $d/dname/text())" in text
+
+    def test_arithmetic_renders_as_operators(self):
+        from repro.core.functions import ADD
+
+        clip = self._one_shot(ADD, ["dept/dname/value", "dept/dname/value"])
+        text = serialize(emit_xquery(compile_clip(clip)))
+        assert "($d/dname/text() + $d/dname/text())" in text
+
+    def test_upper_renders_as_upper_case(self):
+        from repro.core.functions import UPPER
+
+        clip = self._one_shot(UPPER, "dept/dname/value")
+        text = serialize(emit_xquery(compile_clip(clip)))
+        assert "upper-case($d/dname/text())" in text
+
+
+class TestCrossEngine:
+    """The emitted query must compute exactly what the executor computes."""
+
+    @pytest.mark.parametrize("fig", [f.figure for f in deptstore.FIGURES])
+    def test_figures(self, fig, instance):
+        tgd = compile_clip(deptstore.scenario(fig).make_mapping())
+        assert run_query(emit_xquery(tgd), instance) == execute(tgd, instance)
+
+    def test_generic_nested(self):
+        source, target = generic.source_schema(), generic.target_schema()
+        clip = generic.clip_mapping_nested(source, target)
+        tgd = compile_clip(clip)
+        instance = generic.sample_instance()
+        assert run_query(emit_xquery(tgd), instance) == execute(tgd, instance)
+
+    def test_generic_product(self):
+        source, target = generic.source_schema(), generic.target_schema()
+        clip = generic.clip_mapping_product(source, target)
+        tgd = compile_clip(clip)
+        instance = generic.sample_instance()
+        assert run_query(emit_xquery(tgd), instance) == execute(tgd, instance)
+
+    def test_clio_generated_tgds_also_emit(self, instance):
+        """Clio-style tgds (several quantified generators per level)
+        emit nested per-iteration constructors."""
+        from repro.core.mapping import ValueMapping
+        from repro.generation import generate_clio
+
+        source = deptstore.source_schema()
+        target = deptstore.target_schema_departments()
+        vms = [
+            ValueMapping(
+                [source.value("dept/Proj/pname/value")],
+                target.value("department/project/@name"),
+            ),
+            ValueMapping(
+                [source.value("dept/regEmp/ename/value")],
+                target.value("department/employee/@name"),
+            ),
+        ]
+        result = generate_clio(source, target, vms)
+        assert run_query(emit_xquery(result.tgd), instance) == execute(
+            result.tgd, instance
+        )

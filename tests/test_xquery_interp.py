@@ -1,0 +1,251 @@
+"""Unit tests for the XQuery-subset interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XQueryError, XQueryTypeError
+from repro.scenarios import deptstore
+from repro.xml.model import element
+from repro.xquery import ast
+from repro.xquery.interp import evaluate_query, run_query
+
+
+@pytest.fixture
+def doc():
+    return deptstore.source_instance()
+
+
+def _path(*segments):
+    return ast.path(ast.DocRoot(), *segments)
+
+
+class TestPaths:
+    def test_absolute_path_matches_root_name(self, doc):
+        assert len(evaluate_query(_path("source", "dept"), doc)) == 2
+
+    def test_absolute_path_with_wrong_root_is_empty(self, doc):
+        assert evaluate_query(_path("wrong", "dept"), doc) == []
+
+    def test_attribute_and_text_steps(self, doc):
+        pids = evaluate_query(_path("source", "dept", "Proj", "@pid"), doc)
+        assert pids == [1, 2, 1, 32]
+        names = evaluate_query(_path("source", "dept", "dname", "text()"), doc)
+        assert names == ["ICT", "Marketing"]
+
+    def test_variable_based_path(self, doc):
+        flwor = ast.Flwor(
+            (ast.ForClause("d", _path("source", "dept")),),
+            ast.path(ast.VarRef("d"), "Proj", "pname", "text()"),
+        )
+        assert evaluate_query(flwor, doc)[:2] == ["Appliances", "Robotics"]
+
+    def test_step_on_atomic_raises(self, doc):
+        bad = ast.path(ast.DocRoot(), "source", "dept", "dname", "text()", "deeper")
+        with pytest.raises(XQueryTypeError):
+            evaluate_query(bad, doc)
+
+
+class TestFlwor:
+    def test_for_iterates_let_binds_sequence(self, doc):
+        flwor = ast.Flwor(
+            (
+                ast.LetClause("all", _path("source", "dept", "regEmp")),
+                ast.ForClause("d", _path("source", "dept")),
+            ),
+            ast.FunctionCall("count", (ast.VarRef("all"),)),
+        )
+        assert evaluate_query(flwor, doc) == [7, 7]
+
+    def test_where_filters_tuples(self, doc):
+        flwor = ast.Flwor(
+            (
+                ast.ForClause("r", _path("source", "dept", "regEmp")),
+                ast.WhereClause(
+                    ast.ComparisonExpr(
+                        ast.path(ast.VarRef("r"), "sal", "text()"),
+                        ">",
+                        ast.NumberLit(11000),
+                    )
+                ),
+            ),
+            ast.path(ast.VarRef("r"), "ename", "text()"),
+        )
+        assert evaluate_query(flwor, doc) == [
+            "Andrew Clarence",
+            "Richard Dawson",
+            "Steven Aiking",
+        ]
+
+    def test_unbound_variable_raises(self, doc):
+        with pytest.raises(XQueryError):
+            evaluate_query(ast.VarRef("nope"), doc)
+
+
+class TestComparisonsAndBooleans:
+    def test_general_comparison_is_existential(self, doc):
+        compare = ast.ComparisonExpr(
+            _path("source", "dept", "Proj", "@pid"), "=", ast.NumberLit(32)
+        )
+        assert evaluate_query(compare, doc) == [True]
+
+    def test_comparison_empty_sequence_is_false(self, doc):
+        compare = ast.ComparisonExpr(
+            _path("source", "nothing"), "=", ast.NumberLit(1)
+        )
+        assert evaluate_query(compare, doc) == [False]
+
+    def test_type_mismatch_raises(self, doc):
+        compare = ast.ComparisonExpr(
+            _path("source", "dept", "dname", "text()"), "<", ast.NumberLit(1)
+        )
+        with pytest.raises(XQueryTypeError):
+            evaluate_query(compare, doc)
+
+    def test_and_expression(self, doc):
+        expr = ast.AndExpr((ast.BoolLit(True), ast.BoolLit(False)))
+        assert evaluate_query(expr, doc) == [False]
+
+    def test_some_satisfies_with_is(self, doc):
+        flwor = ast.Flwor(
+            (
+                ast.ForClause("d", _path("source", "dept")),
+                ast.ForClause("p", ast.path(ast.VarRef("d"), "Proj")),
+                ast.WhereClause(
+                    ast.SomeExpr(
+                        "m",
+                        ast.path(ast.VarRef("d"), "Proj"),
+                        ast.IsExpr(ast.VarRef("m"), ast.VarRef("p")),
+                    )
+                ),
+            ),
+            ast.path(ast.VarRef("p"), "@pid"),
+        )
+        assert evaluate_query(flwor, doc) == [1, 2, 1, 32]
+
+    def test_is_requires_singleton_nodes(self, doc):
+        expr = ast.IsExpr(_path("source", "dept"), _path("source", "dept"))
+        with pytest.raises(XQueryTypeError):
+            evaluate_query(expr, doc)
+
+
+class TestFunctions:
+    def test_distinct_values_first_occurrence_order(self, doc):
+        expr = ast.FunctionCall(
+            "distinct-values", (_path("source", "dept", "Proj", "pname", "text()"),)
+        )
+        assert evaluate_query(expr, doc) == [
+            "Appliances",
+            "Robotics",
+            "Brand promotion",
+        ]
+
+    def test_count_and_exists(self, doc):
+        assert evaluate_query(
+            ast.FunctionCall("count", (_path("source", "dept", "regEmp"),)), doc
+        ) == [7]
+        assert evaluate_query(
+            ast.FunctionCall("exists", (_path("source", "nope"),)), doc
+        ) == [False]
+
+    def test_numeric_aggregates(self, doc):
+        sal = _path("source", "dept", "regEmp", "sal", "text()")
+        assert evaluate_query(ast.FunctionCall("sum", (sal,)), doc) == [103500]
+        assert evaluate_query(ast.FunctionCall("min", (sal,)), doc) == [10000]
+        assert evaluate_query(ast.FunctionCall("max", (sal,)), doc) == [30000]
+
+    def test_avg_returns_int_when_integral(self, doc):
+        sal = _path("source", "dept", "regEmp", "sal", "text()")
+        (value,) = evaluate_query(ast.FunctionCall("avg", (sal,)), doc)
+        assert value == 103500 / 7
+
+    def test_avg_of_empty_is_empty(self, doc):
+        assert evaluate_query(ast.FunctionCall("avg", (_path("source", "no"),)), doc) == []
+
+    def test_sum_of_empty_is_zero(self, doc):
+        assert evaluate_query(ast.FunctionCall("sum", (_path("source", "no"),)), doc) == [0]
+
+    def test_concat(self, doc):
+        expr = ast.FunctionCall("concat", (ast.StringLit("a"), ast.NumberLit(1)))
+        assert evaluate_query(expr, doc) == ["a1"]
+
+    def test_case_functions(self, doc):
+        assert evaluate_query(
+            ast.FunctionCall("upper-case", (ast.StringLit("ict"),)), doc
+        ) == ["ICT"]
+
+    def test_unknown_function_raises(self, doc):
+        with pytest.raises(XQueryError):
+            evaluate_query(ast.FunctionCall("tokenize", (ast.StringLit("x"),)), doc)
+
+
+class TestArithmetic:
+    def test_operators(self, doc):
+        two = ast.NumberLit(2)
+        three = ast.NumberLit(3)
+        assert evaluate_query(ast.ArithExpr(two, "+", three), doc) == [5]
+        assert evaluate_query(ast.ArithExpr(two, "-", three), doc) == [-1]
+        assert evaluate_query(ast.ArithExpr(two, "*", three), doc) == [6]
+        assert evaluate_query(ast.ArithExpr(three, "div", two), doc) == [1.5]
+
+    def test_div_by_zero(self, doc):
+        with pytest.raises(XQueryError):
+            evaluate_query(ast.ArithExpr(ast.NumberLit(1), "div", ast.NumberLit(0)), doc)
+
+    def test_non_numeric_operand(self, doc):
+        with pytest.raises(XQueryTypeError):
+            evaluate_query(ast.ArithExpr(ast.StringLit("x"), "+", ast.NumberLit(1)), doc)
+
+
+class TestConstructors:
+    def test_attributes_atomize_and_omit_empty(self, doc):
+        ctor = ast.ElementCtor(
+            "out",
+            (
+                ast.AttributeCtor("n", _path("source", "dept", "dname", "text()")),
+                ast.AttributeCtor("missing", _path("source", "nope")),
+            ),
+        )
+        flwor = ast.Flwor(
+            (ast.ForClause("d", _path("source", "dept")),),
+            ast.ElementCtor(
+                "out",
+                (
+                    ast.AttributeCtor("n", ast.path(ast.VarRef("d"), "dname", "text()")),
+                    ast.AttributeCtor("m", ast.path(ast.VarRef("d"), "nope", "text()")),
+                ),
+            ),
+        )
+        results = evaluate_query(flwor, doc)
+        assert [r.attribute("n") for r in results] == ["ICT", "Marketing"]
+        assert not results[0].has_attribute("m")
+        # Unfiltered multi-valued attribute is a type error:
+        with pytest.raises(XQueryTypeError):
+            evaluate_query(ctor, doc)
+
+    def test_single_atomic_content_stays_typed(self, doc):
+        ctor = ast.ElementCtor("n", (), (ast.NumberLit(5),))
+        (out,) = evaluate_query(ctor, doc)
+        assert out.text == 5
+
+    def test_copied_element_content(self, doc):
+        flwor = ast.Flwor(
+            (ast.ForClause("p", _path("source", "dept", "Proj")),),
+            ast.ElementCtor("keep", (), (ast.VarRef("p"),)),
+        )
+        results = evaluate_query(flwor, doc)
+        assert len(results) == 4
+        assert results[0].find("Proj").attribute("pid") == 1
+        # Copies, not the original nodes:
+        assert results[0].find("Proj") is not doc.find("dept").find("Proj")
+
+    def test_mixing_text_and_elements_raises(self, doc):
+        ctor = ast.ElementCtor(
+            "bad", (), (ast.StringLit("text"), ast.ElementCtor("child"))
+        )
+        with pytest.raises(XQueryTypeError):
+            evaluate_query(ctor, doc)
+
+    def test_run_query_requires_single_root(self, doc):
+        with pytest.raises(XQueryError):
+            run_query(_path("source", "dept"), doc)

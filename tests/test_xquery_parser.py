@@ -1,0 +1,138 @@
+"""Tests for the XQuery-subset parser (text → AST)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.errors import XQueryError
+from repro.scenarios import deptstore
+from repro.xquery import emit_xquery, parse_xquery, run_query, serialize
+from repro.xquery import ast
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_xquery('"hello"') == ast.StringLit("hello")
+        assert parse_xquery("42") == ast.NumberLit(42)
+        assert parse_xquery("-3.5") == ast.NumberLit(-3.5)
+        assert parse_xquery("true()") == ast.BoolLit(True)
+
+    def test_escaped_quotes_in_strings(self):
+        assert parse_xquery('"say ""hi"""') == ast.StringLit('say "hi"')
+
+    def test_variable_and_path(self):
+        assert parse_xquery("$d") == ast.VarRef("d")
+        parsed = parse_xquery("$d/regEmp/sal/text()")
+        assert parsed == ast.path(ast.VarRef("d"), "regEmp", "sal", "text()")
+
+    def test_root_path(self):
+        parsed = parse_xquery("source/dept/Proj/@pid")
+        assert parsed == ast.path(ast.DocRoot(), "source", "dept", "Proj", "@pid")
+
+    def test_comparison(self):
+        parsed = parse_xquery("$r/sal/text() > 11000")
+        assert isinstance(parsed, ast.ComparisonExpr)
+        assert parsed.op == ">"
+
+    def test_and_chain(self):
+        parsed = parse_xquery("$a/@x = 1 and $b/@y = 2")
+        assert isinstance(parsed, ast.AndExpr)
+        assert len(parsed.items) == 2
+
+    def test_some_satisfies_is(self):
+        parsed = parse_xquery("some $m in $d/Proj satisfies $m is $p")
+        assert isinstance(parsed, ast.SomeExpr)
+        assert isinstance(parsed.condition, ast.IsExpr)
+
+    def test_function_calls(self):
+        parsed = parse_xquery("count($d/Proj)")
+        assert parsed == ast.FunctionCall(
+            "count", (ast.path(ast.VarRef("d"), "Proj"),)
+        )
+        parsed = parse_xquery('concat("a", $d/dname/text())')
+        assert parsed.name == "concat" and len(parsed.args) == 2
+
+    def test_arithmetic_precedence(self):
+        parsed = parse_xquery("1 + 2 * 3")
+        assert isinstance(parsed, ast.ArithExpr)
+        assert parsed.op == "+"
+        assert isinstance(parsed.right, ast.ArithExpr)
+
+    def test_sequences(self):
+        parsed = parse_xquery("(1, 2, 3)")
+        assert isinstance(parsed, ast.SequenceExpr)
+        assert parse_xquery("()") == ast.SequenceExpr(())
+        assert parse_xquery("(1)") == ast.NumberLit(1)
+
+
+class TestFlwor:
+    def test_for_where_return(self):
+        text = 'for $d in source/dept where $d/dname/text() = "ICT" return $d'
+        parsed = parse_xquery(text)
+        assert isinstance(parsed, ast.Flwor)
+        kinds = [type(c).__name__ for c in parsed.clauses]
+        assert kinds == ["ForClause", "WhereClause"]
+
+    def test_let_clause(self):
+        parsed = parse_xquery("let $n := count(source/dept) return $n")
+        assert isinstance(parsed.clauses[0], ast.LetClause)
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(XQueryError):
+            parse_xquery("for $d in source/dept")
+
+
+class TestConstructors:
+    def test_self_closing_with_computed_attribute(self):
+        parsed = parse_xquery('<employee name="{$r/ename/text()}"/>')
+        assert isinstance(parsed, ast.ElementCtor)
+        assert parsed.attributes[0].name == "name"
+        assert isinstance(parsed.attributes[0].expr, ast.PathExpr)
+
+    def test_nested_content(self):
+        parsed = parse_xquery(
+            "<target> { for $d in source/dept return <department/> } </target>"
+        )
+        assert parsed.tag == "target"
+        assert isinstance(parsed.children[0], ast.Flwor)
+
+    def test_mismatched_close_tag_rejected(self):
+        with pytest.raises(XQueryError):
+            parse_xquery("<a> { 1 } </b>")
+
+    def test_unterminated_constructor_rejected(self):
+        with pytest.raises(XQueryError):
+            parse_xquery("<a> { 1 }")
+
+
+class TestErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(XQueryError):
+            parse_xquery("§§§")
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XQueryError):
+            parse_xquery("1 2")
+
+    def test_empty_rejected(self):
+        with pytest.raises(XQueryError):
+            parse_xquery("")
+
+
+class TestRoundTrip:
+    """The headline property: parse(serialize(emit(tgd))) evaluates like
+    the original for every figure of the paper."""
+
+    @pytest.mark.parametrize("fig", [f.figure for f in deptstore.FIGURES])
+    def test_emitted_queries_roundtrip(self, fig):
+        instance = deptstore.source_instance()
+        tgd = compile_clip(deptstore.scenario(fig).make_mapping())
+        query = emit_xquery(tgd)
+        reparsed = parse_xquery(serialize(query))
+        assert run_query(reparsed, instance) == run_query(query, instance)
+
+    def test_serialize_parse_serialize_is_stable(self):
+        tgd = compile_clip(deptstore.mapping_fig7())
+        text = serialize(emit_xquery(tgd))
+        assert serialize(parse_xquery(text)) == text

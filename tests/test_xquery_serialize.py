@@ -1,0 +1,104 @@
+"""Unit tests for the XQuery serializer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XQueryError
+from repro.xquery import ast
+from repro.xquery.serialize import serialize
+
+
+class TestInlineForms:
+    def test_literals(self):
+        assert serialize(ast.StringLit("hi")) == '"hi"'
+        assert serialize(ast.StringLit('say "hi"')) == '"say ""hi"""'
+        assert serialize(ast.NumberLit(42)) == "42"
+        assert serialize(ast.BoolLit(True)) == "true()"
+
+    def test_variable_and_paths(self):
+        assert serialize(ast.VarRef("d")) == "$d"
+        assert serialize(ast.path(ast.VarRef("r"), "sal", "text()")) == "$r/sal/text()"
+        assert serialize(ast.path(ast.DocRoot(), "source", "dept", "@pid")) == (
+            "source/dept/@pid"
+        )
+
+    def test_comparison_and_and(self):
+        expr = ast.AndExpr(
+            (
+                ast.ComparisonExpr(ast.VarRef("a"), "=", ast.NumberLit(1)),
+                ast.ComparisonExpr(ast.VarRef("b"), ">", ast.NumberLit(2)),
+            )
+        )
+        assert serialize(expr) == "$a = 1 and $b > 2"
+
+    def test_some_satisfies(self):
+        expr = ast.SomeExpr(
+            "m",
+            ast.path(ast.VarRef("d"), "Proj"),
+            ast.IsExpr(ast.VarRef("m"), ast.VarRef("p")),
+        )
+        assert serialize(expr) == "some $m in $d/Proj satisfies $m is $p"
+
+    def test_function_and_arithmetic(self):
+        expr = ast.FunctionCall("count", (ast.path(ast.VarRef("d"), "Proj"),))
+        assert serialize(expr) == "count($d/Proj)"
+        arith = ast.ArithExpr(ast.NumberLit(1), "div", ast.NumberLit(2))
+        assert serialize(arith) == "(1 div 2)"
+
+
+class TestBlockForms:
+    def test_flwor_layout(self):
+        flwor = ast.Flwor(
+            (
+                ast.ForClause("d", ast.path(ast.DocRoot(), "source", "dept")),
+                ast.WhereClause(
+                    ast.ComparisonExpr(
+                        ast.path(ast.VarRef("d"), "dname", "text()"),
+                        "=",
+                        ast.StringLit("ICT"),
+                    )
+                ),
+            ),
+            ast.VarRef("d"),
+        )
+        assert serialize(flwor) == (
+            "for $d in source/dept\n"
+            'where $d/dname/text() = "ICT"\n'
+            "return $d"
+        )
+
+    def test_let_with_nested_flwor(self):
+        flwor = ast.Flwor(
+            (
+                ast.LetClause(
+                    "ctx",
+                    ast.Flwor(
+                        (ast.ForClause("p", ast.path(ast.DocRoot(), "s", "p")),),
+                        ast.VarRef("p"),
+                    ),
+                ),
+            ),
+            ast.VarRef("ctx"),
+        )
+        text = serialize(flwor)
+        assert text.startswith("let $ctx := (")
+        assert "  for $p in s/p" in text
+
+    def test_self_closing_constructor(self):
+        ctor = ast.ElementCtor(
+            "employee", (ast.AttributeCtor("name", ast.VarRef("n")),)
+        )
+        assert serialize(ctor) == '<employee name="{$n}"/>'
+
+    def test_constructor_with_content(self):
+        ctor = ast.ElementCtor("target", (), (ast.NumberLit(1), ast.NumberLit(2)))
+        assert serialize(ctor) == "<target> {\n  1,\n  2\n} </target>"
+
+    def test_sequence_layout(self):
+        seq = ast.SequenceExpr((ast.NumberLit(1), ast.NumberLit(2)))
+        assert serialize(seq) == "(\n  1,\n  2\n)"
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(XQueryError):
+            serialize(object())  # type: ignore[arg-type]

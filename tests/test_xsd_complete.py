@@ -1,0 +1,102 @@
+"""Tests for minimal instances and schema completion."""
+
+from __future__ import annotations
+
+from repro.scenarios import deptstore
+from repro.xml.model import element
+from repro.xsd.complete import complete, minimal_instance, type_default
+from repro.xsd.dsl import attr, elem, schema
+from repro.xsd.types import BOOLEAN, FLOAT, INT, STRING
+from repro.xsd.validate import validate
+
+
+class TestTypeDefaults:
+    def test_defaults(self):
+        assert type_default(STRING) == ""
+        assert type_default(INT) == 0
+        assert type_default(FLOAT) == 0.0
+        assert type_default(BOOLEAN) is False
+
+
+class TestMinimalInstance:
+    def test_minimal_source_instance_is_valid(self):
+        source = deptstore.source_schema()
+        instance = minimal_instance(source)
+        assert validate(instance, source) == []
+
+    def test_minimum_occurrences_respected(self):
+        source = deptstore.source_schema()
+        instance = minimal_instance(source)
+        assert len(instance.findall("dept")) == 1   # dept is [1..*]
+        dept = instance.findall("dept")[0]
+        assert dept.findall("Proj") == []            # Proj is [0..*]
+        assert dept.find("dname").text == ""         # mandatory text defaulted
+
+    def test_required_attributes_defaulted(self):
+        target = schema(
+            elem("t", elem("x", "[2..*]", attr("a", INT), attr("b", STRING, required=False)))
+        )
+        instance = minimal_instance(target)
+        xs = instance.findall("x")
+        assert len(xs) == 2
+        assert xs[0].attribute("a") == 0
+        assert not xs[0].has_attribute("b")
+
+    def test_every_scenario_schema_has_a_valid_minimum(self):
+        for factory in (
+            deptstore.source_schema,
+            deptstore.target_schema_departments,
+            deptstore.target_schema_fig3,
+            deptstore.target_schema_projemp,
+            deptstore.target_schema_grouped_projects,
+            deptstore.target_schema_inverted,
+            deptstore.target_schema_aggregates,
+        ):
+            target = factory()
+            assert validate(minimal_instance(target), target) == [], factory.__name__
+
+
+class TestCompletion:
+    def test_completion_fills_missing_mandatory_content(self):
+        source = deptstore.source_schema()
+        partial = element(
+            "source",
+            element("dept", element("Proj", pid=1)),  # dname, pname missing
+        )
+        assert validate(partial, source) != []
+        completed = complete(partial, source)
+        assert validate(completed, source) == []
+        assert completed.find("dept").find("dname").text == ""
+        assert completed.find("dept").find("Proj").find("pname").text == ""
+
+    def test_completion_preserves_existing_content(self):
+        source = deptstore.source_schema()
+        instance = deptstore.source_instance()
+        assert complete(instance, source) == instance
+
+    def test_completion_adds_minimum_children(self):
+        source = deptstore.source_schema()
+        empty = element("source")
+        completed = complete(empty, source)
+        assert len(completed.findall("dept")) == 1
+        assert validate(completed, source) == []
+
+    def test_completion_keeps_undeclared_content(self):
+        source = deptstore.source_schema()
+        odd = element("source", element("dept", element("dname", text="x"), element("weird")))
+        completed = complete(odd, source)
+        assert completed.find("dept").find("weird") is not None
+
+    def test_transformation_result_completion(self):
+        """A fig3 result on an empty source misses the [1..*] employee…
+        no — misses nothing; but a fig6 result on an empty source misses
+        the mandatory project-emp, which completion supplies."""
+        from repro.core.compile import compile_clip
+        from repro.executor import execute
+
+        clip = deptstore.mapping_fig6()
+        empty = element("source", element("dept", element("dname", text="E")))
+        out = execute(compile_clip(clip), empty)
+        assert validate(out, clip.target) != []
+        fixed = complete(out, clip.target)
+        assert validate(fixed, clip.target) == []

@@ -1,0 +1,119 @@
+"""Unit tests for the XSD subset parser and serializer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaParseError
+from repro.scenarios import deptstore, generic
+from repro.xsd.parser import parse_xsd, to_xsd
+from repro.xsd.render import render_schema
+from repro.xsd.types import INT, STRING
+
+
+SIMPLE = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="book" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="year" type="xs:integer" minOccurs="0"/>
+            </xs:sequence>
+            <xs:attribute name="isbn" type="xs:string" use="required"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+class TestParsing:
+    def test_structure_and_types(self):
+        schema = parse_xsd(SIMPLE)
+        book = schema.element("book")
+        assert book.cardinality.is_repeating and book.cardinality.is_optional
+        assert book.attribute("isbn").required
+        assert schema.element("book/title").text_type is STRING
+        assert schema.element("book/year").text_type is INT
+        assert schema.element("book/year").is_optional
+
+    def test_simple_content_extension(self):
+        text = """
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r">
+            <xs:complexType><xs:sequence>
+              <xs:element name="price" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:simpleContent>
+                    <xs:extension base="xs:decimal">
+                      <xs:attribute name="currency" type="xs:string"/>
+                    </xs:extension>
+                  </xs:simpleContent>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:schema>
+        """
+        schema = parse_xsd(text)
+        price = schema.element("price")
+        assert price.text_type is not None
+        assert price.attribute("currency") is not None
+
+    def test_key_keyref_pairs(self):
+        schema = parse_xsd(to_xsd(deptstore.source_schema()))
+        (constraint,) = schema.constraints
+        assert constraint.referring.path_string().endswith("regEmp/@pid")
+        assert constraint.referred.path_string().endswith("Proj/@pid")
+
+    def test_rejects_non_schema_root(self):
+        with pytest.raises(SchemaParseError):
+            parse_xsd("<notaschema/>")
+
+    def test_rejects_multiple_globals(self):
+        text = (
+            '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">'
+            '<xs:element name="a" type="xs:string"/>'
+            '<xs:element name="b" type="xs:string"/>'
+            "</xs:schema>"
+        )
+        with pytest.raises(SchemaParseError):
+            parse_xsd(text)
+
+    def test_rejects_unsupported_particles(self):
+        text = (
+            '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">'
+            '<xs:element name="a"><xs:complexType><xs:choice/>'
+            "</xs:complexType></xs:element></xs:schema>"
+        )
+        with pytest.raises(SchemaParseError):
+            parse_xsd(text)
+
+    def test_rejects_malformed_xml(self):
+        with pytest.raises(SchemaParseError):
+            parse_xsd("<xs:schema")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            deptstore.source_schema,
+            deptstore.target_schema_departments,
+            deptstore.target_schema_fig3,
+            deptstore.target_schema_projemp,
+            deptstore.target_schema_grouped_projects,
+            deptstore.target_schema_aggregates,
+            generic.source_schema,
+            generic.target_schema,
+        ],
+    )
+    def test_schema_survives_roundtrip(self, factory):
+        original = factory()
+        recovered = parse_xsd(to_xsd(original))
+        assert render_schema(recovered) == render_schema(original)

@@ -1,0 +1,162 @@
+"""Unit tests for the canonical relational → XML Schema conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.xsd.relational import (
+    Column,
+    ForeignKey,
+    RelationalSchema,
+    Table,
+    rows_to_instance,
+    to_xml_schema,
+)
+from repro.xsd.types import INT, STRING
+from repro.xsd.validate import validate
+
+
+@pytest.fixture
+def company_db():
+    return RelationalSchema(
+        "companyDB",
+        (
+            Table(
+                "department",
+                (Column("did", INT), Column("dname", STRING)),
+                primary_key=("did",),
+            ),
+            Table(
+                "employee",
+                (
+                    Column("eid", INT),
+                    Column("ename", STRING),
+                    Column("did", INT),
+                    Column("bonus", INT, nullable=True),
+                ),
+                primary_key=("eid",),
+                foreign_keys=(ForeignKey("did", "department", "did"),),
+            ),
+        ),
+    )
+
+
+class TestSchemaConversion:
+    def test_tables_become_repeating_elements(self, company_db):
+        schema = to_xml_schema(company_db)
+        assert schema.root.name == "companyDB"
+        dep = schema.element("department")
+        assert dep.cardinality.is_repeating
+        assert dep.attribute("dname").type is STRING
+
+    def test_nullable_columns_become_optional_attributes(self, company_db):
+        schema = to_xml_schema(company_db)
+        emp = schema.element("employee")
+        assert not emp.attribute("bonus").required
+        assert emp.attribute("ename").required
+
+    def test_foreign_keys_become_keyrefs(self, company_db):
+        schema = to_xml_schema(company_db)
+        (constraint,) = schema.constraints
+        assert constraint.referring.path_string() == "companyDB/employee/@did"
+        assert constraint.referred.path_string() == "companyDB/department/@did"
+
+    def test_unknown_referenced_table_rejected(self):
+        bad = RelationalSchema(
+            "db",
+            (
+                Table(
+                    "a",
+                    (Column("x", INT),),
+                    foreign_keys=(ForeignKey("x", "missing", "x"),),
+                ),
+            ),
+        )
+        with pytest.raises(SchemaError):
+            to_xml_schema(bad)
+
+    def test_table_and_column_lookup(self, company_db):
+        assert company_db.table("employee").column("ename").type is STRING
+        with pytest.raises(SchemaError):
+            company_db.table("nope")
+        with pytest.raises(SchemaError):
+            company_db.table("employee").column("nope")
+
+
+class TestInstanceConversion:
+    def test_rows_convert_and_validate(self, company_db):
+        schema = to_xml_schema(company_db)
+        instance = rows_to_instance(
+            company_db,
+            {
+                "department": [{"did": 1, "dname": "ICT"}],
+                "employee": [
+                    {"eid": 10, "ename": "Ann", "did": 1, "bonus": 5},
+                    {"eid": 11, "ename": "Bob", "did": 1},
+                ],
+            },
+        )
+        assert validate(instance, schema) == []
+        assert len(instance.findall("employee")) == 2
+        assert instance.findall("employee")[1].attribute("bonus") is None
+
+    def test_missing_non_nullable_column_rejected(self, company_db):
+        with pytest.raises(SchemaError):
+            rows_to_instance(company_db, {"department": [{"did": 1}]})
+
+    def test_unknown_column_rejected(self, company_db):
+        with pytest.raises(SchemaError):
+            rows_to_instance(
+                company_db, {"department": [{"did": 1, "dname": "x", "extra": 1}]}
+            )
+
+    def test_dangling_fk_caught_by_validator(self, company_db):
+        schema = to_xml_schema(company_db)
+        instance = rows_to_instance(
+            company_db,
+            {"employee": [{"eid": 1, "ename": "Ann", "did": 99}]},
+        )
+        assert any("keyref" in str(v) for v in validate(instance, schema))
+
+
+class TestClipOverRelational:
+    def test_mapping_over_converted_relational_schema(self, company_db):
+        """Clip works on relational schemas via the canonical encoding."""
+        from repro import Transformer
+        from repro.core.mapping import ClipMapping
+        from repro.xsd.dsl import attr, elem, schema as xschema
+
+        source = to_xml_schema(company_db)
+        target = xschema(
+            elem(
+                "out",
+                elem(
+                    "dept",
+                    "[0..*]",
+                    attr("name", STRING),
+                    elem("emp", "[0..*]", attr("name", STRING)),
+                ),
+            )
+        )
+        clip = ClipMapping(source, target)
+        dnode = clip.build("department", "dept", var="d")
+        clip.build(
+            "employee", "dept/emp", var="e",
+            condition="$e.@did = $d.@did", parent=dnode,
+        )
+        clip.value("department/@dname", "dept/@name")
+        clip.value("employee/@ename", "dept/emp/@name")
+        instance = rows_to_instance(
+            company_db,
+            {
+                "department": [{"did": 1, "dname": "ICT"}, {"did": 2, "dname": "HR"}],
+                "employee": [
+                    {"eid": 10, "ename": "Ann", "did": 1},
+                    {"eid": 11, "ename": "Bob", "did": 2},
+                ],
+            },
+        )
+        out = Transformer(clip)(instance)
+        assert [d.attribute("name") for d in out.findall("dept")] == ["ICT", "HR"]
+        assert out.findall("dept")[0].findall("emp")[0].attribute("name") == "Ann"

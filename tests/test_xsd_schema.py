@@ -1,0 +1,176 @@
+"""Unit tests for schema trees, cardinalities and node references."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.xsd.dsl import attr, elem, keyref, schema
+from repro.xsd.schema import (
+    MANY,
+    ONE,
+    ONE_OR_MORE,
+    OPTIONAL,
+    Cardinality,
+    ElementDecl,
+    ValueNode,
+    parse_cardinality,
+)
+from repro.xsd.types import INT, STRING
+
+
+class TestCardinality:
+    def test_labels(self):
+        assert str(Cardinality(0, None)) == "[0..*]"
+        assert str(Cardinality(1, 1)) == "[1..1]"
+
+    def test_parse_labels(self):
+        assert parse_cardinality("[0..*]") == MANY
+        assert parse_cardinality("1..*") == ONE_OR_MORE
+        assert parse_cardinality("[0..1]") == OPTIONAL
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(SchemaError):
+            parse_cardinality("[zero..one]")
+        with pytest.raises(SchemaError):
+            parse_cardinality("3")
+
+    def test_optionality_and_multiplicity(self):
+        assert MANY.is_optional and MANY.is_repeating
+        assert OPTIONAL.is_optional and not OPTIONAL.is_repeating
+        assert not ONE.is_optional and not ONE.is_repeating
+        assert Cardinality(1, 5).is_repeating
+
+    def test_admits(self):
+        assert MANY.admits(0) and MANY.admits(100)
+        assert not ONE.admits(0) and not ONE.admits(2)
+        assert Cardinality(2, 3).admits(2) and not Cardinality(2, 3).admits(1)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(SchemaError):
+            Cardinality(2, 1)
+        with pytest.raises(SchemaError):
+            Cardinality(-1, 1)
+
+
+class TestElementDecl:
+    def test_paths(self, source_schema):
+        pname = source_schema.element("dept/Proj/pname")
+        assert pname.path_string() == "source/dept/Proj/pname"
+        assert [e.name for e in pname.path()] == ["source", "dept", "Proj", "pname"]
+        assert pname.depth() == 3
+
+    def test_ancestry(self, source_schema):
+        dept = source_schema.element("dept")
+        pname = source_schema.element("dept/Proj/pname")
+        assert dept.is_ancestor_of(pname)
+        assert not pname.is_ancestor_of(dept)
+        assert not dept.is_ancestor_of(dept)
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(SchemaError):
+            elem("p", elem("x"), elem("x"))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            elem("p", attr("a", STRING), attr("a", INT))
+
+    def test_text_and_children_conflict(self):
+        with pytest.raises(SchemaError):
+            ElementDecl("p", children=[ElementDecl("c")], text_type=STRING)
+
+    def test_reattachment_rejected(self):
+        child = elem("c")
+        elem("p1", child)
+        with pytest.raises(SchemaError):
+            elem("p2", child)
+
+
+class TestSchemaLookup:
+    def test_element_lookup_with_and_without_root(self, source_schema):
+        direct = source_schema.element("dept/regEmp")
+        with_root = source_schema.element("source/dept/regEmp")
+        assert direct is with_root
+
+    def test_unknown_path_raises(self, source_schema):
+        with pytest.raises(SchemaError):
+            source_schema.element("dept/nothere")
+
+    def test_value_lookup_attribute(self, source_schema):
+        node = source_schema.value("dept/Proj/@pid")
+        assert node.attribute == "pid"
+        assert node.type is INT
+        assert node.path_string() == "source/dept/Proj/@pid"
+
+    def test_value_lookup_text_via_value_keyword(self, source_schema):
+        node = source_schema.value("dept/regEmp/sal/value")
+        assert node.is_text
+        assert node.type is INT
+
+    def test_value_lookup_text_via_function(self, source_schema):
+        assert source_schema.value("dept/dname/text()").is_text
+
+    def test_value_lookup_bare_leaf_element(self, source_schema):
+        node = source_schema.value("dept/regEmp/ename")
+        assert node.element.name == "ename" and node.is_text
+
+    def test_node_dispatches_elements_and_values(self, source_schema):
+        from repro.xsd.schema import ElementDecl
+
+        assert isinstance(source_schema.node("dept/Proj"), ElementDecl)
+        assert isinstance(source_schema.node("dept/Proj/@pid"), ValueNode)
+
+    def test_value_node_requires_existing_attribute(self, source_schema):
+        with pytest.raises(SchemaError):
+            source_schema.value("dept/Proj/@nope")
+
+    def test_value_node_requires_text_type(self, source_schema):
+        with pytest.raises(SchemaError):
+            ValueNode(source_schema.element("dept"), None)
+
+    def test_repeating_elements(self, source_schema):
+        names = [e.name for e in source_schema.repeating_elements()]
+        assert names == ["dept", "Proj", "regEmp"]
+
+    def test_repeating_path(self, source_schema):
+        node = source_schema.value("dept/regEmp/sal/value")
+        assert [e.name for e in source_schema.repeating_path(node)] == ["dept", "regEmp"]
+
+    def test_owns(self, source_schema):
+        other = schema(elem("other", elem("x", "[0..*]")))
+        assert source_schema.owns(source_schema.element("dept"))
+        assert not source_schema.owns(other.element("x"))
+
+
+class TestKeyrefDsl:
+    def test_keyref_resolves_against_schema(self, source_schema):
+        (constraint,) = source_schema.constraints
+        assert constraint.referring.path_string() == "source/dept/regEmp/@pid"
+        assert constraint.referred.path_string() == "source/dept/Proj/@pid"
+
+    def test_join_suggestion(self, source_schema):
+        from repro.xsd.constraints import suggest_join
+
+        proj = source_schema.element("dept/Proj")
+        emp = source_schema.element("dept/regEmp")
+        suggestion = suggest_join(source_schema, proj, emp)
+        assert suggestion is not None
+        left, right = suggestion
+        assert left.element is proj and right.element is emp
+
+    def test_join_suggestion_none_without_constraint(self, source_schema):
+        dname = source_schema.element("dept/dname")
+        pname = source_schema.element("dept/Proj/pname")
+        from repro.xsd.constraints import suggest_join
+
+        assert suggest_join(source_schema, dname, pname) is None
+
+    def test_join_suggestion_matches_ancestor_arcs(self, source_schema):
+        """The keyref's value nodes may sit below the arc elements
+        (grant/recipient vs the grant arc): ancestors match too."""
+        from repro.xsd.constraints import suggest_join
+
+        dept = source_schema.element("dept")
+        proj = source_schema.element("dept/Proj")
+        suggestion = suggest_join(source_schema, dept, proj)
+        assert suggestion is not None  # dept covers regEmp/@pid

@@ -1,0 +1,125 @@
+"""Unit tests for instance-against-schema validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenarios import deptstore
+from repro.xml.model import element
+from repro.xsd.validate import is_valid, validate
+
+
+@pytest.fixture
+def schema():
+    return deptstore.source_schema()
+
+
+def _minimal():
+    return element(
+        "source",
+        element(
+            "dept",
+            element("dname", text="ICT"),
+            element("Proj", element("pname", text="X"), pid=1),
+            element(
+                "regEmp",
+                element("ename", text="A"),
+                element("sal", text=10),
+                pid=1,
+            ),
+        ),
+    )
+
+
+class TestStructural:
+    def test_valid_instance(self, schema):
+        assert validate(_minimal(), schema) == []
+        assert is_valid(deptstore.source_instance(), schema)
+
+    def test_wrong_root(self, schema):
+        violations = validate(element("wrong"), schema)
+        assert any("root element" in str(v) for v in violations)
+
+    def test_missing_required_child(self, schema):
+        inst = element("source", element("dept"))  # dname [1..1] missing
+        assert any("dname" in str(v) for v in validate(inst, schema))
+
+    def test_cardinality_violation_reports_range(self, schema):
+        inst = element("source")  # dept is [1..*]
+        (violation,) = [v for v in validate(inst, schema) if "dept" in str(v)]
+        assert "[1..*]" in str(violation)
+
+    def test_undeclared_child(self, schema):
+        inst = _minimal()
+        inst.find("dept").append(element("intern"))
+        assert any("undeclared child" in str(v) for v in validate(inst, schema))
+
+    def test_undeclared_attribute(self, schema):
+        inst = _minimal()
+        inst.find("dept").set_attribute("head", "x")
+        assert any("undeclared attribute" in str(v) for v in validate(inst, schema))
+
+    def test_missing_required_attribute(self, schema):
+        inst = _minimal()
+        bad = element("Proj", element("pname", text="Y"))  # no @pid
+        inst.find("dept").append(bad)
+        assert any("missing required attribute @pid" in str(v) for v in validate(inst, schema))
+
+    def test_wrong_attribute_type(self, schema):
+        inst = _minimal()
+        inst.find("dept").find("Proj").set_attribute("pid", "not-an-int")
+        assert any("expected int" in str(v) for v in validate(inst, schema))
+
+    def test_wrong_text_type(self, schema):
+        inst = _minimal()
+        sal = inst.find("dept").find("regEmp").find("sal")
+        object.__setattr__ if False else None
+        sal._text = "high"  # bypass the typed setter deliberately
+        assert any("does not match type" in str(v) for v in validate(inst, schema))
+
+    def test_missing_text(self, schema):
+        inst = _minimal()
+        inst.find("dept").find("dname")._text = None
+        assert any("missing text value" in str(v) for v in validate(inst, schema))
+
+    def test_unexpected_text_on_element_only_content(self, schema):
+        inst = _minimal()
+        dept = inst.find("dept")
+        dept._children, saved = [], dept._children
+        dept._text = "oops"
+        violations = validate(inst, schema)
+        assert any("unexpected text" in str(v) for v in violations)
+
+    def test_violation_locations_are_indexed_paths(self, schema):
+        inst = _minimal()
+        inst.find("dept").append(element("Proj", element("pname", text="Z")))
+        violations = [v for v in validate(inst, schema) if "@pid" in str(v)]
+        assert violations and "/source/dept[1]/Proj[2]" in violations[0].location
+
+
+class TestKeyref:
+    def test_dangling_reference_detected(self, schema):
+        inst = _minimal()
+        inst.find("dept").append(
+            element("regEmp", element("ename", text="B"), element("sal", text=1), pid=99)
+        )
+        violations = validate(inst, schema)
+        assert any("keyref" in str(v) and "99" in str(v) for v in violations)
+
+    def test_constraints_can_be_skipped(self, schema):
+        inst = _minimal()
+        inst.find("dept").append(
+            element("regEmp", element("ename", text="B"), element("sal", text=1), pid=99)
+        )
+        assert validate(inst, schema, check_constraints=False) == []
+
+
+class TestRaising:
+    def test_raise_on_error(self, schema):
+        with pytest.raises(ValidationError) as exc:
+            validate(element("source"), schema, raise_on_error=True)
+        assert exc.value.violations
+
+    def test_no_raise_when_valid(self, schema):
+        assert validate(_minimal(), schema, raise_on_error=True) == []

@@ -1,0 +1,213 @@
+"""Tests for the XSLT rendering (emitter + interpreter).
+
+The paper's Clio lineage renders transformations "in a number of
+languages (XQuery, XSLT, SQL/XML, SQL)"; this suite checks the XSLT
+rendering against the other two engines on every figure in its
+supported subset (no grouping, no distribution — XSLT 1.0 limits), on
+synthetic workloads and on randomized instances.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.compile import compile_clip
+from repro.executor import execute
+from repro.scenarios import deptstore
+from repro.xquery import emit_xquery, run_query
+from repro.xslt import UnsupportedForXslt, apply_stylesheet, emit_xslt
+
+SUPPORTED = ("fig3", "fig4", "fig5", "fig6", "fig9")
+UNSUPPORTED = ("fig4-no-arc", "fig7", "fig8")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return deptstore.source_instance()
+
+
+class TestSupportedSubset:
+    @pytest.mark.parametrize("fig", SUPPORTED)
+    def test_three_engines_agree(self, fig, instance):
+        tgd = compile_clip(deptstore.scenario(fig).make_mapping())
+        via_executor = execute(tgd, instance)
+        via_xquery = run_query(emit_xquery(tgd), instance)
+        via_xslt = apply_stylesheet(emit_xslt(tgd), instance)
+        assert via_xslt == via_executor == via_xquery
+
+    @pytest.mark.parametrize("fig", SUPPORTED)
+    def test_matches_paper_output(self, fig, instance):
+        scenario = deptstore.scenario(fig)
+        tgd = compile_clip(scenario.make_mapping())
+        out = apply_stylesheet(emit_xslt(tgd), instance)
+        expected = scenario.expected()
+        assert out == expected if scenario.ordered else out.equals_canonically(expected)
+
+    @pytest.mark.parametrize("fig", UNSUPPORTED)
+    def test_unsupported_constructs_raise(self, fig):
+        tgd = compile_clip(deptstore.scenario(fig).make_mapping())
+        with pytest.raises(UnsupportedForXslt):
+            emit_xslt(tgd)
+
+
+class TestStylesheetText:
+    def test_root_template_and_namespace(self):
+        text = emit_xslt(compile_clip(deptstore.mapping_fig3())).serialize()
+        assert 'xmlns:xsl="http://www.w3.org/1999/XSL/Transform"' in text
+        assert '<xsl:template match="/">' in text
+
+    def test_for_each_binds_tgd_variables(self):
+        text = emit_xslt(compile_clip(deptstore.mapping_fig4())).serialize()
+        assert '<xsl:for-each select="/source/dept">' in text
+        assert '<xsl:variable name="d" select="."/>' in text
+        assert '<xsl:for-each select="$d/regEmp">' in text
+
+    def test_condition_becomes_xsl_if_with_escaping(self):
+        text = emit_xslt(compile_clip(deptstore.mapping_fig3())).serialize()
+        assert '<xsl:if test="$r/sal/text() &gt; 11000">' in text
+
+    def test_attribute_guarded_by_existence(self):
+        text = emit_xslt(compile_clip(deptstore.mapping_fig3())).serialize()
+        assert '<xsl:if test="$r/ename/text()">' in text
+        assert '<xsl:attribute name="name">' in text
+
+    def test_aggregates_use_xpath1_functions(self):
+        text = emit_xslt(compile_clip(deptstore.mapping_fig9())).serialize()
+        assert 'select="count($d/Proj)"' in text
+        assert "sum($d/regEmp/sal/text()) div count($d/regEmp/sal/text())" in text
+
+    def test_join_condition_rendered(self):
+        text = emit_xslt(compile_clip(deptstore.mapping_fig6())).serialize()
+        assert '<xsl:if test="$p/@pid = $r/@pid">' in text
+
+
+class TestSemanticDetails:
+    def test_missing_optional_value_omits_attribute(self):
+        from repro.core.mapping import ClipMapping
+        from repro.xml.model import element
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        source = schema(
+            elem("s", elem("item", "[0..*]", elem("note", "[0..1]", text=STRING)))
+        )
+        target = schema(
+            elem("t", elem("out", "[0..*]", attr("note", STRING, required=False)))
+        )
+        clip = ClipMapping(source, target)
+        clip.build("item", "out", var="i")
+        clip.value("item/note/value", "out/@note")
+        instance = element(
+            "s", element("item", element("note", text="x")), element("item")
+        )
+        out = apply_stylesheet(emit_xslt(compile_clip(clip)), instance)
+        first, second = out.findall("out")
+        assert first.attribute("note") == "x"
+        assert not second.has_attribute("note")
+
+    def test_empty_iteration_keeps_constant_tags(self):
+        from repro.xml.model import element
+
+        empty = element("source", element("dept", element("dname", text="E")))
+        tgd = compile_clip(deptstore.mapping_fig3())
+        out = apply_stylesheet(emit_xslt(tgd), empty)
+        assert len(out.findall("department")) == 1
+
+    def test_typed_values_preserved(self, instance):
+        tgd = compile_clip(deptstore.mapping_fig9())
+        out = apply_stylesheet(emit_xslt(tgd), instance)
+        assert out.findall("department")[0].attribute("avg-sal") == 10875
+
+    def test_avg_guard_on_empty(self):
+        from repro.xml.model import element
+
+        empty = element("source", element("dept", element("dname", text="E")))
+        tgd = compile_clip(deptstore.mapping_fig9())
+        out = apply_stylesheet(emit_xslt(tgd), empty)
+        dept = out.findall("department")[0]
+        assert dept.attribute("numEmps") == 0
+        assert not dept.has_attribute("avg-sal")
+
+
+_salaries = st.integers(min_value=0, max_value=40000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_three_engines_agree_on_random_instances(seed):
+    from repro.xsd.generate import GeneratorSpec, random_instance
+
+    instance = random_instance(
+        deptstore.source_schema(), GeneratorSpec(seed=seed, max_repeat=3)
+    )
+    for fig in SUPPORTED:
+        tgd = compile_clip(deptstore.scenario(fig).make_mapping())
+        via_executor = execute(tgd, instance)
+        via_xslt = apply_stylesheet(emit_xslt(tgd), instance)
+        assert via_xslt == via_executor, fig
+
+
+class TestScalarFunctionRendering:
+    def _clip_with(self, function, sources):
+        from repro.core.mapping import ClipMapping
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        source = deptstore.source_schema()
+        target = schema(
+            elem("t", elem("o", "[0..*]", attr("v", STRING, required=False)))
+        )
+        clip = ClipMapping(source, target)
+        clip.build("dept", "o", var="d")
+        clip.value(sources, "o/@v", function=function)
+        return clip
+
+    def test_concat(self, instance):
+        from repro.core.functions import CONCAT
+
+        clip = self._clip_with(CONCAT, ["dept/dname/value", "dept/dname/value"])
+        tgd = compile_clip(clip)
+        sheet = emit_xslt(tgd)
+        assert "concat($d/dname/text(), $d/dname/text())" in sheet.serialize()
+        out = apply_stylesheet(sheet, instance)
+        assert out.findall("o")[0].attribute("v") == "ICTICT"
+
+    def test_arithmetic(self):
+        from repro.core.functions import ADD
+        from repro.core.mapping import ClipMapping
+        from repro.xml.model import element
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import INT
+
+        source = schema(
+            elem("s", elem("row", "[0..*]", attr("a", INT), attr("b", INT)))
+        )
+        target = schema(
+            elem("t", elem("o", "[0..*]", attr("v", INT, required=False)))
+        )
+        clip = ClipMapping(source, target)
+        clip.build("row", "o", var="r")
+        clip.value(["row/@a", "row/@b"], "o/@v", function=ADD)
+        tgd = compile_clip(clip)
+        sheet = emit_xslt(tgd)
+        assert "($r/@a + $r/@b)" in sheet.serialize()
+        instance = element("s", element("row", a=2, b=3))
+        out = apply_stylesheet(sheet, instance)
+        assert out.findall("o")[0].attribute("v") == 5
+
+    def test_min_max_unsupported(self, instance):
+        from repro.core.mapping import ClipMapping
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import INT
+
+        source = deptstore.source_schema()
+        target = schema(
+            elem("t", elem("o", "[0..*]", attr("v", INT, required=False)))
+        )
+        clip = ClipMapping(source, target)
+        clip.build("dept", "o", var="d")
+        clip.value_aggregate("min", "dept/regEmp/sal/value", "o/@v")
+        with pytest.raises(UnsupportedForXslt):
+            emit_xslt(compile_clip(clip))
