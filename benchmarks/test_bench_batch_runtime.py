@@ -1,0 +1,132 @@
+"""Batch runtime throughput: plan reuse vs. per-document recompilation.
+
+Section VI's deployment story — compile the mapping once, apply it to
+arbitrarily many documents — made operational.  The measurement
+contrasts:
+
+* **naive** — one fresh :class:`repro.Transformer` per document, the
+  way a stateless per-request service would do it (validity check +
+  tgd compilation on every call);
+* **batched** — one :class:`repro.runtime.BatchRunner` over the same
+  documents, retrieving the compiled plan from the cache per
+  application (one miss, N−1 hits).
+
+The assertions pin the runtime's contract on a 100-document workload:
+batched is at least 2× faster, the metrics report at least 99 cache
+hits, and the outputs are identical document-for-document.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro import Transformer
+from repro.runtime import BatchRunner, PlanCache
+from repro.scenarios import deptstore
+from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+
+DOCUMENTS = 100
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return deptstore.mapping_fig4()
+
+
+@pytest.fixture(scope="module")
+def documents():
+    """100 small instances — the shape of a heavy-traffic workload
+    (many requests, compact payloads), where per-request compilation
+    dominates per-request evaluation."""
+    return [
+        make_deptstore_instance(
+            DeptstoreSpec(
+                departments=1,
+                projects_per_dept=1,
+                employees_per_dept=2,
+                seed=seed,
+            )
+        )
+        for seed in range(DOCUMENTS)
+    ]
+
+
+def _naive(mapping, documents):
+    return [Transformer(mapping)(doc) for doc in documents]
+
+
+def _batched(mapping, documents):
+    return BatchRunner(mapping, cache=PlanCache()).run(documents)
+
+
+def _best_of(repeats, fn, *args):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.mark.benchmark(group="batch-100docs")
+def test_bench_naive_transformer_per_document(benchmark, mapping, documents):
+    results = benchmark(_naive, mapping, documents)
+    assert len(results) == DOCUMENTS
+
+
+@pytest.mark.benchmark(group="batch-100docs")
+def test_bench_batched_plan_reuse(benchmark, mapping, documents):
+    batch = benchmark(_batched, mapping, documents)
+    assert len(batch) == DOCUMENTS
+    assert batch.metrics.cache_misses == 1
+    assert batch.metrics.cache_hits == DOCUMENTS - 1
+
+
+@pytest.mark.benchmark(group="batch-speedup")
+def test_batched_at_least_twice_as_fast(benchmark, mapping, documents):
+    """The acceptance measurement: plan reuse beats per-document
+    recompilation by ≥ 2× on 100 documents, with the metrics JSON
+    accounting for ≥ 99 cache hits."""
+    naive_seconds, naive_results = _best_of(3, _naive, mapping, documents)
+    batched_seconds, batch = _best_of(3, _batched, mapping, documents)
+    metrics_doc = batch.metrics.to_dict()
+
+    assert batch.results == naive_results
+    assert metrics_doc["plan_cache"]["hits"] >= DOCUMENTS - 1
+    assert metrics_doc["documents"] == DOCUMENTS
+    speedup = naive_seconds / batched_seconds
+    report(
+        "batch runtime, 100 documents",
+        [
+            ("naive (compile per doc)", "—", f"{naive_seconds * 1e3:.1f} ms"),
+            ("batched (plan cache)", "—", f"{batched_seconds * 1e3:.1f} ms"),
+            ("speedup", "≥ 2×", f"{speedup:.1f}×"),
+            (
+                "cache hits",
+                "≥ 99",
+                str(metrics_doc["plan_cache"]["hits"]),
+            ),
+        ],
+    )
+    assert speedup >= 2.0, (
+        f"batched path only {speedup:.2f}× faster "
+        f"({naive_seconds:.4f}s vs {batched_seconds:.4f}s)"
+    )
+    # Register the batched path with the benchmark harness so the CI
+    # smoke run records it in BENCH_batch.json.
+    benchmark(_batched, mapping, documents)
+
+
+@pytest.mark.benchmark(group="batch-workers")
+def test_bench_batched_two_workers(benchmark, mapping, documents):
+    """Process fan-out on the same workload (includes pool start-up —
+    worth it for heavier documents, measured here for the record)."""
+    batch = benchmark(
+        lambda: BatchRunner(mapping, workers=2, cache=PlanCache()).run(documents)
+    )
+    assert len(batch) == DOCUMENTS
+    assert batch.results == _batched(mapping, documents).results

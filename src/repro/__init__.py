@@ -31,7 +31,7 @@ Quickstart::
 
 from __future__ import annotations
 
-from . import core, errors, executor, generation, scenarios, xml, xquery, xsd
+from . import core, errors, executor, generation, runtime, scenarios, xml, xquery, xsd
 from .core.compile import compile_clip
 from .core.mapping import ClipMapping
 from .core.tgd import NestedTgd
@@ -66,9 +66,22 @@ class Transformer:
         self.mapping = mapping
         self.engine = engine
         self.report: ValidityReport = check(mapping)
-        self.tgd: NestedTgd = compile_clip(mapping, require_valid=require_valid)
+        self.tgd: NestedTgd = compile_clip(
+            mapping, require_valid=require_valid, report=self.report
+        )
+        self._plan = None
         self._query = None
         self._stylesheet = None
+
+    @property
+    def plan(self):
+        """The prepared tgd evaluation plan (built lazily, reused across
+        calls)."""
+        if self._plan is None:
+            from .executor import prepare
+
+            self._plan = prepare(self.tgd)
+        return self._plan
 
     @property
     def xquery(self):
@@ -104,7 +117,7 @@ class Transformer:
             from .xslt import apply_stylesheet
 
             return apply_stylesheet(self.stylesheet, source_instance)
-        return execute(self.tgd, source_instance)
+        return self.plan.run(source_instance)
 
     def explain(self, source_instance: XmlElement):
         """Run the mapping with per-level counters (iterations, filtered
@@ -131,6 +144,7 @@ __all__ = [
     "errors",
     "executor",
     "generation",
+    "runtime",
     "scenarios",
     "xml",
     "xquery",

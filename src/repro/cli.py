@@ -10,6 +10,10 @@ saved by :mod:`repro.io`:
 * ``xslt MAPPING.json`` — print the generated XSLT stylesheet;
 * ``run MAPPING.json SOURCE.xml [-o OUT.xml] [--engine tgd|xquery]`` —
   transform an instance;
+* ``batch MAPPING.json SOURCE.xml [SOURCE2.xml …] [--workers N]
+  [--engine E] [--output-dir DIR] [--metrics-json PATH] [--validate]``
+  — transform many instances through the compiled-plan cache, with an
+  optional worker pool and a machine-readable metrics report;
 * ``lineage MAPPING.json [--source PATH | --target PATH]`` — lineage /
   impact analysis;
 * ``suggest SOURCE.xsd TARGET.xsd [--threshold T]`` — schema matching
@@ -83,6 +87,61 @@ def _cmd_run(args) -> int:
         print(f"wrote {args.output} ({result.size()} elements)")
     else:
         print(to_xml(result) if args.xml else to_ascii(result))
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    import os
+
+    from .runtime import BatchRunner, PlanCache
+
+    if args.workers < 1:
+        print(
+            f"error: --workers must be a positive integer, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    clip = load_mapping(args.mapping)
+    documents = [
+        parse_xml(_read(path), schema=clip.source) for path in args.sources
+    ]
+    runner = BatchRunner(
+        clip,
+        engine=args.engine,
+        workers=args.workers,
+        validate=args.validate,
+        # One cache per invocation: the metrics report then describes
+        # exactly this run, not whatever the process compiled before.
+        cache=PlanCache(),
+    )
+    batch = runner.run(documents)
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+        for path, result in zip(args.sources, batch):
+            stem = os.path.splitext(os.path.basename(path))[0]
+            out_path = os.path.join(args.output_dir, f"{stem}.out.xml")
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(to_xml(result))
+            print(f"wrote {out_path} ({result.size()} elements)")
+    else:
+        for path, result in zip(args.sources, batch):
+            print(f"{path}: {result.size()} elements")
+    metrics = batch.metrics
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            handle.write(metrics.to_json())
+        print(f"wrote {args.metrics_json}")
+    print(
+        f"transformed {metrics.documents} documents "
+        f"(engine={metrics.engine}, workers={metrics.workers}, "
+        f"cache hits={metrics.cache_hits}, misses={metrics.cache_misses})"
+    )
+    if args.validate and metrics.validation_violations:
+        print(
+            f"validation violations: {metrics.validation_violations}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -190,6 +249,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=("tgd", "xquery", "xslt"), default="tgd")
     run.add_argument("--xml", action="store_true", help="print XML instead of a tree")
     run.set_defaults(handler=_cmd_run)
+
+    batch = commands.add_parser(
+        "batch", help="transform many source instances via the plan cache"
+    )
+    batch.add_argument("mapping")
+    batch.add_argument("sources", nargs="+", metavar="source")
+    batch.add_argument("--workers", type=int, default=1)
+    batch.add_argument("--engine", choices=("tgd", "xquery", "xslt"), default="tgd")
+    batch.add_argument("--output-dir", default=None)
+    batch.add_argument(
+        "--metrics-json", default=None,
+        help="write the machine-readable run metrics to this path",
+    )
+    batch.add_argument(
+        "--validate", action="store_true",
+        help="validate outputs against the target schema (exit 1 on violations)",
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     lineage_cmd = commands.add_parser("lineage", help="lineage / impact analysis")
     lineage_cmd.add_argument("mapping")

@@ -53,16 +53,23 @@ from .tgd import (
 from .validity import check as check_validity, find_driver
 
 
-def compile_clip(clip: ClipMapping, *, require_valid: bool = True) -> NestedTgd:
+def compile_clip(
+    clip: ClipMapping, *, require_valid: bool = True, report=None
+) -> NestedTgd:
     """Compile a Clip mapping into a nested tgd.
 
     With ``require_valid=True`` (the default) the Section III validity
     rules are checked first and :class:`InvalidMappingError` is raised
     on violation — mirroring the paper's behaviour of letting users
     *enter* invalid mappings but refusing to ascribe semantics to them.
+    Callers that already ran :func:`repro.core.validity.check` can pass
+    the ``report`` to avoid re-checking — plan construction (validity +
+    compilation) is the expensive, once-per-mapping half of execution,
+    so the batch runtime is careful never to repeat any of it.
     """
     if require_valid:
-        report = check_validity(clip)
+        if report is None:
+            report = check_validity(clip)
         if not report.is_valid:
             raise InvalidMappingError(report)
     return _Compiler(clip).compile()

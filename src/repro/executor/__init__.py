@@ -1,6 +1,14 @@
 """Direct tgd execution engine, with an instrumented explain mode."""
 
-from .engine import GroupBinding, execute
+from .engine import GroupBinding, TgdPlan, execute, prepare
 from .stats import ExecutionReport, LevelStats, explain
 
-__all__ = ["execute", "GroupBinding", "explain", "ExecutionReport", "LevelStats"]
+__all__ = [
+    "execute",
+    "prepare",
+    "TgdPlan",
+    "GroupBinding",
+    "explain",
+    "ExecutionReport",
+    "LevelStats",
+]

@@ -60,14 +60,74 @@ Binding = Union[XmlElement, GroupBinding]
 Env = dict[str, Binding]
 
 
+def order_mappings(tgd: NestedTgd) -> tuple[TgdMapping, ...]:
+    """The evaluation order of the tgd's root mappings.
+
+    Distributed content lands in the elements *other* mappings build,
+    so builder mappings run first (matching the emitted XQuery, which
+    nests distributed content inside the builder's constructor).
+    """
+
+    def has_distribution(mapping: TgdMapping) -> bool:
+        return any(
+            gen.distribute
+            for level in mapping.walk()
+            for gen in level.target_gens
+        )
+
+    ordered = [m for m in tgd.roots if not has_distribution(m)]
+    ordered += [m for m in tgd.roots if has_distribution(m)]
+    return tuple(ordered)
+
+
+class TgdPlan:
+    """A nested tgd prepared for repeated per-document evaluation.
+
+    The plan holds everything that depends only on the *mapping* — the
+    tgd and the evaluation order of its root mappings — so applying it
+    to N documents walks the mapping analysis once, not N times.  The
+    batch runtime (:mod:`repro.runtime`) keys its compiled-plan cache
+    on exactly this split.
+    """
+
+    __slots__ = ("tgd", "ordered")
+
+    def __init__(self, tgd: NestedTgd):
+        self.tgd = tgd
+        self.ordered = order_mappings(tgd)
+
+    def run(self, source_instance: XmlElement) -> XmlElement:
+        """Evaluate the prepared tgd over one source instance."""
+        return _Engine(self.tgd, source_instance, ordered=self.ordered).run()
+
+    def __call__(self, source_instance: XmlElement) -> XmlElement:
+        return self.run(source_instance)
+
+
+def prepare(tgd: NestedTgd) -> TgdPlan:
+    """Prepare a nested tgd for repeated evaluation (plan construction
+    split from per-document evaluation)."""
+    return TgdPlan(tgd)
+
+
 def execute(tgd: NestedTgd, source_instance: XmlElement) -> XmlElement:
     """Evaluate a nested tgd over a source instance; returns the target
-    instance rooted at the tgd's target root tag."""
+    instance rooted at the tgd's target root tag.
+
+    One-shot convenience over :func:`prepare`; to apply the same tgd to
+    many documents, prepare once and call the plan per document.
+    """
     return _Engine(tgd, source_instance).run()
 
 
 class _Engine:
-    def __init__(self, tgd: NestedTgd, source_instance: XmlElement):
+    def __init__(
+        self,
+        tgd: NestedTgd,
+        source_instance: XmlElement,
+        *,
+        ordered: Optional[tuple[TgdMapping, ...]] = None,
+    ):
         if source_instance.tag != tgd.source_root:
             raise ExecutionError(
                 f"instance root <{source_instance.tag}> does not match the tgd's "
@@ -75,6 +135,7 @@ class _Engine:
             )
         self.tgd = tgd
         self.source = source_instance
+        self.ordered = ordered if ordered is not None else order_mappings(tgd)
         self.target_root = XmlElement(tgd.target_root)
         # Singleton constant tags: (parent identity, tag) → element.
         self._wrappers: dict[tuple[int, str], XmlElement] = {}
@@ -82,20 +143,7 @@ class _Engine:
         self._groups: dict[tuple[int, str, tuple], XmlElement] = {}
 
     def run(self) -> XmlElement:
-        # Distributed content lands in the elements *other* mappings
-        # build, so builder mappings run first (matching the emitted
-        # XQuery, which nests distributed content inside the builder's
-        # constructor).
-        def has_distribution(mapping: TgdMapping) -> bool:
-            return any(
-                gen.distribute
-                for level in mapping.walk()
-                for gen in level.target_gens
-            )
-
-        ordered = [m for m in self.tgd.roots if not has_distribution(m)]
-        ordered += [m for m in self.tgd.roots if has_distribution(m)]
-        for mapping in ordered:
+        for mapping in self.ordered:
             self._run_mapping(mapping, {}, {})
         return self.target_root
 

@@ -10,6 +10,7 @@ Figures 4/6 and their arc-less variants is exactly these numbers.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from ..core.tgd import NestedTgd, TgdMapping
@@ -42,6 +43,18 @@ class LevelStats:
         bits.append(f"assigned={self.assignments_applied}")
         return " ".join(bits)
 
+    def to_dict(self) -> dict:
+        """The counters as a plain dict (machine-readable reports)."""
+        return {
+            "label": self.label,
+            "depth": self.depth,
+            "iterations": self.iterations,
+            "filtered_out": self.filtered_out,
+            "groups": self.groups,
+            "elements_built": self.elements_built,
+            "assignments_applied": self.assignments_applied,
+        }
+
 
 @dataclass
 class ExecutionReport:
@@ -66,6 +79,21 @@ class ExecutionReport:
             f"{self.result.size()} elements in the result"
         )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The report as a plain dict: per-level counters plus totals.
+        The result instance itself is summarized by its element count —
+        serialize it separately if the tree is needed."""
+        return {
+            "levels": [level.to_dict() for level in self.levels],
+            "total_iterations": self.total_iterations,
+            "total_elements_built": self.total_elements_built,
+            "result_elements": self.result.size(),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The report as JSON text (see :meth:`to_dict`)."""
+        return json.dumps(self.to_dict(), indent=indent)
 
 
 def _label(mapping: TgdMapping) -> str:

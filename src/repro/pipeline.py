@@ -42,11 +42,23 @@ class Pipeline:
     def __init__(self, mappings: Sequence[ClipMapping], *, engine: str = "tgd"):
         if not mappings:
             raise MappingError("a pipeline needs at least one mapping")
+        self.engine = engine
         self.transformers = [Transformer(m, engine=engine) for m in mappings]
+        # Render each schema object at most once across the adjacency
+        # checks — shared schema objects (stage i's target handed to
+        # stage i+1 as its source) used to be rendered per comparison.
+        rendered: dict[int, str] = {}
+
+        def render_once(schema) -> str:
+            key = id(schema)
+            if key not in rendered:
+                rendered[key] = render_schema(schema)
+            return rendered[key]
+
         for index in range(len(mappings) - 1):
             upstream = mappings[index].target
             downstream = mappings[index + 1].source
-            if render_schema(upstream) != render_schema(downstream):
+            if render_once(upstream) != render_once(downstream):
                 raise MappingError(
                     f"pipeline stage {index} produces schema "
                     f"{upstream.root.name!r} but stage {index + 1} consumes "
@@ -89,6 +101,78 @@ class Pipeline:
 
     def __call__(self, instance: XmlElement) -> XmlElement:
         return self.run(instance)
+
+    def run_batch(
+        self,
+        documents,
+        *,
+        workers: int = 1,
+        validate: bool = False,
+        cache=None,
+    ):
+        """Stream a batch of documents through all stages.
+
+        Stage-major execution: every document passes stage 0, then the
+        intermediate instances pass stage 1, and so on — each stage's
+        compiled plan is retrieved once per document application from
+        the plan cache, which this method seeds with the transformers'
+        already-compiled tgds (no stage compiles twice).  ``workers``
+        fans each stage's documents across a process pool
+        (:class:`repro.runtime.BatchRunner`); results keep input order.
+
+        Returns a :class:`repro.runtime.BatchResult` whose metrics
+        carry a per-stage breakdown (documents, execute seconds,
+        validation violations).  Unlike :meth:`run`, ``validate=True``
+        counts violations into the metrics instead of raising, so one
+        bad document does not abort the batch.
+        """
+        from .runtime import (
+            BatchMetrics,
+            BatchResult,
+            BatchRunner,
+            StageMetrics,
+            default_cache,
+            fingerprint,
+            plan_from_tgd,
+        )
+
+        cache = cache if cache is not None else default_cache()
+        current = list(documents)
+        metrics = BatchMetrics(engine=self.engine, workers=workers)
+        metrics.documents = len(current)
+        metrics.source_elements = sum(doc.size() for doc in current)
+        for index, transformer in enumerate(self.transformers):
+            fp = fingerprint(transformer.mapping, self.engine)
+            if fp not in cache:
+                cache.put(plan_from_tgd(transformer.tgd, self.engine, fp=fp))
+            runner = BatchRunner(
+                transformer.mapping,
+                engine=self.engine,
+                workers=workers,
+                cache=cache,
+                validate=validate,
+            )
+            batch = runner.run(current)
+            mapping = transformer.mapping
+            metrics.stages.append(
+                StageMetrics(
+                    index=index,
+                    source_root=mapping.source.root.name,
+                    target_root=mapping.target.root.name,
+                    documents=len(current),
+                    execute_seconds=batch.metrics.execute_seconds,
+                    violations=batch.metrics.validation_violations,
+                )
+            )
+            metrics.cache_hits += batch.metrics.cache_hits
+            metrics.cache_misses += batch.metrics.cache_misses
+            metrics.compile_seconds += batch.metrics.compile_seconds
+            metrics.execute_seconds += batch.metrics.execute_seconds
+            metrics.validation_violations += batch.metrics.validation_violations
+            metrics.wall_seconds += batch.metrics.wall_seconds
+            current = batch.results
+        metrics.target_elements = sum(doc.size() for doc in current)
+        return BatchResult(current, metrics)
 
     def describe(self) -> str:
         """One line per stage: source root → target root."""

@@ -1,0 +1,59 @@
+"""Batch execution runtime: compile once, run everywhere.
+
+The paper compiles a Clip mapping into executable artifacts (nested
+tgd, XQuery, XSLT) exactly once and then applies them to any number of
+instance documents.  This package is the serving-side realization of
+that split:
+
+* :mod:`repro.runtime.plan` — :class:`CompiledPlan` (the once-per-
+  mapping work, reified) and the structural :func:`fingerprint` that
+  identifies it;
+* :mod:`repro.runtime.cache` — :class:`PlanCache`, an LRU keyed on
+  fingerprints with hit/miss/compile-time accounting;
+* :mod:`repro.runtime.batch` — :class:`BatchRunner`, order-preserving
+  document fan-out across a process pool (deterministic in-process
+  path for ``workers=1``);
+* :mod:`repro.runtime.metrics` — :class:`BatchMetrics`, the machine-
+  readable per-run report (``--metrics-json``).
+
+Quickstart::
+
+    from repro.runtime import BatchRunner
+    from repro.scenarios import deptstore
+
+    runner = BatchRunner(deptstore.mapping_fig4(), workers=4)
+    batch = runner.run(documents)          # list or iterator
+    print(batch.metrics.to_json())         # hits, misses, timings…
+    for result in batch:                   # input order preserved
+        ...
+"""
+
+from __future__ import annotations
+
+from .batch import BatchResult, BatchRunner
+from .cache import CacheStats, PlanCache, default_cache, get_plan
+from .metrics import (
+    METRICS_FORMAT,
+    METRICS_VERSION,
+    BatchMetrics,
+    StageMetrics,
+)
+from .plan import ENGINES, CompiledPlan, compile_plan, fingerprint, plan_from_tgd
+
+__all__ = [
+    "ENGINES",
+    "BatchMetrics",
+    "BatchResult",
+    "BatchRunner",
+    "CacheStats",
+    "CompiledPlan",
+    "METRICS_FORMAT",
+    "METRICS_VERSION",
+    "PlanCache",
+    "StageMetrics",
+    "compile_plan",
+    "default_cache",
+    "fingerprint",
+    "get_plan",
+    "plan_from_tgd",
+]

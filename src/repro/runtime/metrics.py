@@ -1,0 +1,108 @@
+"""Machine-readable run metrics for batch and pipeline execution.
+
+Every batch run produces one :class:`BatchMetrics` report: document
+counts, plan-cache hits/misses, compile vs. execute vs. wall seconds,
+element counts, validation-violation counts, and (for pipelines) a
+per-stage breakdown.  ``to_dict()`` yields a stable, version-tagged
+document — the contract the CLI's ``--metrics-json`` writes and CI
+consumes::
+
+    {
+      "format": "clip-batch-metrics",
+      "version": 1,
+      "engine": "tgd",
+      "workers": 4,
+      "documents": 100,
+      "plan_cache": {"hits": 99, "misses": 1, "evictions": 0,
+                     "compile_seconds": 0.0004},
+      "timings": {"compile_seconds": 0.0004,
+                  "execute_seconds": 0.0310,
+                  "wall_seconds": 0.0330},
+      "source_elements": 12000,
+      "target_elements": 4200,
+      "validation_violations": 0,
+      "stages": [ {"index": 0, "source_root": "source",
+                   "target_root": "target", "documents": 100,
+                   "execute_seconds": 0.0310, "violations": 0}, … ]
+    }
+
+``stages`` is present only for pipeline runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+METRICS_FORMAT = "clip-batch-metrics"
+METRICS_VERSION = 1
+
+
+@dataclass
+class StageMetrics:
+    """Counters for one pipeline stage across a batch."""
+
+    index: int
+    source_root: str
+    target_root: str
+    documents: int = 0
+    execute_seconds: float = 0.0
+    violations: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "source_root": self.source_root,
+            "target_root": self.target_root,
+            "documents": self.documents,
+            "execute_seconds": self.execute_seconds,
+            "violations": self.violations,
+        }
+
+
+@dataclass
+class BatchMetrics:
+    """The aggregate report of one batch (or pipeline-batch) run."""
+
+    engine: str
+    workers: int
+    documents: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    source_elements: int = 0
+    target_elements: int = 0
+    validation_violations: int = 0
+    stages: list[StageMetrics] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "format": METRICS_FORMAT,
+            "version": METRICS_VERSION,
+            "engine": self.engine,
+            "workers": self.workers,
+            "documents": self.documents,
+            "plan_cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+                "compile_seconds": self.compile_seconds,
+            },
+            "timings": {
+                "compile_seconds": self.compile_seconds,
+                "execute_seconds": self.execute_seconds,
+                "wall_seconds": self.wall_seconds,
+            },
+            "source_elements": self.source_elements,
+            "target_elements": self.target_elements,
+            "validation_violations": self.validation_violations,
+        }
+        if self.stages:
+            doc["stages"] = [stage.to_dict() for stage in self.stages]
+        return doc
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

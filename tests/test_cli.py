@@ -86,6 +86,92 @@ class TestRun:
         assert "error:" in capsys.readouterr().err
 
 
+class TestBatch:
+    @pytest.fixture
+    def source_files(self, tmp_path):
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"src{index}.xml"
+            path.write_text(to_xml(deptstore.source_instance()), encoding="utf-8")
+            paths.append(str(path))
+        return paths
+
+    def test_happy_path_prints_summary(self, mapping_file, source_files, capsys):
+        assert main(["batch", mapping_file, *source_files]) == 0
+        out = capsys.readouterr().out
+        assert "transformed 3 documents" in out
+        assert "cache hits=2, misses=1" in out
+
+    def test_output_dir_written(self, mapping_file, source_files, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(
+            ["batch", mapping_file, *source_files, "--output-dir", str(out_dir)]
+        ) == 0
+        produced = sorted(p.name for p in out_dir.iterdir())
+        assert produced == ["src0.out.xml", "src1.out.xml", "src2.out.xml"]
+        result = parse_xml((out_dir / "src0.out.xml").read_text(encoding="utf-8"))
+        assert result.tag == "target"
+        assert len(result.findall("department")) == 2
+
+    def test_workers_two_matches_single(self, mapping_file, source_files, tmp_path):
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        assert main(
+            ["batch", mapping_file, *source_files, "--output-dir", str(a_dir)]
+        ) == 0
+        assert main(
+            ["batch", mapping_file, *source_files, "--output-dir", str(b_dir),
+             "--workers", "2"]
+        ) == 0
+        for name in ("src0.out.xml", "src1.out.xml", "src2.out.xml"):
+            assert (a_dir / name).read_text() == (b_dir / name).read_text()
+
+    def test_bad_workers_value_is_a_clean_error(
+        self, mapping_file, source_files, capsys
+    ):
+        assert main(
+            ["batch", mapping_file, source_files[0], "--workers", "0"]
+        ) == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err
+
+    def test_non_integer_workers_rejected_by_argparse(
+        self, mapping_file, source_files
+    ):
+        with pytest.raises(SystemExit):
+            main(["batch", mapping_file, source_files[0], "--workers", "two"])
+
+    def test_metrics_json_content(self, mapping_file, source_files, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["batch", mapping_file, *source_files,
+             "--metrics-json", str(metrics_path), "--validate"]
+        ) == 0
+        doc = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert doc["format"] == "clip-batch-metrics"
+        assert doc["version"] == 1
+        assert doc["engine"] == "tgd"
+        assert doc["workers"] == 1
+        assert doc["documents"] == 3
+        assert doc["plan_cache"]["hits"] == 2
+        assert doc["plan_cache"]["misses"] == 1
+        assert doc["validation_violations"] == 0
+        assert set(doc["timings"]) == {
+            "compile_seconds", "execute_seconds", "wall_seconds",
+        }
+
+    def test_xquery_engine_agrees(self, mapping_file, source_files, tmp_path):
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        assert main(
+            ["batch", mapping_file, *source_files, "--output-dir", str(a_dir)]
+        ) == 0
+        assert main(
+            ["batch", mapping_file, *source_files, "--output-dir", str(b_dir),
+             "--engine", "xquery"]
+        ) == 0
+        assert (a_dir / "src1.out.xml").read_text() == (
+            b_dir / "src1.out.xml"
+        ).read_text()
+
+
 class TestLineageCommand:
     def test_full_lineage(self, mapping_file, capsys):
         assert main(["lineage", mapping_file]) == 0

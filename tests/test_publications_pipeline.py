@@ -93,6 +93,49 @@ class TestPipeline:
         with pytest.raises(MappingError):
             Pipeline([pub.normalize_mapping(), deptstore.mapping_fig3()])
 
+    def test_mismatch_error_names_both_stages(self):
+        """Regression for the single-render refactor of the adjacency
+        check: the error message must still name both stages' schemas
+        and positions."""
+        with pytest.raises(MappingError) as excinfo:
+            Pipeline([pub.normalize_mapping(), deptstore.mapping_fig3()])
+        message = str(excinfo.value)
+        assert "stage 0 produces schema 'catalog'" in message
+        assert "stage 1 consumes 'source'" in message
+
+    def test_adjacency_check_renders_shared_schema_once(self, monkeypatch):
+        """A schema object shared between adjacent stages (stage 0's
+        target handed to stage 1 as its source) is rendered once, not
+        once per comparison."""
+        import repro.pipeline as pipeline_module
+        from repro.core.mapping import ClipMapping
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import STRING
+
+        mid = schema(
+            elem("mid", elem("item", "[0..*]", elem("label", text=STRING)))
+        )
+        out = schema(
+            elem("out", elem("entry", "[0..*]", attr("label", STRING)))
+        )
+        first = ClipMapping(deptstore.source_schema(), mid)
+        first.build("dept", "item", var="d")
+        first.value("dept/dname/value", "item/label/value")
+        second = ClipMapping(mid, out)  # the same `mid` object
+        second.build("item", "entry", var="i")
+        second.value("item/label/value", "entry/@label")
+
+        calls = []
+        real_render = pipeline_module.render_schema
+
+        def counting_render(s):
+            calls.append(id(s))
+            return real_render(s)
+
+        monkeypatch.setattr(pipeline_module, "render_schema", counting_render)
+        Pipeline([first, second])
+        assert calls == [id(mid)]
+
     def test_empty_pipeline_rejected(self):
         with pytest.raises(MappingError):
             Pipeline([])
@@ -117,3 +160,43 @@ class TestPipeline:
         assert via_xquery(pub.feed_instance()) == Pipeline(
             [pub.normalize_mapping(), pub.publish_mapping()]
         )(pub.feed_instance())
+
+
+class TestPipelineBatch:
+    def _feeds(self, count):
+        return [pub.feed_instance() for _ in range(count)]
+
+    def test_batch_matches_sequential_runs(self, pipeline):
+        from repro.runtime import PlanCache
+
+        feeds = self._feeds(4)
+        batch = pipeline.run_batch(feeds, cache=PlanCache())
+        assert batch.results == [pipeline(feed) for feed in feeds]
+
+    def test_batch_metrics_per_stage(self, pipeline):
+        from repro.runtime import PlanCache
+
+        feeds = self._feeds(3)
+        batch = pipeline.run_batch(feeds, cache=PlanCache(), validate=True)
+        metrics = batch.metrics
+        assert metrics.documents == 3
+        assert metrics.validation_violations == 0
+        assert [s.index for s in metrics.stages] == [0, 1]
+        assert [(s.source_root, s.target_root) for s in metrics.stages] == [
+            ("feed", "catalog"), ("catalog", "report"),
+        ]
+        assert all(s.documents == 3 for s in metrics.stages)
+        doc = metrics.to_dict()
+        assert len(doc["stages"]) == 2
+        # The pipeline seeds the cache from its compiled transformers:
+        # every document application is a hit, nothing compiles twice.
+        assert doc["plan_cache"]["misses"] == 0
+        assert doc["plan_cache"]["hits"] == 6
+
+    def test_batch_with_workers_matches(self, pipeline):
+        from repro.runtime import PlanCache
+
+        feeds = self._feeds(4)
+        sequential = pipeline.run_batch(feeds, cache=PlanCache())
+        parallel = pipeline.run_batch(feeds, workers=2, cache=PlanCache())
+        assert sequential.results == parallel.results
