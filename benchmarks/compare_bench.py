@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare a pytest-benchmark JSON report
+against a committed baseline and fail on mean-time regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--threshold 0.25]
+
+Benchmarks are matched by ``fullname``.  A benchmark whose current
+mean exceeds the baseline mean by more than ``threshold`` (default
+25%) is a regression; any regression fails the run with exit code 1.
+Benchmarks present on only one side are reported but do not fail the
+gate (new benchmarks have no baseline; removed ones have no current),
+so adding a benchmark never requires touching the baseline of the
+others.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    benchmarks = document.get("benchmarks", [])
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in benchmarks
+    }
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> list[str]:
+    """Human-readable regression lines; empty means the gate passes."""
+    regressions: list[str] = []
+    for fullname in sorted(baseline):
+        if fullname not in current:
+            print(f"note: {fullname}: in baseline only (skipped)")
+            continue
+        base_mean = baseline[fullname]
+        cur_mean = current[fullname]
+        if base_mean <= 0:
+            continue
+        ratio = cur_mean / base_mean
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{fullname}: mean {base_mean * 1e3:.3f}ms -> "
+                f"{cur_mean * 1e3:.3f}ms ({ratio:.2f}x baseline, "
+                f"threshold {1.0 + threshold:.2f}x)"
+            )
+        print(
+            f"{verdict:>10}  {fullname}  "
+            f"{base_mean * 1e3:.3f}ms -> {cur_mean * 1e3:.3f}ms "
+            f"({ratio:.2f}x)"
+        )
+    for fullname in sorted(set(current) - set(baseline)):
+        print(f"note: {fullname}: no baseline entry (skipped)")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional mean increase before failing "
+             "(default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    regressions = compare(
+        load_means(args.baseline), load_means(args.current), args.threshold
+    )
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark regression(s) beyond "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nbenchmark gate: no regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,9 +11,12 @@ saved by :mod:`repro.io`:
 * ``run MAPPING.json SOURCE.xml [-o OUT.xml] [--engine tgd|xquery]`` —
   transform an instance;
 * ``batch MAPPING.json SOURCE.xml [SOURCE2.xml …] [--workers N]
-  [--engine E] [--output-dir DIR] [--metrics-json PATH] [--validate]``
+  [--engine E] [--output-dir DIR] [--metrics-json PATH] [--validate]
+  [--error-policy fail_fast|skip|collect] [--max-retries N]
+  [--timeout SECONDS] [--dead-letter-dir DIR]``
   — transform many instances through the compiled-plan cache, with an
-  optional worker pool and a machine-readable metrics report;
+  optional worker pool, per-document fault isolation (retry, timeout,
+  dead-lettering) and a machine-readable metrics report;
 * ``lineage MAPPING.json [--source PATH | --target PATH]`` — lineage /
   impact analysis;
 * ``suggest SOURCE.xsd TARGET.xsd [--threshold T]`` — schema matching
@@ -93,7 +96,13 @@ def _cmd_run(args) -> int:
 def _cmd_batch(args) -> int:
     import os
 
-    from .runtime import BatchRunner, PlanCache
+    from .runtime import (
+        BatchRunner,
+        DeadLetter,
+        DocumentFailure,
+        PlanCache,
+        write_dead_letters,
+    )
 
     if args.workers < 1:
         print(
@@ -101,32 +110,97 @@ def _cmd_batch(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.max_retries < 0:
+        print(
+            f"error: --max-retries must be >= 0, got {args.max_retries}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(
+            f"error: --timeout must be positive, got {args.timeout}",
+            file=sys.stderr,
+        )
+        return 2
+    error_policy = args.error_policy
+    if args.dead_letter_dir and error_policy != "collect":
+        # A dead-letter directory only makes sense when failures are
+        # collected; promote the policy rather than silently ignoring.
+        error_policy = "collect"
     clip = load_mapping(args.mapping)
-    documents = [
-        parse_xml(_read(path), schema=clip.source) for path in args.sources
-    ]
+    # Under skip/collect an unreadable or malformed input is isolated
+    # like any other per-document fault instead of aborting the batch;
+    # its raw text (when readable) is what gets dead-lettered.
+    documents = []
+    source_index: list[int] = []
+    parse_failures: list[DocumentFailure] = []
+    parse_letters: list[DeadLetter] = []
+    for position, path in enumerate(args.sources):
+        try:
+            text = _read(path)
+            documents.append(parse_xml(text, schema=clip.source))
+        except (OSError, ReproError) as exc:
+            if error_policy == "fail_fast":
+                raise
+            failure = DocumentFailure.from_exception(position, exc)
+            parse_failures.append(failure)
+            if error_policy == "collect":
+                raw = text if not isinstance(exc, OSError) else ""
+                parse_letters.append(DeadLetter(failure, raw))
+        else:
+            source_index.append(position)
     runner = BatchRunner(
         clip,
         engine=args.engine,
         workers=args.workers,
         validate=args.validate,
+        error_policy=error_policy,
+        max_retries=args.max_retries,
+        timeout=args.timeout,
         # One cache per invocation: the metrics report then describes
         # exactly this run, not whatever the process compiled before.
         cache=PlanCache(),
     )
     batch = runner.run(documents)
+    # Runner indices address the parsed-documents list; map them back
+    # to positions in ``args.sources`` (parse failures left gaps).
+    for failure in batch.failures:
+        failure.index = source_index[failure.index]
+    all_failures = sorted(
+        batch.failures + parse_failures, key=lambda failure: failure.index
+    )
+    all_dead_letters = sorted(
+        batch.dead_letters + parse_letters,
+        key=lambda letter: letter.failure.index,
+    )
+    succeeded = [args.sources[source_index[index]] for index in batch.success_indices]
     if args.output_dir:
         os.makedirs(args.output_dir, exist_ok=True)
-        for path, result in zip(args.sources, batch):
+        for path, result in zip(succeeded, batch):
             stem = os.path.splitext(os.path.basename(path))[0]
             out_path = os.path.join(args.output_dir, f"{stem}.out.xml")
             with open(out_path, "w", encoding="utf-8") as handle:
                 handle.write(to_xml(result))
             print(f"wrote {out_path} ({result.size()} elements)")
     else:
-        for path, result in zip(args.sources, batch):
+        for path, result in zip(succeeded, batch):
             print(f"{path}: {result.size()} elements")
     metrics = batch.metrics
+    metrics.failures += len(parse_failures)
+    metrics.dead_letter += len(parse_letters)
+    for failure in all_failures:
+        print(
+            f"failed: {args.sources[failure.index]}: "
+            f"{failure.error}: {failure.message} "
+            f"({failure.attempts} attempt{'s' if failure.attempts != 1 else ''})",
+            file=sys.stderr,
+        )
+    if args.dead_letter_dir and all_dead_letters:
+        paths = write_dead_letters(all_dead_letters, args.dead_letter_dir)
+        print(
+            f"dead-lettered {len(all_dead_letters)} inputs to "
+            f"{args.dead_letter_dir} ({len(paths)} files)"
+        )
     if args.metrics_json:
         with open(args.metrics_json, "w", encoding="utf-8") as handle:
             handle.write(metrics.to_json())
@@ -134,6 +208,7 @@ def _cmd_batch(args) -> int:
     print(
         f"transformed {metrics.documents} documents "
         f"(engine={metrics.engine}, workers={metrics.workers}, "
+        f"failures={metrics.failures}, retries={metrics.retries}, "
         f"cache hits={metrics.cache_hits}, misses={metrics.cache_misses})"
     )
     if args.validate and metrics.validation_violations:
@@ -265,6 +340,28 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--validate", action="store_true",
         help="validate outputs against the target schema (exit 1 on violations)",
+    )
+    batch.add_argument(
+        "--error-policy", choices=("fail_fast", "skip", "collect"),
+        default="fail_fast",
+        help="per-document failure handling: abort the batch (fail_fast, "
+             "default), drop failed documents (skip), or record failures "
+             "and keep their inputs for replay (collect)",
+    )
+    batch.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="re-attempt transiently failing documents up to N times "
+             "(deterministic exponential backoff)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-document evaluation wall-clock budget; overruns count "
+             "as transient failures",
+    )
+    batch.add_argument(
+        "--dead-letter-dir", default=None, metavar="DIR",
+        help="write failed inputs and a failures.json manifest here "
+             "(implies --error-policy collect)",
     )
     batch.set_defaults(handler=_cmd_batch)
 

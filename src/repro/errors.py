@@ -78,6 +78,58 @@ class ExecutionError(ReproError):
     """The tgd executor failed to evaluate a mapping over an instance."""
 
 
+class TransientError(ReproError):
+    """An error expected to succeed on retry (I/O hiccup, resource
+    pressure, injected transient fault).
+
+    The batch runtime's retry policy re-attempts documents that fail
+    with a transient error; everything else is permanent and goes
+    straight to the dead-letter set.  See
+    :func:`repro.runtime.retry.is_transient`.
+    """
+
+
+class DocumentTimeout(TransientError):
+    """A single document's evaluation exceeded its wall-clock budget.
+
+    Raised by the per-document timeout of the batch runtime
+    (``BatchRunner(timeout=…)``); classified transient, so a retry
+    policy may re-attempt the document.
+    """
+
+
+class DocumentFailureError(ExecutionError):
+    """A document failed under ``error_policy="fail_fast"``.
+
+    Carries the :class:`repro.runtime.faults.DocumentFailure` record as
+    ``failure`` so callers see the document index, stage, attempt count
+    and truncated traceback even when the original exception object is
+    unavailable (worker-process failures cross the pool boundary as
+    records, not exceptions).
+    """
+
+    def __init__(self, failure):
+        self.failure = failure
+        super().__init__(str(failure))
+
+
+class WorkerCrashError(ExecutionError):
+    """A pool worker died and the batch could not be completed.
+
+    The runner rebuilds a crashed pool once and replays the in-flight
+    documents; a second crash raises this error.
+    """
+
+
+class WorkerSetupError(ReproError):
+    """The worker pool cannot be started in this environment.
+
+    Raised eagerly — with the fix in the message — instead of letting
+    the pool die with an opaque traceback (e.g. ``spawn`` children that
+    cannot import :mod:`repro` because ``PYTHONPATH`` lacks ``src``).
+    """
+
+
 class GenerationError(ReproError):
     """Mapping generation (tableaux/skeletons/nesting) failed."""
 

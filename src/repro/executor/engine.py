@@ -97,8 +97,24 @@ class TgdPlan:
         self.ordered = order_mappings(tgd)
 
     def run(self, source_instance: XmlElement) -> XmlElement:
-        """Evaluate the prepared tgd over one source instance."""
-        return _Engine(self.tgd, source_instance, ordered=self.ordered).run()
+        """Evaluate the prepared tgd over one source instance.
+
+        Raises only :class:`repro.errors.ReproError` subclasses:
+        anything else escaping the evaluation (a malformed instance
+        tripping a ``KeyError``, say) is wrapped in
+        :class:`ExecutionError`, so the batch runtime's transient-vs-
+        permanent triage sees one uniform hierarchy from every engine.
+        """
+        from ..errors import ReproError
+
+        try:
+            return _Engine(
+                self.tgd, source_instance, ordered=self.ordered
+            ).run()
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(f"tgd evaluation failed: {exc}") from exc
 
     def __call__(self, source_instance: XmlElement) -> XmlElement:
         return self.run(source_instance)

@@ -109,6 +109,12 @@ class Pipeline:
         workers: int = 1,
         validate: bool = False,
         cache=None,
+        error_policy="fail_fast",
+        max_retries: int = 0,
+        backoff: float = 0.05,
+        timeout=None,
+        retry=None,
+        injectors=None,
     ):
         """Stream a batch of documents through all stages.
 
@@ -120,16 +126,35 @@ class Pipeline:
         fans each stage's documents across a process pool
         (:class:`repro.runtime.BatchRunner`); results keep input order.
 
+        Failures propagate at stage granularity: a document that fails
+        stage *k* (after ``max_retries`` re-attempts of transient
+        errors, each bounded by ``timeout`` seconds) is *not* fed to
+        stage *k+1*.  Under ``error_policy="fail_fast"`` the first
+        terminal failure raises :class:`repro.errors.DocumentFailureError`
+        with the stage recorded on the failure; under ``"skip"`` /
+        ``"collect"`` the surviving documents keep flowing, and
+        ``"collect"`` additionally dead-letters the instance the
+        failing stage consumed.  Failure records and
+        ``success_indices`` on the returned result are expressed in
+        *original input* indices.
+
+        ``injectors`` (tests only) maps a stage index to a
+        :class:`repro.runtime.FaultInjector` fired on that stage's
+        local document indices.
+
         Returns a :class:`repro.runtime.BatchResult` whose metrics
         carry a per-stage breakdown (documents, execute seconds,
-        validation violations).  Unlike :meth:`run`, ``validate=True``
-        counts violations into the metrics instead of raising, so one
-        bad document does not abort the batch.
+        validation violations, failures/retries/timeouts/dead-letter).
+        Unlike :meth:`run`, ``validate=True`` counts violations into
+        the metrics instead of raising, so one bad document does not
+        abort the batch.
         """
+        from .errors import DocumentFailureError
         from .runtime import (
             BatchMetrics,
             BatchResult,
             BatchRunner,
+            ErrorPolicy,
             StageMetrics,
             default_cache,
             fingerprint,
@@ -137,10 +162,16 @@ class Pipeline:
         )
 
         cache = cache if cache is not None else default_cache()
+        policy = ErrorPolicy.coerce(error_policy)
         current = list(documents)
-        metrics = BatchMetrics(engine=self.engine, workers=workers)
-        metrics.documents = len(current)
+        # Original input index of each document still flowing.
+        alive = list(range(len(current)))
+        metrics = BatchMetrics(
+            engine=self.engine, workers=workers, error_policy=policy.value
+        )
         metrics.source_elements = sum(doc.size() for doc in current)
+        failures = []
+        dead_letters = []
         for index, transformer in enumerate(self.transformers):
             fp = fingerprint(transformer.mapping, self.engine)
             if fp not in cache:
@@ -151,8 +182,27 @@ class Pipeline:
                 workers=workers,
                 cache=cache,
                 validate=validate,
+                error_policy=policy,
+                max_retries=max_retries,
+                backoff=backoff,
+                timeout=timeout,
+                retry=retry,
+                injector=injectors.get(index) if injectors else None,
             )
-            batch = runner.run(current)
+            try:
+                batch = runner.run(current)
+            except DocumentFailureError as error:
+                error.failure.stage = index
+                if error.failure.index < len(alive):
+                    error.failure.index = alive[error.failure.index]
+                raise
+            # Rewrite stage-local indices to original input indices.
+            for failure in batch.failures:
+                failure.stage = index
+                failure.index = alive[failure.index]
+                failures.append(failure)
+            for letter in batch.dead_letters:
+                dead_letters.append(letter)
             mapping = transformer.mapping
             metrics.stages.append(
                 StageMetrics(
@@ -162,6 +212,10 @@ class Pipeline:
                     documents=len(current),
                     execute_seconds=batch.metrics.execute_seconds,
                     violations=batch.metrics.validation_violations,
+                    failures=batch.metrics.failures,
+                    retries=batch.metrics.retries,
+                    timeouts=batch.metrics.timeouts,
+                    dead_letter=batch.metrics.dead_letter,
                 )
             )
             metrics.cache_hits += batch.metrics.cache_hits
@@ -170,9 +224,24 @@ class Pipeline:
             metrics.execute_seconds += batch.metrics.execute_seconds
             metrics.validation_violations += batch.metrics.validation_violations
             metrics.wall_seconds += batch.metrics.wall_seconds
+            metrics.failures += batch.metrics.failures
+            metrics.retries += batch.metrics.retries
+            metrics.timeouts += batch.metrics.timeouts
+            metrics.dead_letter += batch.metrics.dead_letter
+            metrics.pool_rebuilds += batch.metrics.pool_rebuilds
+            alive = [alive[local] for local in batch.success_indices]
             current = batch.results
+        metrics.documents = len(current)
         metrics.target_elements = sum(doc.size() for doc in current)
-        return BatchResult(current, metrics)
+        failures.sort(key=lambda failure: (failure.index, failure.stage))
+        dead_letters.sort(key=lambda letter: letter.failure.index)
+        return BatchResult(
+            current,
+            metrics,
+            failures=failures,
+            dead_letters=dead_letters,
+            success_indices=alive,
+        )
 
     def describe(self) -> str:
         """One line per stage: source root → target root."""

@@ -1,4 +1,4 @@
-"""Batch execution runtime: compile once, run everywhere.
+"""Batch execution runtime: compile once, run everywhere, survive faults.
 
 The paper compiles a Clip mapping into executable artifacts (nested
 tgd, XQuery, XSLT) exactly once and then applies them to any number of
@@ -12,33 +12,56 @@ that split:
   fingerprints with hit/miss/compile-time accounting;
 * :mod:`repro.runtime.batch` — :class:`BatchRunner`, order-preserving
   document fan-out across a process pool (deterministic in-process
-  path for ``workers=1``);
+  path for ``workers=1``) with per-document fault isolation and
+  pool-crash recovery;
+* :mod:`repro.runtime.faults` — :class:`ErrorPolicy`
+  (``fail_fast``/``skip``/``collect``), :class:`DocumentFailure`
+  records, dead-letter persistence, and the deterministic
+  :class:`FaultInjector` test harness;
+* :mod:`repro.runtime.retry` — :class:`RetryPolicy` (deterministic
+  exponential backoff, per-document timeout) and transient-vs-
+  permanent error triage;
 * :mod:`repro.runtime.metrics` — :class:`BatchMetrics`, the machine-
-  readable per-run report (``--metrics-json``).
+  readable per-run report (``--metrics-json``), format version 2.
 
 Quickstart::
 
     from repro.runtime import BatchRunner
     from repro.scenarios import deptstore
 
-    runner = BatchRunner(deptstore.mapping_fig4(), workers=4)
+    runner = BatchRunner(
+        deptstore.mapping_fig4(), workers=4,
+        error_policy="collect", max_retries=2, timeout=5.0,
+    )
     batch = runner.run(documents)          # list or iterator
-    print(batch.metrics.to_json())         # hits, misses, timings…
+    print(batch.metrics.to_json())         # hits, failures, timings…
     for result in batch:                   # input order preserved
         ...
+    for letter in batch.dead_letters:      # failed inputs, for replay
+        print(letter.failure)
 """
 
 from __future__ import annotations
 
 from .batch import BatchResult, BatchRunner
 from .cache import CacheStats, PlanCache, default_cache, get_plan
+from .faults import (
+    DeadLetter,
+    DocumentFailure,
+    ErrorPolicy,
+    Fault,
+    FaultInjector,
+    write_dead_letters,
+)
 from .metrics import (
     METRICS_FORMAT,
     METRICS_VERSION,
+    PARSEABLE_VERSIONS,
     BatchMetrics,
     StageMetrics,
 )
 from .plan import ENGINES, CompiledPlan, compile_plan, fingerprint, plan_from_tgd
+from .retry import RetryPolicy, call_with_timeout, is_transient
 
 __all__ = [
     "ENGINES",
@@ -47,13 +70,23 @@ __all__ = [
     "BatchRunner",
     "CacheStats",
     "CompiledPlan",
+    "DeadLetter",
+    "DocumentFailure",
+    "ErrorPolicy",
+    "Fault",
+    "FaultInjector",
     "METRICS_FORMAT",
     "METRICS_VERSION",
+    "PARSEABLE_VERSIONS",
     "PlanCache",
+    "RetryPolicy",
     "StageMetrics",
+    "call_with_timeout",
     "compile_plan",
     "default_cache",
     "fingerprint",
     "get_plan",
+    "is_transient",
     "plan_from_tgd",
+    "write_dead_letters",
 ]

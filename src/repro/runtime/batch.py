@@ -10,61 +10,160 @@ The runtime's contract, in order of importance:
 * **determinism** — results come back in input order, and
   ``workers=N`` produces byte-for-byte the instances ``workers=1``
   does (the engines are pure functions of plan × document);
+* **fault isolation** — partial failure is the normal case: one
+  malformed document, one engine error, one timed-out evaluation or
+  one crashed worker affects only that document (under
+  ``error_policy="skip"``/``"collect"``) or aborts with a full
+  failure record (``"fail_fast"``).  Transient failures are retried
+  on a deterministic backoff schedule; a crashed pool is rebuilt once
+  and the in-flight documents replayed — successful results stay
+  byte-identical to a fault-free run;
 * **observability** — every run yields a :class:`BatchMetrics` report
-  (documents, cache hits/misses, compile/execute/wall seconds,
-  violations) ready for ``--metrics-json``.
+  (documents, failures, retries, timeouts, dead-letter counts, cache
+  hits/misses, compile/execute/wall seconds, violations) ready for
+  ``--metrics-json``.
 
 ``workers=1`` runs in-process (no pickling, no pool, streaming over
 any iterator).  ``workers>1`` ships the *compiled tgd* to each worker
 once (pool initializer) — workers re-emit only their engine artifact —
-and streams documents through ``imap``, which preserves order.  The
-``fork`` start method is preferred where available; ``spawn`` works
-when the package is importable from the child (``PYTHONPATH=src``).
+and the parent reassembles results in input order.  The ``fork`` start
+method is preferred where available; when only ``spawn`` exists the
+runner checks eagerly that a child interpreter could import ``repro``
+(``PYTHONPATH=src`` or an installed package) and raises
+:class:`repro.errors.WorkerSetupError` naming the fix instead of
+letting the pool die with an opaque traceback.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
-from typing import Iterable, Iterator, Optional
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from ..core.mapping import ClipMapping
+from ..errors import (
+    DocumentFailureError,
+    WorkerCrashError,
+    WorkerSetupError,
+)
 from ..xml.model import XmlElement
 from ..xsd.validate import validate as validate_instance
 from .cache import PlanCache, default_cache
+from .faults import DeadLetter, DocumentFailure, ErrorPolicy, FaultInjector
 from .metrics import BatchMetrics
 from .plan import ENGINES, fingerprint, plan_from_tgd
+from .retry import RetryPolicy, call_with_timeout
+
+#: A worker task: (document index, attempt number, document).
+Task = tuple
+
+#: A worker record: ("ok", index, attempt, result, seconds) or
+#: ("err", index, attempt, DocumentFailure, seconds).
+Record = tuple
+
+
+def _apply_plan(
+    plan: Callable[[XmlElement], XmlElement],
+    doc: XmlElement,
+    index: int,
+    attempt: int,
+    injector: Optional[FaultInjector],
+    timeout: Optional[float],
+) -> XmlElement:
+    """One attempt at one document: injected faults, timeout, plan."""
+
+    def call() -> XmlElement:
+        if injector is not None:
+            injector.fire(index, attempt)
+        return plan(doc)
+
+    return call_with_timeout(call, timeout)
+
 
 # -- worker-process side ----------------------------------------------------
 
-_WORKER_PLAN = None
+_WORKER_PLAN: Optional[Callable[[XmlElement], XmlElement]] = None
+_WORKER_INJECTOR: Optional[FaultInjector] = None
+_WORKER_TIMEOUT: Optional[float] = None
 
 
-def _init_worker(tgd_bytes: bytes, engine: str) -> None:
+def _init_worker(
+    tgd_bytes: bytes,
+    engine: str,
+    injector_bytes: bytes,
+    timeout: Optional[float],
+) -> None:
     """Pool initializer: rebuild the engine plan once per worker."""
-    global _WORKER_PLAN
+    global _WORKER_PLAN, _WORKER_INJECTOR, _WORKER_TIMEOUT
     _WORKER_PLAN = plan_from_tgd(pickle.loads(tgd_bytes), engine)
+    _WORKER_INJECTOR = pickle.loads(injector_bytes) if injector_bytes else None
+    _WORKER_TIMEOUT = timeout
 
 
-def _run_document(doc: XmlElement) -> tuple[XmlElement, float]:
-    """Apply the worker's plan to one document; returns (result, seconds)."""
+def _run_task(task: Task) -> Record:
+    """Apply the worker's plan to one task; never raises.
+
+    Failures come back as picklable :class:`DocumentFailure` records so
+    the parent applies retry and error-policy decisions uniformly for
+    the in-process and pool paths.  (A scripted ``exit`` fault bypasses
+    this via ``os._exit``, which is the point: it simulates a crash.)
+    """
+    index, attempt, doc = task
     started = time.perf_counter()
-    result = _WORKER_PLAN(doc)
-    return result, time.perf_counter() - started
+    assert _WORKER_PLAN is not None, "worker initializer did not run"
+    try:
+        result = _apply_plan(
+            _WORKER_PLAN, doc, index, attempt, _WORKER_INJECTOR, _WORKER_TIMEOUT
+        )
+    except Exception as exc:
+        failure = DocumentFailure.from_exception(
+            index, exc, attempts=attempt + 1
+        )
+        return ("err", index, attempt, failure, time.perf_counter() - started)
+    return ("ok", index, attempt, result, time.perf_counter() - started)
 
 
 # -- parent side ------------------------------------------------------------
 
 
 class BatchResult:
-    """The ordered results of a batch run plus its metrics report."""
+    """The ordered results of a batch run plus its metrics report.
 
-    __slots__ = ("results", "metrics")
+    ``results`` holds the *successful* outputs in input order;
+    ``success_indices`` maps each back to its input position.  Under
+    ``error_policy="skip"``/``"collect"``, ``failures`` carries one
+    :class:`DocumentFailure` per failed document, and — for
+    ``"collect"`` only — ``dead_letters`` pairs each failure with the
+    failed input document, ready for
+    :func:`repro.runtime.faults.write_dead_letters`.
+    """
 
-    def __init__(self, results: list[XmlElement], metrics: BatchMetrics):
+    __slots__ = ("results", "metrics", "failures", "dead_letters",
+                 "success_indices")
+
+    def __init__(
+        self,
+        results: list[XmlElement],
+        metrics: BatchMetrics,
+        *,
+        failures: Optional[list[DocumentFailure]] = None,
+        dead_letters: Optional[list[DeadLetter]] = None,
+        success_indices: Optional[list[int]] = None,
+    ):
         self.results = results
         self.metrics = metrics
+        self.failures = failures if failures is not None else []
+        self.dead_letters = dead_letters if dead_letters is not None else []
+        self.success_indices = (
+            success_indices
+            if success_indices is not None
+            else list(range(len(results)))
+        )
 
     def __iter__(self) -> Iterator[XmlElement]:
         return iter(self.results)
@@ -76,8 +175,9 @@ class BatchResult:
         return self.results[index]
 
     def __repr__(self) -> str:
+        failed = f", {len(self.failures)} failed" if self.failures else ""
         return (
-            f"BatchResult({len(self.results)} documents, "
+            f"BatchResult({len(self.results)} documents{failed}, "
             f"engine={self.metrics.engine!r}, workers={self.metrics.workers})"
         )
 
@@ -87,6 +187,42 @@ def _pool_context():
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
+
+
+def _require_importable_for_spawn(ctx) -> None:
+    """Fail fast, with the fix, when ``spawn`` children cannot import us.
+
+    A ``spawn`` child is a fresh interpreter: it sees ``PYTHONPATH``
+    and the standard site directories, not the parent's ``sys.path``
+    mutations.  When :mod:`repro` lives outside both (the usual
+    in-repo layout under ``src/``), the pool would die with an opaque
+    ``ImportError`` traceback; raise a named error instead.
+    """
+    if ctx.get_start_method() != "spawn":
+        return
+    import sysconfig
+
+    package_root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+    )
+    candidates = {
+        os.path.abspath(entry)
+        for entry in os.environ.get("PYTHONPATH", "").split(os.pathsep)
+        if entry
+    }
+    paths = sysconfig.get_paths()
+    for key in ("purelib", "platlib"):
+        if key in paths:
+            candidates.add(os.path.abspath(paths[key]))
+    if package_root not in candidates:
+        raise WorkerSetupError(
+            "workers>1 uses the 'spawn' start method on this platform, and "
+            "spawn children re-import 'repro' in a fresh interpreter — but "
+            f"{package_root} is on neither PYTHONPATH nor site-packages, so "
+            "the pool would fail with an opaque ImportError. Fix: export "
+            f"PYTHONPATH={package_root} (PYTHONPATH=src from the repository "
+            "root) or install the package."
+        )
 
 
 class BatchRunner:
@@ -107,7 +243,25 @@ class BatchRunner:
         Validate every result against the mapping's target schema and
         count violations into the metrics.
     chunksize:
-        Documents per worker dispatch; defaults to a balanced guess.
+        Retained for compatibility; the fault-tolerant pool dispatches
+        per document (retry and replay need per-document futures), so
+        the value is accepted and ignored.
+    error_policy:
+        ``"fail_fast"`` (default — first terminal failure raises
+        :class:`DocumentFailureError`), ``"skip"`` (drop failed
+        documents, count them) or ``"collect"`` (keep failure records
+        and dead-letter the failed inputs on the result).
+    max_retries / backoff / timeout:
+        Shorthand for ``retry=RetryPolicy(max_retries=…, backoff=…,
+        timeout=…)``: transient failures are re-attempted up to
+        ``max_retries`` times on a deterministic exponential backoff;
+        ``timeout`` bounds each document's evaluation wall-clock.
+    retry:
+        A full :class:`RetryPolicy`, overriding the shorthand knobs.
+    injector:
+        A :class:`FaultInjector` fired on every ``(document index,
+        attempt)`` — the deterministic fault-injection harness used by
+        the test suite.
     """
 
     def __init__(
@@ -119,6 +273,12 @@ class BatchRunner:
         cache: Optional[PlanCache] = None,
         validate: bool = False,
         chunksize: Optional[int] = None,
+        error_policy: Union[ErrorPolicy, str] = ErrorPolicy.FAIL_FAST,
+        max_retries: int = 0,
+        backoff: float = 0.05,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; use one of {ENGINES}")
@@ -134,6 +294,11 @@ class BatchRunner:
         self.cache = cache if cache is not None else default_cache()
         self.validate = validate
         self.chunksize = chunksize
+        self.error_policy = ErrorPolicy.coerce(error_policy)
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_retries=max_retries, backoff=backoff, timeout=timeout
+        )
+        self.injector = injector
         # One fingerprint per runner: per-document retrievals are then
         # pure dictionary hits.
         self.fingerprint = fingerprint(mapping, engine)
@@ -141,14 +306,26 @@ class BatchRunner:
     # -- execution ---------------------------------------------------------
 
     def run(self, documents: Iterable[XmlElement]) -> BatchResult:
-        """Apply the mapping to every document, in order."""
+        """Apply the mapping to every document, in order.
+
+        Returns the successes (input order preserved) plus failure
+        records according to the error policy; see
+        :class:`BatchResult`.
+        """
         wall_started = time.perf_counter()
         stats_before = self.cache.stats
-        metrics = BatchMetrics(engine=self.engine, workers=self.workers)
+        metrics = BatchMetrics(
+            engine=self.engine,
+            workers=self.workers,
+            error_policy=self.error_policy.value,
+        )
+        results: dict[int, XmlElement] = {}
+        failures: dict[int, DocumentFailure] = {}
+        dead_letters: list[DeadLetter] = []
         if self.workers == 1:
-            results = self._run_inline(documents, metrics)
+            self._run_inline(documents, metrics, results, failures, dead_letters)
         else:
-            results = self._run_pool(documents, metrics)
+            self._run_pool(documents, metrics, results, failures, dead_letters)
         stats_after = self.cache.stats
         metrics.cache_hits = stats_after.hits - stats_before.hits
         metrics.cache_misses = stats_after.misses - stats_before.misses
@@ -157,7 +334,15 @@ class BatchRunner:
             stats_after.compile_seconds - stats_before.compile_seconds
         )
         metrics.wall_seconds = time.perf_counter() - wall_started
-        return BatchResult(results, metrics)
+        success_indices = sorted(results)
+        dead_letters.sort(key=lambda letter: letter.failure.index)
+        return BatchResult(
+            [results[index] for index in success_indices],
+            metrics,
+            failures=[failures[index] for index in sorted(failures)],
+            dead_letters=dead_letters,
+            success_indices=success_indices,
+        )
 
     def __call__(self, documents: Iterable[XmlElement]) -> BatchResult:
         return self.run(documents)
@@ -183,49 +368,186 @@ class BatchRunner:
                 validate_instance(result, self.mapping.target)
             )
 
+    def _settle_failure(
+        self,
+        failure: DocumentFailure,
+        doc: XmlElement,
+        metrics: BatchMetrics,
+        failures: dict[int, DocumentFailure],
+        dead_letters: list[DeadLetter],
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        """A document is out of attempts: apply the error policy."""
+        metrics.failures += 1
+        failures[failure.index] = failure
+        if self.error_policy is ErrorPolicy.FAIL_FAST:
+            error = DocumentFailureError(failure)
+            if cause is not None:
+                raise error from cause
+            raise error
+        if self.error_policy is ErrorPolicy.COLLECT:
+            dead_letters.append(DeadLetter(failure, doc))
+            metrics.dead_letter += 1
+
     def _run_inline(
-        self, documents: Iterable[XmlElement], metrics: BatchMetrics
-    ) -> list[XmlElement]:
-        results: list[XmlElement] = []
-        for doc in documents:
+        self,
+        documents: Iterable[XmlElement],
+        metrics: BatchMetrics,
+        results: dict[int, XmlElement],
+        failures: dict[int, DocumentFailure],
+        dead_letters: list[DeadLetter],
+    ) -> None:
+        timeout = self.retry.timeout
+        for index, doc in enumerate(documents):
             plan = self._retrieve_plan()
-            started = time.perf_counter()
-            result = plan(doc)
-            self._account(metrics, doc, result, time.perf_counter() - started)
-            results.append(result)
-        return results
+            attempt = 0
+            while True:
+                started = time.perf_counter()
+                try:
+                    result = _apply_plan(
+                        plan, doc, index, attempt, self.injector, timeout
+                    )
+                except Exception as exc:
+                    failure = DocumentFailure.from_exception(
+                        index, exc, attempts=attempt + 1
+                    )
+                    if failure.timed_out:
+                        metrics.timeouts += 1
+                    if self.retry.should_retry(attempt + 1, failure.transient):
+                        metrics.retries += 1
+                        delay = self.retry.delay(attempt + 1)
+                        if delay:
+                            time.sleep(delay)
+                        attempt += 1
+                        continue
+                    self._settle_failure(
+                        failure, doc, metrics, failures, dead_letters,
+                        cause=exc,
+                    )
+                    break
+                self._account(
+                    metrics, doc, result, time.perf_counter() - started
+                )
+                results[index] = result
+                break
 
     def _run_pool(
-        self, documents: Iterable[XmlElement], metrics: BatchMetrics
-    ) -> list[XmlElement]:
+        self,
+        documents: Iterable[XmlElement],
+        metrics: BatchMetrics,
+        results: dict[int, XmlElement],
+        failures: dict[int, DocumentFailure],
+        dead_letters: list[DeadLetter],
+    ) -> None:
         docs = list(documents)
         if not docs:
-            return []
+            return
         plan = self._retrieve_plan()  # the one compile, if any
         payload = pickle.dumps(plan.tgd)
-        chunksize = self.chunksize or max(
-            1, len(docs) // (self.workers * 4) or 1
+        injector_bytes = (
+            pickle.dumps(self.injector) if self.injector is not None else b""
         )
-
-        def dispatch() -> Iterator[XmlElement]:
-            # Retrieval accounting matches the inline path: one cache
-            # access per document application (the first one above
-            # covers the first document).
-            for index, doc in enumerate(docs):
-                if index:
-                    self._retrieve_plan()
-                yield doc
-
         ctx = _pool_context()
-        with ctx.Pool(
-            processes=self.workers,
-            initializer=_init_worker,
-            initargs=(payload, self.engine),
-        ) as pool:
-            results: list[XmlElement] = []
-            for doc, (result, seconds) in zip(
-                docs, pool.imap(_run_document, dispatch(), chunksize)
-            ):
-                self._account(metrics, doc, result, seconds)
-                results.append(result)
-        return results
+        _require_importable_for_spawn(ctx)
+
+        def make_executor() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(payload, self.engine, injector_bytes,
+                          self.retry.timeout),
+            )
+
+        # Retrieval accounting matches the inline path: one cache
+        # access per document (the retrieval above covers document 0).
+        for _ in range(len(docs) - 1):
+            self._retrieve_plan()
+
+        to_submit: deque = deque((index, 0) for index in range(len(docs)))
+        pending: dict = {}
+        executor = make_executor()
+        try:
+            while to_submit or pending:
+                crashed = False
+                try:
+                    while to_submit:
+                        index, attempt = to_submit[0]
+                        future = executor.submit(
+                            _run_task, (index, attempt, docs[index])
+                        )
+                        to_submit.popleft()
+                        pending[future] = (index, attempt)
+                except BrokenProcessPool:
+                    crashed = True
+                if pending and not crashed:
+                    done, _ = wait(
+                        set(pending), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index, attempt = pending.pop(future)
+                        error = future.exception()
+                        if isinstance(error, BrokenProcessPool):
+                            # This future was in flight when a worker
+                            # died; schedule its replay.
+                            crashed = True
+                            to_submit.appendleft((index, attempt + 1))
+                            continue
+                        if error is not None:
+                            raise error
+                        self._handle_record(
+                            future.result(), docs, metrics, results,
+                            failures, dead_letters, to_submit,
+                        )
+                if crashed:
+                    metrics.pool_rebuilds += 1
+                    if metrics.pool_rebuilds > 1:
+                        raise WorkerCrashError(
+                            "worker pool crashed twice; giving up "
+                            f"({len(results)} of {len(docs)} documents "
+                            "completed)"
+                        )
+                    # Rebuild once and replay every in-flight document;
+                    # completed results are untouched, so successful
+                    # outputs stay identical to a crash-free run.
+                    for future, (index, attempt) in pending.items():
+                        to_submit.append((index, attempt + 1))
+                    pending.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = make_executor()
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _handle_record(
+        self,
+        record: Record,
+        docs: list[XmlElement],
+        metrics: BatchMetrics,
+        results: dict[int, XmlElement],
+        failures: dict[int, DocumentFailure],
+        dead_letters: list[DeadLetter],
+        to_submit: deque,
+    ) -> None:
+        kind, index, attempt, value, seconds = record
+        if kind == "ok":
+            # A crash replay can duplicate a completed document (the
+            # pure engines make re-evaluation idempotent); keep the
+            # first result.
+            if index not in results:
+                results[index] = value
+                self._account(metrics, docs[index], value, seconds)
+            return
+        failure = value
+        failure.attempts = attempt + 1
+        if failure.timed_out:
+            metrics.timeouts += 1
+        if self.retry.should_retry(attempt + 1, failure.transient):
+            metrics.retries += 1
+            delay = self.retry.delay(attempt + 1)
+            if delay:
+                time.sleep(delay)
+            to_submit.append((index, attempt + 1))
+            return
+        self._settle_failure(
+            failure, docs[index], metrics, failures, dead_letters
+        )

@@ -2,17 +2,23 @@
 
 Every batch run produces one :class:`BatchMetrics` report: document
 counts, plan-cache hits/misses, compile vs. execute vs. wall seconds,
-element counts, validation-violation counts, and (for pipelines) a
-per-stage breakdown.  ``to_dict()`` yields a stable, version-tagged
-document — the contract the CLI's ``--metrics-json`` writes and CI
-consumes::
+element counts, validation-violation counts, fault accounting and (for
+pipelines) a per-stage breakdown.  ``to_dict()`` yields a stable,
+version-tagged document — the contract the CLI's ``--metrics-json``
+writes and CI consumes::
 
     {
       "format": "clip-batch-metrics",
-      "version": 1,
+      "version": 2,
       "engine": "tgd",
       "workers": 4,
-      "documents": 100,
+      "error_policy": "collect",
+      "documents": 90,
+      "failures": 10,
+      "retries": 3,
+      "timeouts": 1,
+      "dead_letter": 10,
+      "pool_rebuilds": 0,
       "plan_cache": {"hits": 99, "misses": 1, "evictions": 0,
                      "compile_seconds": 0.0004},
       "timings": {"compile_seconds": 0.0004,
@@ -23,10 +29,18 @@ consumes::
       "validation_violations": 0,
       "stages": [ {"index": 0, "source_root": "source",
                    "target_root": "target", "documents": 100,
-                   "execute_seconds": 0.0310, "violations": 0}, … ]
+                   "execute_seconds": 0.0310, "violations": 0,
+                   "failures": 0, "retries": 0, "timeouts": 0,
+                   "dead_letter": 0}, … ]
     }
 
-``stages`` is present only for pipeline runs.
+``stages`` is present only for pipeline runs.  ``documents`` counts
+*successful* documents; ``documents + failures`` is the input size.
+
+Version history: version 1 lacked ``error_policy`` and the fault
+counters (``failures``/``retries``/``timeouts``/``dead_letter``/
+``pool_rebuilds``, per run and per stage).  :func:`BatchMetrics.from_dict`
+parses both versions — absent fault counters read as zero.
 """
 
 from __future__ import annotations
@@ -35,7 +49,10 @@ import json
 from dataclasses import dataclass, field
 
 METRICS_FORMAT = "clip-batch-metrics"
-METRICS_VERSION = 1
+METRICS_VERSION = 2
+
+#: Versions :func:`BatchMetrics.from_dict` accepts.
+PARSEABLE_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -48,6 +65,10 @@ class StageMetrics:
     documents: int = 0
     execute_seconds: float = 0.0
     violations: int = 0
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    dead_letter: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -57,7 +78,26 @@ class StageMetrics:
             "documents": self.documents,
             "execute_seconds": self.execute_seconds,
             "violations": self.violations,
+            "failures": self.failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "dead_letter": self.dead_letter,
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "StageMetrics":
+        return cls(
+            index=doc["index"],
+            source_root=doc["source_root"],
+            target_root=doc["target_root"],
+            documents=doc.get("documents", 0),
+            execute_seconds=doc.get("execute_seconds", 0.0),
+            violations=doc.get("violations", 0),
+            failures=doc.get("failures", 0),
+            retries=doc.get("retries", 0),
+            timeouts=doc.get("timeouts", 0),
+            dead_letter=doc.get("dead_letter", 0),
+        )
 
 
 @dataclass
@@ -66,7 +106,13 @@ class BatchMetrics:
 
     engine: str
     workers: int
+    error_policy: str = "fail_fast"
     documents: int = 0
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    dead_letter: int = 0
+    pool_rebuilds: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
@@ -84,7 +130,13 @@ class BatchMetrics:
             "version": METRICS_VERSION,
             "engine": self.engine,
             "workers": self.workers,
+            "error_policy": self.error_policy,
             "documents": self.documents,
+            "failures": self.failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "dead_letter": self.dead_letter,
+            "pool_rebuilds": self.pool_rebuilds,
             "plan_cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
@@ -104,5 +156,55 @@ class BatchMetrics:
             doc["stages"] = [stage.to_dict() for stage in self.stages]
         return doc
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BatchMetrics":
+        """Parse a metrics document of any supported version.
+
+        Version-1 documents (no fault accounting) read back with zero
+        failures/retries/timeouts and ``error_policy="fail_fast"`` —
+        exactly what their all-or-nothing runs meant.
+        """
+        if doc.get("format") != METRICS_FORMAT:
+            raise ValueError(
+                f"not a {METRICS_FORMAT} document: "
+                f"format={doc.get('format')!r}"
+            )
+        version = doc.get("version")
+        if version not in PARSEABLE_VERSIONS:
+            raise ValueError(
+                f"unsupported {METRICS_FORMAT} version {version!r}; "
+                f"supported: {PARSEABLE_VERSIONS}"
+            )
+        plan_cache = doc.get("plan_cache", {})
+        timings = doc.get("timings", {})
+        return cls(
+            engine=doc["engine"],
+            workers=doc["workers"],
+            error_policy=doc.get("error_policy", "fail_fast"),
+            documents=doc.get("documents", 0),
+            failures=doc.get("failures", 0),
+            retries=doc.get("retries", 0),
+            timeouts=doc.get("timeouts", 0),
+            dead_letter=doc.get("dead_letter", 0),
+            pool_rebuilds=doc.get("pool_rebuilds", 0),
+            cache_hits=plan_cache.get("hits", 0),
+            cache_misses=plan_cache.get("misses", 0),
+            cache_evictions=plan_cache.get("evictions", 0),
+            compile_seconds=timings.get("compile_seconds", 0.0),
+            execute_seconds=timings.get("execute_seconds", 0.0),
+            wall_seconds=timings.get("wall_seconds", 0.0),
+            source_elements=doc.get("source_elements", 0),
+            target_elements=doc.get("target_elements", 0),
+            validation_violations=doc.get("validation_violations", 0),
+            stages=[
+                StageMetrics.from_dict(stage)
+                for stage in doc.get("stages", [])
+            ],
+        )
+
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BatchMetrics":
+        return cls.from_dict(json.loads(text))

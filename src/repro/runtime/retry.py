@@ -1,0 +1,123 @@
+"""Retry policy for per-document execution: backoff, timeout, triage.
+
+A batch over real traffic sees three kinds of per-document failure:
+
+* **transient** — worth re-attempting: resource pressure, I/O hiccups,
+  a timeout, anything raising :class:`repro.errors.TransientError`;
+* **permanent** — deterministic: a :class:`CompileError`, an
+  :class:`ExecutionError` from the engine, malformed instance data.
+  Retrying a pure function on the same input reproduces the failure,
+  so these go straight to the error policy (dead-letter or raise);
+* **worker loss** — the process evaluating the document died; handled
+  by the pool rebuild in :mod:`repro.runtime.batch`, not here.
+
+:class:`RetryPolicy` bundles the knobs: attempt budget, a
+*deterministic* exponential backoff schedule (no jitter — reruns of a
+batch must behave identically), and the per-document wall-clock
+timeout that :func:`call_with_timeout` enforces.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..errors import DocumentTimeout, TransientError
+
+#: Exception types the policy considers worth retrying.  Built on the
+#: :mod:`repro.errors` hierarchy: :class:`TransientError` covers the
+#: package's own retryable failures (including timeouts); ``OSError``
+#: and ``TimeoutError`` cover the environment's.
+TRANSIENT_TYPES: tuple = (TransientError, OSError, TimeoutError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether an error is worth re-attempting (see TRANSIENT_TYPES)."""
+    return isinstance(error, TRANSIENT_TYPES)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failing documents are re-attempted.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts after the first (``0`` disables retries).
+    backoff:
+        Seconds before the first retry; each further retry multiplies
+        by ``backoff_factor`` up to ``max_backoff``.  The schedule is
+        deterministic — no jitter — so a rerun sleeps identically.
+    timeout:
+        Per-document wall-clock budget in seconds (``None`` = none);
+        an overrun raises :class:`repro.errors.DocumentTimeout`, which
+        is transient and therefore retryable.
+    retry_permanent:
+        Also retry permanent errors.  Off by default: the engines are
+        pure functions, so a deterministic failure cannot heal.
+    """
+
+    max_retries: int = 0
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    timeout: Optional[float] = None
+    retry_permanent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout!r}")
+
+    def delay(self, retry_number: int) -> float:
+        """Seconds to wait before retry ``retry_number`` (1-based)."""
+        if retry_number < 1 or self.backoff <= 0:
+            return 0.0
+        return min(
+            self.max_backoff,
+            self.backoff * self.backoff_factor ** (retry_number - 1),
+        )
+
+    def should_retry(self, attempts_made: int, transient: bool) -> bool:
+        """Whether a document that failed ``attempts_made`` times (and
+        whose last error was/wasn't transient) gets another attempt."""
+        if attempts_made > self.max_retries:
+            return False
+        return transient or self.retry_permanent
+
+
+def call_with_timeout(
+    fn: Callable[[], Any], timeout: Optional[float]
+) -> Any:
+    """Run ``fn()`` under a wall-clock budget.
+
+    With no budget this is a plain call.  With one, the call runs in a
+    daemon thread; an overrun raises :class:`DocumentTimeout` in the
+    caller (the worker thread is left to finish and be discarded — the
+    engines are pure, so an abandoned evaluation has no side effects).
+    """
+    if timeout is None:
+        return fn()
+    outcome: list = []
+
+    def target() -> None:
+        try:
+            outcome.append(("ok", fn()))
+        except BaseException as exc:  # noqa: BLE001 — relayed below
+            outcome.append(("err", exc))
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise DocumentTimeout(
+            f"document evaluation exceeded the {timeout:g}s budget"
+        )
+    kind, value = outcome[0]
+    if kind == "err":
+        raise value
+    return value

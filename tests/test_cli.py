@@ -147,7 +147,7 @@ class TestBatch:
         ) == 0
         doc = json.loads(metrics_path.read_text(encoding="utf-8"))
         assert doc["format"] == "clip-batch-metrics"
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["engine"] == "tgd"
         assert doc["workers"] == 1
         assert doc["documents"] == 3
@@ -157,6 +157,44 @@ class TestBatch:
         assert set(doc["timings"]) == {
             "compile_seconds", "execute_seconds", "wall_seconds",
         }
+
+    def test_malformed_input_isolated_under_collect(
+        self, mapping_file, source_files, tmp_path, capsys
+    ):
+        """An unparseable input is a per-document failure under
+        skip/collect — dead-lettered as raw text — not a batch abort."""
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<not well formed", encoding="utf-8")
+        dlq = tmp_path / "dlq"
+        out_dir = tmp_path / "out"
+        sources = [source_files[0], str(bad), source_files[1]]
+        assert main(
+            ["batch", mapping_file, *sources,
+             "--error-policy", "collect",
+             "--dead-letter-dir", str(dlq),
+             "--output-dir", str(out_dir)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "failed: " in captured.err and "XmlParseError" in captured.err
+        assert sorted(p.name for p in out_dir.iterdir()) == [
+            "src0.out.xml", "src1.out.xml",
+        ]
+        assert (dlq / "dead-letter-00001.xml").read_text(
+            encoding="utf-8"
+        ) == "<not well formed"
+        manifest = json.loads((dlq / "failures.json").read_text(encoding="utf-8"))
+        assert [entry["index"] for entry in manifest] == [1]
+        assert manifest[0]["error"] == "XmlParseError"
+
+    def test_malformed_input_aborts_under_fail_fast(
+        self, mapping_file, source_files, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<not well formed", encoding="utf-8")
+        assert main(
+            ["batch", mapping_file, source_files[0], str(bad)]
+        ) == 2
+        assert "malformed XML" in capsys.readouterr().err
 
     def test_xquery_engine_agrees(self, mapping_file, source_files, tmp_path):
         a_dir, b_dir = tmp_path / "a", tmp_path / "b"

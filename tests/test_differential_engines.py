@@ -18,6 +18,8 @@ through the same cached plans.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -125,6 +127,40 @@ def test_each_scenario_engine_pair_compiled_once():
     stats = _CACHE.stats
     assert stats.misses <= expected
     assert stats.hits > stats.misses
+
+
+_ENV_WORKERS = int(os.environ.get("CLIP_TEST_WORKERS", "1"))
+
+
+@pytest.mark.parametrize("figure", sorted(_SCENARIOS))
+def test_batch_runner_pool_agrees_with_inline(figure):
+    """The pool path is differential too: ``workers=N`` (from the CI
+    matrix's ``CLIP_TEST_WORKERS``) must reproduce the in-process
+    results document-for-document, for every scenario."""
+    from repro.runtime import BatchRunner, PlanCache
+    from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+
+    mapping = _SCENARIOS[figure]()
+    docs = [
+        make_deptstore_instance(
+            DeptstoreSpec(
+                departments=2,
+                projects_per_dept=2,
+                employees_per_dept=3,
+                seed=seed,
+            )
+        )
+        for seed in range(6)
+    ]
+    inline = BatchRunner(mapping, workers=1, cache=_CACHE).run(docs)
+    if _ENV_WORKERS == 1:
+        reference = [_apply(figure, "tgd", doc) for doc in docs]
+        assert inline.results == reference
+        return
+    pooled = BatchRunner(mapping, workers=_ENV_WORKERS, cache=_CACHE).run(docs)
+    assert pooled.results == inline.results
+    assert pooled.metrics.documents == len(docs)
+    assert pooled.metrics.failures == 0
 
 
 def test_paper_instance_through_all_engines():

@@ -181,7 +181,7 @@ class TestBatchRunner:
         batch = BatchRunner(mapping, cache=PlanCache(), validate=True).run(_docs(2))
         doc = batch.metrics.to_dict()
         assert doc["format"] == "clip-batch-metrics"
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["documents"] == 2
         assert doc["plan_cache"]["hits"] == 1
         assert doc["plan_cache"]["misses"] == 1
