@@ -58,13 +58,17 @@ class Transformer:
     """
 
     def __init__(self, mapping: ClipMapping, *, engine: str = "tgd",
-                 require_valid: bool = True):
+                 require_valid: bool = True, optimize: bool | None = None):
         if engine not in ("tgd", "xquery", "xslt"):
             raise ValueError(
                 f"unknown engine {engine!r}; use 'tgd', 'xquery' or 'xslt'"
             )
         self.mapping = mapping
         self.engine = engine
+        #: Tgd-engine evaluation strategy: ``True`` join-aware compiled
+        #: plans, ``False`` the naive reference path, ``None`` the
+        #: ``CLIP_OPTIMIZE`` environment default (on).
+        self.optimize = optimize
         self.report: ValidityReport = check(mapping)
         self.tgd: NestedTgd = compile_clip(
             mapping, require_valid=require_valid, report=self.report
@@ -80,7 +84,7 @@ class Transformer:
         if self._plan is None:
             from .executor import prepare
 
-            self._plan = prepare(self.tgd)
+            self._plan = prepare(self.tgd, optimize=self.optimize)
         return self._plan
 
     @property
@@ -127,6 +131,16 @@ class Transformer:
         from .executor import explain as _explain
 
         return _explain(self.tgd, source_instance)
+
+    def explain_plan(self, source_instance: XmlElement):
+        """Compile and run the mapping through the join-aware planner,
+        returning a :class:`repro.executor.PlanExplain` — the compiled
+        plan (joins, pushed filters, generator order) plus runtime
+        counters, renderable as text or ``clip-plan-explain`` JSON."""
+        from .executor import explain_plan as _explain_plan
+
+        return _explain_plan(self.tgd, source_instance,
+                             optimize=self.optimize)
 
 
 __all__ = [

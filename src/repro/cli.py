@@ -8,12 +8,16 @@ saved by :mod:`repro.io`:
   invalid);
 * ``xquery MAPPING.json`` — print the generated XQuery;
 * ``xslt MAPPING.json`` — print the generated XSLT stylesheet;
-* ``run MAPPING.json SOURCE.xml [-o OUT.xml] [--engine tgd|xquery]`` —
-  transform an instance;
+* ``run MAPPING.json SOURCE.xml [-o OUT.xml] [--engine tgd|xquery]
+  [--no-optimize]`` — transform an instance;
+* ``explain MAPPING.json SOURCE.xml [--json] [--no-optimize]`` — print
+  the compiled tgd plan (hash joins, pushed filters, generator order)
+  and its runtime counters for one document, as text or as a
+  ``clip-plan-explain`` JSON document;
 * ``batch MAPPING.json SOURCE.xml [SOURCE2.xml …] [--workers N]
   [--engine E] [--output-dir DIR] [--metrics-json PATH] [--validate]
   [--error-policy fail_fast|skip|collect] [--max-retries N]
-  [--timeout SECONDS] [--dead-letter-dir DIR]``
+  [--timeout SECONDS] [--dead-letter-dir DIR] [--no-optimize]``
   — transform many instances through the compiled-plan cache, with an
   optional worker pool, per-document fault isolation (retry, timeout,
   dead-lettering) and a machine-readable metrics report;
@@ -82,7 +86,8 @@ def _cmd_xslt(args) -> int:
 def _cmd_run(args) -> int:
     clip = load_mapping(args.mapping)
     instance = parse_xml(_read(args.source), schema=clip.source)
-    transformer = Transformer(clip, engine=args.engine)
+    optimize = False if args.no_optimize else None
+    transformer = Transformer(clip, engine=args.engine, optimize=optimize)
     result = transformer(instance)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -157,6 +162,7 @@ def _cmd_batch(args) -> int:
         error_policy=error_policy,
         max_retries=args.max_retries,
         timeout=args.timeout,
+        optimize=False if args.no_optimize else None,
         # One cache per invocation: the metrics report then describes
         # exactly this run, not whatever the process compiled before.
         cache=PlanCache(),
@@ -217,6 +223,16 @@ def _cmd_batch(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    clip = load_mapping(args.mapping)
+    instance = parse_xml(_read(args.source), schema=clip.source)
+    optimize = False if args.no_optimize else None
+    transformer = Transformer(clip, optimize=optimize)
+    report = transformer.explain_plan(instance)
+    print(report.to_json() if args.json else report.render())
     return 0
 
 
@@ -323,7 +339,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-o", "--output", default=None)
     run.add_argument("--engine", choices=("tgd", "xquery", "xslt"), default="tgd")
     run.add_argument("--xml", action="store_true", help="print XML instead of a tree")
+    run.add_argument(
+        "--no-optimize", action="store_true",
+        help="evaluate through the naive reference path instead of the "
+             "join-aware compiled plan (tgd engine only)",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="print the compiled tgd plan and its statistics"
+    )
+    explain_cmd.add_argument("mapping")
+    explain_cmd.add_argument("source")
+    explain_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the clip-plan-explain JSON document instead of text",
+    )
+    explain_cmd.add_argument(
+        "--no-optimize", action="store_true",
+        help="describe the plan but execute the naive reference path "
+             "(runtime counters stay zero)",
+    )
+    explain_cmd.set_defaults(handler=_cmd_explain)
 
     batch = commands.add_parser(
         "batch", help="transform many source instances via the plan cache"
@@ -362,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dead-letter-dir", default=None, metavar="DIR",
         help="write failed inputs and a failures.json manifest here "
              "(implies --error-policy collect)",
+    )
+    batch.add_argument(
+        "--no-optimize", action="store_true",
+        help="evaluate through the naive reference path instead of the "
+             "join-aware compiled plan (tgd engine only)",
     )
     batch.set_defaults(handler=_cmd_batch)
 

@@ -1,7 +1,22 @@
-"""Direct tgd execution engine, with an instrumented explain mode."""
+"""Direct tgd execution engine, with join-aware plan compilation and
+instrumented explain modes."""
 
 from .engine import GroupBinding, TgdPlan, execute, prepare
-from .stats import ExecutionReport, LevelStats, explain
+from .planner import (
+    OPTIMIZE_ENV,
+    PlanCounters,
+    PlannedTgd,
+    PlanStats,
+    plan_tgd,
+    resolve_optimize,
+)
+from .stats import (
+    ExecutionReport,
+    LevelStats,
+    PlanExplain,
+    explain,
+    explain_plan,
+)
 
 __all__ = [
     "execute",
@@ -9,6 +24,14 @@ __all__ = [
     "TgdPlan",
     "GroupBinding",
     "explain",
+    "explain_plan",
     "ExecutionReport",
     "LevelStats",
+    "PlanExplain",
+    "OPTIMIZE_ENV",
+    "PlanCounters",
+    "PlannedTgd",
+    "PlanStats",
+    "plan_tgd",
+    "resolve_optimize",
 ]

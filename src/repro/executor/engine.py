@@ -40,6 +40,7 @@ from ..core.tgd import (
     TgdExpr,
     TgdMapping,
     Var,
+    expr_root,
 )
 
 
@@ -84,17 +85,32 @@ class TgdPlan:
     """A nested tgd prepared for repeated per-document evaluation.
 
     The plan holds everything that depends only on the *mapping* — the
-    tgd and the evaluation order of its root mappings — so applying it
-    to N documents walks the mapping analysis once, not N times.  The
-    batch runtime (:mod:`repro.runtime`) keys its compiled-plan cache
-    on exactly this split.
+    tgd, the evaluation order of its root mappings, and (by default)
+    the compiled level plans of :mod:`repro.executor.planner` — so
+    applying it to N documents walks the mapping analysis once, not N
+    times.  The batch runtime (:mod:`repro.runtime`) keys its
+    compiled-plan cache on exactly this split.
+
+    ``optimize`` selects the evaluation strategy: ``True`` compiles
+    hash joins, pushed filters and generator reordering; ``False``
+    keeps the naive product-then-filter reference path (what the
+    differential suite cross-checks against); ``None`` defers to the
+    ``CLIP_OPTIMIZE`` environment default (on).  Both paths produce
+    byte-identical targets.  When optimized, ``stats`` accumulates
+    per-level :class:`~repro.executor.planner.PlanCounters` across
+    every document the plan evaluates.
     """
 
-    __slots__ = ("tgd", "ordered")
+    __slots__ = ("tgd", "ordered", "optimize", "planned", "stats")
 
-    def __init__(self, tgd: NestedTgd):
+    def __init__(self, tgd: NestedTgd, *, optimize: Optional[bool] = None):
+        from .planner import PlanStats, plan_tgd, resolve_optimize
+
         self.tgd = tgd
         self.ordered = order_mappings(tgd)
+        self.optimize = resolve_optimize(optimize)
+        self.planned = plan_tgd(tgd) if self.optimize else None
+        self.stats = PlanStats(self.planned) if self.planned else None
 
     def run(self, source_instance: XmlElement) -> XmlElement:
         """Evaluate the prepared tgd over one source instance.
@@ -108,6 +124,16 @@ class TgdPlan:
         from ..errors import ReproError
 
         try:
+            if self.planned is not None:
+                from .planner import _OptimizedEngine
+
+                return _OptimizedEngine(
+                    self.tgd,
+                    source_instance,
+                    self.planned,
+                    ordered=self.ordered,
+                    stats=self.stats,
+                ).run()
             return _Engine(
                 self.tgd, source_instance, ordered=self.ordered
             ).run()
@@ -120,20 +146,25 @@ class TgdPlan:
         return self.run(source_instance)
 
 
-def prepare(tgd: NestedTgd) -> TgdPlan:
+def prepare(tgd: NestedTgd, *, optimize: Optional[bool] = None) -> TgdPlan:
     """Prepare a nested tgd for repeated evaluation (plan construction
     split from per-document evaluation)."""
-    return TgdPlan(tgd)
+    return TgdPlan(tgd, optimize=optimize)
 
 
-def execute(tgd: NestedTgd, source_instance: XmlElement) -> XmlElement:
+def execute(
+    tgd: NestedTgd,
+    source_instance: XmlElement,
+    *,
+    optimize: Optional[bool] = None,
+) -> XmlElement:
     """Evaluate a nested tgd over a source instance; returns the target
     instance rooted at the tgd's target root tag.
 
     One-shot convenience over :func:`prepare`; to apply the same tgd to
     many documents, prepare once and call the plan per document.
     """
-    return _Engine(tgd, source_instance).run()
+    return prepare(tgd, optimize=optimize).run(source_instance)
 
 
 class _Engine:
@@ -157,6 +188,15 @@ class _Engine:
         self._wrappers: dict[tuple[int, str], XmlElement] = {}
         # Grouping Skolems: (parent identity, tag, key) → element.
         self._groups: dict[tuple[int, str, tuple], XmlElement] = {}
+        # Membership-condition identity sets, cached per collection:
+        # (id(condition), id(root binding)) → {id(element), ...}.  A
+        # collection expression is a projection chain over one root
+        # binding, so the set is loop-invariant for that binding and
+        # need not be rebuilt on every membership check.
+        self._identity_sets: dict[tuple, set[int]] = {}
+        # Strong refs keeping the id()-keyed bindings above alive (a
+        # recycled id would alias a stale cache entry).
+        self._identity_pins: list = []
 
     def run(self) -> XmlElement:
         for mapping in self.ordered:
@@ -212,8 +252,7 @@ class _Engine:
     def _condition_holds(self, condition, env: Env) -> bool:
         if isinstance(condition, Membership):
             members = self._eval(condition.member, env)
-            collection = self._eval(condition.collection, env)
-            identities = {id(e) for e in collection}
+            identities = self._collection_identities(condition, env)
             return any(id(m) in identities for m in members)
         if isinstance(condition, TgdComparison):
             lefts = self._eval_atoms(condition.left, env)
@@ -224,6 +263,25 @@ class _Engine:
                 condition.holds(lv, rv) for lv in lefts for rv in rights
             )
         raise ExecutionError(f"unsupported condition {condition!r}")
+
+    def _collection_identities(
+        self, condition: Membership, env: Env
+    ) -> set[int]:
+        """The identity set of a membership condition's collection,
+        cached per root binding of the collection expression."""
+        root = expr_root(condition.collection)
+        dep = env.get(root.name) if isinstance(root, Var) else None
+        if isinstance(root, Var) and dep is None:
+            # Unbound: evaluate uncached so _eval raises its usual error.
+            return {id(e) for e in self._eval(condition.collection, env)}
+        key = (id(condition), id(dep) if dep is not None else None)
+        found = self._identity_sets.get(key)
+        if found is None:
+            found = {id(e) for e in self._eval(condition.collection, env)}
+            self._identity_sets[key] = found
+            if dep is not None:
+                self._identity_pins.append(dep)
+        return found
 
     def _enumerate_raw(self, mapping: TgdMapping, env: Env) -> list[Env]:
         """All variable bindings produced by the generators (before C1)."""

@@ -1,4 +1,4 @@
-"""Execution statistics: an instrumented run of the tgd executor.
+"""Execution statistics: instrumented runs of the tgd executor.
 
 :func:`explain` runs a mapping while counting, per tgd level, how many
 iterations fired, how many tuples the conditions filtered out, how many
@@ -6,16 +6,27 @@ target elements were created, how many groups formed, and how many
 assignments were applied.  Mapping developers use the report to spot
 accidental Cartesian blow-ups — a paper theme: the difference between
 Figures 4/6 and their arc-less variants is exactly these numbers.
+
+:func:`explain_plan` is the optimizer-side counterpart: it compiles the
+mapping through :mod:`repro.executor.planner`, evaluates it, and
+reports the compiled plan (generator order, pushed filters, hash
+joins) together with the runtime counters (bindings enumerated, filter
+drops, hash build/probe sizes) as a ``clip-plan-explain`` document.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..core.tgd import NestedTgd, TgdMapping
 from ..xml.model import XmlElement
 from .engine import _Engine
+
+#: Schema identifiers of the :func:`explain_plan` JSON document.
+PLAN_EXPLAIN_FORMAT = "clip-plan-explain"
+PLAN_EXPLAIN_VERSION = 1
 
 
 @dataclass
@@ -161,3 +172,129 @@ class _InstrumentedEngine(_Engine):
                         stats.assignments_applied += 1
                     for sub in mapping.submappings:
                         self._run_mapping(sub, iteration_env, iter_target_env)
+
+
+# -- plan explain ------------------------------------------------------------
+
+
+@dataclass
+class PlanExplain:
+    """The compiled plan of a mapping plus the runtime counters of one
+    evaluation — the payload of the ``clip-plan-explain`` document."""
+
+    result: XmlElement
+    optimize: bool
+    #: Static per-level plan descriptions (see ``LevelPlan.describe``).
+    levels: list[dict]
+    #: Per-level runtime counter dicts (all-zero when ``optimize`` is
+    #: off: the naive path has no planner instrumentation).
+    counters: list[dict]
+
+    def to_dict(self) -> dict:
+        totals: dict[str, int] = {}
+        for counter in self.counters:
+            for name, value in counter.items():
+                totals[name] = totals.get(name, 0) + value
+        return {
+            "format": PLAN_EXPLAIN_FORMAT,
+            "version": PLAN_EXPLAIN_VERSION,
+            "optimize": self.optimize,
+            "levels": [
+                {**level, "counters": counter}
+                for level, counter in zip(self.levels, self.counters)
+            ],
+            "totals": totals,
+            "result_elements": self.result.size(),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, ensure_ascii=False)
+
+    def render(self) -> str:
+        """Human-readable plan + counters (the CLI ``explain`` output)."""
+        doc = self.to_dict()
+        lines = [
+            f"{PLAN_EXPLAIN_FORMAT} v{PLAN_EXPLAIN_VERSION} "
+            f"(optimize={'on' if self.optimize else 'off'})"
+        ]
+        for level in doc["levels"]:
+            pad = "  " * level["depth"]
+            suffix = " [grouped]" if level["grouped"] else ""
+            lines.append(f"{pad}{level['label']}{suffix}")
+            if level["order"] and level["reordered"]:
+                lines.append(f"{pad}  order: {', '.join(level['order'])} (reordered)")
+            for cond in level["pre_filters"]:
+                lines.append(f"{pad}  pre-filter: {cond}")
+            for gen in level["generators"]:
+                for cond in gen["pushed_filters"]:
+                    lines.append(f"{pad}  pushed filter @ {gen['var']}: {cond}")
+                for join in gen["joins"]:
+                    lines.append(
+                        f"{pad}  {join['kind']} join @ {gen['var']}: "
+                        f"{join['condition']} (build {join['build']}, "
+                        f"probe {join['probe']})"
+                    )
+                for cond in gen["env_filters"]:
+                    lines.append(f"{pad}  filter @ {gen['var']}: {cond}")
+            counters = level["counters"]
+            if self.optimize:
+                lines.append(
+                    f"{pad}  counters: enumerated={counters['bindings_enumerated']} "
+                    f"produced={counters['envs_produced']} "
+                    f"filter_drops={counters['filter_drops']}"
+                )
+                if counters["join_builds"]:
+                    lines.append(
+                        f"{pad}  hash joins: builds={counters['join_builds']} "
+                        f"build_rows={counters['join_build_rows']} "
+                        f"build_keys={counters['join_build_keys']} "
+                        f"probes={counters['join_probes']} "
+                        f"matches={counters['join_probe_matches']}"
+                    )
+                if counters["groups"]:
+                    lines.append(f"{pad}  groups: {counters['groups']}")
+        totals = doc["totals"]
+        if self.optimize:
+            lines.append(
+                f"total: {totals.get('bindings_enumerated', 0)} bindings "
+                f"enumerated, {totals.get('filter_drops', 0)} filtered, "
+                f"{doc['result_elements']} elements in the result"
+            )
+        else:
+            lines.append(
+                f"total: naive evaluation (no planner counters), "
+                f"{doc['result_elements']} elements in the result"
+            )
+        return "\n".join(lines)
+
+
+def explain_plan(
+    tgd: NestedTgd,
+    source_instance: XmlElement,
+    *,
+    optimize: Optional[bool] = None,
+) -> PlanExplain:
+    """Compile the mapping, evaluate it once, and report the compiled
+    plan together with its runtime counters.
+
+    With ``optimize`` off the plan is still compiled (its static shape
+    is shown) but evaluation takes the naive reference path, so all
+    counters stay zero.
+    """
+    from .planner import PlanStats, _OptimizedEngine, plan_tgd, resolve_optimize
+
+    resolved = resolve_optimize(optimize)
+    planned = plan_tgd(tgd)
+    stats = PlanStats(planned)
+    if resolved:
+        result = _OptimizedEngine(
+            tgd, source_instance, planned, stats=stats
+        ).run()
+    else:
+        result = _Engine(tgd, source_instance).run()
+    return PlanExplain(
+        result=result,
+        optimize=resolved,
+        levels=[plan.describe() for plan in planned.levels],
+        counters=[counter.to_dict() for counter in stats.counters],
+    )

@@ -97,10 +97,13 @@ def _init_worker(
     engine: str,
     injector_bytes: bytes,
     timeout: Optional[float],
+    optimize: bool = True,
 ) -> None:
     """Pool initializer: rebuild the engine plan once per worker."""
     global _WORKER_PLAN, _WORKER_INJECTOR, _WORKER_TIMEOUT
-    _WORKER_PLAN = plan_from_tgd(pickle.loads(tgd_bytes), engine)
+    _WORKER_PLAN = plan_from_tgd(
+        pickle.loads(tgd_bytes), engine, optimize=optimize
+    )
     _WORKER_INJECTOR = pickle.loads(injector_bytes) if injector_bytes else None
     _WORKER_TIMEOUT = timeout
 
@@ -262,6 +265,13 @@ class BatchRunner:
         A :class:`FaultInjector` fired on every ``(document index,
         attempt)`` — the deterministic fault-injection harness used by
         the test suite.
+    optimize:
+        Evaluation strategy for the tgd engine: ``True`` uses the
+        join-aware compiled plans of :mod:`repro.executor.planner`,
+        ``False`` the naive reference path, ``None`` (default) the
+        ``CLIP_OPTIMIZE`` environment default (on).  Both produce
+        byte-identical results; the flag participates in the plan
+        fingerprint, so both variants coexist in a shared cache.
     """
 
     def __init__(
@@ -279,6 +289,7 @@ class BatchRunner:
         timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        optimize: Optional[bool] = None,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; use one of {ENGINES}")
@@ -299,9 +310,12 @@ class BatchRunner:
             max_retries=max_retries, backoff=backoff, timeout=timeout
         )
         self.injector = injector
+        from ..executor.planner import resolve_optimize
+
+        self.optimize = resolve_optimize(optimize)
         # One fingerprint per runner: per-document retrievals are then
         # pure dictionary hits.
-        self.fingerprint = fingerprint(mapping, engine)
+        self.fingerprint = fingerprint(mapping, engine, optimize=self.optimize)
 
     # -- execution ---------------------------------------------------------
 
@@ -349,7 +363,8 @@ class BatchRunner:
 
     def _retrieve_plan(self):
         return self.cache.get_or_compile(
-            self.mapping, self.engine, fp=self.fingerprint
+            self.mapping, self.engine, fp=self.fingerprint,
+            optimize=self.optimize,
         )
 
     def _account(
@@ -398,8 +413,16 @@ class BatchRunner:
         dead_letters: list[DeadLetter],
     ) -> None:
         timeout = self.retry.timeout
+        first_plan = None
+        counters_before = None
         for index, doc in enumerate(documents):
             plan = self._retrieve_plan()
+            if first_plan is None:
+                first_plan = plan
+                stats = plan.tgd_plan.stats if plan.tgd_plan else None
+                # The cached plan accumulates counters across runs;
+                # snapshot now so the report shows this run's deltas.
+                counters_before = stats.snapshot() if stats else None
             attempt = 0
             while True:
                 started = time.perf_counter()
@@ -430,6 +453,17 @@ class BatchRunner:
                 )
                 results[index] = result
                 break
+        if first_plan is not None:
+            report = first_plan.plan_report()
+            if report is not None:
+                stats = (
+                    first_plan.tgd_plan.stats if first_plan.tgd_plan else None
+                )
+                if stats is not None and counters_before is not None:
+                    report["counters"] = [
+                        c.to_dict() for c in stats.diff(counters_before)
+                    ]
+                metrics.plan = report
 
     def _run_pool(
         self,
@@ -443,6 +477,12 @@ class BatchRunner:
         if not docs:
             return
         plan = self._retrieve_plan()  # the one compile, if any
+        report = plan.plan_report()
+        if report is not None:
+            # Pool workers keep their runtime counters process-local;
+            # the parent reports the static plan shape only.
+            report.pop("counters", None)
+            metrics.plan = report
         payload = pickle.dumps(plan.tgd)
         injector_bytes = (
             pickle.dumps(self.injector) if self.injector is not None else b""
@@ -456,7 +496,7 @@ class BatchRunner:
                 mp_context=ctx,
                 initializer=_init_worker,
                 initargs=(payload, self.engine, injector_bytes,
-                          self.retry.timeout),
+                          self.retry.timeout, self.optimize),
             )
 
         # Retrieval accounting matches the inline path: one cache

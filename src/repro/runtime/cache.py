@@ -105,21 +105,28 @@ class PlanCache:
         *,
         require_valid: bool = True,
         fp: Optional[str] = None,
+        optimize: Optional[bool] = None,
     ) -> CompiledPlan:
-        """The plan for ``(mapping, engine)``, compiling on first use.
+        """The plan for ``(mapping, engine, optimize)``, compiling on
+        first use.
 
         Callers applying one mapping to many documents should compute
-        ``fp = fingerprint(mapping, engine)`` once and pass it in: the
-        per-document retrieval is then a pure dictionary hit.
+        ``fp = fingerprint(mapping, engine, optimize=…)`` once and pass
+        it in: the per-document retrieval is then a pure dictionary
+        hit.  The fingerprint covers the ``optimize`` flag, so
+        optimized and naive plans for the same mapping coexist.
         """
         if fp is None:
-            fp = fingerprint(mapping, engine)
+            fp = fingerprint(mapping, engine, optimize=optimize)
         plan = self.lookup(fp)
         if plan is not None:
             return plan
         # Compile outside the lock: deterministic, so a concurrent
         # duplicate compile is wasted work but not an error.
-        plan = compile_plan(mapping, engine, require_valid=require_valid, fp=fp)
+        plan = compile_plan(
+            mapping, engine, require_valid=require_valid, fp=fp,
+            optimize=optimize,
+        )
         with self._lock:
             self._stats.compile_seconds += plan.compile_seconds
             self._plans[fp] = plan

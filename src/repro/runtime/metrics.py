@@ -41,12 +41,18 @@ Version history: version 1 lacked ``error_policy`` and the fault
 counters (``failures``/``retries``/``timeouts``/``dead_letter``/
 ``pool_rebuilds``, per run and per stage).  :func:`BatchMetrics.from_dict`
 parses both versions — absent fault counters read as zero.
+
+Version 2 documents may additionally carry an optional ``plan`` key —
+the compiled tgd plan's description and per-level runtime counters
+(see :mod:`repro.executor.planner`).  The key is additive: documents
+without it parse unchanged, so the version stays 2.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Optional
 
 METRICS_FORMAT = "clip-batch-metrics"
 METRICS_VERSION = 2
@@ -123,6 +129,10 @@ class BatchMetrics:
     target_elements: int = 0
     validation_violations: int = 0
     stages: list[StageMetrics] = field(default_factory=list)
+    #: Optional compiled-plan report: ``{"optimize": bool, "levels":
+    #: [...], "counters": [...]}`` (tgd engine; counters for inline
+    #: runs only — pool workers keep their counters process-local).
+    plan: Optional[dict] = None
 
     def to_dict(self) -> dict:
         doc = {
@@ -154,6 +164,8 @@ class BatchMetrics:
         }
         if self.stages:
             doc["stages"] = [stage.to_dict() for stage in self.stages]
+        if self.plan is not None:
+            doc["plan"] = self.plan
         return doc
 
     @classmethod
@@ -200,6 +212,7 @@ class BatchMetrics:
                 StageMetrics.from_dict(stage)
                 for stage in doc.get("stages", [])
             ],
+            plan=doc.get("plan"),
         )
 
     def to_json(self, *, indent: int = 2) -> str:

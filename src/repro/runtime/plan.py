@@ -26,7 +26,8 @@ from ..core.compile import compile_clip
 from ..core.mapping import ClipMapping
 from ..core.tgd import NestedTgd
 from ..core.validity import ValidityReport, check
-from ..executor.engine import prepare
+from ..executor.engine import TgdPlan, prepare
+from ..executor.planner import resolve_optimize
 from ..io import dumps as _dump_mapping
 from ..xml.model import XmlElement
 
@@ -34,17 +35,29 @@ from ..xml.model import XmlElement
 ENGINES = ("tgd", "xquery", "xslt")
 
 
-def fingerprint(mapping: ClipMapping, engine: str = "tgd") -> str:
-    """A stable content fingerprint of ``(mapping, engine)``.
+def fingerprint(
+    mapping: ClipMapping,
+    engine: str = "tgd",
+    *,
+    optimize: Optional[bool] = None,
+) -> str:
+    """A stable content fingerprint of ``(mapping, engine, optimize)``.
 
     Structural: computed from the mapping's persistent JSON document,
     so distinct in-memory objects describing the same drawing share a
     fingerprint, and any edit (a new value mapping, a changed
     condition, a different schema) produces a new one.
+
+    The (resolved) ``optimize`` flag participates so that a shared
+    plan cache never serves an optimized plan to a caller that asked
+    for the naive reference path, or vice versa.  The default
+    (optimized) case keeps the historical payload, so fingerprints
+    recorded before the planner existed still match.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; use one of {ENGINES}")
-    payload = f"{engine}\n{_dump_mapping(mapping)}"
+    marker = "" if resolve_optimize(optimize) else ":no-optimize"
+    payload = f"{engine}{marker}\n{_dump_mapping(mapping)}"
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -62,6 +75,8 @@ class CompiledPlan:
         "fingerprint",
         "report",
         "tgd",
+        "optimize",
+        "tgd_plan",
         "compile_seconds",
         "_runner",
     )
@@ -75,13 +90,34 @@ class CompiledPlan:
         *,
         report: Optional[ValidityReport] = None,
         compile_seconds: float = 0.0,
+        optimize: bool = True,
+        tgd_plan: Optional[TgdPlan] = None,
     ):
         self.engine = engine
         self.fingerprint = fp
         self.report = report
         self.tgd = tgd
         self.compile_seconds = compile_seconds
+        self.optimize = optimize
+        #: The underlying :class:`TgdPlan` (tgd engine only): carries
+        #: the compiled level plans and the accumulated plan counters
+        #: that batch metrics report.
+        self.tgd_plan = tgd_plan
         self._runner = runner
+
+    def plan_report(self) -> Optional[dict]:
+        """The compiled-plan description plus accumulated counters, or
+        ``None`` when the engine has no planner (xquery/xslt)."""
+        if self.tgd_plan is None or self.tgd_plan.planned is None:
+            if self.engine == "tgd":
+                return {"optimize": False}
+            return None
+        stats = self.tgd_plan.stats
+        return {
+            "optimize": True,
+            "levels": [p.describe() for p in self.tgd_plan.planned.levels],
+            "counters": [c.to_dict() for c in stats.counters] if stats else [],
+        }
 
     def __call__(self, source_instance: XmlElement) -> XmlElement:
         return self._runner(source_instance)
@@ -98,27 +134,39 @@ class CompiledPlan:
 
 
 def _engine_runner(
-    tgd: NestedTgd, engine: str
-) -> Callable[[XmlElement], XmlElement]:
-    """Build the per-document evaluation closure for one engine."""
+    tgd: NestedTgd, engine: str, optimize: bool
+) -> tuple[Callable[[XmlElement], XmlElement], Optional[TgdPlan]]:
+    """Build the per-document evaluation closure for one engine.
+
+    Returns the closure plus, for the tgd engine, the underlying
+    :class:`TgdPlan` (so plan statistics stay reachable).  The tgd and
+    XQuery evaluators both navigate through the shared per-document
+    index of :func:`repro.xml.index.index_for`, built lazily on first
+    use and reused across every mapping applied to the same document.
+    """
     if engine == "tgd":
-        return prepare(tgd).run
+        tgd_plan = prepare(tgd, optimize=optimize)
+        return tgd_plan.run, tgd_plan
     if engine == "xquery":
         from ..xquery.emit import emit_xquery
         from ..xquery.interp import run_query
 
         query = emit_xquery(tgd)
-        return lambda doc: run_query(query, doc)
+        return (lambda doc: run_query(query, doc)), None
     if engine == "xslt":
         from ..xslt import apply_stylesheet, emit_xslt
 
         sheet = emit_xslt(tgd)
-        return lambda doc: apply_stylesheet(sheet, doc)
+        return (lambda doc: apply_stylesheet(sheet, doc)), None
     raise ValueError(f"unknown engine {engine!r}; use one of {ENGINES}")
 
 
 def plan_from_tgd(
-    tgd: NestedTgd, engine: str = "tgd", *, fp: str = ""
+    tgd: NestedTgd,
+    engine: str = "tgd",
+    *,
+    fp: str = "",
+    optimize: Optional[bool] = None,
 ) -> CompiledPlan:
     """Rebuild a plan from an already-compiled tgd.
 
@@ -126,11 +174,14 @@ def plan_from_tgd(
     tgd, and each worker re-emits only its engine artifact — the Clip
     compilation and validity check never run twice anywhere.
     """
+    resolved = resolve_optimize(optimize)
     started = time.perf_counter()
-    runner = _engine_runner(tgd, engine)
+    runner, tgd_plan = _engine_runner(tgd, engine, resolved)
     return CompiledPlan(
         engine, fp, tgd, runner,
         compile_seconds=time.perf_counter() - started,
+        optimize=resolved,
+        tgd_plan=tgd_plan,
     )
 
 
@@ -140,22 +191,27 @@ def compile_plan(
     *,
     require_valid: bool = True,
     fp: Optional[str] = None,
+    optimize: Optional[bool] = None,
 ) -> CompiledPlan:
     """Compile a mapping into a reusable plan for one engine.
 
     Performs the full once-per-mapping work: Section III validity
-    check, tgd compilation, engine-artifact emission.  ``fp`` lets
-    callers that already computed the fingerprint (the cache) skip
-    recomputing it.
+    check, tgd compilation, engine-artifact emission, and (for the tgd
+    engine, unless ``optimize`` resolves off) the join-aware level
+    plans of :mod:`repro.executor.planner`.  ``fp`` lets callers that
+    already computed the fingerprint (the cache) skip recomputing it.
     """
+    resolved = resolve_optimize(optimize)
     if fp is None:
-        fp = fingerprint(mapping, engine)
+        fp = fingerprint(mapping, engine, optimize=resolved)
     started = time.perf_counter()
     report = check(mapping)
     tgd = compile_clip(mapping, require_valid=require_valid, report=report)
-    runner = _engine_runner(tgd, engine)
+    runner, tgd_plan = _engine_runner(tgd, engine, resolved)
     return CompiledPlan(
         engine, fp, tgd, runner,
         report=report,
         compile_seconds=time.perf_counter() - started,
+        optimize=resolved,
+        tgd_plan=tgd_plan,
     )

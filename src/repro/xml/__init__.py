@@ -1,5 +1,6 @@
 """XML instance substrate: ordered trees, paths, parsing and rendering."""
 
+from .index import DocumentIndex, IndexStats, clear_index_registry, index_for
 from .model import AtomicValue, XmlElement, element
 from .parser import parse_xml
 from .paths import (
@@ -16,8 +17,12 @@ from .serialize import to_ascii, to_xml
 
 __all__ = [
     "AtomicValue",
+    "DocumentIndex",
+    "IndexStats",
     "XmlElement",
+    "clear_index_registry",
     "element",
+    "index_for",
     "parse_xml",
     "Path",
     "ChildStep",

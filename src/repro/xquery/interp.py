@@ -23,9 +23,10 @@ cross-check.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from ..errors import XQueryError, XQueryTypeError
+from ..xml.index import DocumentIndex, index_for
 from ..xml.model import AtomicValue, XmlElement
 from .ast import (
     AndExpr,
@@ -56,16 +57,32 @@ Sequence_ = list  # XQuery sequences are flat lists of items
 Env = dict[str, Sequence_]
 
 
-def evaluate_query(expr: Expr, source_root: XmlElement) -> list[Item]:
+def evaluate_query(
+    expr: Expr,
+    source_root: XmlElement,
+    *,
+    index: Optional[DocumentIndex] = None,
+) -> list[Item]:
     """Evaluate a query against a source instance; returns the result
-    sequence (typically a single constructed element)."""
-    interp = _Interpreter(source_root)
+    sequence (typically a single constructed element).
+
+    ``index`` is the per-document navigation index to serve child steps
+    from; by default the shared :func:`repro.xml.index.index_for` index
+    of the source root is used (and thus reused across queries against
+    the same document).
+    """
+    interp = _Interpreter(source_root, index=index)
     return interp.eval(expr, {})
 
 
-def run_query(expr: Expr, source_root: XmlElement) -> XmlElement:
+def run_query(
+    expr: Expr,
+    source_root: XmlElement,
+    *,
+    index: Optional[DocumentIndex] = None,
+) -> XmlElement:
     """Evaluate a query expected to construct exactly one element."""
-    result = evaluate_query(expr, source_root)
+    result = evaluate_query(expr, source_root, index=index)
     elements = [item for item in result if isinstance(item, XmlElement)]
     if len(elements) != 1:
         raise XQueryError(
@@ -75,8 +92,19 @@ def run_query(expr: Expr, source_root: XmlElement) -> XmlElement:
 
 
 class _Interpreter:
-    def __init__(self, source_root: XmlElement):
+    def __init__(
+        self,
+        source_root: XmlElement,
+        *,
+        index: Optional[DocumentIndex] = None,
+    ):
         self.source_root = source_root
+        self.index = index if index is not None else index_for(source_root)
+        # Root-based paths are loop-invariant (the document never
+        # changes during a query): id(path expr) → result sequence.
+        # The grouping template re-walks the same root path once per
+        # distinct group; with the memo that is one walk per query.
+        self._root_paths: dict[int, Sequence_] = {}
 
     # -- dispatch -------------------------------------------------------
 
@@ -123,6 +151,10 @@ class _Interpreter:
 
     def _eval_path(self, expr: PathExpr, env: Env) -> Sequence_:
         if isinstance(expr.base, DocRoot):
+            # Root-based paths depend only on the document: memoized.
+            found = self._root_paths.get(id(expr))
+            if found is not None:
+                return list(found)
             # Paths are printed from the root element name, so the first
             # child step must match the document's root element.
             current: Sequence_ = [self.source_root]
@@ -130,10 +162,15 @@ class _Interpreter:
             if steps and isinstance(steps[0], ChildStep):
                 first = steps.pop(0)
                 if first.tag != self.source_root.tag:
+                    self._root_paths[id(expr)] = []
                     return []
-        else:
-            current = self.eval(expr.base, env)
-            steps = list(expr.steps)
+            result = self._walk_steps(steps, current)
+            self._root_paths[id(expr)] = result
+            return list(result)
+        return self._walk_steps(list(expr.steps), self.eval(expr.base, env))
+
+    def _walk_steps(self, steps: list, current: Sequence_) -> Sequence_:
+        children = self.index.children
         for step in steps:
             nxt: Sequence_ = []
             for item in current:
@@ -142,7 +179,7 @@ class _Interpreter:
                         f"path step {step} applied to atomic value {item!r}"
                     )
                 if isinstance(step, ChildStep):
-                    nxt.extend(item.findall(step.tag))
+                    nxt.extend(children(item, step.tag))
                 elif isinstance(step, AttrStep):
                     if item.has_attribute(step.name):
                         nxt.append(item.attribute(step.name))

@@ -210,6 +210,96 @@ class TestBatch:
         ).read_text()
 
 
+class TestExplainCommand:
+    @pytest.fixture
+    def join_mapping_file(self, tmp_path):
+        path = tmp_path / "fig6.json"
+        save(deptstore.mapping_fig6(), str(path))
+        return str(path)
+
+    def test_explain_renders_plan_and_counters(
+        self, join_mapping_file, source_file, capsys
+    ):
+        assert main(["explain", join_mapping_file, source_file]) == 0
+        out = capsys.readouterr().out
+        assert "clip-plan-explain v1 (optimize=on)" in out
+        assert "equality join @ r: p.@pid = r.@pid" in out
+        assert "hash joins: builds=" in out
+
+    def test_explain_json_document(self, join_mapping_file, source_file, capsys):
+        assert main(["explain", join_mapping_file, source_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "clip-plan-explain"
+        assert doc["version"] == 1
+        assert doc["optimize"] is True
+        assert doc["totals"]["join_probes"] > 0
+        joins = [
+            join
+            for level in doc["levels"]
+            for gen in level["generators"]
+            for join in gen["joins"]
+        ]
+        assert any(join["kind"] == "equality" for join in joins)
+
+    def test_explain_no_optimize_keeps_counters_zero(
+        self, join_mapping_file, source_file, capsys
+    ):
+        assert main(
+            ["explain", join_mapping_file, source_file, "--no-optimize"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimize=off" in out
+        assert "naive evaluation" in out
+
+
+class TestNoOptimizeFlag:
+    def test_run_no_optimize_is_byte_identical(
+        self, mapping_file, source_file, tmp_path
+    ):
+        a, b = tmp_path / "a.xml", tmp_path / "b.xml"
+        assert main(["run", mapping_file, source_file, "-o", str(a)]) == 0
+        assert main(
+            ["run", mapping_file, source_file, "-o", str(b), "--no-optimize"]
+        ) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_batch_no_optimize_matches_and_reports(
+        self, mapping_file, source_file, tmp_path
+    ):
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["batch", mapping_file, source_file, "--output-dir", str(a_dir)]
+        ) == 0
+        assert main(
+            ["batch", mapping_file, source_file, "--output-dir", str(b_dir),
+             "--no-optimize", "--metrics-json", str(metrics_path)]
+        ) == 0
+        assert (a_dir / "source.out.xml").read_text() == (
+            b_dir / "source.out.xml"
+        ).read_text()
+        doc = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert doc["plan"] == {"optimize": False}
+
+    def test_batch_metrics_carry_plan_report(
+        self, mapping_file, source_file, tmp_path
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["batch", mapping_file, source_file,
+             "--metrics-json", str(metrics_path)]
+        ) == 0
+        doc = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert doc["plan"]["optimize"] is True
+        assert doc["plan"]["levels"]
+        assert doc["plan"]["counters"]
+        # The document still parses through the v2 metrics reader.
+        from repro.runtime import BatchMetrics
+
+        parsed = BatchMetrics.from_json(metrics_path.read_text(encoding="utf-8"))
+        assert parsed.plan == doc["plan"]
+
+
 class TestLineageCommand:
     def test_full_lineage(self, mapping_file, capsys):
         assert main(["lineage", mapping_file]) == 0

@@ -7,8 +7,13 @@ subset) the generated XSLT must produce the same instance.  This suite
 turns that claim into a property: hypothesis generates arbitrary
 source instances of the running example's schema, and every engine
 must agree on the canonical form of the output for the Figure 3
-(filter), Figure 4 (context propagation, both variants) and Figure 7
-(grouping + join) scenarios.
+(filter), Figure 4 (context propagation, both variants), Figure 6
+(join) and Figure 7 (grouping + join) scenarios.
+
+The same harness is differential across *evaluation strategies*: the
+join-aware compiled plans of :mod:`repro.executor.planner` must
+serialize byte-identically to the naive reference path
+(``optimize=False``) on every generated instance.
 
 All engines run through the compiled-plan cache — each (scenario,
 engine) pair compiles exactly once across the whole run, which is also
@@ -36,12 +41,13 @@ _SCENARIOS = {
     "fig3": deptstore.mapping_fig3,
     "fig4": deptstore.mapping_fig4,
     "fig4-no-arc": lambda: deptstore.mapping_fig4(context_arc=False),
+    "fig6": deptstore.mapping_fig6,
     "fig7": deptstore.mapping_fig7,
 }
 
 #: Grouping Skolems and distribution have no XSLT 1.0 counterpart; the
 #: XSLT engine covers the non-grouped, non-distributed subset only.
-_XSLT_SCENARIOS = ("fig3", "fig4")
+_XSLT_SCENARIOS = ("fig3", "fig4", "fig6")
 
 _PROJECT_NAMES = st.sampled_from(
     ["Appliances", "Robotics", "Brand promotion", "Analytics"]
@@ -119,11 +125,45 @@ def test_tgd_and_xquery_agree_in_document_order(figure, instance):
     assert _apply(figure, "tgd", instance) == _apply(figure, "xquery", instance)
 
 
+@pytest.mark.parametrize("figure", sorted(_SCENARIOS))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(instance=_SOURCE_INSTANCES)
+def test_optimized_naive_and_xquery_serialize_identically(figure, instance):
+    """The join-aware planner is a pure optimization: the optimized
+    plan, the naive reference path (``optimize=False``), and the
+    XQuery interpreter serialize to byte-identical target documents
+    for every generated instance — hash joins, pushed filters and
+    generator reordering never change a single byte of output."""
+    from repro.xml.serialize import to_xml
+
+    optimized = _CACHE.get_or_compile(
+        _SCENARIOS[figure](), "tgd", optimize=True
+    )
+    naive = _CACHE.get_or_compile(
+        _SCENARIOS[figure](), "tgd", optimize=False
+    )
+    assert optimized.optimize and not naive.optimize
+    assert optimized.fingerprint != naive.fingerprint
+    fast = to_xml(optimized(instance))
+    assert fast == to_xml(naive(instance)), (
+        f"{figure}: optimized and naive tgd evaluation diverge"
+    )
+    assert fast == to_xml(_apply(figure, "xquery", instance)), (
+        f"{figure}: optimized tgd and XQuery serialization diverge"
+    )
+
+
 def test_each_scenario_engine_pair_compiled_once():
     """The property runs above hit the cache; compile counts stay at
-    one per (scenario, engine) pair."""
+    one per (scenario, engine, optimize) triple."""
     mapping_count = len(_SCENARIOS)
-    expected = mapping_count + mapping_count + len(_XSLT_SCENARIOS)
+    # tgd-optimized + tgd-naive + xquery per scenario, plus the XSLT
+    # subset.
+    expected = 3 * mapping_count + len(_XSLT_SCENARIOS)
     stats = _CACHE.stats
     assert stats.misses <= expected
     assert stats.hits > stats.misses

@@ -1,0 +1,164 @@
+"""Tests for the per-document navigation index (:mod:`repro.xml.index`).
+
+The index must be a transparent cache: every lookup returns exactly
+what the uncached :class:`XmlElement` navigation would, tables are
+built once per (element, tag), and the shared registry hands the same
+index to every engine touching the same document root.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xml import (
+    DocumentIndex,
+    clear_index_registry,
+    index_for,
+)
+from repro.xml.model import element
+from repro.xml.parser import parse_xml
+from repro.xml.paths import parse_path
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(
+        """
+        <source>
+          <dept id="1">
+            <dname>ICT</dname>
+            <Proj pid="1"><pname>Appliances</pname></Proj>
+            <Proj pid="2"><pname>Robotics</pname></Proj>
+            <regEmp pid="1"><ename>John</ename><sal>9000</sal></regEmp>
+          </dept>
+          <dept id="2">
+            <dname>Marketing</dname>
+            <Proj pid="3"><pname>Promo</pname></Proj>
+          </dept>
+        </source>
+        """
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    clear_index_registry()
+    yield
+    clear_index_registry()
+
+
+class TestChildren:
+    def test_matches_findall(self, doc):
+        index = DocumentIndex(doc)
+        for node in [doc, *doc.children]:
+            for tag in ("dept", "Proj", "dname", "nosuch"):
+                assert index.children(node, tag) == node.findall(tag)
+
+    def test_preserves_document_order(self, doc):
+        index = DocumentIndex(doc)
+        dept = doc.children[0]
+        names = [
+            p.findall("pname")[0].text for p in index.children(dept, "Proj")
+        ]
+        assert names == ["Appliances", "Robotics"]
+
+    def test_table_built_once_per_element(self, doc):
+        index = DocumentIndex(doc)
+        dept = doc.children[0]
+        index.children(dept, "Proj")
+        index.children(dept, "regEmp")
+        index.children(dept, "Proj")
+        assert index.stats.child_tables_built == 1
+        assert index.stats.child_lookups == 3
+
+    def test_foreign_element_is_pinned(self, doc):
+        """Looking up a freshly built element must not leave a dangling
+        id-keyed table behind (the pin keeps the element alive)."""
+        index = DocumentIndex(doc)
+        temp = element("x", element("y"))
+        assert len(index.children(temp, "y")) == 1
+        assert temp in index._pins
+
+
+class TestDescendants:
+    def test_matches_descendants(self, doc):
+        index = DocumentIndex(doc)
+        assert index.descendants(doc, "pname") == doc.descendants("pname")
+        assert index.descendants(doc, "Proj") == doc.descendants("Proj")
+        assert index.descendants(doc, "nosuch") == []
+
+    def test_built_once(self, doc):
+        index = DocumentIndex(doc)
+        index.descendants(doc, "Proj")
+        index.descendants(doc, "Proj")
+        assert index.stats.descendant_tables_built == 1
+        assert index.stats.descendant_lookups == 2
+
+
+class TestEvaluate:
+    def test_matches_plain_path_evaluation(self, doc):
+        from repro.xml.paths import evaluate
+
+        index = DocumentIndex(doc)
+        for text in ("dept/Proj/pname", "dept/@id", "dept/dname"):
+            path = parse_path(text)
+            assert index.evaluate(path, doc) == evaluate(path, doc)
+
+    def test_repeat_evaluation_is_a_hit(self, doc):
+        index = DocumentIndex(doc)
+        path = parse_path("dept/Proj")
+        first = index.evaluate(path, doc)
+        second = index.evaluate(path, doc)
+        assert first == second
+        assert index.stats.path_hits == 1
+        assert index.stats.path_misses == 1
+
+    def test_iterable_context_is_not_memoized(self, doc):
+        index = DocumentIndex(doc)
+        path = parse_path("Proj/pname")
+        found = index.evaluate(path, list(doc.children))
+        assert [node.text for node in found] == [
+            "Appliances", "Robotics", "Promo",
+        ]
+        assert index.stats.path_hits == 0
+
+    def test_rejects_non_element_root(self):
+        with pytest.raises(TypeError):
+            DocumentIndex("not an element")  # type: ignore[arg-type]
+
+
+class TestRegistry:
+    def test_same_root_same_index(self, doc):
+        assert index_for(doc) is index_for(doc)
+
+    def test_distinct_roots_distinct_indexes(self, doc):
+        other = parse_xml("<source/>")
+        assert index_for(doc) is not index_for(other)
+
+    def test_registry_is_bounded(self):
+        from repro.xml.index import _REGISTRY, _REGISTRY_CAPACITY
+
+        roots = [element("r", n=i) for i in range(_REGISTRY_CAPACITY + 3)]
+        for root in roots:
+            index_for(root)
+        assert len(_REGISTRY) == _REGISTRY_CAPACITY
+        # The most recent roots survive; the oldest were evicted.
+        assert index_for(roots[-1]).root is roots[-1]
+
+    def test_engines_share_one_index(self, doc):
+        """The tgd engine and the XQuery interpreter navigating the
+        same document hit one shared set of tables."""
+        from repro.core.compile import compile_clip
+        from repro.executor import prepare
+        from repro.scenarios import deptstore
+        from repro.xquery import emit_xquery, run_query
+
+        instance = deptstore.source_instance()
+        tgd = compile_clip(deptstore.mapping_fig5())
+        prepare(tgd).run(instance)
+        index = index_for(instance)
+        lookups_after_tgd = index.stats.child_lookups
+        assert lookups_after_tgd > 0
+        run_query(emit_xquery(tgd), instance)
+        assert index_for(instance) is index
+        assert index.stats.child_lookups > lookups_after_tgd
