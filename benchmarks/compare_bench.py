@@ -5,7 +5,7 @@ against a committed baseline and fail on mean-time regressions.
 Usage::
 
     python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
-        [--threshold 0.25]
+        [--threshold 0.25] [--alias CURRENT_NAME=BASELINE_NAME ...]
 
 Benchmarks are matched by ``fullname``.  A benchmark whose current
 mean exceeds the baseline mean by more than ``threshold`` (default
@@ -14,6 +14,14 @@ Benchmarks present on only one side are reported but do not fail the
 gate (new benchmarks have no baseline; removed ones have no current),
 so adding a benchmark never requires touching the baseline of the
 others.
+
+``--alias`` compares a current benchmark against a differently-named
+baseline entry: the tracing-overhead gate aliases its untraced arm
+onto the scaling sweep's ``[L-optimized]`` entry, measuring "does the
+instrumented code path cost anything when tracing is off" against the
+pre-instrumentation baseline.  Aliases may be given repeatedly; names
+are matched by ``fullname`` or by their unqualified suffix (the part
+after ``::``).
 """
 
 from __future__ import annotations
@@ -31,6 +39,46 @@ def load_means(path: str) -> dict[str, float]:
         bench["fullname"]: float(bench["stats"]["mean"])
         for bench in benchmarks
     }
+
+
+def resolve_name(name: str, means: dict[str, float]) -> str | None:
+    """The key in ``means`` that ``name`` designates: an exact
+    ``fullname`` match, or a unique match on the unqualified suffix."""
+    if name in means:
+        return name
+    matches = [full for full in means if full.split("::", 1)[-1] == name]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def apply_aliases(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    aliases: list[str],
+) -> dict[str, float]:
+    """Rewrite the baseline so each aliased current entry has a
+    baseline entry under its own name, taken from the alias target."""
+    rewritten = dict(baseline)
+    for alias in aliases:
+        if "=" not in alias:
+            raise SystemExit(
+                f"error: bad --alias {alias!r}; expected CURRENT=BASELINE"
+            )
+        cur_name, base_name = alias.split("=", 1)
+        cur_full = resolve_name(cur_name, current)
+        base_full = resolve_name(base_name, baseline)
+        if cur_full is None:
+            raise SystemExit(
+                f"error: --alias current benchmark {cur_name!r} not found"
+            )
+        if base_full is None:
+            raise SystemExit(
+                f"error: --alias baseline benchmark {base_name!r} not found"
+            )
+        rewritten[cur_full] = baseline[base_full]
+        print(f"alias: {cur_full} gated against {base_full}")
+    return rewritten
 
 
 def compare(
@@ -78,10 +126,20 @@ def main(argv=None) -> int:
         help="allowed fractional mean increase before failing "
              "(default 0.25 = 25%%)",
     )
-    args = parser.parse_args(argv)
-    regressions = compare(
-        load_means(args.baseline), load_means(args.current), args.threshold
+    parser.add_argument(
+        "--alias",
+        action="append",
+        default=[],
+        metavar="CURRENT=BASELINE",
+        help="gate a current benchmark against a differently-named "
+             "baseline entry (repeatable)",
     )
+    args = parser.parse_args(argv)
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    if args.alias:
+        baseline = apply_aliases(baseline, current, args.alias)
+    regressions = compare(baseline, current, args.threshold)
     if regressions:
         print(
             f"\n{len(regressions)} benchmark regression(s) beyond "

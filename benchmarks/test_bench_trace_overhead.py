@@ -1,0 +1,71 @@
+"""Tracing overhead: the cost of observation, measured and gated.
+
+Two claims from :mod:`repro.runtime.trace` are enforced here on the
+Figure 6 join workload (the L geometry of the scaling sweep, so the
+disabled arm is directly comparable against the committed
+``BENCH_scaling.json`` baseline):
+
+* **disabled tracing is free** — ``plan.run(instance)`` with no tracer
+  takes the exact untraced code path (one falsy guard per call), so
+  its mean must stay within 3% of the pre-tracing baseline.  CI runs
+  ``compare_bench.py --threshold 0.03`` with an alias mapping the
+  untraced arm onto ``test_bench_scaling_join_fig6[L-optimized]``;
+* **enabled tracing is cheap** — spans are recorded at plan/level
+  granularity (snapshot/diff of the engine's own counters), never
+  inside the evaluation loops, so a traced run stays well under 2×
+  the untraced mean even on this join-heavy geometry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.executor import prepare
+from repro.runtime.trace import SpanTracer
+from repro.scenarios import deptstore
+from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+
+#: The scaling sweep's L join geometry, verbatim.
+_SPEC = DeptstoreSpec(departments=16, projects_per_dept=32,
+                      employees_per_dept=160)
+
+
+@pytest.fixture(scope="module")
+def join_instance():
+    return make_deptstore_instance(_SPEC)
+
+
+@pytest.fixture(scope="module")
+def join_plan():
+    return prepare(compile_clip(deptstore.mapping_fig6()), optimize=True)
+
+
+@pytest.mark.benchmark(group="trace-overhead")
+def test_bench_trace_disabled(benchmark, join_plan, join_instance):
+    """The untraced arm — aliased against the scaling baseline's
+    ``[L-optimized]`` entry by the CI overhead gate."""
+    out = benchmark.pedantic(
+        join_plan.run, args=(join_instance,),
+        rounds=7, iterations=1, warmup_rounds=1,
+    )
+    assert out.size() > _SPEC.departments
+
+
+@pytest.mark.benchmark(group="trace-overhead")
+def test_bench_trace_enabled(benchmark, join_plan, join_instance):
+    """The traced arm: a fresh tracer per round, full execute/plan/
+    level span recording."""
+
+    def run_traced():
+        tracer = SpanTracer(seed="bench")
+        with tracer.span("bench"):
+            result = join_plan.run(join_instance, trace=tracer)
+        trace = tracer.to_trace()
+        assert trace.find("execute") is not None
+        return result
+
+    out = benchmark.pedantic(
+        run_traced, rounds=7, iterations=1, warmup_rounds=1,
+    )
+    assert out.size() > _SPEC.departments

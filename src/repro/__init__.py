@@ -58,7 +58,8 @@ class Transformer:
     """
 
     def __init__(self, mapping: ClipMapping, *, engine: str = "tgd",
-                 require_valid: bool = True, optimize: bool | None = None):
+                 require_valid: bool = True, optimize: bool | None = None,
+                 trace=None):
         if engine not in ("tgd", "xquery", "xslt"):
             raise ValueError(
                 f"unknown engine {engine!r}; use 'tgd', 'xquery' or 'xslt'"
@@ -69,13 +70,37 @@ class Transformer:
         #: plans, ``False`` the naive reference path, ``None`` the
         #: ``CLIP_OPTIMIZE`` environment default (on).
         self.optimize = optimize
-        self.report: ValidityReport = check(mapping)
-        self.tgd: NestedTgd = compile_clip(
-            mapping, require_valid=require_valid, report=self.report
-        )
+        #: Optional :class:`repro.runtime.trace.SpanTracer`: every call
+        #: records compile → prepare → execute spans into it (see
+        #: :mod:`repro.runtime.trace`); ``None`` records nothing and
+        #: costs nothing.
+        self._trace = trace
+        if trace:
+            span = trace.begin("compile")
+            self.report = check(mapping)
+            self.tgd = compile_clip(
+                mapping, require_valid=require_valid, report=self.report
+            )
+            trace.end(span, valid=self.report.is_valid)
+            self._seed_trace(trace)
+        else:
+            self.report: ValidityReport = check(mapping)
+            self.tgd: NestedTgd = compile_clip(
+                mapping, require_valid=require_valid, report=self.report
+            )
         self._plan = None
         self._query = None
         self._stylesheet = None
+
+    def _seed_trace(self, trace) -> None:
+        """Namespace the tracer's span ids under this mapping's base
+        fingerprint (first mapping wins when a tracer is shared)."""
+        if not trace.seed:
+            from .runtime.plan import trace_seed
+
+            trace.seed = trace_seed(self.mapping, self.engine)
+        if not trace.engine:
+            trace.engine = self.engine
 
     @property
     def plan(self):
@@ -115,13 +140,68 @@ class Transformer:
         return self.stylesheet.serialize()
 
     def __call__(self, source_instance: XmlElement) -> XmlElement:
-        if self.engine == "xquery":
-            return run_query(self.xquery, source_instance)
-        if self.engine == "xslt":
-            from .xslt import apply_stylesheet
+        return self.apply(source_instance)
 
-            return apply_stylesheet(self.stylesheet, source_instance)
-        return self.plan.run(source_instance)
+    def apply(self, source_instance: XmlElement, *,
+              trace=None) -> XmlElement:
+        """Transform one source instance.
+
+        ``trace`` overrides the constructor's tracer for this call; a
+        falsy tracer (the default when neither is set) runs the exact
+        untraced path.  Traced calls record a ``prepare`` span (the
+        lazy engine-artifact build; instantaneous once built) and a
+        ``transform`` span containing the engine's execute/plan/eval
+        subtree — traced and untraced runs produce byte-identical
+        outputs, which the differential suite asserts.
+        """
+        if trace is None:
+            trace = self._trace
+        if not trace:
+            if self.engine == "xquery":
+                return run_query(self.xquery, source_instance)
+            if self.engine == "xslt":
+                from .xslt import apply_stylesheet
+
+                return apply_stylesheet(self.stylesheet, source_instance)
+            return self.plan.run(source_instance)
+        self._seed_trace(trace)
+        # The prepare span is always present (stable trace shape across
+        # repeated calls); after the first call it is an instant no-op.
+        span = trace.begin("prepare")
+        if self.engine == "xquery":
+            artifact = self.xquery
+        elif self.engine == "xslt":
+            artifact = self.stylesheet
+        else:
+            artifact = self.plan
+        trace.end(span)
+        span = trace.begin("transform")
+        try:
+            if self.engine == "xquery":
+                result = run_query(artifact, source_instance, trace=trace)
+            elif self.engine == "xslt":
+                from .xslt import apply_stylesheet
+
+                execute = trace.begin("execute")
+                try:
+                    result = apply_stylesheet(artifact, source_instance)
+                except Exception:
+                    execute.attrs["status"] = "error"
+                    trace.end(execute)
+                    raise
+                trace.end(
+                    execute, status="ok",
+                    source_elements=source_instance.size(),
+                    target_elements=result.size(),
+                )
+            else:
+                result = artifact.run(source_instance, trace=trace)
+        except Exception:
+            span.attrs["status"] = "error"
+            trace.end(span)
+            raise
+        trace.end(span, status="ok")
+        return result
 
     def explain(self, source_instance: XmlElement):
         """Run the mapping with per-level counters (iterations, filtered

@@ -9,7 +9,8 @@ saved by :mod:`repro.io`:
 * ``xquery MAPPING.json`` — print the generated XQuery;
 * ``xslt MAPPING.json`` — print the generated XSLT stylesheet;
 * ``run MAPPING.json SOURCE.xml [-o OUT.xml] [--engine tgd|xquery]
-  [--no-optimize]`` — transform an instance;
+  [--no-optimize] [--trace-json PATH]`` — transform an instance,
+  optionally recording a ``clip-trace`` execution trace;
 * ``explain MAPPING.json SOURCE.xml [--json] [--no-optimize]`` — print
   the compiled tgd plan (hash joins, pushed filters, generator order)
   and its runtime counters for one document, as text or as a
@@ -17,10 +18,15 @@ saved by :mod:`repro.io`:
 * ``batch MAPPING.json SOURCE.xml [SOURCE2.xml …] [--workers N]
   [--engine E] [--output-dir DIR] [--metrics-json PATH] [--validate]
   [--error-policy fail_fast|skip|collect] [--max-retries N]
-  [--timeout SECONDS] [--dead-letter-dir DIR] [--no-optimize]``
+  [--timeout SECONDS] [--dead-letter-dir DIR] [--no-optimize]
+  [--trace-json PATH]``
   — transform many instances through the compiled-plan cache, with an
   optional worker pool, per-document fault isolation (retry, timeout,
   dead-lettering) and a machine-readable metrics report;
+* ``trace TRACE.json [--chrome OUT.json] [--canonical]`` — inspect a
+  recorded ``clip-trace`` document (or the trace embedded in a metrics
+  report): span tree, Chrome ``trace_event`` conversion, or the
+  canonical byte-deterministic form;
 * ``lineage MAPPING.json [--source PATH | --target PATH]`` — lineage /
   impact analysis;
 * ``suggest SOURCE.xsd TARGET.xsd [--threshold T]`` — schema matching
@@ -83,11 +89,24 @@ def _cmd_xslt(args) -> int:
     return 0
 
 
+def _write_trace(tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(tracer.to_trace().to_json())
+    print(f"wrote {path}")
+
+
 def _cmd_run(args) -> int:
     clip = load_mapping(args.mapping)
     instance = parse_xml(_read(args.source), schema=clip.source)
     optimize = False if args.no_optimize else None
-    transformer = Transformer(clip, engine=args.engine, optimize=optimize)
+    tracer = None
+    if args.trace_json:
+        from .runtime import SpanTracer
+
+        tracer = SpanTracer()
+    transformer = Transformer(
+        clip, engine=args.engine, optimize=optimize, trace=tracer
+    )
     result = transformer(instance)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -95,6 +114,8 @@ def _cmd_run(args) -> int:
         print(f"wrote {args.output} ({result.size()} elements)")
     else:
         print(to_xml(result) if args.xml else to_ascii(result))
+    if tracer is not None:
+        _write_trace(tracer, args.trace_json)
     return 0
 
 
@@ -154,6 +175,11 @@ def _cmd_batch(args) -> int:
                 parse_letters.append(DeadLetter(failure, raw))
         else:
             source_index.append(position)
+    tracer = None
+    if args.trace_json:
+        from .runtime import SpanTracer
+
+        tracer = SpanTracer()
     runner = BatchRunner(
         clip,
         engine=args.engine,
@@ -163,11 +189,14 @@ def _cmd_batch(args) -> int:
         max_retries=args.max_retries,
         timeout=args.timeout,
         optimize=False if args.no_optimize else None,
+        trace=tracer,
         # One cache per invocation: the metrics report then describes
         # exactly this run, not whatever the process compiled before.
         cache=PlanCache(),
     )
     batch = runner.run(documents)
+    if tracer is not None:
+        _write_trace(tracer, args.trace_json)
     # Runner indices address the parsed-documents list; map them back
     # to positions in ``args.sources`` (parse failures left gaps).
     for failure in batch.failures:
@@ -233,6 +262,43 @@ def _cmd_explain(args) -> int:
     transformer = Transformer(clip, optimize=optimize)
     report = transformer.explain_plan(instance)
     print(report.to_json() if args.json else report.render())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .runtime import METRICS_FORMAT, Trace, render_tree, to_chrome_trace
+
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("format") == METRICS_FORMAT:
+        # A metrics document: unwrap the embedded trace, if any.
+        doc = doc.get("trace")
+        if doc is None:
+            print(
+                f"error: {args.trace} is a {METRICS_FORMAT} document "
+                "without an embedded trace (run with --trace-json or "
+                "BatchRunner(trace=…))",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        trace = Trace.from_dict(doc)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    emitted = False
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(to_chrome_trace(trace), handle, indent=2)
+        print(f"wrote {args.chrome}")
+        emitted = True
+    if args.canonical:
+        print(trace.canonical_json())
+        emitted = True
+    if not emitted:
+        print(render_tree(trace))
     return 0
 
 
@@ -344,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate through the naive reference path instead of the "
              "join-aware compiled plan (tgd engine only)",
     )
+    run.add_argument(
+        "--trace-json", default=None, metavar="PATH",
+        help="record an execution trace (compile/prepare/execute spans) "
+             "and write the clip-trace JSON document here",
+    )
     run.set_defaults(handler=_cmd_run)
 
     explain_cmd = commands.add_parser(
@@ -405,7 +476,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate through the naive reference path instead of the "
              "join-aware compiled plan (tgd engine only)",
     )
+    batch.add_argument(
+        "--trace-json", default=None, metavar="PATH",
+        help="record per-document execution spans (merged across "
+             "workers) and write the clip-trace JSON document here; "
+             "the metrics report embeds the same trace",
+    )
     batch.set_defaults(handler=_cmd_batch)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="inspect a recorded clip-trace document"
+    )
+    trace_cmd.add_argument(
+        "trace",
+        help="a clip-trace JSON file (--trace-json) or a "
+             "clip-batch-metrics file with an embedded trace",
+    )
+    trace_cmd.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="convert to Chrome trace_event JSON (chrome://tracing, "
+             "Perfetto) and write it here",
+    )
+    trace_cmd.add_argument(
+        "--canonical", action="store_true",
+        help="print the canonical byte-deterministic form (timestamps "
+             "stripped) instead of the span tree",
+    )
+    trace_cmd.set_defaults(handler=_cmd_trace)
 
     lineage_cmd = commands.add_parser("lineage", help="lineage / impact analysis")
     lineage_cmd.add_argument("mapping")

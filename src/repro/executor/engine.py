@@ -112,7 +112,8 @@ class TgdPlan:
         self.planned = plan_tgd(tgd) if self.optimize else None
         self.stats = PlanStats(self.planned) if self.planned else None
 
-    def run(self, source_instance: XmlElement) -> XmlElement:
+    def run(self, source_instance: XmlElement,
+            *, trace=None) -> XmlElement:
         """Evaluate the prepared tgd over one source instance.
 
         Raises only :class:`repro.errors.ReproError` subclasses:
@@ -120,7 +121,15 @@ class TgdPlan:
         tripping a ``KeyError``, say) is wrapped in
         :class:`ExecutionError`, so the batch runtime's transient-vs-
         permanent triage sees one uniform hierarchy from every engine.
+
+        ``trace`` (a :class:`repro.runtime.trace.SpanTracer`) records
+        an ``execute`` span around the evaluation with a ``plan``
+        subtree carrying this run's per-level plan-counter deltas; the
+        engines' hot loops are never touched, so a disabled tracer
+        costs one falsy check.
         """
+        if trace:
+            return self._run_traced(source_instance, trace)
         from ..errors import ReproError
 
         try:
@@ -141,6 +150,32 @@ class TgdPlan:
             raise
         except Exception as exc:
             raise ExecutionError(f"tgd evaluation failed: {exc}") from exc
+
+    def _run_traced(self, source_instance: XmlElement, trace) -> XmlElement:
+        """The traced evaluation path: an ``execute`` span wrapping the
+        run, then a post-hoc ``plan`` subtree built from the counter
+        deltas (:meth:`~repro.executor.planner.PlanStats.diff`) this
+        run produced — counters stay in the engine, spans stay out of
+        its loops."""
+        span = trace.begin("execute")
+        counters_before = self.stats.snapshot() if self.stats else None
+        try:
+            result = self.run(source_instance)
+        except Exception:
+            span.attrs["status"] = "error"
+            trace.end(span)
+            raise
+        span.attrs["status"] = "ok"
+        span.attrs["source_elements"] = source_instance.size()
+        span.attrs["target_elements"] = result.size()
+        plan_span = trace.begin("plan", optimize=self.planned is not None)
+        if self.planned is not None and self.stats is not None:
+            deltas = self.stats.diff(counters_before)
+            for index, counter in enumerate(deltas):
+                trace.event(f"level[{index}]", **counter.to_dict())
+        trace.end(plan_span)
+        trace.end(span)
+        return result
 
     def __call__(self, source_instance: XmlElement) -> XmlElement:
         return self.run(source_instance)

@@ -68,12 +68,27 @@ class Pipeline:
     def __len__(self) -> int:
         return len(self.transformers)
 
+    def _seed_trace(self, trace) -> None:
+        """Namespace a shared tracer under the whole chain: the
+        combined hash of every stage's base fingerprint, so a pipeline
+        trace never collides with any single stage's own."""
+        if not trace.seed:
+            from .runtime.plan import trace_seed
+            from .runtime.trace import combine_seeds
+
+            trace.seed = combine_seeds(
+                trace_seed(t.mapping, self.engine) for t in self.transformers
+            )
+        if not trace.engine:
+            trace.engine = self.engine
+
     def run(
         self,
         instance: XmlElement,
         *,
         validate_stages: bool = False,
         keep_intermediates: bool = False,
+        trace=None,
     ):
         """Apply all stages.  Returns the final instance, or — with
         ``keep_intermediates=True`` — the list of :class:`StageResult`.
@@ -81,20 +96,49 @@ class Pipeline:
         ``validate_stages=True`` validates each stage's output against
         its target schema and raises :class:`ValidationError` on the
         first violation.
+
+        ``trace`` (a :class:`repro.runtime.trace.SpanTracer`) records a
+        ``pipeline`` span with one ``stage[i]`` child per mapping, each
+        containing that transformer's prepare/transform subtree.
         """
         current = instance
         results: list[StageResult] = []
+        pipeline_span = None
+        if trace:
+            self._seed_trace(trace)
+            pipeline_span = trace.begin("pipeline", stages=len(self))
         for index, transformer in enumerate(self.transformers):
-            current = transformer(current)
-            violations = (
-                validate(current, transformer.mapping.target)
-                if validate_stages
-                else []
-            )
-            if validate_stages and violations:
-                raise ValidationError(violations)
+            stage_span = None
+            if trace:
+                mapping = transformer.mapping
+                stage_span = trace.begin(
+                    f"stage[{index}]",
+                    source=mapping.source.root.name,
+                    target=mapping.target.root.name,
+                )
+            try:
+                current = transformer.apply(current, trace=trace)
+                violations = (
+                    validate(current, transformer.mapping.target)
+                    if validate_stages
+                    else []
+                )
+                if validate_stages and violations:
+                    raise ValidationError(violations)
+            except Exception:
+                if stage_span is not None:
+                    stage_span.attrs["status"] = "error"
+                    trace.end(stage_span)
+                raise
+            if stage_span is not None:
+                attrs = {"status": "ok"}
+                if validate_stages:
+                    attrs["violations"] = len(violations)
+                trace.end(stage_span, **attrs)
             if keep_intermediates:
                 results.append(StageResult(index, current, violations))
+        if pipeline_span is not None:
+            trace.end(pipeline_span)
         if keep_intermediates:
             return results
         return current
@@ -115,6 +159,7 @@ class Pipeline:
         timeout=None,
         retry=None,
         injectors=None,
+        trace=None,
     ):
         """Stream a batch of documents through all stages.
 
@@ -148,6 +193,12 @@ class Pipeline:
         Unlike :meth:`run`, ``validate=True`` counts violations into
         the metrics instead of raising, so one bad document does not
         abort the batch.
+
+        ``trace`` records a ``pipeline-batch`` span with one
+        ``stage[i]`` child per mapping, each containing that stage's
+        full ``batch`` subtree (doc/attempt spans, worker merging —
+        see :class:`repro.runtime.BatchRunner`); the finished trace
+        document is embedded in the metrics' ``trace`` key.
         """
         from .errors import DocumentFailureError
         from .runtime import (
@@ -172,6 +223,12 @@ class Pipeline:
         metrics.source_elements = sum(doc.size() for doc in current)
         failures = []
         dead_letters = []
+        root_span = None
+        owns_trace = False
+        if trace:
+            self._seed_trace(trace)
+            owns_trace = not trace.active
+            root_span = trace.begin("pipeline-batch", stages=len(self))
         for index, transformer in enumerate(self.transformers):
             fp = fingerprint(transformer.mapping, self.engine)
             if fp not in cache:
@@ -188,7 +245,16 @@ class Pipeline:
                 timeout=timeout,
                 retry=retry,
                 injector=injectors.get(index) if injectors else None,
+                trace=trace,
             )
+            stage_span = None
+            if trace:
+                mapping = transformer.mapping
+                stage_span = trace.begin(
+                    f"stage[{index}]",
+                    source=mapping.source.root.name,
+                    target=mapping.target.root.name,
+                )
             try:
                 batch = runner.run(current)
             except DocumentFailureError as error:
@@ -196,6 +262,8 @@ class Pipeline:
                 if error.failure.index < len(alive):
                     error.failure.index = alive[error.failure.index]
                 raise
+            if stage_span is not None:
+                trace.end(stage_span)
             # Rewrite stage-local indices to original input indices.
             for failure in batch.failures:
                 failure.stage = index
@@ -233,6 +301,10 @@ class Pipeline:
             current = batch.results
         metrics.documents = len(current)
         metrics.target_elements = sum(doc.size() for doc in current)
+        if root_span is not None:
+            trace.end(root_span)
+            if owns_trace:
+                metrics.trace = trace.to_trace().to_dict()
         failures.sort(key=lambda failure: (failure.index, failure.stage))
         dead_letters.sort(key=lambda letter: letter.failure.index)
         return BatchResult(

@@ -22,7 +22,12 @@ that split:
   exponential backoff, per-document timeout) and transient-vs-
   permanent error triage;
 * :mod:`repro.runtime.metrics` — :class:`BatchMetrics`, the machine-
-  readable per-run report (``--metrics-json``), format version 2.
+  readable per-run report (``--metrics-json``), format version 2;
+* :mod:`repro.runtime.trace` — :class:`SpanTracer`, deterministic
+  hierarchical execution traces (the ``clip-trace`` format) spanning
+  compile → plan → execute → render across every layer, with worker-
+  process span merging; :mod:`repro.runtime.traceview` renders them
+  as Chrome ``trace_event`` JSON or indented text.
 
 Quickstart::
 
@@ -60,8 +65,27 @@ from .metrics import (
     BatchMetrics,
     StageMetrics,
 )
-from .plan import ENGINES, CompiledPlan, compile_plan, fingerprint, plan_from_tgd
+from .plan import (
+    ENGINES,
+    CompiledPlan,
+    compile_plan,
+    fingerprint,
+    plan_from_tgd,
+    trace_seed,
+)
 from .retry import RetryPolicy, call_with_timeout, is_transient
+from .trace import (
+    PARSEABLE_TRACE_VERSIONS,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    NullTracer,
+    Span,
+    SpanTracer,
+    Trace,
+    combine_seeds,
+    span_id,
+)
+from .traceview import render_tree, to_chrome_trace
 
 __all__ = [
     "ENGINES",
@@ -77,16 +101,28 @@ __all__ = [
     "FaultInjector",
     "METRICS_FORMAT",
     "METRICS_VERSION",
+    "NullTracer",
+    "PARSEABLE_TRACE_VERSIONS",
     "PARSEABLE_VERSIONS",
     "PlanCache",
     "RetryPolicy",
+    "Span",
+    "SpanTracer",
     "StageMetrics",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Trace",
     "call_with_timeout",
+    "combine_seeds",
     "compile_plan",
     "default_cache",
     "fingerprint",
     "get_plan",
     "is_transient",
     "plan_from_tgd",
+    "render_tree",
+    "span_id",
+    "to_chrome_trace",
+    "trace_seed",
     "write_dead_letters",
 ]

@@ -58,12 +58,15 @@ from .faults import DeadLetter, DocumentFailure, ErrorPolicy, FaultInjector
 from .metrics import BatchMetrics
 from .plan import ENGINES, fingerprint, plan_from_tgd
 from .retry import RetryPolicy, call_with_timeout
+from .trace import event_payload, shift_payload
 
 #: A worker task: (document index, attempt number, document).
 Task = tuple
 
 #: A worker record: ("ok", index, attempt, result, seconds) or
-#: ("err", index, attempt, DocumentFailure, seconds).
+#: ("err", index, attempt, DocumentFailure, seconds) — plus, when the
+#: run is traced, a sixth element holding the attempt's serialized
+#: span payload (see :mod:`repro.runtime.trace`).
 Record = tuple
 
 
@@ -74,15 +77,66 @@ def _apply_plan(
     attempt: int,
     injector: Optional[FaultInjector],
     timeout: Optional[float],
+    trace=None,
 ) -> XmlElement:
     """One attempt at one document: injected faults, timeout, plan."""
 
     def call() -> XmlElement:
         if injector is not None:
             injector.fire(index, attempt)
-        return plan(doc)
+        if trace is None:
+            return plan(doc)
+        return plan.run(doc, trace=trace)
 
     return call_with_timeout(call, timeout)
+
+
+def _traced_attempt(
+    plan,
+    doc: XmlElement,
+    index: int,
+    attempt: int,
+    injector: Optional[FaultInjector],
+    timeout: Optional[float],
+) -> Record:
+    """One traced attempt, in-process or in a worker.
+
+    Builds an ``attempt[k]`` span around the evaluation (an ``error``
+    span on failure, carrying the :class:`DocumentFailure` triage) and
+    returns the usual record shape with the serialized span payload
+    appended — the parent grafts it under the right ``doc[i]`` span,
+    so worker counts never change the canonical tree.
+
+    When a per-document ``timeout`` is set the engine-internal spans
+    are skipped: an abandoned timeout thread keeps running and could
+    race the scratch tracer; the attempt span itself (status, timing,
+    timed-out triage) is still recorded.
+    """
+    from .trace import SpanTracer
+
+    scratch = SpanTracer()
+    span = scratch.begin(f"attempt[{attempt}]")
+    started = time.perf_counter()
+    try:
+        result = _apply_plan(
+            plan, doc, index, attempt, injector, timeout,
+            trace=scratch if timeout is None else None,
+        )
+    except Exception as exc:
+        failure = DocumentFailure.from_exception(
+            index, exc, attempts=attempt + 1
+        )
+        span.kind = "error"
+        scratch.end(
+            span, status="error", error=failure.error,
+            message=failure.message, transient=failure.transient,
+            timed_out=failure.timed_out,
+        )
+        return ("err", index, attempt, failure,
+                time.perf_counter() - started, span.to_payload())
+    scratch.end(span, status="ok")
+    return ("ok", index, attempt, result,
+            time.perf_counter() - started, span.to_payload())
 
 
 # -- worker-process side ----------------------------------------------------
@@ -90,6 +144,7 @@ def _apply_plan(
 _WORKER_PLAN: Optional[Callable[[XmlElement], XmlElement]] = None
 _WORKER_INJECTOR: Optional[FaultInjector] = None
 _WORKER_TIMEOUT: Optional[float] = None
+_WORKER_TRACE: bool = False
 
 
 def _init_worker(
@@ -98,14 +153,16 @@ def _init_worker(
     injector_bytes: bytes,
     timeout: Optional[float],
     optimize: bool = True,
+    trace: bool = False,
 ) -> None:
     """Pool initializer: rebuild the engine plan once per worker."""
-    global _WORKER_PLAN, _WORKER_INJECTOR, _WORKER_TIMEOUT
+    global _WORKER_PLAN, _WORKER_INJECTOR, _WORKER_TIMEOUT, _WORKER_TRACE
     _WORKER_PLAN = plan_from_tgd(
         pickle.loads(tgd_bytes), engine, optimize=optimize
     )
     _WORKER_INJECTOR = pickle.loads(injector_bytes) if injector_bytes else None
     _WORKER_TIMEOUT = timeout
+    _WORKER_TRACE = trace
 
 
 def _run_task(task: Task) -> Record:
@@ -117,8 +174,12 @@ def _run_task(task: Task) -> Record:
     this via ``os._exit``, which is the point: it simulates a crash.)
     """
     index, attempt, doc = task
-    started = time.perf_counter()
     assert _WORKER_PLAN is not None, "worker initializer did not run"
+    if _WORKER_TRACE:
+        return _traced_attempt(
+            _WORKER_PLAN, doc, index, attempt, _WORKER_INJECTOR, _WORKER_TIMEOUT
+        )
+    started = time.perf_counter()
     try:
         result = _apply_plan(
             _WORKER_PLAN, doc, index, attempt, _WORKER_INJECTOR, _WORKER_TIMEOUT
@@ -228,6 +289,26 @@ def _require_importable_for_spawn(ctx) -> None:
         )
 
 
+def _attach_doc_spans(tracer, span_log: dict) -> None:
+    """Build ``doc[i]`` spans from the collected attempt payloads.
+
+    Documents are emitted in input order and attempts in attempt order,
+    whatever order the pool completed them in — this, plus the
+    payloads being built by the same :func:`_traced_attempt` on both
+    paths, is what makes the canonical trace worker-count-independent.
+    Each doc span is widened to cover its (re-based) attempts so the
+    Chrome rendering nests sensibly.
+    """
+    for index in sorted(span_log):
+        attempts = span_log[index]
+        span = tracer.begin(f"doc[{index}]", index=index)
+        for attempt in sorted(attempts):
+            tracer.attach(attempts[attempt])
+        tracer.end(span)
+        for child in span.children:
+            span.expand(child.t0, child.t1)
+
+
 class BatchRunner:
     """Apply one mapping to many documents, reusing the compiled plan.
 
@@ -272,6 +353,16 @@ class BatchRunner:
         ``CLIP_OPTIMIZE`` environment default (on).  Both produce
         byte-identical results; the flag participates in the plan
         fingerprint, so both variants coexist in a shared cache.
+    trace:
+        A :class:`repro.runtime.trace.SpanTracer` to record the run
+        into: a ``batch`` span containing one ``doc[i]`` span per
+        input with ``attempt[k]`` children (error spans on failure,
+        dead-letter events under ``collect``) and the engines' own
+        execute/plan subtrees.  Pool workers serialize their spans
+        across the process boundary and the parent merges them by
+        (document, attempt), so the canonical trace is byte-identical
+        for any worker count.  ``None`` (default) records nothing and
+        costs nothing.
     """
 
     def __init__(
@@ -290,6 +381,7 @@ class BatchRunner:
         retry: Optional[RetryPolicy] = None,
         injector: Optional[FaultInjector] = None,
         optimize: Optional[bool] = None,
+        trace=None,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; use one of {ENGINES}")
@@ -310,6 +402,7 @@ class BatchRunner:
             max_retries=max_retries, backoff=backoff, timeout=timeout
         )
         self.injector = injector
+        self.trace = trace
         from ..executor.planner import resolve_optimize
 
         self.optimize = resolve_optimize(optimize)
@@ -336,10 +429,34 @@ class BatchRunner:
         results: dict[int, XmlElement] = {}
         failures: dict[int, DocumentFailure] = {}
         dead_letters: list[DeadLetter] = []
+        tracer = self.trace
+        batch_span = None
+        span_log: Optional[dict] = None
+        owns_trace = False
+        if tracer:
+            from .plan import trace_seed
+
+            if not tracer.seed:
+                # The optimize-independent base fingerprint: span ids
+                # agree across evaluation strategies by construction.
+                tracer.seed = trace_seed(self.mapping, self.engine)
+            if not tracer.engine:
+                tracer.engine = self.engine
+            tracer.meta.setdefault("workers", self.workers)
+            owns_trace = not tracer.active
+            batch_span = tracer.begin("batch", policy=self.error_policy.value)
+            # (document index) → (attempt number) → span payload; built
+            # identically by the inline and pool paths, so the merged
+            # tree is worker-count-independent.
+            span_log = {}
         if self.workers == 1:
-            self._run_inline(documents, metrics, results, failures, dead_letters)
+            self._run_inline(
+                documents, metrics, results, failures, dead_letters, span_log
+            )
         else:
-            self._run_pool(documents, metrics, results, failures, dead_letters)
+            self._run_pool(
+                documents, metrics, results, failures, dead_letters, span_log
+            )
         stats_after = self.cache.stats
         metrics.cache_hits = stats_after.hits - stats_before.hits
         metrics.cache_misses = stats_after.misses - stats_before.misses
@@ -348,6 +465,14 @@ class BatchRunner:
             stats_after.compile_seconds - stats_before.compile_seconds
         )
         metrics.wall_seconds = time.perf_counter() - wall_started
+        if batch_span is not None:
+            _attach_doc_spans(tracer, span_log)
+            batch_span.attrs["documents"] = metrics.documents + metrics.failures
+            tracer.end(batch_span)
+            for child in batch_span.children:
+                batch_span.expand(child.t0, child.t1)
+            if owns_trace:
+                metrics.trace = tracer.to_trace().to_dict()
         success_indices = sorted(results)
         dead_letters.sort(key=lambda letter: letter.failure.index)
         return BatchResult(
@@ -411,6 +536,7 @@ class BatchRunner:
         results: dict[int, XmlElement],
         failures: dict[int, DocumentFailure],
         dead_letters: list[DeadLetter],
+        span_log: Optional[dict] = None,
     ) -> None:
         timeout = self.retry.timeout
         first_plan = None
@@ -425,33 +551,58 @@ class BatchRunner:
                 counters_before = stats.snapshot() if stats else None
             attempt = 0
             while True:
-                started = time.perf_counter()
-                try:
-                    result = _apply_plan(
+                payload = None
+                cause: Optional[BaseException] = None
+                if span_log is not None:
+                    record = _traced_attempt(
                         plan, doc, index, attempt, self.injector, timeout
                     )
-                except Exception as exc:
-                    failure = DocumentFailure.from_exception(
-                        index, exc, attempts=attempt + 1
+                    kind, value, seconds, payload = (
+                        record[0], record[3], record[4], record[5]
                     )
-                    if failure.timed_out:
-                        metrics.timeouts += 1
-                    if self.retry.should_retry(attempt + 1, failure.transient):
-                        metrics.retries += 1
-                        delay = self.retry.delay(attempt + 1)
-                        if delay:
-                            time.sleep(delay)
-                        attempt += 1
-                        continue
-                    self._settle_failure(
-                        failure, doc, metrics, failures, dead_letters,
-                        cause=exc,
-                    )
+                    span_log.setdefault(index, {})[attempt] = payload
+                else:
+                    started = time.perf_counter()
+                    try:
+                        value = _apply_plan(
+                            plan, doc, index, attempt, self.injector, timeout
+                        )
+                        kind = "ok"
+                    except Exception as exc:
+                        kind = "err"
+                        cause = exc
+                        value = DocumentFailure.from_exception(
+                            index, exc, attempts=attempt + 1
+                        )
+                    seconds = time.perf_counter() - started
+                if kind == "ok":
+                    self._account(metrics, doc, value, seconds)
+                    results[index] = value
                     break
-                self._account(
-                    metrics, doc, result, time.perf_counter() - started
+                failure = value
+                if failure.timed_out:
+                    metrics.timeouts += 1
+                if self.retry.should_retry(attempt + 1, failure.transient):
+                    metrics.retries += 1
+                    if payload is not None:
+                        payload["attrs"]["retried"] = True
+                    delay = self.retry.delay(attempt + 1)
+                    if delay:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                if payload is not None:
+                    payload["attrs"]["terminal"] = True
+                    if self.error_policy is ErrorPolicy.COLLECT:
+                        payload["children"].append(
+                            event_payload(
+                                "dead-letter", at=payload["t1"],
+                                error=failure.error,
+                            )
+                        )
+                self._settle_failure(
+                    failure, doc, metrics, failures, dead_letters, cause=cause
                 )
-                results[index] = result
                 break
         if first_plan is not None:
             report = first_plan.plan_report()
@@ -472,6 +623,7 @@ class BatchRunner:
         results: dict[int, XmlElement],
         failures: dict[int, DocumentFailure],
         dead_letters: list[DeadLetter],
+        span_log: Optional[dict] = None,
     ) -> None:
         docs = list(documents)
         if not docs:
@@ -496,7 +648,8 @@ class BatchRunner:
                 mp_context=ctx,
                 initializer=_init_worker,
                 initargs=(payload, self.engine, injector_bytes,
-                          self.retry.timeout, self.optimize),
+                          self.retry.timeout, self.optimize,
+                          span_log is not None),
             )
 
         # Retrieval accounting matches the inline path: one cache
@@ -537,7 +690,7 @@ class BatchRunner:
                             raise error
                         self._handle_record(
                             future.result(), docs, metrics, results,
-                            failures, dead_letters, to_submit,
+                            failures, dead_letters, to_submit, span_log,
                         )
                 if crashed:
                     metrics.pool_rebuilds += 1
@@ -567,8 +720,22 @@ class BatchRunner:
         failures: dict[int, DocumentFailure],
         dead_letters: list[DeadLetter],
         to_submit: deque,
+        span_log: Optional[dict] = None,
     ) -> None:
-        kind, index, attempt, value, seconds = record
+        kind, index, attempt, value, seconds = record[:5]
+        payload = record[5] if len(record) > 5 else None
+        if payload is not None and span_log is not None:
+            # Re-base the worker's clock so the subtree ends when the
+            # record arrived (durations preserved; canonical output
+            # ignores timestamps either way), then keep the *first*
+            # payload per (document, attempt) — crash replays can
+            # duplicate one, and first-wins matches the result dedup.
+            shift_payload(payload, time.perf_counter() - payload["t1"])
+            attempts = span_log.setdefault(index, {})
+            if attempt in attempts:
+                payload = attempts[attempt]
+            else:
+                attempts[attempt] = payload
         if kind == "ok":
             # A crash replay can duplicate a completed document (the
             # pure engines make re-evaluation idempotent); keep the
@@ -583,11 +750,22 @@ class BatchRunner:
             metrics.timeouts += 1
         if self.retry.should_retry(attempt + 1, failure.transient):
             metrics.retries += 1
+            if payload is not None:
+                payload["attrs"]["retried"] = True
             delay = self.retry.delay(attempt + 1)
             if delay:
                 time.sleep(delay)
             to_submit.append((index, attempt + 1))
             return
+        if payload is not None:
+            payload["attrs"]["terminal"] = True
+            if self.error_policy is ErrorPolicy.COLLECT:
+                payload["children"].append(
+                    event_payload(
+                        "dead-letter", at=payload["t1"],
+                        error=failure.error,
+                    )
+                )
         self._settle_failure(
             failure, docs[index], metrics, failures, dead_letters
         )

@@ -46,6 +46,12 @@ Version 2 documents may additionally carry an optional ``plan`` key —
 the compiled tgd plan's description and per-level runtime counters
 (see :mod:`repro.executor.planner`).  The key is additive: documents
 without it parse unchanged, so the version stays 2.
+
+Likewise additive is the optional ``trace`` key: a full ``clip-trace``
+document (:mod:`repro.runtime.trace`) embedded when the run was traced
+(``BatchRunner(trace=…)`` / ``--trace-json``).  Versioning of the
+embedded document is the trace format's own; the metrics version stays
+2 either way.
 """
 
 from __future__ import annotations
@@ -133,6 +139,10 @@ class BatchMetrics:
     #: [...], "counters": [...]}`` (tgd engine; counters for inline
     #: runs only — pool workers keep their counters process-local).
     plan: Optional[dict] = None
+    #: Optional embedded ``clip-trace`` document (see
+    #: :mod:`repro.runtime.trace`): present when the run was traced
+    #: and this runner owned the tracer.  Additive, like ``plan``.
+    trace: Optional[dict] = None
 
     def to_dict(self) -> dict:
         doc = {
@@ -166,6 +176,8 @@ class BatchMetrics:
             doc["stages"] = [stage.to_dict() for stage in self.stages]
         if self.plan is not None:
             doc["plan"] = self.plan
+        if self.trace is not None:
+            doc["trace"] = self.trace
         return doc
 
     @classmethod
@@ -213,6 +225,7 @@ class BatchMetrics:
                 for stage in doc.get("stages", [])
             ],
             plan=doc.get("plan"),
+            trace=doc.get("trace"),
         )
 
     def to_json(self, *, indent: int = 2) -> str:

@@ -61,6 +61,19 @@ def fingerprint(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def trace_seed(mapping: ClipMapping, engine: str = "tgd") -> str:
+    """The trace-id namespace for ``(mapping, engine)``.
+
+    Deliberately the *base* fingerprint (the optimized payload,
+    optimize-independent): span ids must agree between ``optimize=True``
+    and ``optimize=False`` runs of the same mapping, so their traces
+    differ only in the ``plan`` subtree's content — the determinism
+    contract ``docs/FORMATS.md`` §7 specifies and the property suite
+    enforces.
+    """
+    return fingerprint(mapping, engine, optimize=True)
+
+
 class CompiledPlan:
     """One mapping, compiled for one engine, ready for repeated use.
 
@@ -122,9 +135,16 @@ class CompiledPlan:
     def __call__(self, source_instance: XmlElement) -> XmlElement:
         return self._runner(source_instance)
 
-    def run(self, source_instance: XmlElement) -> XmlElement:
-        """Apply the plan to one source instance."""
-        return self._runner(source_instance)
+    def run(self, source_instance: XmlElement, *, trace=None) -> XmlElement:
+        """Apply the plan to one source instance.
+
+        ``trace`` (a :class:`repro.runtime.trace.SpanTracer`) records
+        the engine's execution spans; ``None`` (default) runs the
+        untraced closure unchanged.
+        """
+        if trace is None:
+            return self._runner(source_instance)
+        return self._runner(source_instance, trace=trace)
 
     def __repr__(self) -> str:
         return (
@@ -143,6 +163,12 @@ def _engine_runner(
     XQuery evaluators both navigate through the shared per-document
     index of :func:`repro.xml.index.index_for`, built lazily on first
     use and reused across every mapping applied to the same document.
+
+    Every closure accepts an optional ``trace`` keyword: the tgd
+    engine records execute/plan spans, the XQuery interpreter eval
+    spans; XSLT has no internal instrumentation, so its closure accepts
+    and ignores the tracer (the batch layer's attempt spans still
+    cover it).
     """
     if engine == "tgd":
         tgd_plan = prepare(tgd, optimize=optimize)
@@ -152,12 +178,12 @@ def _engine_runner(
         from ..xquery.interp import run_query
 
         query = emit_xquery(tgd)
-        return (lambda doc: run_query(query, doc)), None
+        return (lambda doc, trace=None: run_query(query, doc, trace=trace)), None
     if engine == "xslt":
         from ..xslt import apply_stylesheet, emit_xslt
 
         sheet = emit_xslt(tgd)
-        return (lambda doc: apply_stylesheet(sheet, doc)), None
+        return (lambda doc, trace=None: apply_stylesheet(sheet, doc)), None
     raise ValueError(f"unknown engine {engine!r}; use one of {ENGINES}")
 
 

@@ -1,0 +1,433 @@
+"""Execution tracing: deterministic span trees across the full stack.
+
+Every run of a compiled mapping — single-document, batch, or pipeline —
+can record a hierarchical trace: ``compile`` → ``plan`` → ``execute``
+spans from the engines, ``doc[i]``/``attempt[k]`` spans from the batch
+runtime (merged back from worker processes), ``stage[i]`` spans from
+pipelines, and error/retry/dead-letter records from the fault layer.
+The result is a versioned ``clip-trace`` JSON document.
+
+Two properties make traces usable as regression oracles rather than
+just debugging aids:
+
+* **deterministic identity** — a span's id is derived from the trace
+  seed (the mapping's base plan fingerprint), the span's slash-joined
+  structural path (``batch/doc[3]/attempt[0]/execute``) and its sibling
+  ordinal, never from wall-clock time or process ids.  The same
+  (mapping, document, engine, optimize, worker-count) tuple always
+  produces the same ids;
+* **a canonical form** — :meth:`Trace.canonical_json` strips the
+  recorded timestamps (``t0``/``t1``) and every attribute whose key
+  ends in ``_seconds``, then serializes with sorted keys and fixed
+  separators.  What remains is byte-deterministic, so golden traces
+  can be committed and diffed, and ``workers=1`` vs ``workers=4``
+  runs can be compared for identity.
+
+Tracing is strictly opt-in and zero-cost when off: instrumented code
+guards on the tracer's truthiness (``if trace:``), ``None`` and
+:class:`NullTracer` are both falsy, and no tracing code runs inside
+the engines' hot loops — spans are recorded at document, stage and
+plan-level granularity, with per-level :class:`~repro.executor.planner.
+PlanCounters` attached by snapshot/diff around each evaluation.
+
+Versioning follows the repo's report-format contract (see
+``docs/FORMATS.md``): additive keys keep the version; renaming or
+removing a key, changing the id derivation, or changing the canonical
+form bumps ``TRACE_VERSION`` and extends ``PARSEABLE_TRACE_VERSIONS``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+TRACE_FORMAT = "clip-trace"
+TRACE_VERSION = 1
+
+#: Versions :func:`Trace.from_dict` accepts.
+PARSEABLE_TRACE_VERSIONS = (1,)
+
+#: Span kinds: ``span`` (an interval), ``event`` (a point-in-time
+#: marker, ``t0 == t1``), ``error`` (a failed interval — one per
+#: failed attempt / :class:`~repro.runtime.faults.DocumentFailure`).
+SPAN_KINDS = ("span", "event", "error")
+
+#: Attribute keys with this suffix carry wall-clock durations and are
+#: excluded from the canonical form (like ``t0``/``t1`` themselves).
+NONCANONICAL_SUFFIX = "_seconds"
+
+#: Hex digits of SHA-256 kept as a span id.
+SPAN_ID_LEN = 16
+
+
+def span_id(seed: str, path: str) -> str:
+    """The deterministic id of the span at ``path`` under ``seed``."""
+    payload = f"{seed}\n{path}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:SPAN_ID_LEN]
+
+
+def combine_seeds(seeds) -> str:
+    """One trace seed for a multi-mapping run (pipelines): the SHA-256
+    of the newline-joined per-stage seeds."""
+    payload = "\n".join(seeds).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class Span:
+    """One node of a trace tree, pre-serialization.
+
+    Ids are *not* stored here: they are a function of the span's
+    position in the finished tree and are assigned by
+    :meth:`SpanTracer.to_trace`, which is what lets worker processes
+    build subtrees without coordinating with the parent.
+    """
+
+    __slots__ = ("name", "kind", "t0", "t1", "attrs", "children")
+
+    def __init__(self, name: str, kind: str = "span", *,
+                 t0: float = 0.0, t1: float = 0.0,
+                 attrs: Optional[dict] = None):
+        self.name = name
+        self.kind = kind
+        self.t0 = t0
+        self.t1 = t1
+        self.attrs: dict = attrs if attrs is not None else {}
+        self.children: list = []
+
+    def expand(self, t0: float, t1: float) -> None:
+        """Widen the interval to cover ``[t0, t1]`` (worker merging)."""
+        self.t0 = min(self.t0, t0)
+        self.t1 = max(self.t1, t1)
+
+    def to_payload(self) -> dict:
+        """A picklable plain-dict form, for crossing process
+        boundaries; round-trips through :func:`span_from_payload`."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": self.attrs,
+            "children": [child.to_payload() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, kind={self.kind!r}, "
+            f"{len(self.children)} children)"
+        )
+
+
+def span_from_payload(payload: dict) -> Span:
+    """Rebuild a :class:`Span` subtree from its payload dict."""
+    span = Span(
+        payload["name"], payload.get("kind", "span"),
+        t0=payload.get("t0", 0.0), t1=payload.get("t1", 0.0),
+        attrs=dict(payload.get("attrs", {})),
+    )
+    span.children = [
+        span_from_payload(child) for child in payload.get("children", [])
+    ]
+    return span
+
+
+def event_payload(name: str, *, kind: str = "event",
+                  at: Optional[float] = None, **attrs) -> dict:
+    """A zero-duration span payload — for grafting point events
+    (dead-letters, say) onto payloads built elsewhere.  ``at`` pins the
+    timestamp (e.g. the enclosing span's ``t1``, so the event does not
+    escape an already-closed parent interval); default is now."""
+    now = time.perf_counter() if at is None else at
+    return {"name": name, "kind": kind, "t0": now, "t1": now,
+            "attrs": attrs, "children": []}
+
+
+def shift_payload(payload: dict, delta: float) -> dict:
+    """Shift a payload subtree's timestamps by ``delta`` seconds.
+
+    Worker processes report ``time.perf_counter()`` values from their
+    own clock; the parent re-bases a received subtree so it ends at the
+    moment the record arrived.  Durations are preserved; canonical
+    output is unaffected (timestamps are non-canonical).
+    """
+    payload["t0"] += delta
+    payload["t1"] += delta
+    for child in payload.get("children", []):
+        shift_payload(child, delta)
+    return payload
+
+
+class SpanTracer:
+    """Collects a span tree; truthy (instrumentation guards fire).
+
+    ``seed`` is the deterministic id namespace — instrumented layers
+    set it to the mapping's *base* plan fingerprint (engine + mapping,
+    optimize-independent) on first use, so the same mapping always
+    yields the same ids regardless of evaluation strategy.
+    """
+
+    def __init__(self, *, seed: str = "", engine: str = "",
+                 meta: Optional[dict] = None):
+        self.seed = seed
+        self.engine = engine
+        self.meta: dict = meta if meta is not None else {}
+        self._roots: list = []
+        self._stack: list = []
+
+    @property
+    def active(self) -> bool:
+        """Whether a span is currently open."""
+        return bool(self._stack)
+
+    @property
+    def roots(self) -> list:
+        return self._roots
+
+    def begin(self, name: str, kind: str = "span", **attrs) -> Span:
+        """Open a span nested under the innermost open span."""
+        span = Span(name, kind, attrs=attrs)
+        span.t0 = span.t1 = time.perf_counter()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span] = None, **attrs) -> Span:
+        """Close the innermost open span (which must be ``span`` when
+        given — unbalanced begin/end is a programming error)."""
+        if not self._stack:
+            raise RuntimeError("SpanTracer.end() with no open span")
+        top = self._stack.pop()
+        if span is not None and span is not top:
+            raise RuntimeError(
+                f"unbalanced span nesting: closing {span.name!r} "
+                f"but {top.name!r} is innermost"
+            )
+        top.t1 = time.perf_counter()
+        top.attrs.update(attrs)
+        return top
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", **attrs):
+        opened = self.begin(name, kind, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def event(self, name: str, **attrs) -> Span:
+        """Record a point-in-time marker under the current span."""
+        span = Span(name, "event", attrs=attrs)
+        span.t0 = span.t1 = time.perf_counter()
+        (self._stack[-1].children if self._stack else self._roots).append(span)
+        return span
+
+    def error(self, name: str, **attrs) -> Span:
+        """Record a point-in-time error marker under the current span."""
+        span = self.event(name, **attrs)
+        span.kind = "error"
+        return span
+
+    def attach(self, payload: dict) -> Span:
+        """Graft a serialized span subtree (a worker's attempt, say)
+        under the current span; ids are assigned later, uniformly."""
+        span = span_from_payload(payload)
+        (self._stack[-1].children if self._stack else self._roots).append(span)
+        return span
+
+    def to_trace(self) -> "Trace":
+        """Serialize the finished tree into a :class:`Trace` document,
+        assigning deterministic ids.  All spans must be closed."""
+        if self._stack:
+            open_names = [span.name for span in self._stack]
+            raise RuntimeError(f"spans still open: {open_names}")
+        spans = _serialize_siblings(self._roots, "", None, self.seed)
+        return Trace(engine=self.engine, seed=self.seed, spans=spans,
+                     meta=dict(self.meta))
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class NullTracer:
+    """A falsy no-op tracer: every guarded instrumentation site skips
+    itself, so ``Transformer(trace=NullTracer())`` costs nothing."""
+
+    seed = ""
+    engine = ""
+    active = False
+
+    def begin(self, name: str, kind: str = "span", **attrs) -> None:
+        return None
+
+    def end(self, span: Any = None, **attrs) -> None:
+        return None
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", **attrs):
+        yield None
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def error(self, name: str, **attrs) -> None:
+        return None
+
+    def attach(self, payload: dict) -> None:
+        return None
+
+    def to_trace(self) -> "Trace":
+        return Trace(engine="", seed="", spans=[], meta={})
+
+    def __bool__(self) -> bool:
+        return False
+
+
+def _serialize_siblings(spans, parent_path: str, parent_id: Optional[str],
+                        seed: str) -> list[dict]:
+    """Serialize a sibling list, deduplicating repeated names.
+
+    The first occurrence of a name keeps it; the k-th (k ≥ 2) becomes
+    ``name#k`` — by construction order, which every instrumented layer
+    keeps deterministic.
+    """
+    counts: dict[str, int] = {}
+    out = []
+    for span in spans:
+        occurrence = counts.get(span.name, 0)
+        counts[span.name] = occurrence + 1
+        display = span.name if occurrence == 0 else f"{span.name}#{occurrence + 1}"
+        path = f"{parent_path}/{display}" if parent_path else display
+        sid = span_id(seed, path)
+        out.append({
+            "id": sid,
+            "parent": parent_id,
+            "name": display,
+            "kind": span.kind,
+            "path": path,
+            "t0": span.t0,
+            "t1": span.t1,
+            "attrs": dict(span.attrs),
+            "children": _serialize_siblings(span.children, path, sid, seed),
+        })
+    return out
+
+
+def canonical_span(span: dict) -> dict:
+    """The canonical (timestamp-free) form of one serialized span."""
+    return {
+        "id": span["id"],
+        "parent": span.get("parent"),
+        "name": span["name"],
+        "kind": span.get("kind", "span"),
+        "path": span["path"],
+        "attrs": {
+            key: value
+            for key, value in span.get("attrs", {}).items()
+            if not key.endswith(NONCANONICAL_SUFFIX)
+        },
+        "children": [
+            canonical_span(child) for child in span.get("children", [])
+        ],
+    }
+
+
+class Trace:
+    """A finished ``clip-trace`` document.
+
+    ``spans`` holds serialized span dicts (id, parent, name, kind,
+    path, t0, t1, attrs, children).  ``meta`` carries run facts that
+    are deliberately outside the canonical form (worker count, say).
+    """
+
+    __slots__ = ("engine", "seed", "spans", "meta")
+
+    def __init__(self, *, engine: str = "", seed: str = "",
+                 spans: Optional[list] = None, meta: Optional[dict] = None):
+        self.engine = engine
+        self.seed = seed
+        self.spans: list = spans if spans is not None else []
+        self.meta: dict = meta if meta is not None else {}
+
+    def iter_spans(self) -> Iterator[dict]:
+        """Every span dict, depth-first in document order."""
+        stack = list(reversed(self.spans))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.get("children", [])))
+
+    def find(self, name: str) -> Optional[dict]:
+        """The first span (document order) with ``name``, or None."""
+        for span in self.iter_spans():
+            if span["name"] == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "engine": self.engine,
+            "seed": self.seed,
+            "spans": self.spans,
+        }
+        if self.meta:
+            doc["meta"] = self.meta
+        return doc
+
+    def canonical_dict(self) -> dict:
+        """The deterministic subset: ids, nesting, names, kinds and
+        canonical attributes — no timestamps, no ``meta``."""
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "engine": self.engine,
+            "seed": self.seed,
+            "spans": [canonical_span(span) for span in self.spans],
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-deterministic serialization of the canonical form —
+        the committed golden-trace representation."""
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True,
+            separators=(",", ":"), ensure_ascii=False,
+        )
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Trace":
+        if doc.get("format") != TRACE_FORMAT:
+            raise ValueError(
+                f"not a {TRACE_FORMAT} document: format={doc.get('format')!r}"
+            )
+        version = doc.get("version")
+        if version not in PARSEABLE_TRACE_VERSIONS:
+            raise ValueError(
+                f"unsupported {TRACE_FORMAT} version {version!r}; "
+                f"supported: {PARSEABLE_TRACE_VERSIONS}"
+            )
+        return cls(
+            engine=doc.get("engine", ""),
+            seed=doc.get("seed", ""),
+            spans=doc.get("spans", []),
+            meta=doc.get("meta", {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(engine={self.engine!r}, "
+            f"seed={self.seed[:12]}…, {len(self.spans)} root spans)"
+        )

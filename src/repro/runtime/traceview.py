@@ -1,0 +1,96 @@
+"""Rendering ``clip-trace`` documents: Chrome trace_event and text.
+
+:func:`to_chrome_trace` converts a trace into the Chrome
+``trace_event`` JSON format (the ``{"traceEvents": [...]}`` array of
+``ph: "X"`` duration events), loadable in ``chrome://tracing`` /
+Perfetto for visual inspection.  Timestamps are re-based to the
+earliest span and expressed in microseconds, as the format requires.
+
+:func:`render_tree` renders the span tree as indented text for the
+CLI's ``trace`` subcommand — one line per span with kind, duration and
+canonical attributes.
+
+Both accept a :class:`~repro.runtime.trace.Trace` or its plain-dict
+form (what ``--trace-json`` wrote to disk).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .trace import NONCANONICAL_SUFFIX, Trace
+
+#: Chrome's trace viewer expects microsecond timestamps.
+_MICROSECONDS = 1_000_000.0
+
+
+def _coerce(trace: Union[Trace, dict]) -> Trace:
+    if isinstance(trace, Trace):
+        return trace
+    return Trace.from_dict(trace)
+
+
+def to_chrome_trace(trace: Union[Trace, dict]) -> dict:
+    """Convert to the Chrome ``trace_event`` JSON document."""
+    doc = _coerce(trace)
+    spans = list(doc.iter_spans())
+    base = min((span["t0"] for span in spans), default=0.0)
+    events = []
+    for span in spans:
+        duration = max(span["t1"] - span["t0"], 0.0)
+        args = dict(span.get("attrs", {}))
+        args["path"] = span["path"]
+        args["span_id"] = span["id"]
+        events.append({
+            "name": span["name"],
+            "cat": span.get("kind", "span"),
+            "ph": "X",
+            "ts": (span["t0"] - base) * _MICROSECONDS,
+            "dur": duration * _MICROSECONDS,
+            "pid": 0,
+            "tid": 0,
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"engine": doc.engine, "seed": doc.seed},
+    }
+
+
+def _format_attrs(attrs: dict, *, canonical_only: bool = True) -> str:
+    parts = []
+    for key in sorted(attrs):
+        if canonical_only and key.endswith(NONCANONICAL_SUFFIX):
+            continue
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_tree(trace: Union[Trace, dict], *, attrs: bool = True) -> str:
+    """Indented one-line-per-span text rendering of a trace."""
+    doc = _coerce(trace)
+    seed = f"{doc.seed[:12]}…" if len(doc.seed) > 12 else doc.seed
+    lines = [f"clip-trace v1 engine={doc.engine or '?'} seed={seed or '?'}"]
+
+    def walk(span: dict, depth: int) -> None:
+        duration_ms = max(span["t1"] - span["t0"], 0.0) * 1000.0
+        kind = span.get("kind", "span")
+        marker = {"error": "✗", "event": "·"}.get(kind, "—")
+        line = f"{'  ' * depth}{marker} {span['name']}"
+        if kind != "event":
+            line += f" {duration_ms:.3f}ms"
+        if attrs:
+            rendered = _format_attrs(span.get("attrs", {}))
+            if rendered:
+                line += f"  [{rendered}]"
+        lines.append(line)
+        for child in span.get("children", []):
+            walk(child, depth + 1)
+
+    for root in doc.spans:
+        walk(root, 1)
+    return "\n".join(lines)

@@ -62,6 +62,7 @@ def evaluate_query(
     source_root: XmlElement,
     *,
     index: Optional[DocumentIndex] = None,
+    trace=None,
 ) -> list[Item]:
     """Evaluate a query against a source instance; returns the result
     sequence (typically a single constructed element).
@@ -70,7 +71,27 @@ def evaluate_query(
     from; by default the shared :func:`repro.xml.index.index_for` index
     of the source root is used (and thus reused across queries against
     the same document).
+
+    ``trace`` (a :class:`repro.runtime.trace.SpanTracer`) records an
+    ``eval`` span around the evaluation, with one child span per
+    top-level FLWOR and deterministic interpreter counters (FLWOR
+    evaluations, elements constructed) as attributes.  The untraced
+    path runs the plain interpreter — zero added work.
     """
+    if trace:
+        interp = _TracingInterpreter(source_root, index=index, trace=trace)
+        span = trace.begin("eval")
+        try:
+            result = interp.eval(expr, {})
+        except Exception:
+            span.attrs["status"] = "error"
+            span.attrs.update(interp.counters)
+            trace.end(span)
+            raise
+        span.attrs["status"] = "ok"
+        span.attrs.update(interp.counters)
+        trace.end(span)
+        return result
     interp = _Interpreter(source_root, index=index)
     return interp.eval(expr, {})
 
@@ -80,9 +101,10 @@ def run_query(
     source_root: XmlElement,
     *,
     index: Optional[DocumentIndex] = None,
+    trace=None,
 ) -> XmlElement:
     """Evaluate a query expected to construct exactly one element."""
-    result = evaluate_query(expr, source_root, index=index)
+    result = evaluate_query(expr, source_root, index=index, trace=trace)
     elements = [item for item in result if isinstance(item, XmlElement)]
     if len(elements) != 1:
         raise XQueryError(
@@ -412,3 +434,52 @@ def _int_if_integral(value):
     if isinstance(value, float) and value.is_integer():
         return int(value)
     return value
+
+
+class _TracingInterpreter(_Interpreter):
+    """An :class:`_Interpreter` that records eval spans and counters.
+
+    A separate subclass keeps the plain interpreter's dispatch free of
+    tracing branches.  Top-level FLWORs (the generated queries' per-
+    mapping loops) get their own spans, numbered in evaluation order;
+    nested FLWORs and constructors only bump deterministic counters.
+    """
+
+    def __init__(
+        self,
+        source_root: XmlElement,
+        *,
+        index: Optional[DocumentIndex] = None,
+        trace=None,
+    ):
+        super().__init__(source_root, index=index)
+        self.trace = trace
+        self.counters = {"flwors": 0, "elements_constructed": 0}
+        self._flwor_depth = 0
+
+    def _flwor(self, expr: Flwor, env: Env) -> Sequence_:
+        ordinal = self.counters["flwors"]
+        self.counters["flwors"] += 1
+        if self._flwor_depth == 0 and self.trace is not None:
+            span = self.trace.begin(f"flwor[{ordinal}]")
+            self._flwor_depth += 1
+            try:
+                out = super()._flwor(expr, env)
+            except Exception:
+                span.attrs["status"] = "error"
+                self._flwor_depth -= 1
+                self.trace.end(span)
+                raise
+            self._flwor_depth -= 1
+            span.attrs["items"] = len(out)
+            self.trace.end(span)
+            return out
+        self._flwor_depth += 1
+        try:
+            return super()._flwor(expr, env)
+        finally:
+            self._flwor_depth -= 1
+
+    def _construct(self, expr: ElementCtor, env: Env) -> XmlElement:
+        self.counters["elements_constructed"] += 1
+        return super()._construct(expr, env)

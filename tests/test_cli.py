@@ -367,3 +367,133 @@ class TestXsltCommand:
             ["run", mapping_file, source_file, "-o", str(b), "--engine", "xslt"]
         ) == 0
         assert a.read_text() == b.read_text()
+
+
+class TestTraceCli:
+    def test_run_trace_json_writes_clip_trace(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        from repro.runtime import TRACE_FORMAT, TRACE_VERSION, Trace
+
+        trace_path = tmp_path / "trace.json"
+        out_path = tmp_path / "out.xml"
+        assert main(
+            ["run", mapping_file, source_file, "-o", str(out_path),
+             "--trace-json", str(trace_path)]
+        ) == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert doc["format"] == TRACE_FORMAT
+        assert doc["version"] == TRACE_VERSION
+        assert doc["engine"] == "tgd"
+        trace = Trace.from_dict(doc)
+        for name in ("compile", "prepare", "transform", "execute"):
+            assert trace.find(name) is not None, name
+
+    def test_traced_run_output_matches_untraced(
+        self, mapping_file, source_file, tmp_path
+    ):
+        a, b = tmp_path / "a.xml", tmp_path / "b.xml"
+        assert main(["run", mapping_file, source_file, "-o", str(a)]) == 0
+        assert main(
+            ["run", mapping_file, source_file, "-o", str(b),
+             "--trace-json", str(tmp_path / "t.json")]
+        ) == 0
+        assert a.read_text() == b.read_text()
+
+    def _batch_with_trace(self, mapping_file, source_file, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["batch", mapping_file, source_file, source_file,
+             "--trace-json", str(trace_path),
+             "--metrics-json", str(metrics_path)]
+        ) == 0
+        return trace_path, metrics_path
+
+    def test_batch_trace_embedded_in_metrics(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        from repro.runtime import BatchMetrics, Trace
+
+        trace_path, metrics_path = self._batch_with_trace(
+            mapping_file, source_file, tmp_path
+        )
+        trace_doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        # The metrics v2 parser round-trips the additive trace key and
+        # the embedded document equals the standalone file.
+        metrics = BatchMetrics.from_json(
+            metrics_path.read_text(encoding="utf-8")
+        )
+        assert metrics.trace == trace_doc
+        trace = Trace.from_dict(metrics.trace)
+        assert trace.find("batch") is not None
+        assert trace.find("doc[0]") is not None
+        assert trace.find("doc[1]") is not None
+
+    def test_trace_subcommand_renders_tree(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        trace_path, metrics_path = self._batch_with_trace(
+            mapping_file, source_file, tmp_path
+        )
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "clip-trace v1" in out
+        assert "batch" in out and "doc[0]" in out
+        # A metrics file works too: the embedded trace is unwrapped.
+        assert main(["trace", str(metrics_path)]) == 0
+        assert "doc[1]" in capsys.readouterr().out
+
+    def test_trace_subcommand_canonical_is_deterministic(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        trace_path, _ = self._batch_with_trace(
+            mapping_file, source_file, tmp_path
+        )
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--canonical"]) == 0
+        first = capsys.readouterr().out
+        trace_path2, _ = self._batch_with_trace(
+            mapping_file, source_file, tmp_path
+        )
+        capsys.readouterr()
+        assert main(["trace", str(trace_path2), "--canonical"]) == 0
+        assert capsys.readouterr().out == first
+        doc = json.loads(first)
+        assert doc["format"] == "clip-trace"
+        assert "t0" not in json.dumps(doc)
+
+    def test_trace_subcommand_chrome_export(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        trace_path, _ = self._batch_with_trace(
+            mapping_file, source_file, tmp_path
+        )
+        chrome_path = tmp_path / "chrome.json"
+        assert main(
+            ["trace", str(trace_path), "--chrome", str(chrome_path)]
+        ) == 0
+        doc = json.loads(chrome_path.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+        assert all(event["ph"] == "X" for event in doc["traceEvents"])
+
+    def test_trace_subcommand_rejects_non_trace_json(
+        self, tmp_path, capsys
+    ):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "something-else"}', encoding="utf-8")
+        assert main(["trace", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_subcommand_rejects_metrics_without_trace(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["batch", mapping_file, source_file,
+             "--metrics-json", str(metrics_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(metrics_path)]) == 2
+        assert "without an embedded trace" in capsys.readouterr().err

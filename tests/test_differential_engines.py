@@ -203,6 +203,53 @@ def test_batch_runner_pool_agrees_with_inline(figure):
     assert pooled.metrics.failures == 0
 
 
+@pytest.mark.parametrize("figure", sorted(_SCENARIOS))
+def test_traced_runs_are_byte_identical_to_untraced(figure):
+    """Tracing is observation, not interference: with a tracer
+    attached, every engine serializes the exact same target document
+    it produces untraced — on the paper's own instance, for every
+    scenario."""
+    from repro import Transformer
+    from repro.runtime import SpanTracer
+    from repro.xml.serialize import to_xml
+
+    instance = deptstore.source_instance()
+    engines = ("tgd", "xquery", "xslt") if figure in _XSLT_SCENARIOS else (
+        "tgd", "xquery",
+    )
+    for engine in engines:
+        untraced = Transformer(_SCENARIOS[figure](), engine=engine)
+        tracer = SpanTracer()
+        traced = Transformer(
+            _SCENARIOS[figure](), engine=engine, trace=tracer
+        )
+        assert to_xml(traced.apply(instance)) == to_xml(untraced(instance)), (
+            f"{figure}/{engine}: tracing changed the output"
+        )
+        trace = tracer.to_trace()
+        assert trace.engine == engine
+        assert trace.find("transform") is not None
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(instance=_SOURCE_INSTANCES)
+def test_traced_batch_matches_untraced_batch(instance):
+    """The batch runner's traced path (scratch tracers around each
+    attempt, payload merging) reproduces the untraced results
+    document-for-document on generated instances."""
+    from repro.runtime import BatchRunner, SpanTracer
+
+    mapping = _SCENARIOS["fig6"]()
+    docs = [instance, instance]
+    plain = BatchRunner(mapping, cache=_CACHE).run(docs)
+    tracer = SpanTracer()
+    traced = BatchRunner(mapping, cache=_CACHE, trace=tracer).run(docs)
+    assert traced.results == plain.results
+    assert traced.metrics.documents == plain.metrics.documents
+    assert tracer.to_trace().find("batch") is not None
+
+
 def test_paper_instance_through_all_engines():
     """The paper's own instance, as a pinned differential case."""
     instance = deptstore.source_instance()

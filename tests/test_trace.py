@@ -1,0 +1,295 @@
+"""Unit tests for the tracing core: :mod:`repro.runtime.trace` and the
+:mod:`repro.runtime.traceview` renderers.
+
+The integration-level guarantees (byte-determinism across worker
+counts, golden span trees, fault accounting) live in
+``test_trace_properties.py`` and ``test_trace_golden.py``; this module
+pins the building blocks those suites rest on — id derivation, sibling
+deduplication, nesting discipline, the canonical form's exclusions,
+payload round-trips across the pickle boundary, and the falsy
+:class:`~repro.runtime.trace.NullTracer` contract that makes disabled
+tracing free.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.trace import (
+    NONCANONICAL_SUFFIX,
+    PARSEABLE_TRACE_VERSIONS,
+    SPAN_ID_LEN,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    NullTracer,
+    Span,
+    SpanTracer,
+    Trace,
+    combine_seeds,
+    event_payload,
+    shift_payload,
+    span_from_payload,
+    span_id,
+)
+from repro.runtime.traceview import render_tree, to_chrome_trace
+
+
+class TestSpanId:
+    def test_deterministic(self):
+        assert span_id("seed", "a/b") == span_id("seed", "a/b")
+
+    def test_depends_on_seed_and_path(self):
+        assert span_id("seed", "a/b") != span_id("other", "a/b")
+        assert span_id("seed", "a/b") != span_id("seed", "a/c")
+
+    def test_length_and_alphabet(self):
+        sid = span_id("s", "p")
+        assert len(sid) == SPAN_ID_LEN
+        assert set(sid) <= set("0123456789abcdef")
+
+    def test_combine_seeds_order_sensitive(self):
+        assert combine_seeds(["a", "b"]) != combine_seeds(["b", "a"])
+        assert combine_seeds(["a", "b"]) == combine_seeds(iter(["a", "b"]))
+
+
+class TestSpanTracer:
+    def test_nesting_and_truthiness(self):
+        tracer = SpanTracer(seed="s")
+        assert tracer
+        assert not tracer.active
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        assert tracer.active
+        tracer.end(inner)
+        tracer.end(outer, status="ok")
+        assert outer.attrs == {"status": "ok"}
+        assert not tracer.active
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+
+    def test_end_without_open_span_raises(self):
+        with pytest.raises(RuntimeError, match="no open span"):
+            SpanTracer().end()
+
+    def test_unbalanced_end_raises(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("outer")
+        tracer.begin("inner")
+        with pytest.raises(RuntimeError, match="unbalanced"):
+            tracer.end(outer)
+
+    def test_to_trace_with_open_span_raises(self):
+        tracer = SpanTracer()
+        tracer.begin("dangling")
+        with pytest.raises(RuntimeError, match="dangling"):
+            tracer.to_trace()
+
+    def test_span_contextmanager_closes_on_error(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        assert not tracer.active
+        assert tracer.roots[0].name == "work"
+
+    def test_events_and_errors_are_points(self):
+        tracer = SpanTracer()
+        with tracer.span("run"):
+            ev = tracer.event("tick", n=1)
+            err = tracer.error("bad", reason="x")
+        assert ev.kind == "event" and ev.t0 == ev.t1
+        assert err.kind == "error"
+        assert [c.name for c in tracer.roots[0].children] == ["tick", "bad"]
+
+    def test_sibling_name_dedup(self):
+        tracer = SpanTracer(seed="s")
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("doc"):
+                    pass
+        spans = tracer.to_trace().spans
+        names = [c["name"] for c in spans[0]["children"]]
+        assert names == ["doc", "doc#2", "doc#3"]
+        paths = [c["path"] for c in spans[0]["children"]]
+        assert paths == ["root/doc", "root/doc#2", "root/doc#3"]
+
+    def test_ids_assigned_from_seed_and_path(self):
+        tracer = SpanTracer(seed="s")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        spans = tracer.to_trace().spans
+        assert spans[0]["id"] == span_id("s", "a")
+        assert spans[0]["parent"] is None
+        child = spans[0]["children"][0]
+        assert child["id"] == span_id("s", "a/b")
+        assert child["parent"] == spans[0]["id"]
+
+
+class TestNullTracer:
+    def test_falsy_and_inert(self):
+        null = NullTracer()
+        assert not null
+        assert null.begin("x") is None
+        assert null.end() is None
+        with null.span("y") as opened:
+            assert opened is None
+        assert null.event("e") is None
+        assert null.error("e") is None
+        assert null.attach({"name": "n"}) is None
+        assert null.to_trace().spans == []
+
+    def test_guard_skips_instrumentation(self):
+        # The exact pattern every instrumented site uses.
+        ran = False
+        trace = NullTracer()
+        if trace:
+            ran = True
+        assert not ran
+
+
+class TestPayloads:
+    def test_round_trip(self):
+        span = Span("attempt", "error", t0=1.0, t1=2.0, attrs={"k": 1})
+        span.children.append(Span("inner", t0=1.2, t1=1.8))
+        rebuilt = span_from_payload(span.to_payload())
+        assert rebuilt.to_payload() == span.to_payload()
+
+    def test_payload_survives_json(self):
+        # Pool records travel pickled; payloads must also be plain data.
+        span = Span("doc", attrs={"n": 2})
+        assert json.loads(json.dumps(span.to_payload())) == span.to_payload()
+
+    def test_shift_payload_preserves_durations(self):
+        span = Span("a", t0=10.0, t1=12.0)
+        span.children.append(Span("b", t0=10.5, t1=11.5))
+        payload = shift_payload(span.to_payload(), 100.0)
+        assert payload["t0"] == 110.0 and payload["t1"] == 112.0
+        child = payload["children"][0]
+        assert child["t1"] - child["t0"] == pytest.approx(1.0)
+
+    def test_event_payload_shape(self):
+        payload = event_payload("dead-letter", error="E")
+        assert payload["kind"] == "event"
+        assert payload["t0"] == payload["t1"]
+        assert payload["attrs"] == {"error": "E"}
+
+    def test_attach_grafts_subtree(self):
+        tracer = SpanTracer(seed="s")
+        with tracer.span("batch"):
+            tracer.attach(Span("doc[0]").to_payload())
+        spans = tracer.to_trace().spans
+        assert spans[0]["children"][0]["name"] == "doc[0]"
+
+
+class TestCanonicalForm:
+    def _trace(self):
+        tracer = SpanTracer(seed="s", engine="tgd", meta={"workers": 4})
+        with tracer.span("run", execute_seconds=0.5, status="ok"):
+            pass
+        return tracer.to_trace()
+
+    def test_strips_timestamps_seconds_attrs_and_meta(self):
+        doc = self._trace().canonical_dict()
+        span = doc["spans"][0]
+        assert "t0" not in span and "t1" not in span
+        assert "meta" not in doc
+        assert NONCANONICAL_SUFFIX == "_seconds"
+        assert span["attrs"] == {"status": "ok"}
+
+    def test_canonical_json_is_byte_stable(self):
+        trace = self._trace()
+        assert trace.canonical_json() == trace.canonical_json()
+        # Fixed separators, sorted keys: no whitespace after commas.
+        assert ", " not in trace.canonical_json()
+
+    def test_full_dict_keeps_timestamps_and_meta(self):
+        doc = self._trace().to_dict()
+        assert doc["format"] == TRACE_FORMAT
+        assert doc["version"] == TRACE_VERSION
+        assert doc["meta"] == {"workers": 4}
+        span = doc["spans"][0]
+        assert span["t1"] >= span["t0"]
+        assert span["attrs"]["execute_seconds"] == 0.5
+
+
+class TestTraceDocument:
+    def test_json_round_trip(self):
+        tracer = SpanTracer(seed="s", engine="xquery")
+        with tracer.span("eval"):
+            tracer.event("flwor[0]", items=3)
+        trace = tracer.to_trace()
+        back = Trace.from_json(trace.to_json())
+        assert back.to_dict() == trace.to_dict()
+        assert back.canonical_json() == trace.canonical_json()
+
+    def test_from_dict_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a clip-trace"):
+            Trace.from_dict({"format": "clip-batch-metrics", "version": 1})
+
+    def test_from_dict_rejects_unknown_version(self):
+        bad = TRACE_VERSION + 1
+        assert bad not in PARSEABLE_TRACE_VERSIONS
+        with pytest.raises(ValueError, match="unsupported"):
+            Trace.from_dict({"format": TRACE_FORMAT, "version": bad})
+
+    def test_iter_spans_depth_first(self):
+        tracer = SpanTracer(seed="s")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        names = [s["name"] for s in tracer.to_trace().iter_spans()]
+        assert names == ["a", "b", "c"]
+
+    def test_find(self):
+        tracer = SpanTracer(seed="s")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        trace = tracer.to_trace()
+        assert trace.find("b")["path"] == "a/b"
+        assert trace.find("zzz") is None
+
+
+class TestViews:
+    def _trace(self):
+        tracer = SpanTracer(seed="s", engine="tgd")
+        with tracer.span("execute", status="ok", wall_seconds=0.25):
+            tracer.event("level[0]", iterations=2)
+            tracer.error("oops", reason="r")
+        return tracer.to_trace()
+
+    def test_chrome_conversion(self):
+        doc = to_chrome_trace(self._trace())
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["execute", "level[0]", "oops"]
+        assert all(e["ph"] == "X" for e in events)
+        # Timestamps re-based to zero, microseconds.
+        assert min(e["ts"] for e in events) == 0
+        assert doc["otherData"]["engine"] == "tgd"
+        root = events[0]
+        assert root["args"]["path"] == "execute"
+        assert root["args"]["span_id"] == span_id("s", "execute")
+
+    def test_chrome_accepts_plain_dict(self):
+        trace = self._trace()
+        assert to_chrome_trace(trace.to_dict()) == to_chrome_trace(trace)
+
+    def test_render_tree(self):
+        text = render_tree(self._trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("clip-trace")
+        assert lines[1].lstrip("— ").startswith("execute")
+        assert "status=ok" in lines[1]
+        # Non-canonical attrs stay out of the rendering.
+        assert "wall_seconds" not in text
+        assert any("level[0]" in line for line in lines)
+        assert any("✗" in line and "oops" in line for line in lines)
+
+    def test_render_tree_without_attrs(self):
+        text = render_tree(self._trace(), attrs=False)
+        assert "status=ok" not in text

@@ -1,0 +1,122 @@
+"""Golden execution traces: committed canonical span trees.
+
+Each golden file under ``tests/golden/`` is the canonical form of the
+trace recorded while transforming the paper's own source instance
+(Figure 2) with one (scenario, engine) pair — Figure 3 (filter),
+Figure 6 (join) and Figure 7 (grouping + join), through both
+full-coverage engines.  The canonical form contains no timestamps and
+no machine-dependent data (see :mod:`repro.runtime.trace`), so the
+files are byte-stable across machines, Python versions and worker
+counts; any change to span structure, naming, id derivation or the
+recorded deterministic attributes shows up as a readable diff here.
+
+To regenerate after an *intentional* trace-shape change::
+
+    CLIP_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_trace_golden.py
+
+and commit the updated files together with a ``TRACE_VERSION`` review:
+renamed/removed keys or a changed id scheme need a version bump
+(``docs/FORMATS.md`` §7); purely additive attributes do not.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import Transformer
+from repro.runtime import SpanTracer
+from repro.scenarios import deptstore
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_SCENARIOS = {
+    "fig3": deptstore.mapping_fig3,
+    "fig6": deptstore.mapping_fig6,
+    "fig7": deptstore.mapping_fig7,
+}
+
+_ENGINES = ("tgd", "xquery")
+
+
+def _record(figure: str, engine: str) -> str:
+    """The canonical trace text for one (scenario, engine) pair.
+
+    A fresh Transformer per recording keeps the ``prepare`` span's
+    first-build shape; ``optimize=True`` is pinned so the committed
+    plan subtree does not depend on the ``CLIP_OPTIMIZE`` environment
+    (the CI matrix runs a no-optimize leg).
+    """
+    tracer = SpanTracer()
+    transformer = Transformer(
+        _SCENARIOS[figure](), engine=engine, optimize=True, trace=tracer
+    )
+    transformer.apply(deptstore.source_instance())
+    canonical = tracer.to_trace().canonical_dict()
+    return json.dumps(canonical, indent=2, sort_keys=True) + "\n"
+
+
+def _golden_path(figure: str, engine: str) -> Path:
+    return GOLDEN_DIR / f"trace_{figure}_{engine}.json"
+
+
+@pytest.mark.parametrize("engine", _ENGINES)
+@pytest.mark.parametrize("figure", sorted(_SCENARIOS))
+def test_golden_trace(figure, engine):
+    actual = _record(figure, engine)
+    path = _golden_path(figure, engine)
+    if os.environ.get("CLIP_UPDATE_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual, encoding="utf-8")
+        pytest.skip(f"updated {path.name}")
+    assert path.exists(), (
+        f"missing golden {path}; run with CLIP_UPDATE_GOLDEN=1 to create it"
+    )
+    expected = path.read_text(encoding="utf-8")
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"golden/{path.name}",
+                tofile="recorded",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"canonical trace for {figure}/{engine} drifted from the "
+            f"committed golden.  If the change is intentional, rerun "
+            f"with CLIP_UPDATE_GOLDEN=1 and review docs/FORMATS.md §7 "
+            f"versioning.\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("engine", _ENGINES)
+@pytest.mark.parametrize("figure", sorted(_SCENARIOS))
+def test_recording_is_repeatable(figure, engine):
+    """The recording itself is byte-deterministic — two fresh runs of
+    the same pair agree before any golden comparison happens."""
+    assert _record(figure, engine) == _record(figure, engine)
+
+
+def test_goldens_parse_as_trace_documents():
+    """Committed goldens stay structurally valid: correct format tag,
+    parseable version, unique ids, consistent parent references."""
+    from repro.runtime import Trace
+
+    paths = sorted(GOLDEN_DIR.glob("trace_*.json"))
+    assert len(paths) == len(_SCENARIOS) * len(_ENGINES)
+    for path in paths:
+        trace = Trace.from_json(path.read_text(encoding="utf-8"))
+        seen: dict[str, dict] = {}
+        for span in trace.iter_spans():
+            assert span["id"] not in seen, f"{path.name}: duplicate id"
+            seen[span["id"]] = span
+            if span["parent"] is not None:
+                assert span["parent"] in seen, (
+                    f"{path.name}: dangling parent on {span['path']}"
+                )
