@@ -1,0 +1,67 @@
+"""Corpus generation and fuzz-farm throughput.
+
+Not a paper artifact — the corpus is this repo's own regression
+substrate — but its cost profile gates how big the nightly fuzz window
+can be, so it is measured alongside the figures:
+
+* **generation throughput** — seeded triples per second (all six axes,
+  includes the per-case validity check and compile gate);
+* **farm throughput** — full differential cross-check (tgd optimized
+  vs naive vs XQuery, plus XSLT where eligible) per case;
+* **determinism overhead** — fingerprinting the whole corpus, which a
+  byte-identity assertion pays on every CI run.
+
+No committed baseline gates these yet; the numbers inform the
+``--budget-seconds`` choice for the CI fuzz leg.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzFarm
+from repro.generation import generate_corpus
+from repro.runtime import PlanCache
+
+_SEED = 7
+_COUNT = 60
+
+
+@pytest.mark.benchmark(group="corpus")
+def test_bench_corpus_generation(benchmark):
+    cases = benchmark.pedantic(
+        generate_corpus, args=(_SEED, _COUNT),
+        rounds=5, iterations=1, warmup_rounds=1,
+    )
+    assert len(cases) == _COUNT
+
+
+@pytest.mark.benchmark(group="corpus")
+def test_bench_corpus_fingerprints(benchmark):
+    cases = generate_corpus(_SEED, _COUNT)
+
+    def fingerprint_all():
+        return [case.fingerprint() for case in cases]
+
+    prints = benchmark.pedantic(
+        fingerprint_all, rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert len(set(prints)) == _COUNT
+
+
+@pytest.mark.benchmark(group="corpus")
+def test_bench_fuzz_farm_throughput(benchmark):
+    """The full differential sweep; plans are cached across rounds, so
+    the steady-state number reflects execution + comparison, not
+    compilation."""
+    cases = generate_corpus(_SEED, _COUNT)
+    farm = FuzzFarm(cache=PlanCache(maxsize=1024))
+
+    def sweep():
+        report = farm.run_corpus(_SEED, _COUNT)
+        assert report.status == "ok"
+        return report
+
+    report = benchmark.pedantic(sweep, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    assert report.cases == len(cases)

@@ -355,8 +355,70 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import FuzzError, FuzzFarm
+    from .generation import resolve_axes
+
+    try:
+        workers = tuple(int(w) for w in args.workers_csv.split(","))
+    except ValueError:
+        raise FuzzError(
+            f"--workers expects comma-separated integers, got "
+            f"{args.workers_csv!r}"
+        ) from None
+    farm = FuzzFarm(
+        workers=workers,
+        budget_seconds=args.budget_seconds,
+        dead_letter_dir=args.dead_letter_dir,
+    )
+    if args.replay:
+        result = farm.replay(args.replay)
+        combo = result.combo
+        mode = "optimized" if combo.optimize else "naive"
+        print(
+            f"replay {result.case_id} on {combo.engine} ({mode}, "
+            f"workers={combo.workers}):"
+        )
+        if result.error:
+            print(f"  error: {result.error}")
+            return 1
+        if result.diverged:
+            print("  still diverges:")
+            for line in result.differences[:10]:
+                print(f"    {line}")
+            return 1
+        print("  clean: engines agree on this case now")
+        return 0
+    axes = resolve_axes(args.axes.split(",")) if args.axes else None
+    report = farm.run_corpus(args.seed, args.count, axes=axes)
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+    executed = sum(c.executed for c in report.axis_coverage.values())
+    print(
+        f"fuzz: seed={report.seed} cases={executed}/{report.cases} "
+        f"executions={report.executions} comparisons={report.comparisons}"
+    )
+    for axis, cov in sorted(report.axis_coverage.items()):
+        print(
+            f"  {axis:16} cases={cov.cases:4} executed={cov.executed:4} "
+            f"xslt-eligible={cov.xslt_eligible:4}"
+        )
+    if report.exhausted_budget:
+        print(f"  budget exhausted: {report.skipped} case(s) skipped")
+    if report.divergences:
+        print(f"DIVERGENT: {len(report.divergences)} divergence(s)")
+        for d in report.divergences[:10]:
+            mode = "optimized" if d.optimize else "naive"
+            where = f" -> {d.dead_letter}" if d.dead_letter else ""
+            print(f"  {d.case_id} {d.engine} ({mode}, w{d.workers}){where}")
+        return 1
+    print("status: ok (no divergences)")
+    return 0
+
+
 def _cmd_table1(args) -> int:
-    from .generation.flexibility import measure_flexibility
+    from .generation import measure_flexibility
     from .scenarios.published import TABLE1_ROWS
 
     print(f"{'Example':26} {'vms':>4} {'paper':>6} {'measured':>9}")
@@ -522,6 +584,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     table1 = commands.add_parser("table1", help="reproduce Table I")
     table1.set_defaults(handler=_cmd_table1)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzz: seeded corpus through every engine and "
+             "optimizer mode, dead-lettering divergences",
+    )
+    fuzz.add_argument("--seed", type=int, default=7)
+    fuzz.add_argument(
+        "--count", type=int, default=100,
+        help="number of corpus cases to generate (round-robin over axes)",
+    )
+    fuzz.add_argument(
+        "--axes", default=None, metavar="A,B,…",
+        help="comma-separated corpus axes to restrict to (default: all)",
+    )
+    fuzz.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="SECONDS",
+        help="stop checking new cases once this much wall clock has "
+             "elapsed; skipped cases are reported honestly",
+    )
+    fuzz.add_argument(
+        "--workers", default="1", metavar="N,M,…",
+        dest="workers_csv",
+        help="comma-separated worker counts; counts above 1 cross-check "
+             "the process-pool path (slower)",
+    )
+    fuzz.add_argument(
+        "--dead-letter-dir", default=None, metavar="DIR",
+        help="write each divergence's replay directory (mapping, source, "
+             "both outputs, clip-trace) under this root",
+    )
+    fuzz.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write the clip-fuzz-report JSON document here",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="CASE_DIR",
+        help="re-run one dead-lettered case directory instead of fuzzing",
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

@@ -87,14 +87,29 @@ def _sum_preserving_int(numbers: Sequence[float]) -> AtomicValue:
     return _int_if_integral(float(total))
 
 
-IDENTITY = ScalarFunction("identity", 1, lambda v: v)
+# Implementations are module-level named functions, never lambdas:
+# compiled tgds (which reference these objects) must pickle across the
+# batch runner's worker-pool boundary.
+def _identity(v: AtomicValue) -> AtomicValue:
+    return v
+
+
+def _upper(v: AtomicValue) -> str:
+    return str(v).upper()
+
+
+def _lower(v: AtomicValue) -> str:
+    return str(v).lower()
+
+
+IDENTITY = ScalarFunction("identity", 1, _identity)
 CONCAT = ScalarFunction("concat", -1, _concat)
 ADD = ScalarFunction("add", -1, _add)
 SUBTRACT = ScalarFunction("subtract", 2, _subtract)
 MULTIPLY = ScalarFunction("multiply", -1, _multiply)
 DIVIDE = ScalarFunction("divide", 2, _divide)
-UPPER = ScalarFunction("upper", 1, lambda v: str(v).upper())
-LOWER = ScalarFunction("lower", 1, lambda v: str(v).lower())
+UPPER = ScalarFunction("upper", 1, _upper)
+LOWER = ScalarFunction("lower", 1, _lower)
 
 SCALAR_FUNCTIONS: dict[str, ScalarFunction] = {
     f.name: f
@@ -148,11 +163,23 @@ def _minmax(values, fn, name):
     return fn(values)
 
 
+def _agg_sum(values: Sequence[AtomicValue]) -> AtomicValue:
+    return _sum_preserving_int(_require_numbers(values, "sum"))
+
+
+def _agg_min(values: Sequence[AtomicValue]) -> AtomicValue:
+    return _minmax(values, min, "min")
+
+
+def _agg_max(values: Sequence[AtomicValue]) -> AtomicValue:
+    return _minmax(values, max, "max")
+
+
 COUNT = AggregateFunction("count", len, counts_items=True)
-SUM = AggregateFunction("sum", lambda v: _sum_preserving_int(_require_numbers(v, "sum")))
+SUM = AggregateFunction("sum", _agg_sum)
 AVG = AggregateFunction("avg", _avg)
-MIN = AggregateFunction("min", lambda v: _minmax(v, min, "min"))
-MAX = AggregateFunction("max", lambda v: _minmax(v, max, "max"))
+MIN = AggregateFunction("min", _agg_min)
+MAX = AggregateFunction("max", _agg_max)
 
 AGGREGATE_FUNCTIONS: dict[str, AggregateFunction] = {
     f.name: f for f in (COUNT, SUM, AVG, MIN, MAX)

@@ -1,0 +1,469 @@
+"""The differential fuzz farm: every corpus case, every engine, both
+optimizer modes, dead-lettering divergences for replay.
+
+The farm turns the corpus of :mod:`repro.generation.corpus` into a
+continuous differential regression net.  For each case it executes a
+*reference* combo — the tgd executor, join-aware planner on, in
+process — and then cross-checks every other committed combo against
+it:
+
+* ``tgd`` with ``optimize=False`` (the naive reference path) must
+  serialize **byte-identically**;
+* ``xquery`` must serialize **byte-identically** (both full-coverage
+  engines follow the paper's iteration order);
+* ``xslt`` — probed per case via
+  :func:`repro.runtime.eligible_engines`, since XSLT 1.0 covers the
+  non-grouped, non-distributed subset only — must agree
+  **canonically** (sibling order of unlike tags is unspecified there);
+* ``workers > 1`` runs the reference engine through
+  :class:`repro.runtime.BatchRunner`'s process pool and must reproduce
+  the in-process bytes document-for-document.
+
+Any disagreement (or an engine error where the reference succeeded)
+becomes a :class:`~repro.fuzz.report.Divergence` in the
+``clip-fuzz-report`` and — when a dead-letter root is given — a replay
+directory holding the mapping, the source instance, both outputs, the
+rendered diff, and the diverging combo's ``clip-trace``.
+:func:`FuzzFarm.replay` re-runs a dead-lettered case from exactly
+those artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import ReproError
+from ..generation.corpus import AXES, CorpusCase, generate_corpus, resolve_axes
+from ..io import load as load_mapping
+from ..io import save as save_mapping
+from ..runtime import (
+    ENGINES,
+    BatchRunner,
+    PlanCache,
+    SpanTracer,
+    eligible_engines,
+)
+from ..xml.diff import diff, render_diff
+from ..xml.model import XmlElement
+from ..xml.parser import parse_xml
+from ..xml.serialize import to_xml
+from .report import AxisCoverage, Divergence, FuzzReport
+
+#: Manifest format written into each dead-letter case directory.
+FUZZ_CASE_FORMAT = "clip-fuzz-case"
+FUZZ_CASE_VERSION = 1
+
+#: How many rendered diff lines a divergence carries in the report.
+_DETAIL_LINES = 6
+
+
+class FuzzError(ReproError):
+    """A farm-level failure (bad configuration, unreadable case dir)."""
+
+
+@dataclass(frozen=True)
+class Combo:
+    """One execution configuration cross-checked against the reference."""
+
+    engine: str
+    optimize: bool
+    workers: int
+
+    @property
+    def slug(self) -> str:
+        mode = "opt" if self.optimize else "naive"
+        return f"{self.engine}-{mode}-w{self.workers}"
+
+
+@dataclass
+class ReplayResult:
+    """The outcome of re-running a dead-lettered case."""
+
+    case_id: str
+    combo: Combo
+    diverged: bool
+    differences: list[str] = field(default_factory=list)
+    expected_xml: str = ""
+    actual_xml: str = ""
+    error: Optional[str] = None
+    trace: Optional[dict] = None
+
+
+class FuzzFarm:
+    """Differential executor over corpus cases.
+
+    ``engines`` defaults to every committed engine (``tgd``, ``xquery``
+    and — where the per-case probe allows — ``xslt``).  ``workers``
+    beyond 1 exercises the process-pool path and is markedly slower;
+    the CLI and the tier-1 smoke slice keep the default ``(1,)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        engines: Optional[Sequence[str]] = None,
+        optimize_modes: Sequence[bool] = (True, False),
+        workers: Sequence[int] = (1,),
+        dead_letter_dir: Union[str, Path, None] = None,
+        budget_seconds: Optional[float] = None,
+        cache: Optional[PlanCache] = None,
+    ):
+        self.engines = tuple(engines) if engines is not None else ENGINES
+        unknown = [e for e in self.engines if e not in ENGINES]
+        if unknown:
+            raise FuzzError(
+                f"unknown engines {unknown}; choose from {', '.join(ENGINES)}"
+            )
+        if "tgd" not in self.engines:
+            raise FuzzError("the tgd reference engine cannot be disabled")
+        self.optimize_modes = tuple(optimize_modes)
+        self.workers = tuple(sorted(set(workers)))
+        if any(w < 1 for w in self.workers):
+            raise FuzzError(f"workers must be >= 1, got {list(workers)}")
+        self.dead_letter_dir = (
+            Path(dead_letter_dir) if dead_letter_dir is not None else None
+        )
+        self.budget_seconds = budget_seconds
+        self.cache = cache if cache is not None else PlanCache(maxsize=512)
+
+    # -- combo enumeration -------------------------------------------------
+
+    def _combos(self, eligible: Sequence[str]) -> list[Combo]:
+        """Every cross-check combo for one case, reference excluded.
+
+        The optimizer toggle only exists on the tgd engine (xquery and
+        xslt have no join-aware planner), so ``optimize=False`` is
+        enumerated for tgd alone — anything else would re-run identical
+        work under a different label.
+        """
+        combos: list[Combo] = []
+        if False in self.optimize_modes:
+            combos.append(Combo("tgd", False, 1))
+        for engine in ("xquery", "xslt"):
+            if engine in self.engines and engine in eligible:
+                combos.append(Combo(engine, True, 1))
+        for w in self.workers:
+            if w > 1:
+                combos.append(Combo("tgd", True, w))
+        return combos
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(
+        self, case: CorpusCase, combo: Combo, *, trace: Optional[SpanTracer] = None
+    ) -> XmlElement:
+        if combo.workers > 1:
+            runner = BatchRunner(
+                case.mapping,
+                engine=combo.engine,
+                workers=combo.workers,
+                optimize=combo.optimize,
+                cache=self.cache,
+            )
+            return runner.run([case.instance]).results[0]
+        plan = self.cache.get_or_compile(
+            case.mapping, combo.engine, optimize=combo.optimize
+        )
+        return plan.run(case.instance, trace=trace)
+
+    def _check_case(
+        self, case: CorpusCase, report: FuzzReport, coverage: AxisCoverage
+    ) -> None:
+        reference = self.cache.get_or_compile(
+            case.mapping, "tgd", optimize=True
+        )
+        eligible = eligible_engines(reference.tgd)
+        if "xslt" in eligible:
+            coverage.xslt_eligible += 1
+        expected = reference(case.instance)
+        expected_xml = to_xml(expected)
+        report.executions += 1
+        for combo in self._combos(eligible):
+            report.executions += 1
+            report.comparisons += 1
+            try:
+                actual = self._execute(case, combo)
+            except ReproError as exc:
+                self._record(
+                    case, combo, report,
+                    kind="error",
+                    detail=(f"{type(exc).__name__}: {exc}",),
+                    expected=expected,
+                )
+                continue
+            if combo.engine == "xslt":
+                agree = expected.equals_canonically(actual)
+                kind = "canonical"
+            else:
+                agree = expected_xml == to_xml(actual)
+                kind = "bytes"
+            if not agree:
+                differences = diff(expected.canonical(), actual.canonical())
+                if not differences:
+                    # Canonically equal, byte-different: show the
+                    # document-order diff instead.
+                    differences = diff(expected, actual)
+                detail = tuple(
+                    render_diff(differences).splitlines()[:_DETAIL_LINES]
+                )
+                self._record(
+                    case, combo, report,
+                    kind=kind,
+                    detail=detail,
+                    expected=expected,
+                    actual=actual,
+                )
+
+    def _record(
+        self,
+        case: CorpusCase,
+        combo: Combo,
+        report: FuzzReport,
+        *,
+        kind: str,
+        detail: tuple[str, ...],
+        expected: XmlElement,
+        actual: Optional[XmlElement] = None,
+    ) -> None:
+        letter_name = None
+        if self.dead_letter_dir is not None:
+            letter_name = self._dead_letter(
+                case, combo, kind=kind, detail=detail,
+                expected=expected, actual=actual,
+            )
+        report.divergences.append(
+            Divergence(
+                case_id=case.case_id,
+                axis=case.axis,
+                engine=combo.engine,
+                optimize=combo.optimize,
+                workers=combo.workers,
+                kind=kind,
+                detail=detail,
+                dead_letter=letter_name,
+            )
+        )
+
+    # -- dead letters ------------------------------------------------------
+
+    def _dead_letter(
+        self,
+        case: CorpusCase,
+        combo: Combo,
+        *,
+        kind: str,
+        detail: tuple[str, ...],
+        expected: XmlElement,
+        actual: Optional[XmlElement],
+    ) -> str:
+        assert self.dead_letter_dir is not None
+        name = f"{case.case_id}--{combo.slug}"
+        directory = self.dead_letter_dir / name
+        directory.mkdir(parents=True, exist_ok=True)
+        save_mapping(case.mapping, str(directory / "mapping.json"))
+        (directory / "source.xml").write_text(
+            to_xml(case.instance), encoding="utf-8"
+        )
+        (directory / "expected.xml").write_text(
+            to_xml(expected), encoding="utf-8"
+        )
+        if actual is not None:
+            (directory / "actual.xml").write_text(
+                to_xml(actual), encoding="utf-8"
+            )
+        trace = self._capture_trace(case, combo)
+        if trace is not None:
+            (directory / "trace.json").write_text(
+                json.dumps(trace, indent=2, sort_keys=True), encoding="utf-8"
+            )
+        manifest = {
+            "format": FUZZ_CASE_FORMAT,
+            "version": FUZZ_CASE_VERSION,
+            "case_id": case.case_id,
+            "axis": case.axis,
+            "seed": case.seed,
+            "index": case.index,
+            "params": dict(case.params),
+            "fingerprint": case.fingerprint(),
+            "combo": {
+                "engine": combo.engine,
+                "optimize": combo.optimize,
+                "workers": combo.workers,
+            },
+            "kind": kind,
+            "detail": list(detail),
+        }
+        (directory / "case.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        return name
+
+    def _capture_trace(self, case: CorpusCase, combo: Combo) -> Optional[dict]:
+        """Re-run the diverging combo under a tracer, best effort.
+
+        Pool combos fall back to an in-process traced run — the pool
+        merges worker spans already, but a deterministic single-process
+        trace is the more useful replay artifact.
+        """
+        tracer = SpanTracer()
+        try:
+            plan = self.cache.get_or_compile(
+                case.mapping, combo.engine, optimize=combo.optimize
+            )
+            plan.run(case.instance, trace=tracer)
+        except ReproError:
+            pass  # the error itself is in the manifest
+        trace = tracer.to_trace()
+        return trace.to_dict() if trace.spans else None
+
+    # -- entry points ------------------------------------------------------
+
+    def run(self, cases: Iterable[CorpusCase], report: FuzzReport) -> FuzzReport:
+        """Cross-check ``cases``, mutating and returning ``report``."""
+        started = time.monotonic()
+        pending = list(cases)
+        report.cases = len(pending)
+        for axis in report.axes:
+            report.axis_coverage.setdefault(axis, AxisCoverage())
+        for case in pending:
+            coverage = report.axis_coverage.setdefault(
+                case.axis, AxisCoverage()
+            )
+            coverage.cases += 1
+        for position, case in enumerate(pending):
+            if self.budget_seconds is not None and (
+                time.monotonic() - started >= self.budget_seconds
+            ):
+                report.exhausted_budget = True
+                report.skipped = len(pending) - position
+                break
+            coverage = report.axis_coverage[case.axis]
+            self._check_case(case, report, coverage)
+            coverage.executed += 1
+        return report
+
+    def run_corpus(
+        self,
+        seed: int = 7,
+        count: int = 100,
+        *,
+        axes: Optional[Sequence[str]] = None,
+    ) -> FuzzReport:
+        """Generate the ``(seed, count, axes)`` corpus and cross-check it."""
+        selected = resolve_axes(axes)
+        report = FuzzReport(
+            seed=seed,
+            count=count,
+            axes=selected,
+            engines=self.engines,
+            optimize_modes=self.optimize_modes,
+            workers=self.workers,
+            budget_seconds=self.budget_seconds,
+        )
+        return self.run(generate_corpus(seed, count, axes=selected), report)
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self, case_dir: Union[str, Path]) -> ReplayResult:
+        """Re-run one dead-lettered divergence from its artifacts.
+
+        Loads the persisted mapping and source instance, re-executes
+        the reference and the recorded combo, and reports whether the
+        divergence still reproduces — after an engine fix, a replay
+        comes back clean.
+        """
+        directory = Path(case_dir)
+        manifest_path = directory / "case.json"
+        if not manifest_path.is_file():
+            raise FuzzError(f"no case.json in {directory}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("format") != FUZZ_CASE_FORMAT:
+            raise FuzzError(
+                f"{manifest_path} is not a {FUZZ_CASE_FORMAT} document"
+            )
+        mapping = load_mapping(str(directory / "mapping.json"))
+        instance = parse_xml(
+            (directory / "source.xml").read_text(encoding="utf-8"),
+            mapping.source,
+        )
+        combo = Combo(
+            engine=manifest["combo"]["engine"],
+            optimize=bool(manifest["combo"]["optimize"]),
+            workers=int(manifest["combo"]["workers"]),
+        )
+        case = CorpusCase(
+            case_id=manifest["case_id"],
+            axis=manifest["axis"],
+            seed=manifest["seed"],
+            index=manifest["index"],
+            mapping=mapping,
+            instance=instance,
+            params=manifest.get("params", {}),
+        )
+        reference = self.cache.get_or_compile(mapping, "tgd", optimize=True)
+        expected = reference(instance)
+        expected_xml = to_xml(expected)
+        tracer = SpanTracer()
+        try:
+            actual = self._execute(case, combo, trace=tracer if combo.workers == 1 else None)
+        except ReproError as exc:
+            return ReplayResult(
+                case_id=case.case_id,
+                combo=combo,
+                diverged=True,
+                expected_xml=expected_xml,
+                error=f"{type(exc).__name__}: {exc}",
+                trace=None,
+            )
+        if combo.engine == "xslt":
+            diverged = not expected.equals_canonically(actual)
+        else:
+            diverged = expected_xml != to_xml(actual)
+        differences = []
+        if diverged:
+            rendered = render_diff(diff(expected.canonical(), actual.canonical()))
+            differences = rendered.splitlines()
+        trace = tracer.to_trace()
+        return ReplayResult(
+            case_id=case.case_id,
+            combo=combo,
+            diverged=diverged,
+            differences=differences,
+            expected_xml=expected_xml,
+            actual_xml=to_xml(actual),
+            trace=trace.to_dict() if trace.spans else None,
+        )
+
+
+def run_fuzz(
+    seed: int = 7,
+    count: int = 100,
+    *,
+    axes: Optional[Sequence[str]] = None,
+    workers: Sequence[int] = (1,),
+    budget_seconds: Optional[float] = None,
+    dead_letter_dir: Union[str, Path, None] = None,
+    cache: Optional[PlanCache] = None,
+) -> FuzzReport:
+    """One-call farm run over the ``(seed, count, axes)`` corpus."""
+    farm = FuzzFarm(
+        workers=workers,
+        budget_seconds=budget_seconds,
+        dead_letter_dir=dead_letter_dir,
+        cache=cache,
+    )
+    return farm.run_corpus(seed, count, axes=axes)
+
+
+__all__ = [
+    "AXES",
+    "Combo",
+    "FuzzError",
+    "FuzzFarm",
+    "ReplayResult",
+    "run_fuzz",
+]

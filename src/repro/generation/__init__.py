@@ -1,4 +1,10 @@
-"""Mapping generation: tableaux, skeletons, Clio baseline, Clip extension."""
+"""Mapping generation: tableaux, skeletons, Clio baseline, Clip
+extension, flexibility measurement, and the seeded scenario corpus.
+
+The public entry points — :func:`generate_corpus`, the tableau
+machinery, and :func:`measure_flexibility` — are exported here so the
+CLI and tests never reach into submodules.
+"""
 
 from .clio import GenerationResult, generate_clio
 from .clip_ext import (
@@ -8,6 +14,20 @@ from .clip_ext import (
     find_general_root,
     generate_clip,
     skeleton_for_build_node,
+)
+from .corpus import (
+    AXES,
+    CorpusCase,
+    CorpusError,
+    generate_case,
+    generate_corpus,
+    resolve_axes,
+)
+from .flexibility import (
+    Candidate,
+    FlexibilityResult,
+    enumerate_candidates,
+    measure_flexibility,
 )
 from .nesting import NestNode, can_nest_under, nest_forest
 from .skeletons import (
@@ -28,6 +48,16 @@ from .tableaux import (
 )
 
 __all__ = [
+    "AXES",
+    "Candidate",
+    "CorpusCase",
+    "CorpusError",
+    "FlexibilityResult",
+    "enumerate_candidates",
+    "generate_case",
+    "generate_corpus",
+    "measure_flexibility",
+    "resolve_axes",
     "generate_clio",
     "generate_clip",
     "GenerationResult",

@@ -1,0 +1,510 @@
+"""Seeded scenario corpus: deterministic (schema, mapping, instance) triples.
+
+The paper demonstrates Clip on a handful of figures; the differential
+fuzz farm (:mod:`repro.fuzz`) needs the *same semantic constructs* in
+hundreds of shapes.  :func:`generate_corpus` grows the figure scenarios
+and the synthetic-workload machinery into a corpus generator spanning
+six axes:
+
+* ``deep-cpt`` — context-propagation chains three to five levels deep
+  over synthetic chain schemas, with a pushed filter on the deepest
+  level;
+* ``aggregates`` — mixed ``count``/``sum``/``avg``/``min``/``max``
+  aggregate value mappings over the paper's department store;
+* ``inversion`` — hierarchy inversion (Figure 8's shape): departments
+  nested under projects grouped by name, with cross-department
+  homonyms;
+* ``fanout-join`` — the Figure 6 join of projects and employees with
+  controlled fan-outs and dangling references, plus a filtered sibling
+  node (a pushed single-variable predicate);
+* ``skewed-groups`` — Figure 7 grouping under a skewed name
+  distribution (one hot group absorbs most members);
+* ``value-functions`` — scalar functions (``concat``/``add``/
+  ``multiply``) over multi-source value mappings crossing CPT scopes.
+
+Everything is deterministic in ``seed``: the same ``(seed, count,
+axes)`` triple reproduces each case byte for byte — the property the
+fuzz report's byte-identity contract builds on.  Every generated
+mapping passes the Section III validity rules by construction;
+:func:`generate_corpus` checks and refuses to emit an invalid case.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..core.compile import compile_clip
+from ..core.functions import scalar
+from ..core.mapping import ClipMapping
+from ..core.validity import check
+from ..errors import ReproError
+from ..xml.model import XmlElement, element
+from ..xsd.dsl import attr, elem, schema
+from ..xsd.types import FLOAT, INT, STRING
+
+#: The corpus axes, in round-robin emission order.
+AXES = (
+    "deep-cpt",
+    "aggregates",
+    "inversion",
+    "fanout-join",
+    "skewed-groups",
+    "value-functions",
+)
+
+_FIRST = ["John", "Mary", "Andrew", "Lucy", "Mark", "Jim", "Sara", "Paul",
+          "Rita", "Tom", "Nina", "Carl"]
+_LAST = ["Smith", "Clarence", "Tane", "Bellish", "Dawson", "Aiking",
+         "Rossi", "Verdi", "Kent", "Lane"]
+_PROJECTS = ["Appliances", "Robotics", "Brand promotion", "Analytics",
+             "Cloud", "Mobility", "Security", "Logistics"]
+_DEPARTMENTS = ["ICT", "Marketing", "Sales", "R&D", "Finance", "Legal",
+                "Operations", "Support"]
+
+
+class CorpusError(ReproError):
+    """A generated case failed its own validity gate — a generator bug."""
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One deterministic (schema, mapping, instance) triple.
+
+    The schemas travel inside ``mapping`` (`mapping.source` /
+    ``mapping.target``); ``instance`` conforms to the source schema by
+    construction.  ``params`` records the drawn shape knobs so reports
+    and dead letters can describe the case without re-deriving it.
+    """
+
+    case_id: str
+    axis: str
+    seed: int
+    index: int
+    mapping: ClipMapping
+    instance: XmlElement
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """A stable content digest of the whole triple.
+
+        Byte-identical regeneration (same seed, same index) yields the
+        same fingerprint; any change to the schemas, the drawn lines,
+        the instance or the parameters changes it.
+        """
+        from ..io import dumps as dump_mapping
+        from ..xml.serialize import to_xml
+
+        payload = "\n".join(
+            (
+                self.case_id,
+                dump_mapping(self.mapping),
+                to_xml(self.instance),
+                json.dumps(dict(self.params), sort_keys=True),
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _case_rng(seed: int, axis: str, index: int) -> random.Random:
+    """One independent, deterministic stream per (seed, axis, index)."""
+    return random.Random(f"clip-corpus|{seed}|{axis}|{index}")
+
+
+# -- shared source-side machinery (the paper's department store) -------------
+
+
+def _deptstore_schema():
+    from ..scenarios.deptstore import source_schema
+
+    return source_schema()
+
+
+def _dept_instance(
+    rng: random.Random,
+    *,
+    departments: int,
+    projects_range: tuple[int, int],
+    employees_range: tuple[int, int],
+    name_pool: int,
+    hot_weight: float = 0.0,
+    dangling: float = 0.0,
+    salary_range: tuple[int, int] = (8000, 16000),
+) -> XmlElement:
+    """A synthetic department-store instance with controlled shape.
+
+    ``hot_weight`` skews project names toward the pool's first entry
+    (grouping cardinality skew); ``dangling`` is the probability that
+    an employee's ``@pid`` references no project (a join must drop it).
+    """
+    root = element("source")
+    pool = [
+        _PROJECTS[i % len(_PROJECTS)] + ("" if i < len(_PROJECTS) else f" {i}")
+        for i in range(max(1, name_pool))
+    ]
+    lo, hi = salary_range
+    for d in range(departments):
+        dname = _DEPARTMENTS[d % len(_DEPARTMENTS)] + (
+            "" if d < len(_DEPARTMENTS) else f" {d}"
+        )
+        dept = element("dept", element("dname", text=dname))
+        pids: list[int] = []
+        for p in range(rng.randint(*projects_range)):
+            pid = p + 1
+            pids.append(pid)
+            if hot_weight and rng.random() < hot_weight:
+                pname = pool[0]
+            else:
+                pname = rng.choice(pool)
+            dept.append(element("Proj", element("pname", text=pname), pid=pid))
+        for _ in range(rng.randint(*employees_range)):
+            if pids and rng.random() >= dangling:
+                pid = rng.choice(pids)
+            else:
+                pid = 9999  # refers to no project: the join drops it
+            ename = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+            dept.append(
+                element(
+                    "regEmp",
+                    element("ename", text=ename),
+                    element("sal", text=rng.randrange(lo, hi, 250)),
+                    pid=pid,
+                )
+            )
+        root.append(dept)
+    return root
+
+
+# -- axis builders -----------------------------------------------------------
+
+
+def _build_deep_cpt(rng: random.Random):
+    """A context-propagation chain ``N1 → … → Nd`` copied level by
+    level onto a mirrored target chain, with a pushed filter on the
+    deepest level."""
+    depth = rng.randint(3, 5)
+    threshold = rng.randrange(0, 6)
+    src = elem(f"N{depth}", "[0..*]", attr("k", INT))
+    tgt = elem(f"M{depth}", "[0..*]", attr("c", INT, required=False))
+    for level in range(depth - 1, 0, -1):
+        src = elem(f"N{level}", "[0..*]", attr("k", INT), src)
+        tgt = elem(f"M{level}", "[0..*]", attr("c", INT, required=False), tgt)
+    source = schema(elem("S", src))
+    target = schema(elem("T", tgt))
+
+    clip = ClipMapping(source, target)
+    parent = None
+    spath = tpath = ""
+    for level in range(1, depth + 1):
+        spath = f"{spath}/N{level}" if spath else f"N{level}"
+        tpath = f"{tpath}/M{level}" if tpath else f"M{level}"
+        condition = f"$x{level}.@k > {threshold}" if level == depth else None
+        parent = clip.build(
+            spath, tpath, var=f"x{level}", condition=condition, parent=parent
+        )
+        clip.value(f"{spath}/@k", f"{tpath}/@c")
+
+    instance = element("S")
+
+    def grow(holder: XmlElement, level: int) -> None:
+        if level > depth:
+            return
+        fanout = rng.randint(1, 3) if level == 1 else rng.randint(0, 3)
+        for _ in range(fanout):
+            child = element(f"N{level}", k=rng.randrange(10))
+            holder.append(child)
+            grow(child, level + 1)
+
+    grow(instance, 1)
+    return clip, instance, {"depth": depth, "threshold": threshold}
+
+
+#: The aggregate menu: (label, kind, aggregate name, source path).
+_AGG_MENU = (
+    ("numProj", "count", "dept/Proj"),
+    ("numEmps", "count", "dept/regEmp"),
+    ("sumSal", "sum", "dept/regEmp/sal/value"),
+    ("avgSal", "avg", "dept/regEmp/sal/value"),
+    ("minSal", "min", "dept/regEmp/sal/value"),
+    ("maxSal", "max", "dept/regEmp/sal/value"),
+)
+
+
+def _build_aggregates(rng: random.Random):
+    """Per-department mixed aggregates (Figure 9's shape, randomized)."""
+    picks = sorted(rng.sample(range(len(_AGG_MENU)), rng.randint(2, 4)))
+    chosen = [_AGG_MENU[i] for i in picks]
+    target = schema(
+        elem(
+            "target",
+            elem(
+                "department",
+                "[1..*]",
+                attr("name", STRING),
+                *[attr(label, FLOAT, required=False) for label, _, _ in chosen],
+            ),
+        )
+    )
+    clip = ClipMapping(_deptstore_schema(), target)
+    clip.build("dept", "department", var="d")
+    clip.value("dept/dname/value", "department/@name")
+    for label, agg, path in chosen:
+        clip.value_aggregate(agg, path, f"department/@{label}")
+    instance = _dept_instance(
+        rng,
+        departments=rng.randint(1, 4),
+        projects_range=(0, 4),
+        employees_range=(0, 5),
+        name_pool=rng.randint(2, 6),
+    )
+    return clip, instance, {"aggregates": [f"{a}({p})" for _, a, p in chosen]}
+
+
+def _build_inversion(rng: random.Random):
+    """Hierarchy inversion: departments under projects grouped by name
+    (Figure 8's shape), with homonym projects across departments."""
+    target = schema(
+        elem(
+            "target",
+            elem(
+                "project",
+                "[1..*]",
+                attr("name", STRING),
+                elem("department", "[0..*]", attr("name", STRING)),
+            ),
+        )
+    )
+    clip = ClipMapping(_deptstore_schema(), target)
+    group = clip.group("dept/Proj", "project", var="p", by=["$p.pname.value"])
+    clip.build("dept", "project/department", var="d2", parent=group)
+    clip.value("dept/Proj/pname/value", "project/@name")
+    clip.value("dept/dname/value", "project/department/@name")
+    name_pool = rng.randint(2, 4)
+    instance = _dept_instance(
+        rng,
+        departments=rng.randint(2, 4),
+        projects_range=(1, 5),
+        employees_range=(0, 2),
+        name_pool=name_pool,
+    )
+    return clip, instance, {"name_pool": name_pool}
+
+
+def _build_fanout_join(rng: random.Random):
+    """The Figure 6 join with controlled fan-out and dangling ``@pid``
+    references, plus a filtered sibling node whose single-variable
+    predicate the planner pushes into the generator sequence."""
+    threshold = rng.randrange(9000, 15000, 500)
+    # `rich` is a *separate root mapping*, not a sibling under the dept
+    # context: the tgd executor interleaves sibling generators per
+    # context iteration while the XQuery emitter runs one FLWOR per
+    # generator, so sharing the context would make document order
+    # engine-dependent.  Root mappings run in declaration order on
+    # every engine.
+    target = schema(
+        elem(
+            "target",
+            elem(
+                "project-emp",
+                "[0..*]",
+                attr("pname", STRING),
+                attr("ename", STRING),
+            ),
+            elem("rich", "[0..*]", attr("ename", STRING)),
+        )
+    )
+    clip = ClipMapping(_deptstore_schema(), target)
+    ctx = clip.context("dept", var="d")
+    clip.build(
+        ["dept/Proj", "dept/regEmp"],
+        "project-emp",
+        var=["p", "r"],
+        condition="$p.@pid = $r.@pid",
+        parent=ctx,
+    )
+    clip.build(
+        "dept/regEmp",
+        "rich",
+        var="r2",
+        condition=f"$r2.sal.value > {threshold}",
+    )
+    clip.value("dept/Proj/pname/value", "project-emp/@pname")
+    clip.value("dept/regEmp/ename/value", "project-emp/@ename")
+    clip.value("dept/regEmp/ename/value", "rich/@ename")
+    dangling = rng.choice((0.0, 0.2, 0.4))
+    instance = _dept_instance(
+        rng,
+        departments=rng.randint(1, 3),
+        projects_range=(0, 5),
+        employees_range=(0, 6),
+        name_pool=rng.randint(3, 8),
+        dangling=dangling,
+        salary_range=(8000, 17000),
+    )
+    return clip, instance, {"threshold": threshold, "dangling": dangling}
+
+
+def _build_skewed_groups(rng: random.Random):
+    """Figure 7 grouping (projects by name, employees joined per group)
+    under a skewed name distribution: one hot group absorbs most
+    members while the rest stay small."""
+    hot_weight = rng.choice((0.5, 0.7, 0.9))
+    target = schema(
+        elem(
+            "target",
+            elem(
+                "project",
+                "[1..*]",
+                attr("name", STRING),
+                elem("employee", "[0..*]", attr("name", STRING)),
+            ),
+        )
+    )
+    clip = ClipMapping(_deptstore_schema(), target)
+    group = clip.group("dept/Proj", "project", var="p", by=["$p.pname.value"])
+    clip.build(
+        ["dept/Proj", "dept/regEmp"],
+        "project/employee",
+        var=["p2", "r"],
+        condition="$p2.@pid = $r.@pid",
+        parent=group,
+    )
+    clip.value("dept/Proj/pname/value", "project/@name")
+    clip.value("dept/regEmp/ename/value", "project/employee/@name")
+    instance = _dept_instance(
+        rng,
+        departments=rng.randint(2, 4),
+        projects_range=(2, 6),
+        employees_range=(0, 6),
+        name_pool=rng.randint(2, 5),
+        hot_weight=hot_weight,
+    )
+    return clip, instance, {"hot_weight": hot_weight}
+
+
+def _build_value_functions(rng: random.Random):
+    """Scalar value functions over multi-source mappings that cross CPT
+    scopes: ``concat(ename, dname)`` plus a drawn numeric function."""
+    numeric = rng.choice(("add", "multiply"))
+    target = schema(
+        elem(
+            "target",
+            elem(
+                "rec",
+                "[0..*]",
+                attr("label", STRING),
+                attr("pay", FLOAT, required=False),
+            ),
+        )
+    )
+    clip = ClipMapping(_deptstore_schema(), target)
+    ctx = clip.context("dept", var="d")
+    clip.build("dept/regEmp", "rec", var="r", parent=ctx)
+    clip.value(
+        ["dept/regEmp/ename/value", "dept/dname/value"],
+        "rec/@label",
+        function=scalar("concat"),
+    )
+    clip.value(
+        ["dept/regEmp/sal/value", "dept/regEmp/sal/value"],
+        "rec/@pay",
+        function=scalar(numeric),
+    )
+    instance = _dept_instance(
+        rng,
+        departments=rng.randint(1, 3),
+        projects_range=(0, 2),
+        employees_range=(1, 5),
+        name_pool=3,
+    )
+    return clip, instance, {"numeric": numeric}
+
+
+_BUILDERS = {
+    "deep-cpt": _build_deep_cpt,
+    "aggregates": _build_aggregates,
+    "inversion": _build_inversion,
+    "fanout-join": _build_fanout_join,
+    "skewed-groups": _build_skewed_groups,
+    "value-functions": _build_value_functions,
+}
+
+assert tuple(_BUILDERS) == AXES
+
+
+def resolve_axes(axes: Optional[Sequence[str]]) -> tuple[str, ...]:
+    """Validate an axis selection, preserving :data:`AXES` order."""
+    if axes is None:
+        return AXES
+    requested = list(axes)
+    unknown = [axis for axis in requested if axis not in AXES]
+    if unknown:
+        raise CorpusError(
+            f"unknown corpus axes {unknown}; choose from {', '.join(AXES)}"
+        )
+    if not requested:
+        raise CorpusError("at least one corpus axis is required")
+    return tuple(axis for axis in AXES if axis in requested)
+
+
+def generate_case(seed: int, axis: str, index: int) -> CorpusCase:
+    """Generate the single deterministic case ``(seed, axis, index)``.
+
+    The case is validity-gated: a generated mapping that fails the
+    Section III rules (or does not compile) raises :class:`CorpusError`
+    rather than entering the corpus.
+    """
+    if axis not in _BUILDERS:
+        raise CorpusError(
+            f"unknown corpus axis {axis!r}; choose from {', '.join(AXES)}"
+        )
+    rng = _case_rng(seed, axis, index)
+    clip, instance, params = _BUILDERS[axis](rng)
+    report = check(clip)
+    if not report.is_valid:
+        issues = "; ".join(str(issue) for issue in report.errors())
+        raise CorpusError(
+            f"generated case {axis}-{index:04d} (seed {seed}) is invalid: "
+            f"{issues}"
+        )
+    try:
+        compile_clip(clip, require_valid=True, report=report)
+    except ReproError as exc:
+        raise CorpusError(
+            f"generated case {axis}-{index:04d} (seed {seed}) does not "
+            f"compile: {exc}"
+        ) from exc
+    return CorpusCase(
+        case_id=f"{axis}-{index:04d}",
+        axis=axis,
+        seed=seed,
+        index=index,
+        mapping=clip,
+        instance=instance,
+        params=params,
+    )
+
+
+def generate_corpus(
+    seed: int = 7,
+    count: int = 100,
+    *,
+    axes: Optional[Sequence[str]] = None,
+) -> list[CorpusCase]:
+    """Generate ``count`` deterministic cases, round-robin over ``axes``.
+
+    Case ``i`` draws axis ``axes[i % len(axes)]`` with per-axis index
+    ``i // len(axes)``, so growing ``count`` extends the corpus without
+    disturbing earlier cases — seed 7's case ``deep-cpt-0003`` is the
+    same triple whether the corpus holds 30 cases or 300.
+    """
+    if count < 0:
+        raise CorpusError(f"count must be >= 0, got {count}")
+    selected = resolve_axes(axes)
+    return [
+        generate_case(seed, selected[i % len(selected)], i // len(selected))
+        for i in range(count)
+    ]

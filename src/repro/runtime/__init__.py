@@ -69,6 +69,7 @@ from .plan import (
     ENGINES,
     CompiledPlan,
     compile_plan,
+    eligible_engines,
     fingerprint,
     plan_from_tgd,
     trace_seed,
@@ -116,6 +117,7 @@ __all__ = [
     "combine_seeds",
     "compile_plan",
     "default_cache",
+    "eligible_engines",
     "fingerprint",
     "get_plan",
     "is_transient",

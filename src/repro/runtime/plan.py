@@ -61,6 +61,26 @@ def fingerprint(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def eligible_engines(tgd: NestedTgd) -> tuple[str, ...]:
+    """The engines able to execute an already-compiled tgd.
+
+    The tgd executor and the XQuery pipeline cover the full language;
+    XSLT 1.0 covers the non-grouped, non-distributed subset only.  The
+    probe is the XSLT emitter itself — emission is cheap, pure, and
+    exactly the authority on its own limits — so eligibility can never
+    drift from what :func:`repro.xslt.emit_xslt` actually accepts.
+    The fuzz farm uses this to decide which engines to cross-check per
+    corpus case.
+    """
+    from ..xslt import UnsupportedForXslt, emit_xslt
+
+    try:
+        emit_xslt(tgd)
+    except UnsupportedForXslt:
+        return ("tgd", "xquery")
+    return ("tgd", "xquery", "xslt")
+
+
 def trace_seed(mapping: ClipMapping, engine: str = "tgd") -> str:
     """The trace-id namespace for ``(mapping, engine)``.
 

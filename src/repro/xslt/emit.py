@@ -172,7 +172,10 @@ class _Emitter:
                 f"scalar function {term.function.name} has no XSLT rendering"
             )
         path = self._path(term)
-        return path, path  # guarded by its own existence
+        # The guard must test node *existence*, not the atomized value:
+        # under XPath 1.0 boolean rules a plain `path` test is false for
+        # a legitimate value of 0 or "", which would drop the attribute.
+        return path, Compare(Call("count", (path,)), ">", Literal(0))
 
     # -- mappings ----------------------------------------------------------------
 

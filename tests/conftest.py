@@ -8,6 +8,20 @@ from repro.scenarios import deptstore, generic
 
 
 @pytest.fixture
+def dead_letter_dir(tmp_path):
+    """A per-test dead-letter root.
+
+    Derived from ``tmp_path``, so parallel pytest runs (CI matrix legs,
+    xdist workers) can never collide on dead-letter output.  Every test
+    that persists dead letters routes them through this fixture instead
+    of inventing its own directory.
+    """
+    directory = tmp_path / "dead-letters"
+    directory.mkdir()
+    return directory
+
+
+@pytest.fixture
 def source_schema():
     return deptstore.source_schema()
 

@@ -159,13 +159,13 @@ class TestBatch:
         }
 
     def test_malformed_input_isolated_under_collect(
-        self, mapping_file, source_files, tmp_path, capsys
+        self, mapping_file, source_files, tmp_path, dead_letter_dir, capsys
     ):
         """An unparseable input is a per-document failure under
         skip/collect — dead-lettered as raw text — not a batch abort."""
         bad = tmp_path / "bad.xml"
         bad.write_text("<not well formed", encoding="utf-8")
-        dlq = tmp_path / "dlq"
+        dlq = dead_letter_dir / "dlq"
         out_dir = tmp_path / "out"
         sources = [source_files[0], str(bad), source_files[1]]
         assert main(

@@ -25,7 +25,7 @@ from repro.core.tgd_parser import parse_tgd
 from repro.core.validity import check
 from repro.errors import ReproError
 from repro.executor import execute
-from repro.generation.flexibility import enumerate_candidates
+from repro.generation import enumerate_candidates
 from repro.io import dumps, loads
 from repro.scenarios.published import TABLE1_ROWS
 from repro.xquery import emit_xquery, parse_xquery, run_query, serialize

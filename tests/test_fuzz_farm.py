@@ -1,0 +1,259 @@
+"""The differential fuzz farm: smoke slice, divergence capture, replay.
+
+Tier-1 keeps a fast fixed-seed slice (~30 triples, in-process engines
+only); the ``slow`` marker gates the extended sweep that CI's nightly
+fuzz leg runs.  The central negative test deliberately breaks an
+optimizer rule in-process — dropping the planner's pushed filters —
+and demands the farm catch the divergence, dead-letter it with a
+replayable trace, and come back clean once the planner is healed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.executor import planner
+from repro.fuzz import (
+    FUZZ_REPORT_FORMAT,
+    FUZZ_REPORT_VERSION,
+    FuzzError,
+    FuzzFarm,
+    parse_report,
+    run_fuzz,
+)
+from repro.generation import AXES
+
+SMOKE_SEED = 7
+SMOKE_COUNT = 30
+
+
+class TestSmokeSlice:
+    def test_thirty_triples_zero_divergences(self):
+        report = run_fuzz(seed=SMOKE_SEED, count=SMOKE_COUNT)
+        assert report.status == "ok"
+        assert report.divergences == []
+        assert report.cases == SMOKE_COUNT
+        assert not report.exhausted_budget
+        assert report.skipped == 0
+        # Every axis was exercised and fully executed.
+        assert set(report.axis_coverage) == set(AXES)
+        for coverage in report.axis_coverage.values():
+            assert coverage.executed == coverage.cases > 0
+        # Reference + at least naive and xquery cross-checks per case.
+        assert report.comparisons >= 2 * SMOKE_COUNT
+        # XSLT eligibility probing found eligible cases somewhere.
+        assert any(
+            c.xslt_eligible for c in report.axis_coverage.values()
+        )
+
+    def test_report_is_byte_deterministic(self):
+        first = run_fuzz(seed=SMOKE_SEED, count=SMOKE_COUNT).to_json()
+        second = run_fuzz(seed=SMOKE_SEED, count=SMOKE_COUNT).to_json()
+        assert first == second
+
+    def test_report_document_round_trips(self):
+        report = run_fuzz(seed=SMOKE_SEED, count=12)
+        document = parse_report(report.to_json())
+        assert document["format"] == FUZZ_REPORT_FORMAT
+        assert document["version"] == FUZZ_REPORT_VERSION
+        assert document["status"] == "ok"
+        assert document["seed"] == SMOKE_SEED
+        assert sum(
+            c["cases"] for c in document["axis_coverage"].values()
+        ) == 12
+
+    def test_parse_report_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="not a clip-fuzz-report"):
+            parse_report(json.dumps({"format": "clip-trace", "version": 1}))
+        with pytest.raises(ValueError, match="unsupported"):
+            parse_report(
+                json.dumps({"format": FUZZ_REPORT_FORMAT, "version": 99})
+            )
+
+    def test_axes_restriction(self):
+        report = run_fuzz(seed=SMOKE_SEED, count=8, axes=["deep-cpt"])
+        assert set(report.axis_coverage) == {"deep-cpt"}
+        assert report.axis_coverage["deep-cpt"].cases == 8
+
+    def test_zero_budget_skips_every_case(self):
+        report = run_fuzz(seed=SMOKE_SEED, count=10, budget_seconds=0.0)
+        assert report.exhausted_budget
+        assert report.skipped == 10
+        assert report.executions == 0
+        assert report.status == "ok"  # no divergences found — none ran
+
+    def test_farm_configuration_validated(self):
+        with pytest.raises(FuzzError, match="unknown engines"):
+            FuzzFarm(engines=("tgd", "saxon"))
+        with pytest.raises(FuzzError, match="reference engine"):
+            FuzzFarm(engines=("xquery",))
+        with pytest.raises(FuzzError, match="workers"):
+            FuzzFarm(workers=(0,))
+
+
+def _breaking_plan_level(real):
+    """A deliberately broken optimizer rule: pushed single-variable
+    filters are dropped from every generator slot, so optimized
+    evaluation keeps tuples the mapping's conditions exclude."""
+
+    def broken(mapping, depth):
+        plan = real(mapping, depth)
+        slots = tuple(
+            dataclasses.replace(slot, seq_filters=())
+            for slot in plan.slots
+        )
+        return dataclasses.replace(plan, slots=slots)
+
+    return broken
+
+
+class TestBrokenOptimizerIsCaught:
+    def test_divergence_dead_lettered_and_replayable(
+        self, dead_letter_dir, monkeypatch
+    ):
+        real = planner.plan_level
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(
+                planner, "plan_level", _breaking_plan_level(real)
+            )
+            farm = FuzzFarm(dead_letter_dir=dead_letter_dir)
+            report = farm.run_corpus(seed=SMOKE_SEED, count=SMOKE_COUNT)
+        assert report.status == "divergent"
+        assert report.divergences
+        # The filter-bearing axes flag the broken rule; the optimized
+        # reference disagrees with naive, xquery, and xslt alike.
+        diverged_axes = {d.axis for d in report.divergences}
+        assert "deep-cpt" in diverged_axes or "fanout-join" in diverged_axes
+        engines_seen = {d.engine for d in report.divergences}
+        assert {"tgd", "xquery"} <= engines_seen
+        for divergence in report.divergences:
+            assert divergence.dead_letter is not None
+            assert divergence.detail  # rendered diff lines travel along
+
+        # Every dead letter carries the full replay kit.
+        case_dir = dead_letter_dir / report.divergences[0].dead_letter
+        names = {p.name for p in case_dir.iterdir()}
+        assert {
+            "case.json", "mapping.json", "source.xml",
+            "expected.xml", "actual.xml", "trace.json",
+        } <= names
+        manifest = json.loads(
+            (case_dir / "case.json").read_text(encoding="utf-8")
+        )
+        assert manifest["format"] == "clip-fuzz-case"
+        assert manifest["seed"] == SMOKE_SEED
+        trace = json.loads(
+            (case_dir / "trace.json").read_text(encoding="utf-8")
+        )
+        assert trace["format"] == "clip-trace"
+
+        # With the planner healed, the replay comes back clean — and
+        # carries a fresh trace of the healthy run.
+        healthy = FuzzFarm()
+        result = healthy.replay(case_dir)
+        assert not result.diverged
+        assert result.error is None
+        assert result.case_id == manifest["case_id"]
+        assert result.trace is not None
+
+    def test_replay_reproduces_while_still_broken(
+        self, dead_letter_dir
+    ):
+        """Replaying under the *still-broken* planner reproduces the
+        divergence from the persisted artifacts alone."""
+        real = planner.plan_level
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(
+                planner, "plan_level", _breaking_plan_level(real)
+            )
+            farm = FuzzFarm(dead_letter_dir=dead_letter_dir)
+            report = farm.run_corpus(seed=SMOKE_SEED, count=SMOKE_COUNT)
+            assert report.divergences
+            case_dir = dead_letter_dir / report.divergences[0].dead_letter
+            result = FuzzFarm().replay(case_dir)
+            assert result.diverged
+            assert result.differences
+        assert not FuzzFarm().replay(case_dir).diverged
+
+    def test_replay_rejects_non_case_directories(self, tmp_path):
+        with pytest.raises(FuzzError, match="no case.json"):
+            FuzzFarm().replay(tmp_path)
+        (tmp_path / "case.json").write_text("{}", encoding="utf-8")
+        with pytest.raises(FuzzError, match="not a clip-fuzz-case"):
+            FuzzFarm().replay(tmp_path)
+
+
+class TestCliFuzz:
+    def test_fuzz_subcommand_ok_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["fuzz", "--seed", str(SMOKE_SEED), "--count", "12",
+             "--report-json", str(report_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "status: ok" in captured.out
+        document = parse_report(report_path.read_text(encoding="utf-8"))
+        assert document["status"] == "ok"
+
+    def test_fuzz_subcommand_axes_and_bad_axis(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["fuzz", "--seed", "7", "--count", "4", "--axes", "deep-cpt"]
+        ) == 0
+        assert "deep-cpt" in capsys.readouterr().out
+        assert main(
+            ["fuzz", "--seed", "7", "--count", "4", "--axes", "bogus"]
+        ) == 2  # ReproError → usage exit
+
+    def test_fuzz_subcommand_bad_workers(self):
+        from repro.cli import main
+
+        assert main(["fuzz", "--count", "2", "--workers", "x"]) == 2
+
+    def test_fuzz_subcommand_divergent_exits_one(
+        self, dead_letter_dir, capsys
+    ):
+        from repro.cli import main
+
+        real = planner.plan_level
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(
+                planner, "plan_level", _breaking_plan_level(real)
+            )
+            code = main(
+                ["fuzz", "--seed", str(SMOKE_SEED), "--count", "18",
+                 "--dead-letter-dir", str(dead_letter_dir)]
+            )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "DIVERGENT" in captured.out
+        # The CLI replay path closes the loop on a dead-lettered case.
+        letters = sorted(p for p in dead_letter_dir.iterdir())
+        assert letters
+        assert main(["fuzz", "--replay", str(letters[0])]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExtendedSweep:
+    """The nightly-scale sweep: a larger seed window and the process-
+    pool cross-check.  Excluded from tier-1 by the ``slow`` marker."""
+
+    def test_two_hundred_case_sweep_with_pool_cross_check(self):
+        report = run_fuzz(
+            seed=20260808, count=200, workers=(1, 2),
+        )
+        assert report.status == "ok", report.to_json()
+        assert report.cases == 200
+        assert not report.exhausted_budget
+
+    def test_many_seeds_shallow_sweep(self):
+        for seed in range(100, 105):
+            report = run_fuzz(seed=seed, count=24)
+            assert report.status == "ok", report.to_json()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.validity import check
-from repro.generation.flexibility import (
+from repro.generation import (
     enumerate_candidates,
     measure_flexibility,
 )

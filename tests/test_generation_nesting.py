@@ -3,9 +3,15 @@
 from __future__ import annotations
 
 from repro.core.mapping import ValueMapping
-from repro.generation.nesting import NestNode, can_nest_under, nest_forest
-from repro.generation.skeletons import ActiveSkeleton, Skeleton
-from repro.generation.tableaux import Tableau, compute_tableaux
+from repro.generation import (
+    ActiveSkeleton,
+    NestNode,
+    Skeleton,
+    Tableau,
+    can_nest_under,
+    compute_tableaux,
+    nest_forest,
+)
 from repro.scenarios import generic
 
 

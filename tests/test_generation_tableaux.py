@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import GenerationError
-from repro.generation.tableaux import (
+from repro.generation import (
     Tableau,
     chase,
     compute_tableaux,

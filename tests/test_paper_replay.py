@@ -27,7 +27,7 @@ from repro.generation import (
     generate_clip,
     product_tableau,
 )
-from repro.generation.flexibility import measure_flexibility
+from repro.generation import measure_flexibility
 from repro.scenarios import deptstore, generic
 from repro.scenarios.published import TABLE1_ROWS
 from repro.xquery import emit_xquery, run_query, serialize

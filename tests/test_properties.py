@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from repro.core.compile import compile_clip
 from repro.core.expr import parse_condition
 from repro.executor import execute
-from repro.generation.tableaux import compute_tableaux
+from repro.generation import compute_tableaux
 from repro.scenarios import deptstore
 from repro.xml.model import XmlElement, element
 from repro.xml.parser import parse_xml

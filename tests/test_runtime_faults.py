@@ -144,7 +144,7 @@ def test_policy_engine_worker_matrix(
 @pytest.mark.parametrize("workers", sorted({1, 4, _ENV_WORKERS}))
 @pytest.mark.parametrize("engine", ENGINES)
 def test_collect_hundred_documents_ten_percent_faults(
-    engine, workers, mapping, tmp_path
+    engine, workers, mapping, dead_letter_dir
 ):
     documents = _docs(100)
     faulted = set(range(5, 100, 10))  # 10 of 100
@@ -167,7 +167,7 @@ def test_collect_hundred_documents_ten_percent_faults(
     ]
     assert batch.metrics.to_dict()["failures"] == 10
     # The dead-letter dir holds exactly the 10 failed inputs.
-    directory = tmp_path / f"dead-{engine}-{workers}"
+    directory = dead_letter_dir / f"{engine}-{workers}"
     write_dead_letters(batch.dead_letters, str(directory))
     letters = sorted(p for p in os.listdir(directory) if p.endswith(".xml"))
     assert len(letters) == 10
@@ -626,15 +626,16 @@ class TestCliFaultFlags:
         return paths
 
     def test_collect_run_reports_zero_failures(
-        self, mapping_file, source_files, tmp_path, capsys
+        self, mapping_file, source_files, tmp_path, dead_letter_dir, capsys
     ):
         from repro.cli import main
 
         metrics_path = tmp_path / "metrics.json"
+        letters = dead_letter_dir / "batch"
         assert main(
             ["batch", mapping_file, *source_files,
              "--error-policy", "collect", "--max-retries", "2",
-             "--timeout", "30", "--dead-letter-dir", str(tmp_path / "dead"),
+             "--timeout", "30", "--dead-letter-dir", str(letters),
              "--metrics-json", str(metrics_path)]
         ) == 0
         doc = json.loads(metrics_path.read_text(encoding="utf-8"))
@@ -643,16 +644,16 @@ class TestCliFaultFlags:
         assert doc["failures"] == 0
         assert doc["documents"] == 3
         # No failures → no dead-letter directory is created.
-        assert not (tmp_path / "dead").exists()
+        assert not letters.exists()
 
     def test_dead_letter_dir_promotes_policy(self, mapping_file, source_files,
-                                             tmp_path):
+                                             tmp_path, dead_letter_dir):
         from repro.cli import main
 
         metrics_path = tmp_path / "metrics.json"
         assert main(
             ["batch", mapping_file, *source_files,
-             "--dead-letter-dir", str(tmp_path / "dead"),
+             "--dead-letter-dir", str(dead_letter_dir / "batch"),
              "--metrics-json", str(metrics_path)]
         ) == 0
         doc = json.loads(metrics_path.read_text(encoding="utf-8"))

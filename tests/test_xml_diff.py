@@ -74,3 +74,84 @@ class TestMappingWorkflow:
         assert differences  # the repeated employees show up
         text = render_diff(differences)
         assert "/target/department[1]/employee[2]" in text
+
+
+class TestNamespaceBearingDocuments:
+    """The parser strips namespace URIs (Clip schemas are prefix-free),
+    so namespace-bearing inputs diff on *local names* — two documents
+    differing only in prefix or declared URI compare identical, and a
+    real structural change is still pinpointed.  Groundwork for
+    incremental recomputation, which must not treat prefix churn as a
+    change."""
+
+    def test_prefix_and_uri_churn_is_invisible(self):
+        from repro.xml.parser import parse_xml
+
+        a = parse_xml(
+            '<root xmlns:a="http://one.example/ns">'
+            '<a:item a:kind="x">v</a:item></root>'
+        )
+        b = parse_xml(
+            '<root xmlns:b="http://two.example/ns">'
+            '<b:item b:kind="x">v</b:item></root>'
+        )
+        assert diff(a, b) == []
+
+    def test_real_change_survives_namespace_noise(self):
+        from repro.xml.parser import parse_xml
+
+        a = parse_xml(
+            '<root xmlns:n="urn:x"><n:item n:kind="x">v</n:item></root>'
+        )
+        b = parse_xml(
+            '<root xmlns:n="urn:x"><n:item n:kind="y">v</n:item></root>'
+        )
+        (d,) = diff(a, b)
+        assert d.kind == "attribute"
+        assert d.location == "/root/item[1]/@kind"
+        assert (d.left, d.right) == ("x", "y")
+
+    def test_default_namespace_elements_align(self):
+        from repro.xml.parser import parse_xml
+
+        a = parse_xml('<r xmlns="urn:a"><c>1</c><c>2</c></r>')
+        b = parse_xml('<r><c>1</c></r>')
+        (d,) = diff(a, b)
+        assert d.kind == "missing" and d.location == "/r/c[2]"
+
+
+class TestMixedContentDocuments:
+    """The model is element-centric (text XOR children); the parser
+    resolves mixed content by keeping children and dropping the
+    interleaved text.  The diff must honor exactly that resolution:
+    interleaved text never produces phantom differences, and the
+    child structure still diffs normally."""
+
+    def test_interleaved_text_is_not_a_difference(self):
+        from repro.xml.parser import parse_xml
+
+        a = parse_xml("<p>hello <b>world</b> again</p>")
+        b = parse_xml("<p><b>world</b></p>")
+        assert diff(a, b) == []
+
+    def test_child_changes_inside_mixed_content_are_found(self):
+        from repro.xml.parser import parse_xml
+
+        a = parse_xml("<p>intro <b>one</b> middle <b>two</b></p>")
+        b = parse_xml("<p>intro <b>one</b> middle <b>TWO</b></p>")
+        (d,) = diff(a, b)
+        assert d.kind == "text"
+        assert d.location == "/p/b[2]/text()"
+        assert (d.left, d.right) == ("two", "TWO")
+
+    def test_text_vs_children_is_structural(self):
+        """A node that is pure text on one side and element-bearing on
+        the other is a structural difference, reported at the child."""
+        from repro.xml.parser import parse_xml
+
+        a = parse_xml("<p>plain</p>")
+        b = parse_xml("<p><b>bold</b></p>")
+        differences = diff(a, b)
+        assert differences
+        kinds = {d.kind for d in differences}
+        assert kinds <= {"text", "extra"}
