@@ -1,0 +1,131 @@
+"""Codegen backend benchmarks: generated Python vs. the interpreter.
+
+The ISSUE-7 performance contract: on the paper's two hardest workloads
+— the Figure 6 join and the Figure 7 grouping + join — the specialized
+generated-Python programs of :mod:`repro.executor.codegen` must run at
+least 1.5× faster than the interpreted optimized plans at the L and XL
+geometries.  The ``codegen-fig6``/``codegen-fig7`` benchmark groups
+feed the committed ``BENCH_codegen`` baseline (regression-gated by
+``compare_bench.py`` in CI), and :func:`test_codegen_speedup_floor`
+enforces the ratio in-test with best-of-N timing so the gate holds on
+noisy runners too.  Byte-identity is asserted at every geometry: a
+speedup that changes one output byte is a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.compile import compile_clip
+from repro.executor import prepare
+from repro.scenarios import deptstore
+from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+from repro.xml.serialize import to_xml
+
+#: Join-heavy Figure 6 geometries (the scaling sweep's L/XL) and the
+#: grouping-heavy Figure 7 geometries.
+_GEOMETRIES = {
+    "fig6": {
+        "L": DeptstoreSpec(departments=16, projects_per_dept=32,
+                           employees_per_dept=160),
+        "XL": DeptstoreSpec(departments=24, projects_per_dept=48,
+                            employees_per_dept=320),
+    },
+    "fig7": {
+        "L": DeptstoreSpec(departments=40, projects_per_dept=6,
+                           employees_per_dept=25),
+        "XL": DeptstoreSpec(departments=80, projects_per_dept=8,
+                            employees_per_dept=40),
+    },
+}
+
+_MAPPINGS = {
+    "fig6": deptstore.mapping_fig6,
+    "fig7": deptstore.mapping_fig7,
+}
+
+#: Best-of-N timing for the in-test speedup floor.
+_TIMING_ROUNDS = 5
+
+#: The ISSUE-7 acceptance floor: codegen ≥ 1.5× interpreted-optimized.
+_SPEEDUP_FLOOR = 1.5
+
+
+@pytest.fixture(scope="module")
+def geometry_instances():
+    return {
+        fig: {
+            size: make_deptstore_instance(spec)
+            for size, spec in sizes.items()
+        }
+        for fig, sizes in _GEOMETRIES.items()
+    }
+
+
+def _plans(fig: str):
+    tgd = compile_clip(_MAPPINGS[fig]())
+    return (
+        prepare(tgd, optimize=True, exec_mode="interp"),
+        prepare(tgd, optimize=True, exec_mode="codegen"),
+    )
+
+
+@pytest.mark.parametrize("mode", ["interp", "codegen"])
+@pytest.mark.parametrize("size", ["L", "XL"])
+@pytest.mark.benchmark(group="codegen-fig6")
+def test_bench_codegen_join_fig6(benchmark, geometry_instances, size, mode):
+    plan = prepare(
+        compile_clip(deptstore.mapping_fig6()), optimize=True, exec_mode=mode
+    )
+    out = benchmark.pedantic(
+        plan.run, args=(geometry_instances["fig6"][size],),
+        rounds=3, iterations=1,
+    )
+    assert out.size() > _GEOMETRIES["fig6"][size].departments
+
+
+@pytest.mark.parametrize("mode", ["interp", "codegen"])
+@pytest.mark.parametrize("size", ["L", "XL"])
+@pytest.mark.benchmark(group="codegen-fig7")
+def test_bench_codegen_grouping_fig7(benchmark, geometry_instances, size, mode):
+    plan = prepare(
+        compile_clip(deptstore.mapping_fig7()), optimize=True, exec_mode=mode
+    )
+    out = benchmark.pedantic(
+        plan.run, args=(geometry_instances["fig7"][size],),
+        rounds=3, iterations=1,
+    )
+    assert out.findall("project")
+
+
+def _best_of(plan, instance, rounds: int = _TIMING_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        plan.run(instance)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize("fig", list(_GEOMETRIES))
+@pytest.mark.parametrize("size", ["L", "XL"])
+def test_codegen_speedup_floor(geometry_instances, fig, size):
+    """The acceptance gate proper: best-of-N codegen time beats
+    best-of-N interpreted time by at least the 1.5× floor, and the two
+    modes serialize byte-identical targets first (warm-up doubles as
+    the correctness check)."""
+    interp, codegen = _plans(fig)
+    instance = geometry_instances[fig][size]
+    assert to_xml(codegen.run(instance)) == to_xml(interp.run(instance)), (
+        f"{fig} {size}: codegen and interpreted outputs diverge"
+    )
+    interp_best = _best_of(interp, instance)
+    codegen_best = _best_of(codegen, instance)
+    speedup = interp_best / codegen_best
+    assert speedup >= _SPEEDUP_FLOOR, (
+        f"{fig} {size}: codegen speedup {speedup:.2f}× below the "
+        f"{_SPEEDUP_FLOOR}× floor (interp {interp_best * 1000:.1f} ms, "
+        f"codegen {codegen_best * 1000:.1f} ms)"
+    )

@@ -59,7 +59,7 @@ class Transformer:
 
     def __init__(self, mapping: ClipMapping, *, engine: str = "tgd",
                  require_valid: bool = True, optimize: bool | None = None,
-                 trace=None):
+                 exec_mode: str | None = None, trace=None):
         if engine not in ("tgd", "xquery", "xslt"):
             raise ValueError(
                 f"unknown engine {engine!r}; use 'tgd', 'xquery' or 'xslt'"
@@ -70,6 +70,11 @@ class Transformer:
         #: plans, ``False`` the naive reference path, ``None`` the
         #: ``CLIP_OPTIMIZE`` environment default (on).
         self.optimize = optimize
+        #: Tgd-engine execution mode: ``"interp"`` walks the compiled
+        #: plans through the interpreter, ``"codegen"`` runs the
+        #: specialized generated-Python program (optimized plans only),
+        #: ``None`` the ``CLIP_EXEC_MODE`` environment default (interp).
+        self.exec_mode = exec_mode
         #: Optional :class:`repro.runtime.trace.SpanTracer`: every call
         #: records compile → prepare → execute spans into it (see
         #: :mod:`repro.runtime.trace`); ``None`` records nothing and
@@ -109,7 +114,9 @@ class Transformer:
         if self._plan is None:
             from .executor import prepare
 
-            self._plan = prepare(self.tgd, optimize=self.optimize)
+            self._plan = prepare(
+                self.tgd, optimize=self.optimize, exec_mode=self.exec_mode
+            )
         return self._plan
 
     @property
@@ -220,7 +227,8 @@ class Transformer:
         from .executor import explain_plan as _explain_plan
 
         return _explain_plan(self.tgd, source_instance,
-                             optimize=self.optimize)
+                             optimize=self.optimize,
+                             exec_mode=self.exec_mode)
 
 
 __all__ = [

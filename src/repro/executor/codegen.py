@@ -1,0 +1,949 @@
+"""Compiled-plan codegen: emit specialized Python per :class:`PlannedTgd`.
+
+The third execution mode (``exec_mode="codegen"``).  The interpreted
+optimized engine (:mod:`repro.executor.planner`) still walks the plan
+per tuple: every generator binding goes through ``_eval``'s
+isinstance dispatch, every condition through ``_condition_holds``,
+every join probe through ``_probe``'s generic loop.  This module
+removes that dispatch by *generating Python source* for each plan —
+one enumeration function per tgd level with the generator loops
+unrolled, path accessors pre-resolved against the per-document child
+index, condition checks and membership tests inlined, and hash-join
+build/probe emitted as plain dict code — then materializing the
+source with ``compile()``/``exec`` into closures an engine subclass
+dispatches to.
+
+Contracts:
+
+* **Byte-identity** — the environments a generated level function
+  produces (content *and* order), the target instances, and the plan
+  counters are exactly the interpreted engine's.  The differential
+  suite and the fuzz farm enforce this against both reference oracles
+  (interpreted-optimized and naive).
+* **Deterministic emission** — identical plans produce byte-identical
+  source: symbol names and memo-key strings come from emission-order
+  counters, never from ``id()`` or hashes of runtime objects.  The
+  source therefore pickles (it is a plain string) and pool workers
+  rebuild the closures from the cached source
+  (:mod:`repro.runtime.batch`); :func:`build_program` re-emits and
+  cross-checks when handed a cached source.
+* **Counter parity** — generated functions accumulate plain local
+  ints and flush them into :class:`~repro.executor.planner.PlanCounters`
+  on exit, so ``plan``/``level[i]`` trace spans and ``explain``
+  counters match the interpreted mode exactly while the hot loops
+  never touch a counter object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Union
+
+from ..core.tgd import (
+    AggregateApp,
+    Assignment,
+    Constant,
+    FunctionApp,
+    Membership,
+    Proj,
+    SchemaRoot,
+    TgdComparison,
+    TgdExpr,
+    Var,
+    expr_labels,
+    expr_root,
+)
+from ..errors import ExecModeError, ExecutionError
+from .engine import Env, GroupBinding, TgdMapping
+from .planner import LevelPlan, PlannedTgd, _OptimizedEngine
+
+#: Environment toggle: ``CLIP_EXEC_MODE=codegen`` makes the generated
+#: backend the default for optimized tgd plans; ``interp`` (the
+#: default) keeps the interpreted planner path.
+EXEC_MODE_ENV = "CLIP_EXEC_MODE"
+
+#: The execution modes ``prepare``/``fingerprint``/CLI accept.
+EXEC_MODES = ("interp", "codegen")
+
+#: The pseudo-filename compiled sources carry in tracebacks.
+SOURCE_FILENAME = "<clip-codegen>"
+
+
+def resolve_exec_mode(exec_mode: Optional[str]) -> str:
+    """Resolve an ``exec_mode`` tri-state: explicit value wins,
+    ``None`` falls back to the :data:`EXEC_MODE_ENV` environment
+    default (``interp``)."""
+    if exec_mode is None:
+        exec_mode = os.environ.get(EXEC_MODE_ENV, "").strip().lower() or "interp"
+    if exec_mode not in EXEC_MODES:
+        raise ExecModeError(
+            f"unknown exec mode {exec_mode!r}; use one of {EXEC_MODES}"
+        )
+    return exec_mode
+
+
+# -- source emission ---------------------------------------------------------
+
+_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: Local aliases every generated level function opens with.
+_LEVEL_PROLOGUE = (
+    "_sr = E.source",
+    "_ch = E.index.children",
+    "_seqs = E._sequences",
+    "_tabs = E._tables",
+    "_amemo = E._atoms",
+    "_pins = E._pins",
+    "_isets = E._identity_sets",
+    "_ipins = E._identity_pins",
+)
+
+_COUNTER_LOCALS = (
+    "_c_bind = _c_drop = _c_hit = _c_miss = 0",
+    "_c_jb = _c_jbr = _c_jbk = _c_jp = _c_jpm = 0",
+)
+
+
+def _lit(value: Any) -> str:
+    """A deterministic Python literal for an atomic constant."""
+    if isinstance(value, float) and not isinstance(value, bool):
+        if value != value:
+            return 'float("nan")'
+        if value == float("inf"):
+            return 'float("inf")'
+        if value == float("-inf"):
+            return 'float("-inf")'
+    return repr(value)
+
+
+class _Emitter:
+    """Line buffer with indentation and an emission-order symbol
+    counter — the only source of generated names and memo-key strings,
+    which is what makes emission deterministic."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+        self._n = 0
+        #: Namespace constants the source refers to (function objects,
+        #: residual condition tuples), keyed by generated name.
+        self.consts: dict[str, Any] = {}
+
+    def fresh(self, stem: str) -> str:
+        self._n += 1
+        return f"_{stem}{self._n}"
+
+    def tag(self, stem: str) -> str:
+        """A fresh memo-key tag (embedded as a string literal)."""
+        self._n += 1
+        return f"{stem}{self._n}"
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text if text else "")
+
+    def push(self) -> None:
+        self.depth += 1
+
+    def pop(self) -> None:
+        self.depth -= 1
+
+    def const(self, stem: str, value: Any) -> str:
+        name = self.fresh(stem)
+        self.consts[name] = value
+        return name
+
+
+def _emit_items(
+    em: _Emitter,
+    expr: Union[TgdExpr, Constant],
+    env_var: str,
+    bound: Optional[dict[str, str]] = None,
+) -> tuple[str, str]:
+    """Emit code evaluating ``expr`` to a list of items; returns
+    ``(items var, kind)`` with ``kind`` in ``{"elements", "atoms"}`` —
+    statically known from the projection labels, which is what lets
+    the callers skip the interpreter's per-item isinstance checks.
+
+    Mirrors :meth:`_OptimizedEngine._eval` exactly: child steps served
+    by the document index, ``@attr``/``value`` leaves, GroupBinding
+    roots iterating their members, and the interpreter's own error
+    messages for unbound variables and atomic-value projection.
+    ``bound`` maps variable names to local variables already holding
+    their binding (join build loops, sequence filters)."""
+    assert not isinstance(expr, Constant)
+    root = expr_root(expr)
+    labels = expr_labels(expr)
+    kind = "elements"
+    single: Optional[str] = None  # expression string for a known singleton
+    cur = ""
+    if isinstance(root, SchemaRoot):
+        single = "_sr"
+    else:
+        base = (bound or {}).get(root.name)
+        if base is None:
+            base = em.fresh("b")
+            em.line("try:")
+            em.line(f"    {base} = {env_var}[{root.name!r}]")
+            em.line("except KeyError:")
+            msg = f"unbound variable {root.name!r}"
+            em.line(f"    raise ExecutionError({msg!r}) from None")
+        cur = em.fresh("t")
+        em.line(f"if {base}.__class__ is GroupBinding:")
+        em.line(f"    {cur} = {base}.members")
+        em.line("else:")
+        em.line(f"    {cur} = ({base},)")
+    for label in labels:
+        nxt = em.fresh("t")
+        if kind == "atoms":
+            it = em.fresh("i")
+            msg = f"projection .{label} applied to atomic value "
+            em.line(f"for {it} in {cur}:")
+            em.line(f"    raise ExecutionError({msg!r} + repr({it}))")
+            em.line(f"{nxt} = []")
+            cur, single = nxt, None
+            continue
+        if label.startswith("@"):
+            name = label[1:]
+            if single is not None:
+                at = em.fresh("a")
+                em.line(f"{at} = {single}._attributes")
+                em.line(
+                    f"{nxt} = [{at}[{name!r}]] if {name!r} in {at} else []"
+                )
+            else:
+                it, at = em.fresh("i"), em.fresh("a")
+                em.line(f"{nxt} = []")
+                em.line(f"for {it} in {cur}:")
+                em.line(f"    {at} = {it}._attributes")
+                em.line(f"    if {name!r} in {at}:")
+                em.line(f"        {nxt}.append({at}[{name!r}])")
+            kind = "atoms"
+        elif label == "value":
+            if single is not None:
+                v = em.fresh("v")
+                em.line(f"{v} = {single}._text")
+                em.line(f"{nxt} = [] if {v} is None else [{v}]")
+            else:
+                it, v = em.fresh("i"), em.fresh("v")
+                em.line(f"{nxt} = []")
+                em.line(f"for {it} in {cur}:")
+                em.line(f"    {v} = {it}._text")
+                em.line(f"    if {v} is not None:")
+                em.line(f"        {nxt}.append({v})")
+            kind = "atoms"
+        else:
+            if single is not None:
+                em.line(f"{nxt} = _ch({single}, {label!r})")
+            else:
+                it = em.fresh("i")
+                em.line(f"{nxt} = []")
+                em.line(f"for {it} in {cur}:")
+                em.line(f"    {nxt}.extend(_ch({it}, {label!r}))")
+        cur, single = nxt, None
+    if single is not None:  # bare schema root
+        cur = em.fresh("t")
+        em.line(f"{cur} = [{single}]")
+    return cur, kind
+
+
+def _emit_atoms(
+    em: _Emitter,
+    operand: Union[TgdExpr, Constant],
+    env_var: str,
+    bound: Optional[dict[str, str]] = None,
+    memo: bool = False,
+) -> str:
+    """Emit code evaluating an operand to its atom list (mirrors
+    :meth:`_Engine._eval_atoms`: element items contribute their text
+    when present, atomic items pass through).  ``memo=True`` adds the
+    loop-invariant per-root-binding memoization the interpreted engine
+    applies — used only where repeated evaluation against one binding
+    is the common case (grouping keys)."""
+    if isinstance(operand, Constant):
+        v = em.fresh("k")
+        em.line(f"{v} = ({_lit(operand.value)},)")
+        return v
+    root = expr_root(operand)
+    prefetched: Optional[str] = None
+    if memo and isinstance(root, Var) and (bound or {}).get(root.name) is None:
+        prefetched = em.fresh("b")
+        em.line("try:")
+        em.line(f"    {prefetched} = {env_var}[{root.name!r}]")
+        em.line("except KeyError:")
+        msg = f"unbound variable {root.name!r}"
+        em.line(f"    raise ExecutionError({msg!r}) from None")
+        bound = dict(bound or {})
+        bound[root.name] = prefetched
+    out = em.fresh("at")
+    if memo:
+        tag = em.tag("A")
+        if isinstance(root, Var):
+            dep = (bound or {})[root.name]
+            mk = f"({tag!r}, id({dep}))"
+        else:
+            dep = None
+            mk = repr(tag)
+        mkv = em.fresh("mk")
+        em.line(f"{mkv} = {mk}")
+        em.line(f"{out} = _amemo.get({mkv})")
+        em.line(f"if {out} is None:")
+        em.push()
+    items, kind = _emit_items(em, operand, env_var, bound)
+    if kind == "elements":
+        it, v = em.fresh("i"), em.fresh("v")
+        em.line(f"{out} = []")
+        em.line(f"for {it} in {items}:")
+        em.line(f"    {v} = {it}._text")
+        em.line(f"    if {v} is not None:")
+        em.line(f"        {out}.append({v})")
+    else:
+        em.line(f"{out} = {items}")
+    if memo:
+        em.line(f"_amemo[{mkv}] = {out}")
+        if isinstance(root, Var):
+            em.line(f"_pins.append({(bound or {})[root.name]})")
+        em.pop()
+    return out
+
+
+def _emit_condition(
+    em: _Emitter,
+    condition: Any,
+    env_var: str,
+    fail: tuple[str, ...],
+    bound: Optional[dict[str, str]] = None,
+) -> None:
+    """Emit an inlined condition check executing ``fail`` (one
+    statement per line) when the condition does not hold.  Comparisons
+    keep the interpreter's existential any-over-product semantics;
+    memberships keep its node-identity semantics with the identity set
+    cached per collection root binding (`_collection_identities`)."""
+    if isinstance(condition, TgdComparison):
+        _emit_comparison(em, condition, env_var, fail, bound)
+    elif isinstance(condition, Membership):
+        _emit_membership(em, condition, env_var, fail, bound)
+    else:
+        msg = f"unsupported condition {condition!r}"
+        em.line(f"raise ExecutionError({msg!r})")
+
+
+def _emit_comparison(
+    em: _Emitter,
+    condition: TgdComparison,
+    env_var: str,
+    fail: tuple[str, ...],
+    bound: Optional[dict[str, str]],
+) -> None:
+    op = _OPS.get(condition.op)
+    lefts = _emit_atoms(em, condition.left, env_var, bound)
+    rights = _emit_atoms(em, condition.right, env_var, bound)
+    if op is None:
+        # Mirror TgdComparison.holds: the error fires only when a pair
+        # of operand values actually reaches the operator.
+        lv, rv = em.fresh("l"), em.fresh("r")
+        msg = f"unknown comparison operator {condition.op!r}"
+        em.line(f"for {lv} in {lefts}:")
+        em.line(f"    for {rv} in {rights}:")
+        em.line(f"        raise ValueError({msg!r})")
+        for stmt in fail:
+            em.line(stmt)
+        return
+    ok = em.fresh("ok")
+    em.line(f"{ok} = False")
+    if isinstance(condition.right, Constant):
+        lv = em.fresh("l")
+        em.line(f"for {lv} in {lefts}:")
+        em.line(f"    if {lv} {op} {_lit(condition.right.value)}:")
+        em.line(f"        {ok} = True")
+        em.line("        break")
+    elif isinstance(condition.left, Constant):
+        rv = em.fresh("r")
+        em.line(f"for {rv} in {rights}:")
+        em.line(f"    if {_lit(condition.left.value)} {op} {rv}:")
+        em.line(f"        {ok} = True")
+        em.line("        break")
+    else:
+        lv, rv = em.fresh("l"), em.fresh("r")
+        em.line(f"for {lv} in {lefts}:")
+        em.line(f"    for {rv} in {rights}:")
+        em.line(f"        if {lv} {op} {rv}:")
+        em.line(f"            {ok} = True")
+        em.line("            break")
+        em.line(f"    if {ok}:")
+        em.line("        break")
+    em.line(f"if not {ok}:")
+    em.push()
+    for stmt in fail:
+        em.line(stmt)
+    em.pop()
+
+
+def _emit_membership(
+    em: _Emitter,
+    condition: Membership,
+    env_var: str,
+    fail: tuple[str, ...],
+    bound: Optional[dict[str, str]],
+) -> None:
+    members, _ = _emit_items(em, condition.member, env_var, bound)
+    root = expr_root(condition.collection)
+    tag = em.tag("M")
+    coll_bound = dict(bound or {})
+    if isinstance(root, Var) and coll_bound.get(root.name) is None:
+        dep = em.fresh("b")
+        em.line("try:")
+        em.line(f"    {dep} = {env_var}[{root.name!r}]")
+        em.line("except KeyError:")
+        msg = f"unbound variable {root.name!r}"
+        em.line(f"    raise ExecutionError({msg!r}) from None")
+        coll_bound[root.name] = dep
+    if isinstance(root, Var):
+        dep = coll_bound[root.name]
+        mk = f"({tag!r}, id({dep}))"
+    else:
+        dep = ""
+        mk = repr(tag)
+    ids, mkv = em.fresh("ids"), em.fresh("mk")
+    em.line(f"{mkv} = {mk}")
+    em.line(f"{ids} = _isets.get({mkv})")
+    em.line(f"if {ids} is None:")
+    em.push()
+    coll, _ = _emit_items(em, condition.collection, env_var, coll_bound)
+    e = em.fresh("e")
+    em.line(f"{ids} = set()")
+    em.line(f"for {e} in {coll}:")
+    em.line(f"    {ids}.add(id({e}))")
+    em.line(f"_isets[{mkv}] = {ids}")
+    if dep:
+        em.line(f"_ipins.append({dep})")
+    em.pop()
+    ok, m = em.fresh("ok"), em.fresh("m")
+    em.line(f"{ok} = False")
+    em.line(f"for {m} in {members}:")
+    em.line(f"    if id({m}) in {ids}:")
+    em.line(f"        {ok} = True")
+    em.line("        break")
+    em.line(f"if not {ok}:")
+    em.push()
+    for stmt in fail:
+        em.line(stmt)
+    em.pop()
+
+
+def _emit_level(em: _Emitter, plan: LevelPlan, li: int) -> None:
+    """Emit the enumeration function for one level: DFS-nested
+    generator loops (same environment order as the interpreter's
+    breadth-first expansion), sequence memoization, inlined joins and
+    filters, ordinal tracking for reordered plans, and a single
+    counter flush on exit."""
+    em.line(f"def _level_{li}(E, env, C):")
+    em.push()
+    for alias in _LEVEL_PROLOGUE:
+        em.line(alias)
+    for counters in _COUNTER_LOCALS:
+        em.line(counters)
+    for condition in plan.pre_conditions:
+        _emit_condition(
+            em, condition, "env",
+            fail=(
+                "if C is not None:",
+                "    C.invocations += 1",
+                "    C.filter_drops += 1",
+                "return []",
+            ),
+        )
+    track = plan.reordered
+    em.line("_out = []")
+    em.line("for _cur in (dict(env),):")
+    em.push()
+    if plan.slots:
+        _emit_slot(em, plan, li, 0)
+    else:
+        em.line("_out.append(dict(_cur))")
+    em.pop()
+    if track:
+        em.line("if len(_out) > 1:")
+        em.line("    _out.sort()")
+        em.line("_out = [_s[1] for _s in _out]")
+    if plan.residual:  # pragma: no cover - classifier safety net
+        res = em.const("RES", plan.residual)
+        em.line(
+            f"_kept = [_e for _e in _out if all("
+            f"E._condition_holds(_c, _e) for _c in {res})]"
+        )
+        em.line("_c_drop += len(_out) - len(_kept)")
+        em.line("_out = _kept")
+    em.line("if C is not None:")
+    em.line("    C.invocations += 1")
+    em.line("    C.bindings_enumerated += _c_bind")
+    em.line("    C.envs_produced += len(_out)")
+    em.line("    C.filter_drops += _c_drop")
+    em.line("    C.join_builds += _c_jb")
+    em.line("    C.join_build_rows += _c_jbr")
+    em.line("    C.join_build_keys += _c_jbk")
+    em.line("    C.join_probes += _c_jp")
+    em.line("    C.join_probe_matches += _c_jpm")
+    em.line("    C.seq_cache_hits += _c_hit")
+    em.line("    C.seq_cache_misses += _c_miss")
+    em.line("return _out")
+    em.pop()
+    em.line("")
+
+
+def _emit_slot(em: _Emitter, plan: LevelPlan, li: int, k: int) -> None:
+    slot = plan.slots[k]
+    gen = plan.mapping.source_gens[slot.position]
+    track = plan.reordered
+    root = expr_root(gen.expr)
+    # -- memoized candidate sequence (key also scopes join tables) --
+    dep: Optional[str] = None
+    if isinstance(root, Var):
+        dep = em.fresh("b")
+        em.line("try:")
+        em.line(f"    {dep} = _cur[{root.name!r}]")
+        em.line("except KeyError:")
+        msg = f"unbound variable {root.name!r}"
+        em.line(f"    raise ExecutionError({msg!r}) from None")
+        sk = f"({em.tag('S')!r}, id({dep}))"
+    else:
+        sk = repr(em.tag("S"))
+    skv, seq = em.fresh("sk"), em.fresh("seq")
+    em.line(f"{skv} = {sk}")
+    em.line(f"{seq} = _seqs.get({skv})")
+    em.line(f"if {seq} is None:")
+    em.push()
+    em.line("_c_miss += 1")
+    bound = {root.name: dep} if (dep and isinstance(root, Var)) else None
+    items, kind = _emit_items(em, gen.expr, "_cur", bound)
+    if kind == "atoms":
+        it = em.fresh("i")
+        msg = f"generator {gen} iterates atomic value "
+        em.line(f"for {it} in {items}:")
+        em.line(f"    raise ExecutionError({msg!r} + repr({it}))")
+        em.line(f"{seq} = []")
+    elif slot.seq_filters:
+        it = em.fresh("i")
+        em.line(f"{seq} = []")
+        em.line(f"for {it} in {items}:")
+        em.push()
+        for condition in slot.seq_filters:
+            _emit_condition(
+                em, condition, "_cur",
+                fail=("_c_drop += 1", "continue"),
+                bound={gen.var: it},
+            )
+        em.line(f"{seq}.append({it})")
+        em.pop()
+    else:
+        em.line(f"{seq} = {items}")
+    em.line(f"_seqs[{skv}] = {seq}")
+    if dep:
+        em.line(f"_pins.append({dep})")
+    em.pop()
+    em.line("else:")
+    em.line("    _c_hit += 1")
+    # -- hash joins: build per sequence, probe per environment --
+    joined = slot.eq_joins or slot.mem_joins
+    match: Optional[str] = None
+    for join in slot.eq_joins:
+        tab = _emit_table(
+            em, skv, seq,
+            lambda emx, itv: _emit_atoms(
+                emx, join.build_key, "_cur", {join.build_var: itv}
+            ),
+            membership=False,
+        )
+        patoms = _emit_atoms(em, join.probe_key, "_cur")
+        hits, a, bucket = em.fresh("h"), em.fresh("a"), em.fresh("bk")
+        em.line(f"{hits} = set()")
+        em.line(
+            f"for {a} in (dict.fromkeys({patoms}) "
+            f"if len({patoms}) > 1 else {patoms}):"
+        )
+        em.line(f"    if {a} != {a}:")
+        em.line("        continue")
+        em.line(f"    {bucket} = {tab}.get({a})")
+        em.line(f"    if {bucket} is not None:")
+        em.line(f"        {hits}.update({bucket})")
+        match = _emit_match(em, match, hits)
+    for join in slot.mem_joins:
+        tab = _emit_table(
+            em, skv, seq,
+            lambda emx, itv: _emit_items(
+                emx, join.collection, "_cur", {join.build_var: itv}
+            )[0],
+            membership=True,
+        )
+        members, _ = _emit_items(em, join.member, "_cur")
+        hits, m, bucket = em.fresh("h"), em.fresh("m"), em.fresh("bk")
+        em.line(f"{hits} = set()")
+        em.line(f"for {m} in {members}:")
+        em.line(f"    {bucket} = {tab}.get(id({m}))")
+        em.line(f"    if {bucket} is not None:")
+        em.line(f"        {hits}.update({bucket})")
+        match = _emit_match(em, match, hits)
+    # -- candidate loop --
+    if joined:
+        em.line("_c_jp += 1")
+        em.line(f"_c_jpm += len({match})")
+        ordv = f"_o{k}" if track else em.fresh("o")
+        it2 = em.fresh("it")
+        em.line(f"for {ordv} in sorted({match}):")
+        em.push()
+        em.line(f"{it2} = {seq}[{ordv}]")
+    else:
+        it2 = em.fresh("it")
+        if track:
+            em.line(f"for _o{k}, {it2} in enumerate({seq}):")
+        else:
+            em.line(f"for {it2} in {seq}:")
+        em.push()
+    em.line(f"_cur[{gen.var!r}] = {it2}")
+    em.line("_c_bind += 1")
+    for condition in slot.env_filters:
+        _emit_condition(
+            em, condition, "_cur", fail=("_c_drop += 1", "continue")
+        )
+    if k + 1 < len(plan.slots):
+        _emit_slot(em, plan, li, k + 1)
+    else:
+        if track:
+            order = {slot.position: i for i, slot in enumerate(plan.slots)}
+            parts = [f"_o{order[p]}" for p in sorted(order)]
+            key = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+            em.line(f"_out.append(({key}, dict(_cur)))")
+        else:
+            em.line("_out.append(dict(_cur))")
+    em.pop()
+
+
+def _emit_table(
+    em: _Emitter,
+    skv: str,
+    seq: str,
+    emit_row: Callable[[_Emitter, str], str],
+    *,
+    membership: bool,
+) -> str:
+    """Emit the build side of a hash join, memoized per sequence key:
+    ``atom → [ordinals]`` (equality) or ``id(element) → [ordinals]``
+    (membership), with the interpreter's NaN-skip and per-ordinal
+    dedup semantics."""
+    tk, tab = em.fresh("tk"), em.fresh("tb")
+    em.line(f"{tk} = ({em.tag('T')!r}, {skv})")
+    em.line(f"{tab} = _tabs.get({tk})")
+    em.line(f"if {tab} is None:")
+    em.push()
+    ordv, itv = em.fresh("o"), em.fresh("i")
+    em.line(f"{tab} = {{}}")
+    em.line(f"for {ordv}, {itv} in enumerate({seq}):")
+    em.push()
+    row = emit_row(em, itv)
+    if membership:
+        m, bucket = em.fresh("m"), em.fresh("bk")
+        em.line(f"for {m} in {row}:")
+        em.line(f"    {bucket} = {tab}.setdefault(id({m}), [])")
+        em.line(f"    if not {bucket} or {bucket}[-1] != {ordv}:")
+        em.line(f"        {bucket}.append({ordv})")
+    else:
+        a = em.fresh("a")
+        em.line(
+            f"for {a} in (dict.fromkeys({row}) "
+            f"if len({row}) > 1 else {row}):"
+        )
+        em.line(f"    if {a} != {a}:")
+        em.line("        continue")
+        em.line(f"    {tab}.setdefault({a}, []).append({ordv})")
+    em.pop()
+    em.line(f"_tabs[{tk}] = {tab}")
+    em.line("_c_jb += 1")
+    em.line(f"_c_jbr += len({seq})")
+    em.line(f"_c_jbk += len({tab})")
+    em.pop()
+    return tab
+
+
+def _emit_match(em: _Emitter, match: Optional[str], hits: str) -> str:
+    """Combine one join's hit set into the running ordinal match set,
+    with the interpreter's early exit on an empty intersection (which
+    also skips the probe counters, exactly as ``_probe`` does)."""
+    if match is None:
+        match = hits
+    else:
+        em.line(f"{match} &= {hits}")
+    em.line(f"if not {match}:")
+    em.line("    continue")
+    return match
+
+
+def _emit_key_fn(em: _Emitter, plan: LevelPlan, li: int) -> None:
+    """Emit the grouping-key function for a grouped level: one tuple
+    of atom tuples per environment, with per-root-binding memoization
+    (the interpreted engine's `_eval_atoms` memo — many environments
+    under one parent binding share their key atoms)."""
+    assert plan.mapping.skolem is not None
+    _, app = plan.mapping.skolem
+    em.line(f"def _key_{li}(E, env):")
+    em.push()
+    em.line("_sr = E.source")
+    em.line("_ch = E.index.children")
+    em.line("_amemo = E._atoms")
+    em.line("_pins = E._pins")
+    parts = []
+    for attr in app.attrs:
+        atoms = _emit_atoms(em, attr, "env", memo=True)
+        parts.append(f"tuple({atoms})")
+    key = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+    em.line(f"return {key}")
+    em.pop()
+    em.line("")
+
+
+def _emit_scalar(
+    em: _Emitter, expr: Union[TgdExpr, Constant], env_var: str
+) -> str:
+    """Emit `_eval_scalar`: distinct atoms, ``None`` for empty, the
+    interpreter's error for more than one.  Returns the value var."""
+    if isinstance(expr, Constant):
+        v = em.fresh("v")
+        em.line(f"{v} = {_lit(expr.value)}")
+        return v
+    atoms = _emit_atoms(em, expr, env_var)
+    v, dd = em.fresh("v"), em.fresh("dd")
+    msg_head = f"expression {expr} yields "
+    msg_tail = (
+        " distinct values where a single value is required "
+        "(use an aggregate to condense them)"
+    )
+    em.line(f"if {atoms}:")
+    em.line(f"    {dd} = dict.fromkeys({atoms})")
+    em.line(f"    if len({dd}) > 1:")
+    em.line(
+        f"        raise ExecutionError({msg_head!r} + str(len({dd})) "
+        f"+ {msg_tail!r})"
+    )
+    em.line(f"    {v} = next(iter({dd}))")
+    em.line("else:")
+    em.line(f"    {v} = None")
+    return v
+
+
+def _emit_assign_fn(
+    em: _Emitter, assignment: Assignment, li: int, ai: int
+) -> None:
+    """Emit one assignment: inlined `_eval_term` (constants,
+    aggregates with the empty-sequence rule, scalar functions with
+    all-args-first evaluation order) and the pre-resolved target path
+    (wrapper singletons for intermediate labels, ``@attr``/``value``/
+    wrapped-leaf application)."""
+    em.line(f"def _assign_{li}_{ai}(E, env, tenv):")
+    em.push()
+    em.line("_sr = E.source")
+    em.line("_ch = E.index.children")
+    term = assignment.value
+    if isinstance(term, Constant):
+        v = em.fresh("v")
+        em.line(f"{v} = {_lit(term.value)}")
+    elif isinstance(term, AggregateApp):
+        fn = em.const("FN", term.function)
+        items, _ = _emit_items(em, term.arg, "env")
+        v = em.fresh("v")
+        if term.function.name in ("avg", "min", "max"):
+            em.line(f"if not {items}:")
+            em.line("    return")
+        em.line(f"{v} = {fn}.apply({items})")
+        em.line(f"if {v} is None:")
+        em.line("    return")
+    elif isinstance(term, FunctionApp):
+        fn = em.const("FN", term.function)
+        # Evaluate every argument first (a later argument's
+        # multiple-values error outranks an earlier None), then skip
+        # the assignment if any argument is absent.
+        args = [_emit_scalar(em, arg, "env") for arg in term.args]
+        v = em.fresh("v")
+        if args:
+            absent = " or ".join(f"{a} is None" for a in args)
+            em.line(f"if {absent}:")
+            em.line("    return")
+        em.line(f"{v} = {fn}.apply([{', '.join(args)}])")
+        em.line(f"if {v} is None:")
+        em.line("    return")
+    else:
+        v = _emit_scalar(em, term, "env")
+        em.line(f"if {v} is None:")
+        em.line("    return")
+    # -- target path, resolved at emission time --
+    labels: list[str] = []
+    expr = assignment.target
+    while isinstance(expr, Proj):
+        labels.append(expr.label)
+        expr = expr.base
+    labels.reverse()
+    if not isinstance(expr, Var) or not labels:
+        msg = f"malformed assignment target {assignment.target}"
+        em.line(f"raise ExecutionError({msg!r})")
+        em.pop()
+        em.line("")
+        return
+    h = em.fresh("h")
+    em.line("try:")
+    em.line(f"    {h} = tenv[{expr.name!r}]")
+    em.line("except KeyError:")
+    msg = f"unbound target variable {expr.name!r}"
+    em.line(f"    raise ExecutionError({msg!r}) from None")
+    for tag in labels[:-1]:
+        em.line(f"{h} = E._wrapper({h}, {tag!r})")
+    leaf = labels[-1]
+    if leaf.startswith("@"):
+        em.line(f"{h}.set_attribute({leaf[1:]!r}, {v})")
+    elif leaf == "value":
+        em.line(f"{h}.set_text({v})")
+    else:
+        em.line(f"E._wrapper({h}, {leaf!r}).set_text({v})")
+    em.pop()
+    em.line("")
+
+
+def generate(planned: PlannedTgd) -> tuple[str, dict[str, Any]]:
+    """Emit the full generated module for a planned tgd.  Returns the
+    source plus the namespace constants (function objects, residual
+    condition tuples) its symbols refer to — both deterministic in the
+    plan alone: same plan, byte-identical source."""
+    em = _Emitter()
+    em.line("# clip-codegen v1")
+    em.line("")
+    for li, plan in enumerate(planned.levels):
+        _emit_level(em, plan, li)
+        if plan.mapping.skolem is not None:
+            _emit_key_fn(em, plan, li)
+        for ai, assignment in enumerate(plan.mapping.assignments):
+            _emit_assign_fn(em, assignment, li, ai)
+    return "\n".join(em.lines) + "\n", em.consts
+
+
+def generate_source(planned: PlannedTgd) -> str:
+    """The generated module source alone (deterministic emission)."""
+    return generate(planned)[0]
+
+
+@dataclass
+class CodegenProgram:
+    """A compiled generated module: the source (picklable, cacheable,
+    shipped to pool workers), its identity, and the materialized
+    closures the engine dispatches to."""
+
+    source: str
+    source_hash: str
+    line_count: int
+    compile_seconds: float
+    levels: tuple[Callable, ...]
+    keys: dict[int, Callable]
+    assigns: dict[tuple[int, int], Callable]
+
+    def describe(self) -> dict:
+        """The ``codegen`` section of ``clip-plan-explain`` / batch
+        metrics ``plan`` payloads."""
+        return {
+            "source_hash": self.source_hash,
+            "line_count": self.line_count,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+def build_program(
+    planned: PlannedTgd, *, source: Optional[str] = None
+) -> CodegenProgram:
+    """Generate, compile and materialize the program for a plan.
+
+    ``source`` lets pool workers rebuild from the cached source string
+    instead of trusting a silent re-emission: the plan is re-emitted
+    either way (emission also produces the namespace constants), and a
+    cached source that does not match the plan's emission is an error,
+    not a fallback.
+    """
+    started = time.perf_counter()
+    emitted, consts = generate(planned)
+    if source is not None and source != emitted:
+        raise ExecutionError(
+            "codegen source mismatch: cached source does not match this "
+            "plan's deterministic emission"
+        )
+    code = compile(emitted, SOURCE_FILENAME, "exec")
+    namespace: dict[str, Any] = {
+        "ExecutionError": ExecutionError,
+        "GroupBinding": GroupBinding,
+    }
+    namespace.update(consts)
+    exec(code, namespace)  # noqa: S102 - our own generated source
+    levels = tuple(
+        namespace[f"_level_{li}"] for li in range(len(planned.levels))
+    )
+    keys = {
+        li: namespace[f"_key_{li}"]
+        for li, plan in enumerate(planned.levels)
+        if plan.mapping.skolem is not None
+    }
+    assigns = {
+        (li, ai): namespace[f"_assign_{li}_{ai}"]
+        for li, plan in enumerate(planned.levels)
+        for ai in range(len(plan.mapping.assignments))
+    }
+    return CodegenProgram(
+        source=emitted,
+        source_hash=hashlib.sha256(emitted.encode("utf-8")).hexdigest(),
+        line_count=len(emitted.splitlines()),
+        compile_seconds=time.perf_counter() - started,
+        levels=levels,
+        keys=keys,
+        assigns=assigns,
+    )
+
+
+# -- the dispatching engine --------------------------------------------------
+
+
+class _CodegenEngine(_OptimizedEngine):
+    """The optimized engine with its hot interpretation points —
+    source-side enumeration, grouping keys, assignments — dispatched
+    to the plan's generated closures.  Target-side construction
+    (wrappers, groups, distribution) is inherited unchanged, which is
+    what keeps the three modes byte-identical by construction."""
+
+    def __init__(
+        self,
+        tgd,
+        source_instance,
+        planned: PlannedTgd,
+        program: CodegenProgram,
+        *,
+        ordered=None,
+        index=None,
+        stats=None,
+    ):
+        super().__init__(
+            tgd, source_instance, planned,
+            ordered=ordered, index=index, stats=stats,
+        )
+        self.program = program
+        self._level_fns: dict[int, Callable] = {}
+        self._key_fns: dict[int, Callable] = {}
+        self._assign_fns: dict[int, Callable] = {}
+        for plan, fn in zip(planned.levels, program.levels):
+            self._level_fns[id(plan.mapping)] = fn
+        for li, fn in program.keys.items():
+            self._key_fns[id(planned.levels[li].mapping)] = fn
+        for (li, ai), fn in program.assigns.items():
+            assignment = planned.levels[li].mapping.assignments[ai]
+            self._assign_fns[id(assignment)] = fn
+
+    def _enumerate(self, mapping: TgdMapping, env: Env) -> list[Env]:
+        return self._level_fns[id(mapping)](self, env, self._counter(mapping))
+
+    def _group_key(self, mapping, skolem_app, env):
+        return self._key_fns[id(mapping)](self, env)
+
+    def _apply_assignment(self, assignment, env, target_env) -> None:
+        self._assign_fns[id(assignment)](self, env, target_env)

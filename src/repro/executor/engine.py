@@ -101,15 +101,35 @@ class TgdPlan:
     every document the plan evaluates.
     """
 
-    __slots__ = ("tgd", "ordered", "optimize", "planned", "stats")
+    __slots__ = (
+        "tgd", "ordered", "optimize", "exec_mode", "planned", "stats",
+        "program",
+    )
 
-    def __init__(self, tgd: NestedTgd, *, optimize: Optional[bool] = None):
+    def __init__(
+        self,
+        tgd: NestedTgd,
+        *,
+        optimize: Optional[bool] = None,
+        exec_mode: Optional[str] = None,
+        codegen_source: Optional[str] = None,
+    ):
+        from .codegen import build_program, resolve_exec_mode
         from .planner import PlanStats, plan_tgd, resolve_optimize
 
         self.tgd = tgd
         self.ordered = order_mappings(tgd)
         self.optimize = resolve_optimize(optimize)
         self.planned = plan_tgd(tgd) if self.optimize else None
+        # Codegen specializes the *optimized* plan; the naive reference
+        # path stays interpreted so optimize=False remains the oracle.
+        resolved_mode = resolve_exec_mode(exec_mode)
+        self.exec_mode = resolved_mode if self.planned is not None else "interp"
+        self.program = (
+            build_program(self.planned, source=codegen_source)
+            if self.exec_mode == "codegen" and self.planned is not None
+            else None
+        )
         self.stats = PlanStats(self.planned) if self.planned else None
 
     def run(self, source_instance: XmlElement,
@@ -133,6 +153,17 @@ class TgdPlan:
         from ..errors import ReproError
 
         try:
+            if self.program is not None and self.planned is not None:
+                from .codegen import _CodegenEngine
+
+                return _CodegenEngine(
+                    self.tgd,
+                    source_instance,
+                    self.planned,
+                    self.program,
+                    ordered=self.ordered,
+                    stats=self.stats,
+                ).run()
             if self.planned is not None:
                 from .planner import _OptimizedEngine
 
@@ -181,10 +212,26 @@ class TgdPlan:
         return self.run(source_instance)
 
 
-def prepare(tgd: NestedTgd, *, optimize: Optional[bool] = None) -> TgdPlan:
+def prepare(
+    tgd: NestedTgd,
+    *,
+    optimize: Optional[bool] = None,
+    exec_mode: Optional[str] = None,
+    codegen_source: Optional[str] = None,
+) -> TgdPlan:
     """Prepare a nested tgd for repeated evaluation (plan construction
-    split from per-document evaluation)."""
-    return TgdPlan(tgd, optimize=optimize)
+    split from per-document evaluation).
+
+    ``exec_mode`` selects the backend for the optimized path:
+    ``"interp"`` (default) walks the plan, ``"codegen"`` compiles it
+    to specialized Python (:mod:`repro.executor.codegen`); ``None``
+    defers to the ``CLIP_EXEC_MODE`` environment default.
+    ``codegen_source`` rebuilds the codegen closures from an
+    already-emitted source string (pool workers)."""
+    return TgdPlan(
+        tgd, optimize=optimize, exec_mode=exec_mode,
+        codegen_source=codegen_source,
+    )
 
 
 def execute(
@@ -499,6 +546,13 @@ class _Engine:
                     for sub in mapping.submappings:
                         self._run_mapping(sub, iteration_env, iter_target_env)
 
+    def _group_key(self, mapping: TgdMapping, skolem_app, env: Env) -> tuple:
+        """The grouping key of one environment — a hook so the codegen
+        backend can dispatch to its compiled key function."""
+        return tuple(
+            tuple(self._eval_atoms(attr, env)) for attr in skolem_app.attrs
+        )
+
     def _run_grouped(
         self, mapping: TgdMapping, envs: list[Env], target_env: Env
     ) -> None:
@@ -506,10 +560,7 @@ class _Engine:
         introduced = [gen.var for gen in mapping.source_gens]
         grouped: dict[tuple, list[Env]] = {}
         for iteration_env in envs:
-            key = tuple(
-                tuple(self._eval_atoms(attr, iteration_env))
-                for attr in skolem_app.attrs
-            )
+            key = self._group_key(mapping, skolem_app, iteration_env)
             grouped.setdefault(key, []).append(iteration_env)
         prefix, suffix = self._split_targets(mapping.target_gens)
         base_envs = self._materialize_targets(prefix, target_env)

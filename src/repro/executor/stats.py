@@ -189,16 +189,22 @@ class PlanExplain:
     #: Per-level runtime counter dicts (all-zero when ``optimize`` is
     #: off: the naive path has no planner instrumentation).
     counters: list[dict]
+    #: The effective execution mode ("interp" or "codegen").
+    exec_mode: str = "interp"
+    #: The generated program's description (source hash, line count,
+    #: compile seconds) when ``exec_mode`` is codegen, else ``None``.
+    codegen: Optional[dict] = None
 
     def to_dict(self) -> dict:
         totals: dict[str, int] = {}
         for counter in self.counters:
             for name, value in counter.items():
                 totals[name] = totals.get(name, 0) + value
-        return {
+        doc = {
             "format": PLAN_EXPLAIN_FORMAT,
             "version": PLAN_EXPLAIN_VERSION,
             "optimize": self.optimize,
+            "exec_mode": self.exec_mode,
             "levels": [
                 {**level, "counters": counter}
                 for level, counter in zip(self.levels, self.counters)
@@ -206,6 +212,9 @@ class PlanExplain:
             "totals": totals,
             "result_elements": self.result.size(),
         }
+        if self.codegen is not None:
+            doc["codegen"] = self.codegen
+        return doc
 
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, ensure_ascii=False)
@@ -213,10 +222,17 @@ class PlanExplain:
     def render(self) -> str:
         """Human-readable plan + counters (the CLI ``explain`` output)."""
         doc = self.to_dict()
+        mode = f", exec_mode={self.exec_mode}" if self.exec_mode != "interp" else ""
         lines = [
             f"{PLAN_EXPLAIN_FORMAT} v{PLAN_EXPLAIN_VERSION} "
-            f"(optimize={'on' if self.optimize else 'off'})"
+            f"(optimize={'on' if self.optimize else 'off'}{mode})"
         ]
+        if self.codegen is not None:
+            lines.append(
+                f"codegen: {self.codegen['line_count']} lines, "
+                f"source sha256 {self.codegen['source_hash'][:12]}…, "
+                f"compiled in {self.codegen['compile_seconds'] * 1000:.2f} ms"
+            )
         for level in doc["levels"]:
             pad = "  " * level["depth"]
             suffix = " [grouped]" if level["grouped"] else ""
@@ -273,20 +289,33 @@ def explain_plan(
     source_instance: XmlElement,
     *,
     optimize: Optional[bool] = None,
+    exec_mode: Optional[str] = None,
 ) -> PlanExplain:
     """Compile the mapping, evaluate it once, and report the compiled
     plan together with its runtime counters.
 
     With ``optimize`` off the plan is still compiled (its static shape
     is shown) but evaluation takes the naive reference path, so all
-    counters stay zero.
+    counters stay zero.  With ``exec_mode="codegen"`` (optimized only)
+    the specialized generated program runs instead of the interpreter
+    — identical counters by construction — and the report gains a
+    ``codegen`` section (source hash, line count, compile seconds).
     """
+    from .codegen import _CodegenEngine, build_program, resolve_exec_mode
     from .planner import PlanStats, _OptimizedEngine, plan_tgd, resolve_optimize
 
     resolved = resolve_optimize(optimize)
     planned = plan_tgd(tgd)
     stats = PlanStats(planned)
-    if resolved:
+    mode = resolve_exec_mode(exec_mode) if resolved else "interp"
+    codegen = None
+    if resolved and mode == "codegen":
+        program = build_program(planned)
+        codegen = program.describe()
+        result = _CodegenEngine(
+            tgd, source_instance, planned, program, stats=stats
+        ).run()
+    elif resolved:
         result = _OptimizedEngine(
             tgd, source_instance, planned, stats=stats
         ).run()
@@ -297,4 +326,6 @@ def explain_plan(
         optimize=resolved,
         levels=[plan.describe() for plan in planned.levels],
         counters=[counter.to_dict() for counter in stats.counters],
+        exec_mode=mode,
+        codegen=codegen,
     )

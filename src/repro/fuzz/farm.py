@@ -9,6 +9,10 @@ it:
 
 * ``tgd`` with ``optimize=False`` (the naive reference path) must
   serialize **byte-identically**;
+* ``tgd`` with ``exec_mode="codegen"`` (the specialized generated-
+  Python backend of :mod:`repro.executor.codegen`) must serialize
+  **byte-identically** — its dead-letter kit additionally captures the
+  generated source (``generated.py``) for the diverging plan;
 * ``xquery`` must serialize **byte-identically** (both full-coverage
   engines follow the paper's iteration order);
 * ``xslt`` — probed per case via
@@ -72,10 +76,13 @@ class Combo:
     engine: str
     optimize: bool
     workers: int
+    exec_mode: str = "interp"
 
     @property
     def slug(self) -> str:
         mode = "opt" if self.optimize else "naive"
+        if self.exec_mode != "interp":
+            mode = self.exec_mode
         return f"{self.engine}-{mode}-w{self.workers}"
 
 
@@ -107,11 +114,14 @@ class FuzzFarm:
         *,
         engines: Optional[Sequence[str]] = None,
         optimize_modes: Sequence[bool] = (True, False),
+        exec_modes: Sequence[str] = ("interp", "codegen"),
         workers: Sequence[int] = (1,),
         dead_letter_dir: Union[str, Path, None] = None,
         budget_seconds: Optional[float] = None,
         cache: Optional[PlanCache] = None,
     ):
+        from ..executor.codegen import EXEC_MODES
+
         self.engines = tuple(engines) if engines is not None else ENGINES
         unknown = [e for e in self.engines if e not in ENGINES]
         if unknown:
@@ -121,6 +131,15 @@ class FuzzFarm:
         if "tgd" not in self.engines:
             raise FuzzError("the tgd reference engine cannot be disabled")
         self.optimize_modes = tuple(optimize_modes)
+        self.exec_modes = tuple(exec_modes)
+        bad_modes = [m for m in self.exec_modes if m not in EXEC_MODES]
+        if bad_modes:
+            raise FuzzError(
+                f"unknown exec modes {bad_modes}; choose from "
+                f"{', '.join(EXEC_MODES)}"
+            )
+        if "interp" not in self.exec_modes:
+            raise FuzzError("the interp reference mode cannot be disabled")
         self.workers = tuple(sorted(set(workers)))
         if any(w < 1 for w in self.workers):
             raise FuzzError(f"workers must be >= 1, got {list(workers)}")
@@ -138,11 +157,15 @@ class FuzzFarm:
         The optimizer toggle only exists on the tgd engine (xquery and
         xslt have no join-aware planner), so ``optimize=False`` is
         enumerated for tgd alone — anything else would re-run identical
-        work under a different label.
+        work under a different label.  Likewise ``codegen`` specializes
+        the optimized tgd plan only, so it is enumerated as a fourth
+        tgd-side axis (optimized, in-process).
         """
         combos: list[Combo] = []
         if False in self.optimize_modes:
             combos.append(Combo("tgd", False, 1))
+        if "codegen" in self.exec_modes:
+            combos.append(Combo("tgd", True, 1, "codegen"))
         for engine in ("xquery", "xslt"):
             if engine in self.engines and engine in eligible:
                 combos.append(Combo(engine, True, 1))
@@ -162,11 +185,13 @@ class FuzzFarm:
                 engine=combo.engine,
                 workers=combo.workers,
                 optimize=combo.optimize,
+                exec_mode=combo.exec_mode,
                 cache=self.cache,
             )
             return runner.run([case.instance]).results[0]
         plan = self.cache.get_or_compile(
-            case.mapping, combo.engine, optimize=combo.optimize
+            case.mapping, combo.engine, optimize=combo.optimize,
+            exec_mode=combo.exec_mode,
         )
         return plan.run(case.instance, trace=trace)
 
@@ -245,6 +270,7 @@ class FuzzFarm:
                 kind=kind,
                 detail=detail,
                 dead_letter=letter_name,
+                exec_mode=combo.exec_mode,
             )
         )
 
@@ -280,6 +306,12 @@ class FuzzFarm:
             (directory / "trace.json").write_text(
                 json.dumps(trace, indent=2, sort_keys=True), encoding="utf-8"
             )
+        if combo.exec_mode == "codegen":
+            source = self._generated_source(case)
+            if source is not None:
+                (directory / "generated.py").write_text(
+                    source, encoding="utf-8"
+                )
         manifest = {
             "format": FUZZ_CASE_FORMAT,
             "version": FUZZ_CASE_VERSION,
@@ -293,6 +325,7 @@ class FuzzFarm:
                 "engine": combo.engine,
                 "optimize": combo.optimize,
                 "workers": combo.workers,
+                "exec_mode": combo.exec_mode,
             },
             "kind": kind,
             "detail": list(detail),
@@ -312,13 +345,28 @@ class FuzzFarm:
         tracer = SpanTracer()
         try:
             plan = self.cache.get_or_compile(
-                case.mapping, combo.engine, optimize=combo.optimize
+                case.mapping, combo.engine, optimize=combo.optimize,
+                exec_mode=combo.exec_mode,
             )
             plan.run(case.instance, trace=tracer)
         except ReproError:
             pass  # the error itself is in the manifest
         trace = tracer.to_trace()
         return trace.to_dict() if trace.spans else None
+
+    def _generated_source(self, case: CorpusCase) -> Optional[str]:
+        """The codegen backend's generated Python for this case's plan,
+        best effort — the replay kit's most useful artifact when the
+        specialized program disagrees with the interpreter."""
+        try:
+            plan = self.cache.get_or_compile(
+                case.mapping, "tgd", optimize=True, exec_mode="codegen"
+            )
+        except ReproError:
+            return None
+        if plan.tgd_plan is None or plan.tgd_plan.program is None:
+            return None
+        return plan.tgd_plan.program.source
 
     # -- entry points ------------------------------------------------------
 
@@ -362,6 +410,7 @@ class FuzzFarm:
             engines=self.engines,
             optimize_modes=self.optimize_modes,
             workers=self.workers,
+            exec_modes=self.exec_modes,
             budget_seconds=self.budget_seconds,
         )
         return self.run(generate_corpus(seed, count, axes=selected), report)
@@ -394,6 +443,8 @@ class FuzzFarm:
             engine=manifest["combo"]["engine"],
             optimize=bool(manifest["combo"]["optimize"]),
             workers=int(manifest["combo"]["workers"]),
+            # Pre-codegen kits carry no exec_mode; default to interp.
+            exec_mode=manifest["combo"].get("exec_mode", "interp"),
         )
         case = CorpusCase(
             case_id=manifest["case_id"],
@@ -445,6 +496,7 @@ def run_fuzz(
     *,
     axes: Optional[Sequence[str]] = None,
     workers: Sequence[int] = (1,),
+    exec_modes: Sequence[str] = ("interp", "codegen"),
     budget_seconds: Optional[float] = None,
     dead_letter_dir: Union[str, Path, None] = None,
     cache: Optional[PlanCache] = None,
@@ -452,6 +504,7 @@ def run_fuzz(
     """One-call farm run over the ``(seed, count, axes)`` corpus."""
     farm = FuzzFarm(
         workers=workers,
+        exec_modes=exec_modes,
         budget_seconds=budget_seconds,
         dead_letter_dir=dead_letter_dir,
         cache=cache,

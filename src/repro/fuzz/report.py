@@ -45,6 +45,9 @@ class Divergence:
     #: Dead-letter case directory name (not an absolute path), when the
     #: farm was given a dead-letter root.
     dead_letter: Optional[str] = None
+    #: The combo's execution mode: ``"interp"`` or ``"codegen"``
+    #: (additive in format v1; absent readers default to interp).
+    exec_mode: str = "interp"
 
     def to_dict(self) -> dict:
         out: dict = {
@@ -52,6 +55,7 @@ class Divergence:
             "axis": self.axis,
             "engine": self.engine,
             "optimize": self.optimize,
+            "exec_mode": self.exec_mode,
             "workers": self.workers,
             "kind": self.kind,
             "detail": list(self.detail),
@@ -87,6 +91,7 @@ class FuzzReport:
     engines: Sequence[str]
     optimize_modes: Sequence[bool]
     workers: Sequence[int]
+    exec_modes: Sequence[str] = ("interp",)
     cases: int = 0
     executions: int = 0
     comparisons: int = 0
@@ -109,6 +114,7 @@ class FuzzReport:
             "axes": list(self.axes),
             "engines": list(self.engines),
             "optimize_modes": list(self.optimize_modes),
+            "exec_modes": list(self.exec_modes),
             "workers": list(self.workers),
             "cases": self.cases,
             "executions": self.executions,

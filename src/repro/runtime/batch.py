@@ -154,11 +154,21 @@ def _init_worker(
     timeout: Optional[float],
     optimize: bool = True,
     trace: bool = False,
+    exec_mode: str = "interp",
+    codegen_source: Optional[str] = None,
 ) -> None:
-    """Pool initializer: rebuild the engine plan once per worker."""
+    """Pool initializer: rebuild the engine plan once per worker.
+
+    For codegen plans the parent ships the generated *source* (a plain
+    string, which pickles; code objects don't) and each worker
+    re-materializes its closures with one ``compile()``/``exec`` —
+    the deterministic-emission contract lets the worker verify the
+    cached source against its own plan.
+    """
     global _WORKER_PLAN, _WORKER_INJECTOR, _WORKER_TIMEOUT, _WORKER_TRACE
     _WORKER_PLAN = plan_from_tgd(
-        pickle.loads(tgd_bytes), engine, optimize=optimize
+        pickle.loads(tgd_bytes), engine, optimize=optimize,
+        exec_mode=exec_mode, codegen_source=codegen_source,
     )
     _WORKER_INJECTOR = pickle.loads(injector_bytes) if injector_bytes else None
     _WORKER_TIMEOUT = timeout
@@ -353,6 +363,15 @@ class BatchRunner:
         ``CLIP_OPTIMIZE`` environment default (on).  Both produce
         byte-identical results; the flag participates in the plan
         fingerprint, so both variants coexist in a shared cache.
+    exec_mode:
+        Execution mode for the optimized tgd plan: ``"interp"`` walks
+        the compiled level plans through the interpreter,
+        ``"codegen"`` runs the specialized generated-Python program of
+        :mod:`repro.executor.codegen`, ``None`` (default) the
+        ``CLIP_EXEC_MODE`` environment default (interp).  Byte-identical
+        results; the effective mode participates in the plan
+        fingerprint.  Pool workers rebuild codegen closures from the
+        cached generated source (shipped once in the initializer).
     trace:
         A :class:`repro.runtime.trace.SpanTracer` to record the run
         into: a ``batch`` span containing one ``doc[i]`` span per
@@ -381,6 +400,7 @@ class BatchRunner:
         retry: Optional[RetryPolicy] = None,
         injector: Optional[FaultInjector] = None,
         optimize: Optional[bool] = None,
+        exec_mode: Optional[str] = None,
         trace=None,
     ):
         if engine not in ENGINES:
@@ -404,11 +424,17 @@ class BatchRunner:
         self.injector = injector
         self.trace = trace
         from ..executor.planner import resolve_optimize
+        from .plan import resolve_effective_exec_mode
 
         self.optimize = resolve_optimize(optimize)
+        self.exec_mode = resolve_effective_exec_mode(
+            engine, self.optimize, exec_mode
+        )
         # One fingerprint per runner: per-document retrievals are then
         # pure dictionary hits.
-        self.fingerprint = fingerprint(mapping, engine, optimize=self.optimize)
+        self.fingerprint = fingerprint(
+            mapping, engine, optimize=self.optimize, exec_mode=self.exec_mode
+        )
 
     # -- execution ---------------------------------------------------------
 
@@ -489,7 +515,7 @@ class BatchRunner:
     def _retrieve_plan(self):
         return self.cache.get_or_compile(
             self.mapping, self.engine, fp=self.fingerprint,
-            optimize=self.optimize,
+            optimize=self.optimize, exec_mode=self.exec_mode,
         )
 
     def _account(
@@ -639,6 +665,11 @@ class BatchRunner:
         injector_bytes = (
             pickle.dumps(self.injector) if self.injector is not None else b""
         )
+        # Codegen closures don't pickle (code objects); ship the
+        # generated source string and let each worker re-exec it.
+        codegen_source = None
+        if plan.tgd_plan is not None and plan.tgd_plan.program is not None:
+            codegen_source = plan.tgd_plan.program.source
         ctx = _pool_context()
         _require_importable_for_spawn(ctx)
 
@@ -649,7 +680,8 @@ class BatchRunner:
                 initializer=_init_worker,
                 initargs=(payload, self.engine, injector_bytes,
                           self.retry.timeout, self.optimize,
-                          span_log is not None),
+                          span_log is not None, self.exec_mode,
+                          codegen_source),
             )
 
         # Retrieval accounting matches the inline path: one cache

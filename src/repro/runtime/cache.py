@@ -106,18 +106,20 @@ class PlanCache:
         require_valid: bool = True,
         fp: Optional[str] = None,
         optimize: Optional[bool] = None,
+        exec_mode: Optional[str] = None,
     ) -> CompiledPlan:
-        """The plan for ``(mapping, engine, optimize)``, compiling on
-        first use.
+        """The plan for ``(mapping, engine, optimize, exec_mode)``,
+        compiling on first use.
 
         Callers applying one mapping to many documents should compute
-        ``fp = fingerprint(mapping, engine, optimize=…)`` once and pass
-        it in: the per-document retrieval is then a pure dictionary
-        hit.  The fingerprint covers the ``optimize`` flag, so
-        optimized and naive plans for the same mapping coexist.
+        ``fp = fingerprint(mapping, engine, optimize=…, exec_mode=…)``
+        once and pass it in: the per-document retrieval is then a pure
+        dictionary hit.  The fingerprint covers the ``optimize`` flag
+        and the execution mode, so optimized, naive, and codegen plans
+        for the same mapping coexist without collisions.
         """
         if fp is None:
-            fp = fingerprint(mapping, engine, optimize=optimize)
+            fp = fingerprint(mapping, engine, optimize=optimize, exec_mode=exec_mode)
         plan = self.lookup(fp)
         if plan is not None:
             return plan
@@ -125,7 +127,7 @@ class PlanCache:
         # duplicate compile is wasted work but not an error.
         plan = compile_plan(
             mapping, engine, require_valid=require_valid, fp=fp,
-            optimize=optimize,
+            optimize=optimize, exec_mode=exec_mode,
         )
         with self._lock:
             self._stats.compile_seconds += plan.compile_seconds

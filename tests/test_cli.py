@@ -279,7 +279,7 @@ class TestNoOptimizeFlag:
             b_dir / "source.out.xml"
         ).read_text()
         doc = json.loads(metrics_path.read_text(encoding="utf-8"))
-        assert doc["plan"] == {"optimize": False}
+        assert doc["plan"] == {"optimize": False, "exec_mode": "interp"}
 
     def test_batch_metrics_carry_plan_report(
         self, mapping_file, source_file, tmp_path
@@ -291,6 +291,7 @@ class TestNoOptimizeFlag:
         ) == 0
         doc = json.loads(metrics_path.read_text(encoding="utf-8"))
         assert doc["plan"]["optimize"] is True
+        assert doc["plan"]["exec_mode"] == "interp"
         assert doc["plan"]["levels"]
         assert doc["plan"]["counters"]
         # The document still parses through the v2 metrics reader.
