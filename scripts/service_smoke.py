@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Smoke the HTTP mapping service end to end, as CI does.
+
+Boots ``python -m repro serve`` as a real subprocess on an ephemeral
+port, then drives the full register → transform → observe loop from
+the outside:
+
+1.  register the Figure 3 and Figure 6 mappings (expect 201, cache
+    miss) and re-register one (expect 200, cache *hit*);
+2.  transform the paper's source instance through each and compare the
+    response **byte for byte** against what ``python -m repro run``
+    writes for the same inputs;
+3.  round-trip a batch request and compare each document the same way;
+4.  ``GET /health`` and ``GET /metrics`` (expect 200; the metrics text
+    must show the plan-cache hit from step 1) — through real ``curl``
+    when it's on PATH, urllib otherwise, so the CI leg exercises an
+    independent HTTP client.
+
+Exit status: 0 on success, 1 on any mismatch, with a line per check.
+Stdlib only; run from the repository root::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+sys.path.insert(0, str(SRC))
+
+from repro.io import dumps  # noqa: E402
+from repro.scenarios import deptstore  # noqa: E402
+from repro.xml.serialize import to_xml  # noqa: E402
+
+FIGURES = {"fig3": deptstore.mapping_fig3, "fig6": deptstore.mapping_fig6}
+
+_failures = 0
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    global _failures
+    status = "ok" if ok else "FAIL"
+    suffix = f" ({detail})" if detail and not ok else ""
+    print(f"  [{status}] {name}{suffix}")
+    if not ok:
+        _failures += 1
+
+
+def http(method: str, url: str, body: bytes = b"",
+         content_type: str = "") -> tuple[int, bytes]:
+    request = urllib.request.Request(url, data=body or None, method=method)
+    if content_type:
+        request.add_header("Content-Type", content_type)
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def curl_get(url: str) -> tuple[int, bytes]:
+    """GET via real curl when available (an independent HTTP client),
+    urllib otherwise."""
+    curl = shutil.which("curl")
+    if curl is None:
+        return http("GET", url)
+    result = subprocess.run(
+        [curl, "--silent", "--show-error", "--max-time", "60",
+         "--write-out", "%{http_code}", "--output", "-", url],
+        capture_output=True, check=False,
+    )
+    if result.returncode != 0:
+        return 0, result.stderr
+    body, status = result.stdout[:-3], int(result.stdout[-3:])
+    return status, body
+
+
+def cli_run(tmp: Path, figure: str, *flags: str) -> bytes:
+    """The byte-identity reference: what the CLI writes for the same
+    mapping and source."""
+    mapping_path = tmp / f"{figure}.json"
+    source_path = tmp / "source.xml"
+    out_path = tmp / f"{figure}.out.xml"
+    mapping_path.write_text(dumps(FIGURES[figure]()), encoding="utf-8")
+    source_path.write_text(to_xml(deptstore.source_instance()),
+                           encoding="utf-8")
+    subprocess.run(
+        [sys.executable, "-m", "repro", "run", str(mapping_path),
+         str(source_path), "-o", str(out_path), *flags],
+        check=True, env={"PYTHONPATH": str(SRC)}, cwd=REPO,
+        capture_output=True,
+    )
+    return out_path.read_bytes()
+
+
+def main() -> int:
+    print("service smoke: booting `python -m repro serve --port 0`")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={"PYTHONPATH": str(SRC)}, cwd=REPO,
+    )
+    try:
+        banner = server.stdout.readline().strip()
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if not match:
+            print(f"  [FAIL] could not parse banner: {banner!r}")
+            return 1
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        print(f"  listening at {base}")
+        source = to_xml(deptstore.source_instance()).encode("utf-8")
+
+        fingerprints = {}
+        for figure, make_mapping in sorted(FIGURES.items()):
+            status, body = http(
+                "POST", f"{base}/mappings",
+                dumps(make_mapping()).encode("utf-8"),
+            )
+            doc = json.loads(body)
+            check(f"register {figure}", status == 201
+                  and doc.get("cache") == "miss", f"{status} {body[:120]!r}")
+            fingerprints[figure] = doc.get("fingerprint", "")
+
+        status, body = http(
+            "POST", f"{base}/mappings",
+            dumps(FIGURES["fig3"]()).encode("utf-8"),
+        )
+        check("re-register fig3 is a plan-cache hit",
+              status == 200 and json.loads(body).get("cache") == "hit",
+              f"{status} {body[:120]!r}")
+
+        with tempfile.TemporaryDirectory() as tmp:
+            for figure in sorted(FIGURES):
+                expected = cli_run(Path(tmp), figure)
+                status, body = http(
+                    "POST",
+                    f"{base}/transform?mapping={fingerprints[figure]}",
+                    source,
+                )
+                check(f"transform {figure} == CLI run output",
+                      status == 200 and body == expected,
+                      f"{status}, {len(body)} vs {len(expected)} bytes")
+
+            expected = cli_run(Path(tmp), "fig6")
+            status, body = http(
+                "POST", f"{base}/transform/batch",
+                json.dumps({
+                    "mapping": fingerprints["fig6"],
+                    "documents": [source.decode("utf-8")] * 2,
+                }).encode("utf-8"),
+                content_type="application/json",
+            )
+            doc = json.loads(body) if status == 200 else {}
+            check("batch transform == CLI run output",
+                  status == 200
+                  and doc.get("succeeded") == 2
+                  and all(entry["xml"].encode("utf-8") == expected
+                          for entry in doc.get("results", [])),
+                  f"{status} {body[:160]!r}")
+
+        status, body = curl_get(f"{base}/health")
+        check("GET /health", status == 200
+              and json.loads(body).get("status") == "ok",
+              f"{status} {body[:120]!r}")
+
+        status, body = curl_get(f"{base}/metrics")
+        text = body.decode("utf-8", "replace")
+        check("GET /metrics", status == 200
+              and "clip_service_requests_total" in text,
+              f"{status} {text[:120]!r}")
+        match = re.search(
+            r"^clip_service_plan_cache_hits_total (\d+)$", text, re.M
+        )
+        check("plan-cache hits visible in /metrics",
+              match is not None and int(match.group(1)) >= 1,
+              text[:200])
+
+        if _failures:
+            print(f"service smoke: {_failures} check(s) FAILED")
+            return 1
+        print("service smoke: all checks passed")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

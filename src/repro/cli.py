@@ -33,7 +33,16 @@ saved by :mod:`repro.io`:
 * ``suggest SOURCE.xsd TARGET.xsd [--threshold T]`` — schema matching
   plus generated mapping;
 * ``figures [FIG]`` — reproduce the paper's figure outputs;
-* ``table1`` — reproduce the Table I flexibility measurement.
+* ``table1`` — reproduce the Table I flexibility measurement;
+* ``serve [--host H] [--port N] [--workers N] [--deadline SECONDS]
+  [--dead-letter-dir DIR] [--max-inflight N] [--history N]`` — run the
+  long-lived HTTP mapping service (:mod:`repro.service`): register
+  mappings once, transform documents against warm compiled plans,
+  scrape Prometheus metrics.  Every flag falls back to its
+  ``CLIP_SERVICE_*`` environment variable, then to the documented
+  default; the HMAC secret is environment-only
+  (``CLIP_SERVICE_SECRET``), never a flag, so it can't leak into
+  ``ps`` output.
 """
 
 from __future__ import annotations
@@ -447,6 +456,41 @@ def _cmd_table1(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from .service import ClipService, ServiceConfig, make_server
+
+    try:
+        config = ServiceConfig.resolve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            deadline=args.deadline,
+            dead_letter_dir=args.dead_letter_dir,
+            max_inflight=args.max_inflight,
+            history=args.history,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = ClipService(config)
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    # The definitive line: with --port 0 the OS picks the port, and the
+    # smoke harness parses it from here.  Flush so a piped parent sees
+    # it before the first request.
+    print(f"clip service listening on http://{host}:{port}", flush=True)
+    if config.secret is not None:
+        print("request signing: required (X-Clip-Signature)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -657,6 +701,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run one dead-lettered case directory instead of fuzzing",
     )
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the HTTP mapping service (register once, transform "
+             "against warm compiled plans; see repro.service)",
+    )
+    serve.add_argument(
+        "--host", default=None,
+        help="bind address (default: CLIP_SERVICE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port; 0 picks an ephemeral port "
+             "(default: CLIP_SERVICE_PORT or 8317)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="process fan-out ceiling for POST /transform/batch "
+             "(default: CLIP_SERVICE_WORKERS or 1)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock budget; 0 disables "
+             "(default: CLIP_SERVICE_DEADLINE or 30)",
+    )
+    serve.add_argument(
+        "--dead-letter-dir", default=None, metavar="DIR",
+        help="persist failed inputs under DIR/<request-id>/ "
+             "(default: CLIP_SERVICE_DEAD_LETTER_DIR or off)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="concurrent-request ceiling before shedding with 503 "
+             "(default: CLIP_SERVICE_MAX_INFLIGHT or 64)",
+    )
+    serve.add_argument(
+        "--history", type=int, default=None, metavar="N",
+        help="past requests keeping fetchable metrics/trace/explain "
+             "(default: CLIP_SERVICE_HISTORY or 256)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -135,6 +135,37 @@ class WorkerSetupError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """A request to the mapping service could not be served.
+
+    The HTTP layer (:mod:`repro.service`) maps this hierarchy — and the
+    rest of :mod:`repro.errors` — onto structured JSON error envelopes
+    with appropriate status codes; see ``repro.service.app.error_status``.
+    """
+
+
+class AuthError(ServiceError):
+    """A service request failed HMAC authentication (missing or wrong
+    ``X-Clip-Signature`` when the shared secret is configured)."""
+
+
+class UnknownMappingError(ServiceError):
+    """A transform request referenced a mapping fingerprint that was
+    never registered (``POST /mappings``) with the service."""
+
+
+class PayloadTooLargeError(ServiceError):
+    """A request body exceeded the service's configured size ceiling."""
+
+
+class OverloadError(TransientError):
+    """The service shed a request because too many were in flight.
+
+    Transient by definition — the client should back off and retry —
+    so the triage of :func:`repro.runtime.retry.is_transient` applies.
+    """
+
+
 class GenerationError(ReproError):
     """Mapping generation (tableaux/skeletons/nesting) failed."""
 

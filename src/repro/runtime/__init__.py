@@ -74,7 +74,7 @@ from .plan import (
     plan_from_tgd,
     trace_seed,
 )
-from .retry import RetryPolicy, call_with_timeout, is_transient
+from .retry import Deadline, RetryPolicy, call_with_timeout, is_transient
 from .trace import (
     PARSEABLE_TRACE_VERSIONS,
     TRACE_FORMAT,
@@ -96,6 +96,7 @@ __all__ = [
     "CacheStats",
     "CompiledPlan",
     "DeadLetter",
+    "Deadline",
     "DocumentFailure",
     "ErrorPolicy",
     "Fault",

@@ -56,7 +56,8 @@ from ..xsd.validate import validate as validate_instance
 from .cache import PlanCache, default_cache
 from .faults import DeadLetter, DocumentFailure, ErrorPolicy, FaultInjector
 from .metrics import BatchMetrics
-from .plan import ENGINES, fingerprint, plan_from_tgd
+from .plan import ENGINES, plan_from_tgd
+from .plan import fingerprint as compute_fingerprint
 from .retry import RetryPolicy, call_with_timeout
 from .trace import event_payload, shift_payload
 
@@ -382,6 +383,14 @@ class BatchRunner:
         (document, attempt), so the canonical trace is byte-identical
         for any worker count.  ``None`` (default) records nothing and
         costs nothing.
+    fingerprint:
+        The precomputed plan fingerprint of ``(mapping, engine,
+        optimize, exec_mode)``, for callers (the HTTP service) that
+        construct a runner per request against an already-registered
+        mapping; ``None`` (default) computes it, as before.  Passing a
+        fingerprint that does not match the other arguments corrupts
+        cache keying — only pass values obtained from
+        :func:`repro.runtime.plan.fingerprint` with identical inputs.
     """
 
     def __init__(
@@ -402,6 +411,7 @@ class BatchRunner:
         optimize: Optional[bool] = None,
         exec_mode: Optional[str] = None,
         trace=None,
+        fingerprint: Optional[str] = None,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; use one of {ENGINES}")
@@ -431,9 +441,17 @@ class BatchRunner:
             engine, self.optimize, exec_mode
         )
         # One fingerprint per runner: per-document retrievals are then
-        # pure dictionary hits.
-        self.fingerprint = fingerprint(
-            mapping, engine, optimize=self.optimize, exec_mode=self.exec_mode
+        # pure dictionary hits.  A long-lived caller (the HTTP service)
+        # that already fingerprinted the mapping at registration passes
+        # it in, keeping per-request runner construction free of the
+        # serialize-and-hash cost.
+        self.fingerprint = (
+            fingerprint
+            if fingerprint is not None
+            else compute_fingerprint(
+                mapping, engine, optimize=self.optimize,
+                exec_mode=self.exec_mode,
+            )
         )
 
     # -- execution ---------------------------------------------------------

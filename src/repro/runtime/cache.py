@@ -86,6 +86,17 @@ class PlanCache:
                 self._plans.popitem(last=False)
                 self._stats.evictions += 1
 
+    def peek(self, fp: str) -> Optional[CompiledPlan]:
+        """The cached plan for a fingerprint without touching the
+        hit/miss counters or the LRU order.
+
+        Observability callers (the service's mapping-detail endpoint,
+        diagnostics) use this so that *inspecting* the cache never
+        perturbs the statistics that serving traffic reports.
+        """
+        with self._lock:
+            return self._plans.get(fp)
+
     def lookup(self, fp: str) -> Optional[CompiledPlan]:
         """The cached plan for a fingerprint, or ``None`` (counts as a
         hit or miss)."""

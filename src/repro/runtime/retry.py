@@ -20,6 +20,7 @@ timeout that :func:`call_with_timeout` enforces.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -88,6 +89,61 @@ class RetryPolicy:
         if attempts_made > self.max_retries:
             return False
         return transient or self.retry_permanent
+
+
+class Deadline:
+    """A wall-clock budget that starts ticking when constructed.
+
+    The serving layer hands each request one deadline; every stage of
+    handling (body parse, plan retrieval, evaluation) then runs under
+    whatever is *left* of the budget rather than a fresh one, so a slow
+    early stage cannot grant later stages more time than the request
+    has.  ``budget=None`` is unbounded — every method degrades to a
+    no-op wrapper.
+
+    Overruns surface as :class:`repro.errors.DocumentTimeout`, the same
+    transient-classified error the per-document batch timeout raises,
+    so the existing retry/error-policy triage applies unchanged.
+    """
+
+    __slots__ = ("budget", "_started")
+
+    def __init__(self, budget: Optional[float]):
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget!r}")
+        self.budget = budget
+        self._started = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return time.monotonic() - self._started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (never negative), or ``None`` when unbounded."""
+        if self.budget is None:
+            return None
+        return max(0.0, self.budget - self.elapsed())
+
+    def expired(self) -> bool:
+        """Whether the budget has run out (never, when unbounded)."""
+        return self.budget is not None and self.elapsed() >= self.budget
+
+    def run(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn()`` under the *remaining* budget.
+
+        Raises :class:`DocumentTimeout` immediately when the budget is
+        already spent, and via :func:`call_with_timeout` when ``fn``
+        overruns what is left.
+        """
+        remaining = self.remaining()
+        if remaining is None:
+            return fn()
+        if remaining <= 0:
+            raise DocumentTimeout(
+                f"deadline exceeded before evaluation started "
+                f"({self.budget:g}s budget)"
+            )
+        return call_with_timeout(fn, remaining)
 
 
 def call_with_timeout(

@@ -1,0 +1,76 @@
+"""Mapping-as-a-service: a long-lived HTTP server over the runtime.
+
+The paper's workflow ends where production begins: a mapping, once
+designed, is applied to documents forever after.  This package is that
+serving layer — compile once at registration into the shared
+:class:`~repro.runtime.cache.PlanCache`, then transform over HTTP with
+warm plans, per-request deadlines, overload shedding, dead-letter
+capture and Prometheus metrics.  Stdlib only (``http.server``), like
+everything else in the repro.
+
+Layering:
+
+* :mod:`repro.service.config` — :class:`ServiceConfig` and the generic
+  flag > environment > default :func:`resolve_setting` rule
+  (``CLIP_SERVICE_*`` variables);
+* :mod:`repro.service.app` — :class:`ClipService`, the transport-
+  independent request handling (every endpoint, every error envelope);
+* :mod:`repro.service.server` — the ``ThreadingHTTPServer`` shim and
+  :func:`make_server`;
+* :mod:`repro.service.auth` — optional HMAC-SHA256 request signing
+  (:func:`sign_body`, the ``X-Clip-Signature`` header);
+* :mod:`repro.service.metrics` — :class:`ServiceMetrics` and its
+  Prometheus text rendering.
+
+Run it with ``python -m repro serve`` (see the CLI), or embed it::
+
+    from repro.service import ClipService, ServiceConfig, make_server
+
+    service = ClipService(ServiceConfig.resolve(port=0))
+    server = make_server(service)
+    print(server.server_address[1])   # the bound port
+    server.serve_forever()
+"""
+
+from __future__ import annotations
+
+from .app import (
+    BATCH_FORMAT,
+    ERROR_FORMAT,
+    MAPPING_FORMAT,
+    ClipService,
+    RegisteredMapping,
+    ServiceResponse,
+    error_status,
+    status_for_failure,
+)
+from .auth import SIGNATURE_HEADER, sign_body, verify_signature
+from .config import (
+    DEFAULT_DEADLINE,
+    DEFAULT_PORT,
+    ServiceConfig,
+    resolve_setting,
+)
+from .metrics import ServiceMetrics
+from .server import ClipHTTPServer, make_server
+
+__all__ = [
+    "BATCH_FORMAT",
+    "DEFAULT_DEADLINE",
+    "DEFAULT_PORT",
+    "ERROR_FORMAT",
+    "MAPPING_FORMAT",
+    "SIGNATURE_HEADER",
+    "ClipHTTPServer",
+    "ClipService",
+    "RegisteredMapping",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceResponse",
+    "error_status",
+    "make_server",
+    "resolve_setting",
+    "sign_body",
+    "status_for_failure",
+    "verify_signature",
+]

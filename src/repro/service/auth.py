@@ -1,0 +1,59 @@
+"""Optional HMAC request authentication for the mapping service.
+
+When the service is configured with a shared secret
+(``CLIP_SERVICE_SECRET``), every request except ``GET /health`` must
+carry an ``X-Clip-Signature`` header: the lowercase hex HMAC-SHA256 of
+the raw request body under the secret (the empty body for GETs).  A
+``sha256=`` prefix is accepted for parity with common webhook
+conventions.  Verification is constant-time (``hmac.compare_digest``),
+and a missing or wrong signature is rejected with a structured 401
+before any request parsing happens — an unauthenticated caller can
+never reach the XML parser or the plan cache.
+
+Without a secret configured the service is open, which is the right
+default for localhost development and the CI smoke leg; the health
+endpoint stays open either way so load balancers can probe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+from ..errors import AuthError
+
+#: The request header carrying the body signature.
+SIGNATURE_HEADER = "X-Clip-Signature"
+
+
+def sign_body(secret: str, body: bytes) -> str:
+    """The lowercase hex HMAC-SHA256 of ``body`` under ``secret`` —
+    what a client puts in :data:`SIGNATURE_HEADER`."""
+    return hmac.new(
+        secret.encode("utf-8"), body, hashlib.sha256
+    ).hexdigest()
+
+
+def verify_signature(
+    secret: Optional[str], body: bytes, signature: Optional[str]
+) -> None:
+    """Enforce the signature contract; no-op when no secret is set.
+
+    Raises :class:`repro.errors.AuthError` on a missing or mismatched
+    signature.  Comparison is constant-time.
+    """
+    if secret is None:
+        return
+    if not signature:
+        raise AuthError(
+            f"missing {SIGNATURE_HEADER} header (the service is "
+            "configured with a shared secret; sign the request body "
+            "with HMAC-SHA256)"
+        )
+    provided = signature.strip()
+    if provided.lower().startswith("sha256="):
+        provided = provided[len("sha256="):]
+    expected = sign_body(secret, body)
+    if not hmac.compare_digest(expected, provided.lower()):
+        raise AuthError("request signature does not match the body")

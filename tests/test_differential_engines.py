@@ -250,6 +250,40 @@ def test_traced_batch_matches_untraced_batch(instance):
     assert tracer.to_trace().find("batch") is not None
 
 
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(instance=_SOURCE_INSTANCES)
+def test_service_transform_is_byte_identical_to_direct_engines(instance):
+    """The HTTP service is differential too: a transform served through
+    ``ClipService.dispatch`` serializes byte-identically to the direct
+    engine invocation for every generated instance — the service is a
+    deployment surface over the same plans, never a fourth engine."""
+    import json
+
+    from repro.io import dumps
+    from repro.service import ClipService, ServiceConfig
+    from repro.xml.serialize import to_xml
+
+    source_text = to_xml(instance)
+    service = ClipService(ServiceConfig.resolve(environ={}), cache=_CACHE)
+    for figure in ("fig3", "fig6", "fig7"):
+        mapping = _SCENARIOS[figure]()
+        registered = service.dispatch(
+            "POST", "/mappings", {}, dumps(mapping).encode()
+        )
+        assert registered.status in (200, 201)
+        fingerprint = json.loads(registered.body)["fingerprint"]
+        response = service.dispatch(
+            "POST", f"/transform?mapping={fingerprint}", {},
+            source_text.encode(),
+        )
+        assert response.status == 200, response.body
+        direct = to_xml(_apply(figure, "tgd", instance))
+        assert response.body.decode() == direct, (
+            f"{figure}: service transform diverges from the tgd engine"
+        )
+
+
 def test_paper_instance_through_all_engines():
     """The paper's own instance, as a pinned differential case."""
     instance = deptstore.source_instance()

@@ -78,6 +78,29 @@ class TestPlanCache:
         stats = cache.stats
         assert (stats.misses, stats.hits) == (1, 1)
 
+    def test_peek_never_touches_counters_or_lru_order(self):
+        """``peek`` is the observability read (the service's mapping-
+        detail endpoint): it must neither count as a hit/miss nor
+        refresh the entry's LRU position."""
+        cache = PlanCache(maxsize=2)
+        mapping = deptstore.mapping_fig4()
+        fp = fingerprint(mapping)
+        assert cache.peek(fp) is None  # a miss that is not counted
+        plan = cache.get_or_compile(mapping)
+        stats_before = cache.stats
+        assert cache.peek(fp) is plan
+        stats_after = cache.stats
+        assert (stats_after.hits, stats_after.misses) == (
+            stats_before.hits, stats_before.misses,
+        )
+        # LRU order: peeking fig4 must NOT save it from eviction once
+        # two fresher plans arrive.
+        cache.get_or_compile(deptstore.mapping_fig3())
+        cache.peek(fp)
+        cache.get_or_compile(deptstore.mapping_fig7())
+        assert cache.peek(fp) is None
+        assert cache.stats.evictions == 1
+
     def test_mutated_mapping_misses(self):
         cache = PlanCache()
         mapping = deptstore.mapping_fig3()

@@ -16,6 +16,7 @@ import pytest
 from repro.errors import DocumentTimeout
 from repro.runtime import (
     BatchRunner,
+    Deadline,
     Fault,
     FaultInjector,
     PlanCache,
@@ -124,6 +125,56 @@ class TestTimeoutOnFinalAttempt:
 
         with pytest.raises(KeyError):
             call_with_timeout(boom, timeout=5.0)
+
+
+class TestDeadline:
+    """The whole-request budget the HTTP service wraps around parse +
+    evaluate, built on the same timeout triage as the batch runner."""
+
+    def test_unbounded_deadline_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        assert deadline.run(lambda: 42) == 42
+
+    def test_remaining_shrinks_and_floors_at_zero(self):
+        deadline = Deadline(30.0)
+        first = deadline.remaining()
+        time.sleep(0.01)
+        second = deadline.remaining()
+        assert first > second > 0
+        spent = Deadline(1e-9)
+        time.sleep(0.01)
+        assert spent.remaining() == 0.0
+        assert spent.expired()
+
+    def test_run_raises_document_timeout_on_overrun(self):
+        with pytest.raises(DocumentTimeout) as excinfo:
+            Deadline(0.02).run(lambda: time.sleep(1.0))
+        assert is_transient(excinfo.value)
+
+    def test_run_on_a_spent_deadline_raises_before_calling(self):
+        deadline = Deadline(1e-9)
+        time.sleep(0.01)
+        calls = []
+        with pytest.raises(DocumentTimeout, match="before evaluation"):
+            deadline.run(lambda: calls.append(1))
+        assert calls == []
+
+    def test_nonpositive_budget_is_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_run_relays_result_and_error(self):
+        assert Deadline(5.0).run(lambda: "ok") == "ok"
+
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            Deadline(5.0).run(boom)
 
 
 class TestBackoffDeterminism:

@@ -1,0 +1,139 @@
+"""Concurrent clients against one warm plan, over a real socket.
+
+The warm-path contract of the service: N threads hammering
+``POST /transform`` with the same registered mapping must each get the
+byte-identical response (the engines are pure functions of
+plan × document, and the plan is shared), and the plan cache must
+account exactly one hit per document — no misses, no duplicate
+compiles — however the threads interleave.  ``GET /metrics`` is the
+witness: the hit counter's delta equals the request count.
+
+This is the one test module that exercises the real
+``ThreadingHTTPServer`` shim (sockets, keep-alive, concurrent handler
+threads); everything protocol-level lives in sockets-free
+:mod:`tests.test_service` against ``ClipService.dispatch``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import dumps
+from repro.scenarios import deptstore
+from repro.service import ClipService, ServiceConfig, make_server
+from repro.xml.serialize import to_xml
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One live server for the module: ephemeral port, generous
+    in-flight ceiling, no deadline (the test machine may be slow)."""
+    service = ClipService(ServiceConfig.resolve(
+        port=0, deadline=0.0, max_inflight=256, environ={},
+    ))
+    httpd = make_server(service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    try:
+        yield base
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def warm(server):
+    """The mapping registered (and its plan compiled) exactly once."""
+    body = dumps(deptstore.mapping_fig3()).encode()
+    request = urllib.request.Request(
+        f"{server}/mappings", data=body, method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        fingerprint = json.loads(response.read())["fingerprint"]
+    return server, fingerprint, to_xml(deptstore.source_instance()).encode()
+
+
+def post_transform(base: str, fingerprint: str, document: bytes) -> bytes:
+    request = urllib.request.Request(
+        f"{base}/transform?mapping={fingerprint}",
+        data=document, method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 200
+        return response.read()
+
+
+def plan_cache_counter(base: str, name: str) -> int:
+    with urllib.request.urlopen(f"{base}/metrics", timeout=30) as response:
+        text = response.read().decode()
+    match = re.search(
+        rf"^clip_service_plan_cache_{name}_total (\d+)$", text, re.M
+    )
+    assert match, f"clip_service_plan_cache_{name}_total missing:\n{text}"
+    return int(match.group(1))
+
+
+@settings(max_examples=5, deadline=None)
+@given(threads=st.integers(min_value=2, max_value=8))
+def test_hammering_one_warm_plan_is_deterministic_and_all_hits(
+    warm, threads
+):
+    base, fingerprint, document = warm
+    requests_per_thread = 3
+    total = threads * requests_per_thread
+    hits_before = plan_cache_counter(base, "hits")
+    misses_before = plan_cache_counter(base, "misses")
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        bodies = list(pool.map(
+            lambda _: post_transform(base, fingerprint, document),
+            range(total),
+        ))
+    assert len(set(bodies)) == 1, "concurrent responses diverged"
+    # Exactly one cache hit per transformed document, zero misses: the
+    # plan compiled at registration is the only plan there ever is.
+    assert plan_cache_counter(base, "hits") - hits_before == total
+    assert plan_cache_counter(base, "misses") - misses_before == 0
+
+
+def test_concurrent_response_matches_the_sequential_one(warm):
+    base, fingerprint, document = warm
+    sequential = post_transform(base, fingerprint, document)
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        bodies = list(pool.map(
+            lambda _: post_transform(base, fingerprint, document),
+            range(12),
+        ))
+    assert all(body == sequential for body in bodies)
+
+
+def test_keep_alive_connection_survives_many_requests(warm):
+    """HTTP/1.1 with explicit Content-Length: one connection, many
+    requests — the handler never chunks and never force-closes."""
+    import http.client
+
+    base, fingerprint, document = warm
+    host = base[len("http://"):]
+    connection = http.client.HTTPConnection(host, timeout=30)
+    try:
+        first = None
+        for _ in range(5):
+            connection.request(
+                "POST", f"/transform?mapping={fingerprint}", body=document
+            )
+            response = connection.getresponse()
+            body = response.read()
+            assert response.status == 200
+            first = body if first is None else first
+            assert body == first
+    finally:
+        connection.close()
