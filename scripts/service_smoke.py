@@ -11,10 +11,14 @@ the outside:
     response **byte for byte** against what ``python -m repro run``
     writes for the same inputs;
 3.  round-trip a batch request and compare each document the same way;
-4.  ``GET /health`` and ``GET /metrics`` (expect 200; the metrics text
-    must show the plan-cache hit from step 1) — through real ``curl``
-    when it's on PATH, urllib otherwise, so the CI leg exercises an
-    independent HTTP client.
+4.  edit the source and ``POST /transform/delta`` against the step-2
+    request: the incremental response must be byte-identical to a full
+    transform of the edited document;
+5.  ``GET /health`` and ``GET /metrics`` (expect 200; the metrics text
+    must show the plan-cache hit from step 1, the latency histogram
+    buckets, and the incremental hit/fallback counters) — through real
+    ``curl`` when it's on PATH, urllib otherwise, so the CI leg
+    exercises an independent HTTP client.
 
 Exit status: 0 on success, 1 on any mismatch, with a line per check.
 Stdlib only; run from the repository root::
@@ -58,14 +62,21 @@ def check(name: str, ok: bool, detail: str = "") -> None:
 
 def http(method: str, url: str, body: bytes = b"",
          content_type: str = "") -> tuple[int, bytes]:
+    status, _, body = http_full(method, url, body, content_type)
+    return status, body
+
+
+def http_full(method: str, url: str, body: bytes = b"",
+              content_type: str = "") -> tuple[int, dict, bytes]:
+    """Like :func:`http` but also returns the response headers."""
     request = urllib.request.Request(url, data=body or None, method=method)
     if content_type:
         request.add_header("Content-Type", content_type)
     try:
         with urllib.request.urlopen(request, timeout=60) as response:
-            return response.status, response.read()
+            return response.status, dict(response.headers), response.read()
     except urllib.error.HTTPError as error:
-        return error.code, error.read()
+        return error.code, dict(error.headers or {}), error.read()
 
 
 def curl_get(url: str) -> tuple[int, bytes]:
@@ -139,10 +150,11 @@ def main() -> int:
               status == 200 and json.loads(body).get("cache") == "hit",
               f"{status} {body[:120]!r}")
 
+        delta_base_request = ""
         with tempfile.TemporaryDirectory() as tmp:
             for figure in sorted(FIGURES):
                 expected = cli_run(Path(tmp), figure)
-                status, body = http(
+                status, headers, body = http_full(
                     "POST",
                     f"{base}/transform?mapping={fingerprints[figure]}",
                     source,
@@ -150,6 +162,8 @@ def main() -> int:
                 check(f"transform {figure} == CLI run output",
                       status == 200 and body == expected,
                       f"{status}, {len(body)} vs {len(expected)} bytes")
+                if figure == "fig3":
+                    delta_base_request = headers.get("X-Clip-Request", "")
 
             expected = cli_run(Path(tmp), "fig6")
             status, body = http(
@@ -168,6 +182,35 @@ def main() -> int:
                           for entry in doc.get("results", [])),
                   f"{status} {body[:160]!r}")
 
+        edited_instance = deptstore.source_instance()
+        for node in edited_instance.iter():
+            if node.tag == "ename":
+                node.clear_text()
+                node.set_text("Edited Name")
+                break
+        edited = to_xml(edited_instance).encode("utf-8")
+        status, expected = http(
+            "POST", f"{base}/transform?mapping={fingerprints['fig3']}",
+            edited,
+        )
+        check("transform of edited source (delta reference)", status == 200,
+              f"{status}")
+        status, headers, body = http_full(
+            "POST", f"{base}/transform/delta",
+            json.dumps({
+                "request": delta_base_request,
+                "document": edited.decode("utf-8"),
+            }).encode("utf-8"),
+            content_type="application/json",
+        )
+        check("delta transform == full transform of edited source",
+              status == 200
+              and body == expected
+              and headers.get("X-Clip-Incremental", "")
+              in ("unchanged", "scoped", "fallback"),
+              f"{status}, {len(body)} vs {len(expected)} bytes, "
+              f"mode={headers.get('X-Clip-Incremental')!r}")
+
         status, body = curl_get(f"{base}/health")
         check("GET /health", status == 200
               and json.loads(body).get("status") == "ok",
@@ -183,6 +226,24 @@ def main() -> int:
         )
         check("plan-cache hits visible in /metrics",
               match is not None and int(match.group(1)) >= 1,
+              text[:200])
+        match = re.search(
+            r'^clip_service_request_seconds_bucket\{endpoint="transform",'
+            r'le="\+Inf"\} (\d+)$', text, re.M,
+        )
+        check("latency histogram buckets visible in /metrics",
+              "# TYPE clip_service_request_seconds histogram" in text
+              and match is not None and int(match.group(1)) >= 1,
+              text[:200])
+        hits = re.search(
+            r"^clip_service_incremental_hits_total (\d+)$", text, re.M
+        )
+        fallbacks = re.search(
+            r"^clip_service_incremental_fallbacks_total (\d+)$", text, re.M
+        )
+        check("incremental counters visible in /metrics",
+              hits is not None and fallbacks is not None
+              and int(hits.group(1)) + int(fallbacks.group(1)) >= 1,
               text[:200])
 
         if _failures:

@@ -9,9 +9,13 @@ saved by :mod:`repro.io`:
 * ``xquery MAPPING.json`` — print the generated XQuery;
 * ``xslt MAPPING.json`` — print the generated XSLT stylesheet;
 * ``run MAPPING.json SOURCE.xml [-o OUT.xml] [--engine tgd|xquery]
-  [--no-optimize] [--exec-mode interp|codegen] [--trace-json PATH]`` —
+  [--no-optimize] [--exec-mode interp|codegen] [--trace-json PATH]
+  [--incremental PREV_SOURCE PREV_TARGET] [--baseline]`` —
   transform an instance, optionally recording a ``clip-trace``
-  execution trace;
+  execution trace; with ``--incremental``, treat SOURCE as an edited
+  document and re-transform it delta-scoped against the previous
+  run's source/target pair (``--baseline`` additionally times the
+  full recompute and checks byte-identity);
 * ``explain MAPPING.json SOURCE.xml [--json] [--no-optimize]
   [--exec-mode interp|codegen]`` — print the compiled tgd plan (hash
   joins, pushed filters, generator order) and its runtime counters for
@@ -105,6 +109,55 @@ def _write_trace(tracer, path: str) -> None:
     print(f"wrote {path}")
 
 
+def _run_incremental(args, clip, transformer, instance):
+    """``run --incremental``: delta-scoped re-transform of an edited
+    document against the previous run's source/target pair."""
+    import time
+
+    from .runtime import transform_delta
+    from .xml.diff import compute_delta
+
+    prev_source_path, prev_target_path = args.incremental
+    prev_source = parse_xml(_read(prev_source_path), schema=clip.source)
+    prev_target = parse_xml(_read(prev_target_path), schema=clip.target)
+    delta = compute_delta(prev_source, instance)
+    started = time.perf_counter()
+    result, report = transform_delta(
+        transformer.plan, prev_source, prev_target, delta,
+        new_source=instance,
+    )
+    incremental_seconds = time.perf_counter() - started
+    print(
+        f"incremental: mode={report.mode}"
+        + (f" ({report.reason})" if report.reason else "")
+        + f" records={report.delta_records}"
+        f" ratio={report.delta_ratio:.3f}"
+        f" units={report.reused_units}/{report.total_units} reused"
+        f" in {incremental_seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
+    if args.baseline:
+        started = time.perf_counter()
+        full = transformer.plan.run(instance)
+        full_seconds = time.perf_counter() - started
+        identical = to_xml(full) == to_xml(result)
+        speedup = (
+            full_seconds / incremental_seconds
+            if incremental_seconds > 0
+            else float("inf")
+        )
+        print(
+            f"baseline: full recompute in {full_seconds * 1000:.1f} ms "
+            f"({speedup:.1f}x) — byte-identical: {identical}",
+            file=sys.stderr,
+        )
+        if not identical:
+            raise ReproError(
+                "incremental result diverges from full recompute"
+            )
+    return result
+
+
 def _cmd_run(args) -> int:
     clip = load_mapping(args.mapping)
     instance = parse_xml(_read(args.source), schema=clip.source)
@@ -118,7 +171,12 @@ def _cmd_run(args) -> int:
         clip, engine=args.engine, optimize=optimize,
         exec_mode=args.exec_mode, trace=tracer,
     )
-    result = transformer(instance)
+    if args.incremental:
+        if args.engine != "tgd":
+            raise ReproError("--incremental requires the tgd engine")
+        result = _run_incremental(args, clip, transformer, instance)
+    else:
+        result = transformer(instance)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(to_xml(result))
@@ -535,6 +593,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-json", default=None, metavar="PATH",
         help="record an execution trace (compile/prepare/execute spans) "
              "and write the clip-trace JSON document here",
+    )
+    run.add_argument(
+        "--incremental", nargs=2, default=None,
+        metavar=("PREV_SOURCE", "PREV_TARGET"),
+        help="delta-scoped re-transform (tgd engine only): SOURCE is the "
+             "edited document; reuse the previous run's source/target "
+             "pair and recompute only what the edit can reach",
+    )
+    run.add_argument(
+        "--baseline", action="store_true",
+        help="with --incremental: also run the full recompute, check "
+             "byte-identity, and report both timings",
     )
     run.set_defaults(handler=_cmd_run)
 

@@ -39,11 +39,13 @@ hash build/probe sizes) feed :mod:`repro.executor.stats` and the
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional, Union
 
 from ..core.tgd import (
+    AggregateApp,
     Constant,
+    FunctionApp,
     Membership,
     NestedTgd,
     Proj,
@@ -53,6 +55,7 @@ from ..core.tgd import (
     TgdExpr,
     TgdMapping,
     Var,
+    expr_labels,
     expr_root,
 )
 from ..errors import ExecutionError
@@ -170,6 +173,17 @@ class LevelPlan:
     #: well-formed tgds) — applied after enumeration, like the naive path.
     residual: tuple[SourceCondition, ...] = ()
     reordered: bool = False
+    #: The level's **source read-set**: every absolute label chain
+    #: (relative to the source root, ``@name``/``value`` terminals
+    #: included) that the level's generators, conditions, grouping
+    #: attributes, or assignment values can read.  Computed by
+    #: :func:`plan_tgd`, which threads variable bindings down the
+    #: mapping tree; ``()`` for a bare :func:`plan_level` call.
+    read_paths: tuple[tuple[str, ...], ...] = ()
+    #: ``False`` when any read could not be resolved to an absolute
+    #: chain — consumers must then treat the level as reading the
+    #: whole document.
+    reads_resolved: bool = True
 
     @property
     def order(self) -> tuple[int, ...]:
@@ -197,6 +211,12 @@ class LevelPlan:
                 for slot in self.slots
             ],
             "residual": [str(c) for c in self.residual],
+            # Additive clip-plan-explain key (version unchanged):
+            # renderers that predate it ignore unknown keys.
+            "reads": {
+                "resolved": self.reads_resolved,
+                "paths": ["/".join(chain) for chain in self.read_paths],
+            },
         }
 
 
@@ -325,6 +345,92 @@ def plan_level(mapping: TgdMapping, depth: int) -> LevelPlan:
     )
 
 
+# -- source read-sets --------------------------------------------------------
+
+#: Variable → the absolute label chains its bindings come from, or
+#: ``None`` when the chains could not be resolved.
+_VarChains = dict[str, Optional[frozenset[tuple[str, ...]]]]
+
+
+def _term_exprs(term) -> list[TgdExpr]:
+    """The source expressions a term reads (constants read nothing)."""
+    if isinstance(term, FunctionApp):
+        return [expr for arg in term.args for expr in _term_exprs(arg)]
+    if isinstance(term, AggregateApp):
+        return [term.arg]
+    if isinstance(term, Constant):
+        return []
+    return [term]
+
+
+def _collect_level_reads(
+    mapping: TgdMapping, var_chains: _VarChains
+) -> tuple[frozenset[tuple[str, ...]], bool]:
+    """One level's source read-set, as absolute label chains.
+
+    ``var_chains`` maps outer variables to the chains their bindings
+    come from; this level's generator variables are added to it (so the
+    caller can thread it into submappings).  Returns the chains plus a
+    resolution flag — ``False`` means some read could not be anchored
+    to the source root, and the level must be treated as reading
+    everything.
+    """
+    chains: set[tuple[str, ...]] = set()
+    resolved = True
+
+    def expr_chains(expr: TgdExpr) -> Optional[frozenset[tuple[str, ...]]]:
+        nonlocal resolved
+        root = expr_root(expr)
+        labels = tuple(expr_labels(expr))
+        if isinstance(root, SchemaRoot):
+            return frozenset({labels})
+        if isinstance(root, Var):
+            bases = var_chains.get(root.name)
+            if bases is not None:
+                return frozenset(base + labels for base in bases)
+        resolved = False
+        return None
+
+    def add(expr: TgdExpr, *, atomic: bool = False) -> None:
+        found = expr_chains(expr)
+        if found is None:
+            return
+        chains.update(found)
+        if atomic:
+            # Atomic consumption (_eval_atoms) reads the *text* of
+            # element operands, so a chain ending at an element also
+            # reads one step deeper than the chain spells out.
+            for chain in found:
+                if not chain or not (
+                    chain[-1] == "value" or chain[-1].startswith("@")
+                ):
+                    chains.add(chain + ("value",))
+
+    for gen in mapping.source_gens:
+        gen_chains = expr_chains(gen.expr)
+        if gen_chains is not None:
+            chains.update(gen_chains)
+        var_chains[gen.var] = gen_chains
+    for condition in mapping.where:
+        if isinstance(condition, Membership):
+            # Identity/node-set reads: the member and collection chains
+            # themselves, no implicit text read.
+            for operand in (condition.member, condition.collection):
+                if not isinstance(operand, Constant):
+                    add(operand)
+        elif isinstance(condition, TgdComparison):
+            for operand in (condition.left, condition.right):
+                if not isinstance(operand, Constant):
+                    add(operand, atomic=True)
+    if mapping.skolem is not None:
+        for attr in mapping.skolem[1].attrs:
+            add(attr, atomic=True)
+    for assignment in mapping.assignments:
+        for expr in _term_exprs(assignment.value):
+            add(expr, atomic=True)
+    return frozenset(chains), resolved
+
+
 @dataclass(frozen=True)
 class PlannedTgd:
     """Every level of a nested tgd, compiled."""
@@ -345,16 +451,25 @@ class PlannedTgd:
 
 
 def plan_tgd(tgd: NestedTgd) -> PlannedTgd:
-    """Compile every level of a nested tgd into a :class:`PlannedTgd`."""
+    """Compile every level of a nested tgd into a :class:`PlannedTgd`,
+    annotating each with its source read-set (variable chains are
+    threaded down the mapping tree, so an inner level's reads resolve
+    through its outer generators)."""
     levels: list[LevelPlan] = []
 
-    def walk(mapping: TgdMapping, depth: int) -> None:
-        levels.append(plan_level(mapping, depth))
+    def walk(mapping: TgdMapping, depth: int, outer: _VarChains) -> None:
+        scope: _VarChains = dict(outer)
+        reads, resolved = _collect_level_reads(mapping, scope)
+        levels.append(replace(
+            plan_level(mapping, depth),
+            read_paths=tuple(sorted(reads)),
+            reads_resolved=resolved,
+        ))
         for sub in mapping.submappings:
-            walk(sub, depth + 1)
+            walk(sub, depth + 1, scope)
 
     for root in tgd.roots:
-        walk(root, 0)
+        walk(root, 0, {})
     return PlannedTgd(tgd, tuple(levels))
 
 
@@ -437,6 +552,94 @@ def _is_nan(value) -> bool:
     return isinstance(value, float) and value != value
 
 
+def _value_chains(chain: tuple[str, ...]) -> set[tuple[str, ...]]:
+    """The chain plus its implicit ``value`` terminal (atoms of an
+    element read come from its text node)."""
+    if chain and (chain[-1] == "value" or chain[-1].startswith("@")):
+        return {chain}
+    return {chain, chain + ("value",)}
+
+
+class PlanMemo:
+    """Document-scoped memo entries shared across engines over one
+    (logically maintained) document.
+
+    A fresh :class:`_OptimizedEngine` memoizes generator sequences, join
+    hash tables and loop-invariant atom evaluations per run; entries
+    keyed off the schema root depend only on the document, not on any
+    binding, so an owner that keeps the document alive can carry them
+    across engines.  The incremental session
+    (:class:`repro.runtime.incremental.IncrementalSession`) does exactly
+    that: it maintains one source tree across deltas, and because
+    in-place delta application preserves node identities, an entry
+    stays valid until an edit lands on one of the label chains it was
+    computed from.  :meth:`invalidate` takes the touched chains split
+    by kind (see :meth:`repro.xml.diff.Delta.tag_paths_by_kind`):
+    structural chains drop entries related by prefix in either
+    direction — the conservative test that covers node-set reads (edits
+    at or above the chain change the population) and value reads (edits
+    below change the values) — while value chains, which name the exact
+    leaf position a mutation rewrote, drop only entries that read that
+    very chain, so a text edit leaves the node-set caches above it
+    intact.
+    """
+
+    __slots__ = ("_entries", "_pins")
+
+    def __init__(self) -> None:
+        # key → (value, chains); keys are the engines' id()-based memo
+        # keys, valid while the pinned owners below stay alive.
+        self._entries: dict = {}
+        # Strong refs to the plan/tgd objects whose id()s appear in
+        # keys, and implicitly (via values) to the document's nodes.
+        self._pins: list = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def pin(self, owner: object) -> None:
+        self._pins.append(owner)
+
+    def get(self, key):
+        found = self._entries.get(key)
+        return None if found is None else found[0]
+
+    def put(self, key, value, chains) -> None:
+        self._entries[key] = (value, frozenset(chains))
+
+    def invalidate(self, value_chains, structural_chains) -> int:
+        """Drop every entry the touched label chains could have
+        changed; returns how many entries were dropped.
+
+        ``value_chains`` are leaf positions rewritten by mutations
+        (``…/@attr`` or ``…/value``): entries stored their value-read
+        chains in that same normal form, so exact membership is the
+        complete test.  ``structural_chains`` mark subtree
+        replacements: prefix intersection in either direction.
+        """
+        if not self._entries or not (value_chains or structural_chains):
+            return 0
+        dead = [
+            key
+            for key, (_, chains) in self._entries.items()
+            if any(
+                c in value_chains
+                or any(
+                    t[: len(c)] == c or c[: len(t)] == t
+                    for t in structural_chains
+                )
+                for c in chains
+            )
+        ]
+        for key in dead:
+            del self._entries[key]
+        return len(dead)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._pins.clear()
+
+
 class _OptimizedEngine(_Engine):
     """The tgd engine evaluated through a :class:`PlannedTgd`.
 
@@ -456,6 +659,7 @@ class _OptimizedEngine(_Engine):
         ordered=None,
         index: Optional[DocumentIndex] = None,
         stats: Optional[PlanStats] = None,
+        shared_memo: Optional[PlanMemo] = None,
     ):
         super().__init__(tgd, source_instance, ordered=ordered)
         self.planned = planned
@@ -471,6 +675,15 @@ class _OptimizedEngine(_Engine):
         # GroupBindings are engine-created and otherwise collectable
         # mid-run, and a recycled id would alias a stale memo entry.
         self._pins: list = []
+        # Document-scoped entries (dep key ``_NO_DEP``) optionally live
+        # in a caller-owned PlanMemo so they outlive this engine; the
+        # label chains of shared sequences, needed to tag the tables
+        # built over them, are tracked per sequence key.
+        self.shared_memo = shared_memo
+        self._shared_seqs: dict[tuple, tuple[str, ...]] = {}
+        if shared_memo is not None:
+            shared_memo.pin(tgd)
+            shared_memo.pin(planned)
 
     # -- indexed navigation ---------------------------------------------
 
@@ -533,6 +746,13 @@ class _OptimizedEngine(_Engine):
         if dep is None:
             return super()._eval_atoms(operand, env)
         key = (id(operand), self._key_of(dep))
+        if dep is _NO_DEP and self.shared_memo is not None:
+            memo = self.shared_memo
+            found = memo.get(key)
+            if found is None:
+                found = super()._eval_atoms(operand, env)
+                memo.put(key, found, _value_chains(tuple(expr_labels(operand))))
+            return found
         found = self._atoms.get(key)
         if found is None:
             found = super()._eval_atoms(operand, env)
@@ -542,6 +762,27 @@ class _OptimizedEngine(_Engine):
         return found
 
     # -- planned enumeration ---------------------------------------------
+
+    def _table_chains(
+        self, seq_key: tuple, build_var: str, key_expr: TgdExpr, *,
+        atomic: bool,
+    ) -> Optional[set[tuple[str, ...]]]:
+        """The absolute label chains a join table over a *shared*
+        sequence depends on (sequence population plus per-item key
+        reads), or ``None`` when the table must stay engine-local —
+        the sequence itself is local, or the key is not rooted at the
+        build variable.  Sharing a table requires its chain set to
+        cover the sequence's, so both invalidate together."""
+        seq_chain = self._shared_seqs.get(seq_key)
+        if seq_chain is None:
+            return None
+        root = expr_root(key_expr)
+        if not (isinstance(root, Var) and root.name == build_var):
+            return None
+        key_chain = seq_chain + tuple(expr_labels(key_expr))
+        chains = {seq_chain}
+        chains.update(_value_chains(key_chain) if atomic else {key_chain})
+        return chains
 
     def _counter(self, mapping: TgdMapping) -> Optional[PlanCounters]:
         if self.stats is None:
@@ -559,7 +800,21 @@ class _OptimizedEngine(_Engine):
         gen = plan.mapping.source_gens[slot.position]
         dep = self._dep_binding(gen.expr, env)
         key = (id(plan.mapping), slot.position, self._key_of(dep))
-        found = self._sequences.get(key)
+        # A document-scoped, filter-free sequence depends only on its
+        # label chain — shareable across engines via the plan memo.
+        # Pushed filters read values the chain tag would not cover, so
+        # filtered sequences stay engine-local.
+        shared = (
+            self.shared_memo is not None
+            and dep is _NO_DEP
+            and not slot.seq_filters
+        )
+        if shared:
+            seq_chain = tuple(expr_labels(gen.expr))
+            self._shared_seqs[key] = seq_chain
+            found = self.shared_memo.get(key)
+        else:
+            found = self._sequences.get(key)
         if found is not None:
             if counter is not None:
                 counter.seq_cache_hits += 1
@@ -583,9 +838,12 @@ class _OptimizedEngine(_Engine):
                         counter.filter_drops += 1
                     continue
             out.append(item)
-        self._sequences[key] = out
-        if dep is not None and dep is not _NO_DEP:
-            self._pins.append(dep)
+        if shared:
+            self.shared_memo.put(key, out, {seq_chain})
+        else:
+            self._sequences[key] = out
+            if dep is not None and dep is not _NO_DEP:
+                self._pins.append(dep)
         return key, out
 
     def _eq_table(
@@ -595,19 +853,27 @@ class _OptimizedEngine(_Engine):
         """``atom → [ordinals]`` over the generator's candidate
         sequence, memoized per dependency context."""
         key = (id(join), seq_key)
-        table = self._tables.get(key)
+        chains = self._table_chains(
+            seq_key, join.build_var, join.build_key, atomic=True
+        )
+        memo = self._tables if chains is None else self.shared_memo
+        table = memo.get(key)
         if table is not None:
             return table
         table = {}
         probe = {}
+        eval_atoms = super()._eval_atoms  # each item hit once: skip memo
         for ordinal, item in enumerate(sequence):
             probe[join.build_var] = item
-            atoms = self._eval_atoms(join.build_key, probe)
+            atoms = eval_atoms(join.build_key, probe)
             for atom in dict.fromkeys(atoms):
                 if _is_nan(atom):
                     continue  # NaN never compares equal
                 table.setdefault(atom, []).append(ordinal)
-        self._tables[key] = table
+        if chains is None:
+            self._tables[key] = table
+        else:
+            self.shared_memo.put(key, table, chains)
         if counter is not None:
             counter.join_builds += 1
             counter.join_build_rows += len(sequence)
@@ -619,9 +885,16 @@ class _OptimizedEngine(_Engine):
         counter: Optional[PlanCounters],
     ) -> dict:
         """``id(collection element) → [ordinals]`` over the candidates'
-        collections, memoized per dependency context."""
+        collections, memoized per dependency context.  Keyed on node
+        identity, so a cross-engine shared entry is only sound for a
+        document maintained in place (identities persist outside the
+        invalidated chains)."""
         key = (id(join), seq_key)
-        table = self._tables.get(key)
+        chains = self._table_chains(
+            seq_key, join.build_var, join.collection, atomic=False
+        )
+        memo = self._tables if chains is None else self.shared_memo
+        table = memo.get(key)
         if table is not None:
             return table
         table = {}
@@ -632,7 +905,10 @@ class _OptimizedEngine(_Engine):
                 bucket = table.setdefault(id(member), [])
                 if not bucket or bucket[-1] != ordinal:
                     bucket.append(ordinal)
-        self._tables[key] = table
+        if chains is None:
+            self._tables[key] = table
+        else:
+            self.shared_memo.put(key, table, chains)
         if counter is not None:
             counter.join_builds += 1
             counter.join_build_rows += len(sequence)

@@ -21,7 +21,13 @@ it:
   **canonically** (sibling order of unlike tags is unspecified there);
 * ``workers > 1`` runs the reference engine through
   :class:`repro.runtime.BatchRunner`'s process pool and must reproduce
-  the in-process bytes document-for-document.
+  the in-process bytes document-for-document;
+* ``delta``-axis cases additionally run an *incremental* leg: the
+  case's edit script is applied (:func:`~repro.generation.corpus
+  .apply_edits`), and :func:`~repro.runtime.incremental.transform_delta`
+  from the base document's target must reproduce a full recompute of
+  the edited document **byte-identically** — whether it took the
+  scoped path or fell back.
 
 Any disagreement (or an engine error where the reference succeeded)
 becomes a :class:`~repro.fuzz.report.Divergence` in the
@@ -41,7 +47,13 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from ..errors import ReproError
-from ..generation.corpus import AXES, CorpusCase, generate_corpus, resolve_axes
+from ..generation.corpus import (
+    AXES,
+    CorpusCase,
+    apply_edits,
+    generate_corpus,
+    resolve_axes,
+)
 from ..io import load as load_mapping
 from ..io import save as save_mapping
 from ..runtime import (
@@ -51,7 +63,8 @@ from ..runtime import (
     SpanTracer,
     eligible_engines,
 )
-from ..xml.diff import diff, render_diff
+from ..runtime.incremental import transform_delta
+from ..xml.diff import compute_delta, diff, render_diff
 from ..xml.model import XmlElement
 from ..xml.parser import parse_xml
 from ..xml.serialize import to_xml
@@ -242,6 +255,54 @@ class FuzzFarm:
                     expected=expected,
                     actual=actual,
                 )
+        if case.params.get("edits"):
+            self._check_incremental(case, reference, expected, report)
+
+    def _check_incremental(
+        self, case: CorpusCase, reference, prev_target: XmlElement,
+        report: FuzzReport,
+    ) -> None:
+        """The ``delta``-axis leg: apply the case's edit script and
+        cross-check :func:`transform_delta` (from the base document's
+        previous target) against a full recompute of the edited one."""
+        combo = Combo("tgd", True, 1, "incremental")
+        report.executions += 2
+        report.comparisons += 1
+        report.incremental_checks += 1
+        edited = apply_edits(case.instance, case.params["edits"])
+        expected = reference(edited)
+        try:
+            delta = compute_delta(case.instance, edited)
+            actual, inc_report = transform_delta(
+                reference, case.instance, prev_target, delta,
+                new_source=edited,
+            )
+        except ReproError as exc:
+            self._record(
+                case, combo, report,
+                kind="error",
+                detail=(f"{type(exc).__name__}: {exc}",),
+                expected=expected,
+            )
+            return
+        if inc_report.incremental:
+            report.incremental_hits += 1
+        else:
+            report.incremental_fallbacks += 1
+        if to_xml(expected) != to_xml(actual):
+            differences = diff(expected.canonical(), actual.canonical())
+            if not differences:
+                differences = diff(expected, actual)
+            detail = tuple(
+                render_diff(differences).splitlines()[:_DETAIL_LINES]
+            )
+            self._record(
+                case, combo, report,
+                kind="bytes",
+                detail=detail,
+                expected=expected,
+                actual=actual,
+            )
 
     def _record(
         self,
@@ -456,6 +517,8 @@ class FuzzFarm:
             params=manifest.get("params", {}),
         )
         reference = self.cache.get_or_compile(mapping, "tgd", optimize=True)
+        if combo.exec_mode == "incremental":
+            return self._replay_incremental(case, combo, reference)
         expected = reference(instance)
         expected_xml = to_xml(expected)
         tracer = SpanTracer()
@@ -487,6 +550,46 @@ class FuzzFarm:
             expected_xml=expected_xml,
             actual_xml=to_xml(actual),
             trace=trace.to_dict() if trace.spans else None,
+        )
+
+    def _replay_incremental(
+        self, case: CorpusCase, combo: Combo, reference
+    ) -> ReplayResult:
+        """Replay a ``delta``-axis kit: re-derive the edited document
+        from the manifest's edit script and re-check the incremental
+        path against the full recompute."""
+        edited = apply_edits(case.instance, case.params.get("edits", []))
+        prev_target = reference(case.instance)
+        expected = reference(edited)
+        expected_xml = to_xml(expected)
+        try:
+            delta = compute_delta(case.instance, edited)
+            actual, _ = transform_delta(
+                reference, case.instance, prev_target, delta,
+                new_source=edited,
+            )
+        except ReproError as exc:
+            return ReplayResult(
+                case_id=case.case_id,
+                combo=combo,
+                diverged=True,
+                expected_xml=expected_xml,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        diverged = expected_xml != to_xml(actual)
+        differences = []
+        if diverged:
+            rendered = render_diff(
+                diff(expected.canonical(), actual.canonical())
+            )
+            differences = rendered.splitlines()
+        return ReplayResult(
+            case_id=case.case_id,
+            combo=combo,
+            diverged=diverged,
+            differences=differences,
+            expected_xml=expected_xml,
+            actual_xml=to_xml(actual),
         )
 
 

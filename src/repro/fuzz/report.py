@@ -95,6 +95,12 @@ class FuzzReport:
     cases: int = 0
     executions: int = 0
     comparisons: int = 0
+    #: Incremental (``delta``-axis) legs: transform_delta cross-checked
+    #: against a full recompute of the edited document.  Additive in
+    #: format v1, like ``exec_mode``.
+    incremental_checks: int = 0
+    incremental_hits: int = 0
+    incremental_fallbacks: int = 0
     budget_seconds: Optional[float] = None
     exhausted_budget: bool = False
     skipped: int = 0
@@ -119,6 +125,9 @@ class FuzzReport:
             "cases": self.cases,
             "executions": self.executions,
             "comparisons": self.comparisons,
+            "incremental_checks": self.incremental_checks,
+            "incremental_hits": self.incremental_hits,
+            "incremental_fallbacks": self.incremental_fallbacks,
             "budget_seconds": self.budget_seconds,
             "exhausted_budget": self.exhausted_budget,
             "skipped": self.skipped,

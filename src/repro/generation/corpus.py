@@ -4,7 +4,7 @@ The paper demonstrates Clip on a handful of figures; the differential
 fuzz farm (:mod:`repro.fuzz`) needs the *same semantic constructs* in
 hundreds of shapes.  :func:`generate_corpus` grows the figure scenarios
 and the synthetic-workload machinery into a corpus generator spanning
-six axes:
+seven axes:
 
 * ``deep-cpt`` — context-propagation chains three to five levels deep
   over synthetic chain schemas, with a pushed filter on the deepest
@@ -20,7 +20,13 @@ six axes:
 * ``skewed-groups`` — Figure 7 grouping under a skewed name
   distribution (one hot group absorbs most members);
 * ``value-functions`` — scalar functions (``concat``/``add``/
-  ``multiply``) over multi-source value mappings crossing CPT scopes.
+  ``multiply``) over multi-source value mappings crossing CPT scopes;
+* ``delta`` — incremental-recomputation cases: a department-store
+  mapping (grouped or plain) paired with a deterministic *edit script*
+  in ``params["edits"]``; the fuzz farm re-applies the script with
+  :func:`apply_edits` and checks
+  :func:`repro.runtime.incremental.transform_delta` byte-for-byte
+  against a full recompute of the edited document.
 
 Everything is deterministic in ``seed``: the same ``(seed, count,
 axes)`` triple reproduces each case byte for byte — the property the
@@ -54,6 +60,7 @@ AXES = (
     "fanout-join",
     "skewed-groups",
     "value-functions",
+    "delta",
 )
 
 _FIRST = ["John", "Mary", "Andrew", "Lucy", "Mark", "Jim", "Sara", "Paul",
@@ -423,6 +430,192 @@ def _build_value_functions(rng: random.Random):
     return clip, instance, {"numeric": numeric}
 
 
+#: The edit operations a ``delta``-axis script may carry.  Every op is
+#: JSON-safe and addresses elements *positionally* (indices are taken
+#: modulo the current population, so scripts stay applicable as earlier
+#: edits shrink or grow the document).
+_EDIT_OPS = (
+    "set-dname", "set-pname", "set-ename", "set-sal",
+    "add-proj", "remove-proj", "add-emp", "remove-emp",
+    "add-dept", "remove-dept",
+)
+
+
+def _draw_edits(rng: random.Random) -> list[dict]:
+    edits: list[dict] = []
+    for _ in range(rng.randint(1, 4)):
+        op = rng.choice(_EDIT_OPS)
+        edit: dict = {"op": op, "dept": rng.randrange(8)}
+        if op == "set-dname":
+            edit["text"] = rng.choice(_DEPARTMENTS) + " renamed"
+        elif op == "set-pname":
+            edit["proj"] = rng.randrange(8)
+            edit["text"] = rng.choice(_PROJECTS)
+        elif op == "set-ename":
+            edit["emp"] = rng.randrange(8)
+            edit["text"] = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+        elif op == "set-sal":
+            edit["emp"] = rng.randrange(8)
+            edit["value"] = rng.randrange(8000, 17000, 250)
+        elif op == "add-proj":
+            edit["pid"] = rng.randrange(1, 7)
+            edit["text"] = rng.choice(_PROJECTS)
+            edit["position"] = rng.randrange(8)
+        elif op == "remove-proj":
+            edit["proj"] = rng.randrange(8)
+        elif op == "add-emp":
+            edit["pid"] = rng.randrange(1, 7)
+            edit["text"] = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+            edit["value"] = rng.randrange(8000, 17000, 250)
+        elif op == "remove-emp":
+            edit["emp"] = rng.randrange(8)
+        elif op == "add-dept":
+            edit["text"] = rng.choice(_DEPARTMENTS) + " new"
+        edits.append(edit)
+    return edits
+
+
+def apply_edits(instance: XmlElement, edits: Sequence[Mapping]) -> XmlElement:
+    """Apply a ``delta``-axis edit script to a *copy* of ``instance``.
+
+    Deterministic and total: element indices wrap modulo the current
+    population, and an op whose target population is empty is a no-op —
+    so any script applies to any department-store instance, and the
+    same (instance, script) pair always yields the same document.
+    """
+    edited = instance.copy()
+    for edit in edits:
+        op = edit["op"]
+        if op == "add-dept":
+            edited.append(element("dept", element("dname", text=edit["text"])))
+            continue
+        depts = edited.findall("dept")
+        if not depts:
+            continue
+        dept = depts[edit["dept"] % len(depts)]
+        if op == "remove-dept":
+            edited.remove(dept)
+        elif op == "set-dname":
+            node = dept.find("dname")
+            if node is not None:
+                node.clear_text()
+                node.set_text(edit["text"])
+        elif op == "set-pname":
+            projects = dept.findall("Proj")
+            if projects:
+                node = projects[edit["proj"] % len(projects)].find("pname")
+                node.clear_text()
+                node.set_text(edit["text"])
+        elif op == "set-ename":
+            employees = dept.findall("regEmp")
+            if employees:
+                node = employees[edit["emp"] % len(employees)].find("ename")
+                node.clear_text()
+                node.set_text(edit["text"])
+        elif op == "set-sal":
+            employees = dept.findall("regEmp")
+            if employees:
+                node = employees[edit["emp"] % len(employees)].find("sal")
+                node.clear_text()
+                node.set_text(edit["value"])
+        elif op == "add-proj":
+            position = edit["position"] % (len(dept.children) + 1)
+            dept.insert(
+                position,
+                element(
+                    "Proj", element("pname", text=edit["text"]),
+                    pid=edit["pid"],
+                ),
+            )
+        elif op == "remove-proj":
+            projects = dept.findall("Proj")
+            if projects:
+                dept.remove(projects[edit["proj"] % len(projects)])
+        elif op == "add-emp":
+            dept.append(
+                element(
+                    "regEmp",
+                    element("ename", text=edit["text"]),
+                    element("sal", text=edit["value"]),
+                    pid=edit["pid"],
+                )
+            )
+        elif op == "remove-emp":
+            employees = dept.findall("regEmp")
+            if employees:
+                dept.remove(employees[edit["emp"] % len(employees)])
+        else:
+            raise CorpusError(f"unknown delta edit op {op!r}")
+    return edited
+
+
+def _build_delta(rng: random.Random):
+    """Incremental-recomputation cases: a grouped (Figure 7) or plain
+    (Figure 5) mapping plus an edit script the farm applies with
+    :func:`apply_edits` to drive ``transform_delta`` differentially."""
+    grouped = rng.random() < 0.5
+    params: dict = {"grouped": grouped}
+    if grouped:
+        target = schema(
+            elem(
+                "target",
+                elem(
+                    "project",
+                    "[1..*]",
+                    attr("name", STRING),
+                    elem("employee", "[0..*]", attr("name", STRING)),
+                ),
+            )
+        )
+        clip = ClipMapping(_deptstore_schema(), target)
+        group = clip.group(
+            "dept/Proj", "project", var="p", by=["$p.pname.value"]
+        )
+        clip.build(
+            ["dept/Proj", "dept/regEmp"],
+            "project/employee",
+            var=["p2", "r"],
+            condition="$p2.@pid = $r.@pid",
+            parent=group,
+        )
+        clip.value("dept/Proj/pname/value", "project/@name")
+        clip.value("dept/regEmp/ename/value", "project/employee/@name")
+    else:
+        threshold = rng.randrange(9000, 14000, 500)
+        params["threshold"] = threshold
+        target = schema(
+            elem(
+                "target",
+                elem(
+                    "department",
+                    "[1..*]",
+                    attr("name", STRING),
+                    elem("employee", "[0..*]", attr("name", STRING)),
+                ),
+            )
+        )
+        clip = ClipMapping(_deptstore_schema(), target)
+        parent = clip.build("dept", "department", var="d")
+        clip.build(
+            "dept/regEmp",
+            "department/employee",
+            var="r",
+            condition=f"$r.sal.value > {threshold}",
+            parent=parent,
+        )
+        clip.value("dept/dname/value", "department/@name")
+        clip.value("dept/regEmp/ename/value", "department/employee/@name")
+    instance = _dept_instance(
+        rng,
+        departments=rng.randint(2, 5),
+        projects_range=(1, 5),
+        employees_range=(1, 6),
+        name_pool=rng.randint(2, 6),
+    )
+    params["edits"] = _draw_edits(rng)
+    return clip, instance, params
+
+
 _BUILDERS = {
     "deep-cpt": _build_deep_cpt,
     "aggregates": _build_aggregates,
@@ -430,6 +623,7 @@ _BUILDERS = {
     "fanout-join": _build_fanout_join,
     "skewed-groups": _build_skewed_groups,
     "value-functions": _build_value_functions,
+    "delta": _build_delta,
 }
 
 assert tuple(_BUILDERS) == AXES

@@ -23,6 +23,11 @@ that split:
   permanent error triage;
 * :mod:`repro.runtime.metrics` — :class:`BatchMetrics`, the machine-
   readable per-run report (``--metrics-json``), format version 2;
+* :mod:`repro.runtime.incremental` — :func:`transform_delta`, delta-
+  scoped re-execution of a compiled plan over an edited document: only
+  the units a :class:`~repro.xml.diff.Delta` can reach are recomputed,
+  the rest of the previous target is spliced back in, byte-identical
+  to a full recompute either way;
 * :mod:`repro.runtime.trace` — :class:`SpanTracer`, deterministic
   hierarchical execution traces (the ``clip-trace`` format) spanning
   compile → plan → execute → render across every layer, with worker-
@@ -57,6 +62,12 @@ from .faults import (
     Fault,
     FaultInjector,
     write_dead_letters,
+)
+from .incremental import (
+    DEFAULT_THRESHOLD,
+    IncrementalReport,
+    IncrementalSession,
+    transform_delta,
 )
 from .metrics import (
     METRICS_FORMAT,
@@ -95,12 +106,15 @@ __all__ = [
     "BatchRunner",
     "CacheStats",
     "CompiledPlan",
+    "DEFAULT_THRESHOLD",
     "DeadLetter",
     "Deadline",
     "DocumentFailure",
     "ErrorPolicy",
     "Fault",
     "FaultInjector",
+    "IncrementalReport",
+    "IncrementalSession",
     "METRICS_FORMAT",
     "METRICS_VERSION",
     "NullTracer",
@@ -127,5 +141,6 @@ __all__ = [
     "span_id",
     "to_chrome_trace",
     "trace_seed",
+    "transform_delta",
     "write_dead_letters",
 ]

@@ -52,6 +52,12 @@ document (:mod:`repro.runtime.trace`) embedded when the run was traced
 (``BatchRunner(trace=…)`` / ``--trace-json``).  Versioning of the
 embedded document is the trace format's own; the metrics version stays
 2 either way.
+
+A third additive key, ``incremental``, carries the
+:class:`~repro.runtime.incremental.IncrementalReport` of a
+delta-scoped run (``clip run --incremental`` or the service's
+``/transform/delta``): mode, fallback reason, delta/unit accounting.
+Documents without it parse unchanged; the version stays 2.
 """
 
 from __future__ import annotations
@@ -143,6 +149,10 @@ class BatchMetrics:
     #: :mod:`repro.runtime.trace`): present when the run was traced
     #: and this runner owned the tracer.  Additive, like ``plan``.
     trace: Optional[dict] = None
+    #: Optional delta-scoped execution report (see
+    #: :mod:`repro.runtime.incremental`): ``IncrementalReport.to_dict()``
+    #: of an incremental run.  Additive, like ``plan`` and ``trace``.
+    incremental: Optional[dict] = None
 
     def to_dict(self) -> dict:
         doc = {
@@ -178,6 +188,8 @@ class BatchMetrics:
             doc["plan"] = self.plan
         if self.trace is not None:
             doc["trace"] = self.trace
+        if self.incremental is not None:
+            doc["incremental"] = self.incremental
         return doc
 
     @classmethod
@@ -226,6 +238,7 @@ class BatchMetrics:
             ],
             plan=doc.get("plan"),
             trace=doc.get("trace"),
+            incremental=doc.get("incremental"),
         )
 
     def to_json(self, *, indent: int = 2) -> str:

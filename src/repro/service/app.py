@@ -22,6 +22,13 @@ Endpoints
   :class:`~repro.runtime.batch.BatchRunner` (JSON envelope); each
   result's XML is byte-identical to the file CLI ``batch --output-dir``
   writes.
+* ``POST /transform/delta`` — re-transform an *edited* document
+  incrementally (JSON envelope ``{"request": "req-…", "document":
+  …}``): the named past transform supplies the previous source/target
+  pair, :func:`~repro.runtime.incremental.transform_delta` recomputes
+  only what the edit can reach, and the response XML is byte-identical
+  to a full ``POST /transform`` of the edited document.  Responses are
+  themselves stored in history, so successive edits chain.
 * ``GET /requests/{id}[/metrics|/trace|/explain]`` — the
   ``clip-batch-metrics`` / ``clip-trace`` / ``clip-plan-explain``
   payloads of a past transform request (bounded history).
@@ -79,6 +86,7 @@ from ..executor.planner import resolve_optimize
 from ..executor.stats import PlanExplain
 from ..io import loads as load_mapping_text
 from ..runtime import (
+    BatchMetrics,
     BatchRunner,
     DeadLetter,
     Deadline,
@@ -88,8 +96,10 @@ from ..runtime import (
     SpanTracer,
     fingerprint,
     is_transient,
+    transform_delta,
     write_dead_letters,
 )
+from ..xml.diff import compute_delta
 from ..runtime.plan import ENGINES, resolve_effective_exec_mode
 from ..xml.model import XmlElement
 from ..xml.parser import parse_xml
@@ -299,6 +309,8 @@ class ClipService:
             return "transform"
         if route == "/transform/batch":
             return "transform_batch"
+        if route == "/transform/delta":
+            return "transform_delta"
         if route == "/mappings" or route.startswith("/mappings/"):
             return "mappings"
         if route == "/requests" or route.startswith("/requests/"):
@@ -345,6 +357,8 @@ class ClipService:
             return self._transform(params, headers, body)
         if method == "POST" and route == "/transform/batch":
             return self._transform_batch(params, body)
+        if method == "POST" and route == "/transform/delta":
+            return self._transform_delta(params, body)
         if method == "GET" and route.startswith("/requests/"):
             return self._request_artifact(route)
         return self._error_response(
@@ -550,6 +564,7 @@ class ClipService:
         status: int,
         metrics_doc: Optional[dict],
         result: Optional[XmlElement] = None,
+        source_text: Optional[str] = None,
     ) -> None:
         explain = None
         plan = (metrics_doc or {}).get("plan")
@@ -574,6 +589,14 @@ class ClipService:
             "metrics": metrics_doc,
             "trace": (metrics_doc or {}).get("trace"),
             "explain": explain,
+            # Internal (stripped from GET /requests/{id}): the
+            # source/target pair a later POST /transform/delta keys on.
+            "source_xml": source_text,
+            "result_xml": (
+                to_xml(result)
+                if result is not None and source_text is not None
+                else None
+            ),
         }
         with self._lock:
             self._requests[request_id] = record
@@ -656,13 +679,119 @@ class ClipService:
             result = batch.results[0]
             self._store_request(
                 request_id, endpoint="transform", entry=entry, status=200,
-                metrics_doc=metrics_doc, result=result,
+                metrics_doc=metrics_doc, result=result, source_text=text,
             )
             return ServiceResponse(
                 200, "application/xml; charset=utf-8",
                 to_xml(result).encode("utf-8"),
                 (("X-Clip-Request", request_id),
                  ("X-Clip-Mapping", entry.fingerprint)),
+            )
+        except Exception as exc:  # noqa: BLE001 — envelope with the request id
+            if isinstance(exc, (ReproError, ValueError)):
+                return self._error_response(
+                    exc, error_status(exc), request_id
+                )
+            raise
+
+    def _transform_delta(self, params: dict, body: bytes) -> ServiceResponse:
+        """``POST /transform/delta``: incremental re-transform of an
+        edited document, keyed on a past request's source/target pair."""
+        request_id = self._next_request_id()
+        try:
+            deadline = self._deadline(params)
+            envelope = json.loads(body.decode("utf-8"))
+            if not isinstance(envelope, dict):
+                raise ValueError(
+                    "delta envelope must be a JSON object with 'request' "
+                    "and 'document' keys"
+                )
+            base_id = envelope.get("request")
+            text = envelope.get("document")
+            if not isinstance(base_id, str) or not base_id:
+                raise ValueError("delta envelope is missing 'request'")
+            if not isinstance(text, str):
+                raise ValueError("delta envelope is missing 'document'")
+            with self._lock:
+                base = self._requests.get(base_id)
+            if base is None:
+                return self._error_response(
+                    ServiceError(
+                        f"no such request {base_id!r} (history keeps the "
+                        f"last {self.config.history})"
+                    ),
+                    404,
+                    request_id,
+                )
+            if not base.get("source_xml") or not base.get("result_xml"):
+                raise ServiceError(
+                    f"request {base_id} stored no source/target pair; "
+                    "delta transforms chain off successful single "
+                    "transforms"
+                )
+            threshold = envelope.get("threshold")
+            if threshold is not None:
+                threshold = float(threshold)
+                if not 0.0 <= threshold <= 1.0:
+                    raise ValueError(
+                        f"threshold must be within [0, 1], got {threshold!r}"
+                    )
+            entry = self._lookup_mapping(base["mapping"])
+            started = time.perf_counter()
+            prev_source = deadline.run(
+                lambda: parse_xml(
+                    base["source_xml"], schema=entry.mapping.source
+                )
+            )
+            prev_target = parse_xml(
+                base["result_xml"], schema=entry.mapping.target
+            )
+            try:
+                new_source = deadline.run(
+                    lambda: parse_xml(text, schema=entry.mapping.source)
+                )
+            except ReproError as exc:
+                failure = DocumentFailure.from_exception(0, exc)
+                paths = self._dead_letter([DeadLetter(failure, text)],
+                                          request_id)
+                self.metrics.count_documents(0, 1)
+                return self._failure_response(failure, request_id, paths)
+            plan = self.cache.get_or_compile(
+                entry.mapping, entry.engine, fp=entry.fingerprint,
+                optimize=entry.optimize, exec_mode=entry.exec_mode,
+            )
+            delta = compute_delta(prev_source, new_source)
+            kwargs = {} if threshold is None else {"threshold": threshold}
+            result, report = deadline.run(
+                lambda: transform_delta(
+                    plan, prev_source, prev_target, delta,
+                    new_source=new_source, **kwargs,
+                )
+            )
+            elapsed = time.perf_counter() - started
+            self.metrics.count_incremental(fallback=not report.incremental)
+            self.metrics.count_documents(1, 0)
+            metrics_doc = BatchMetrics(
+                engine=entry.engine,
+                workers=1,
+                documents=1,
+                execute_seconds=elapsed,
+                wall_seconds=elapsed,
+                source_elements=new_source.size(),
+                target_elements=result.size(),
+                incremental=report.to_dict(),
+            ).to_dict()
+            self._store_request(
+                request_id, endpoint="transform_delta", entry=entry,
+                status=200, metrics_doc=metrics_doc, result=result,
+                source_text=text,
+            )
+            return ServiceResponse(
+                200, "application/xml; charset=utf-8",
+                to_xml(result).encode("utf-8"),
+                (("X-Clip-Request", request_id),
+                 ("X-Clip-Mapping", entry.fingerprint),
+                 ("X-Clip-Incremental", report.mode)),
             )
         except Exception as exc:  # noqa: BLE001 — envelope with the request id
             if isinstance(exc, (ReproError, ValueError)):
@@ -841,7 +970,11 @@ class ClipService:
                 404,
             )
         if len(parts) == 3:
-            return _json_body(record)
+            return _json_body({
+                key: value
+                for key, value in record.items()
+                if key not in ("source_xml", "result_xml")
+            })
         kind = parts[3]
         if kind not in ("metrics", "trace", "explain"):
             return self._error_response(

@@ -12,9 +12,12 @@ two scrapes of an idle service are byte-identical.
 Metric names::
 
     clip_service_requests_total{endpoint,status}   counter
+    clip_service_request_seconds_bucket{endpoint,le}  histogram buckets
     clip_service_request_seconds_sum{endpoint}     counter (seconds)
     clip_service_request_seconds_count{endpoint}   counter
     clip_service_inflight_requests                 gauge
+    clip_service_incremental_hits_total            counter
+    clip_service_incremental_fallbacks_total       counter
     clip_service_requests_shed_total               counter
     clip_service_auth_failures_total               counter
     clip_service_documents_total                   counter
@@ -35,6 +38,13 @@ from typing import Dict, Tuple
 
 from ..runtime.cache import CacheStats
 
+#: Fixed histogram bucket bounds (seconds) for request latency — the
+#: Prometheus defaults.  Fixed at import time so the exposition's
+#: ``le`` label set is deterministic across processes and scrapes.
+LATENCY_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
 
 class ServiceMetrics:
     """Thread-safe cumulative counters for one service instance."""
@@ -44,12 +54,16 @@ class ServiceMetrics:
         self.requests: Dict[Tuple[str, int], int] = {}
         self.latency_sum: Dict[str, float] = {}
         self.latency_count: Dict[str, int] = {}
+        #: endpoint → per-bucket observation counts (last slot: +Inf).
+        self.latency_buckets: Dict[str, list] = {}
         self.inflight = 0
         self.shed = 0
         self.auth_failures = 0
         self.documents = 0
         self.document_failures = 0
         self.dead_letters = 0
+        self.incremental_hits = 0
+        self.incremental_fallbacks = 0
 
     # -- accounting ----------------------------------------------------
 
@@ -73,6 +87,24 @@ class ServiceMetrics:
             self.latency_count[endpoint] = (
                 self.latency_count.get(endpoint, 0) + 1
             )
+            buckets = self.latency_buckets.setdefault(
+                endpoint, [0] * (len(LATENCY_BUCKETS) + 1)
+            )
+            for index, bound in enumerate(LATENCY_BUCKETS):
+                if seconds <= bound:
+                    buckets[index] += 1
+                    break
+            else:
+                buckets[-1] += 1
+
+    def count_incremental(self, *, fallback: bool) -> None:
+        """One ``/transform/delta`` execution: scoped/unchanged runs
+        count as hits, full recomputes as fallbacks."""
+        with self._lock:
+            if fallback:
+                self.incremental_fallbacks += 1
+            else:
+                self.incremental_hits += 1
 
     def count_shed(self) -> None:
         with self._lock:
@@ -110,12 +142,18 @@ class ServiceMetrics:
             requests = dict(self.requests)
             latency_sum = dict(self.latency_sum)
             latency_count = dict(self.latency_count)
+            latency_buckets = {
+                endpoint: list(buckets)
+                for endpoint, buckets in self.latency_buckets.items()
+            }
             inflight = self.inflight
             shed = self.shed
             auth_failures = self.auth_failures
             documents = self.documents
             document_failures = self.document_failures
             dead_letters = self.dead_letters
+            incremental_hits = self.incremental_hits
+            incremental_fallbacks = self.incremental_fallbacks
         lines = [
             "# HELP clip_service_requests_total HTTP requests served,"
             " by endpoint and status.",
@@ -129,9 +167,22 @@ class ServiceMetrics:
         lines += [
             "# HELP clip_service_request_seconds Request handling"
             " latency, by endpoint.",
-            "# TYPE clip_service_request_seconds summary",
+            "# TYPE clip_service_request_seconds histogram",
         ]
         for endpoint in sorted(latency_count):
+            cumulative = 0
+            for bound, observed in zip(
+                LATENCY_BUCKETS, latency_buckets[endpoint]
+            ):
+                cumulative += observed
+                lines.append(
+                    f'clip_service_request_seconds_bucket{{'
+                    f'endpoint="{endpoint}",le="{bound}"}} {cumulative}'
+                )
+            lines.append(
+                f'clip_service_request_seconds_bucket{{'
+                f'endpoint="{endpoint}",le="+Inf"}} {latency_count[endpoint]}'
+            )
             lines.append(
                 f'clip_service_request_seconds_sum{{endpoint="{endpoint}"}}'
                 f" {latency_sum[endpoint]:.6f}"
@@ -154,6 +205,12 @@ class ServiceMetrics:
             ("clip_service_dead_letters_total", "counter",
              "Failed inputs persisted to the dead-letter directory.",
              dead_letters),
+            ("clip_service_incremental_hits_total", "counter",
+             "Delta transforms served incrementally (scoped or"
+             " unchanged).", incremental_hits),
+            ("clip_service_incremental_fallbacks_total", "counter",
+             "Delta transforms that fell back to full recompute.",
+             incremental_fallbacks),
             ("clip_service_mappings_registered", "gauge",
              "Mappings currently registered.", mappings_registered),
             ("clip_service_plan_cache_hits_total", "counter",

@@ -1,19 +1,31 @@
-"""Structural diff between XML instances.
+"""Structural diff and machine-consumable deltas between XML instances.
 
 Mapping developers iterate: change a line, re-run, inspect what moved.
 :func:`diff` compares two instances and reports the differences as
 located edit records — attribute changes, text changes, and
 inserted/removed subtrees — matching siblings positionally per tag (the
 natural alignment for mapping outputs, whose order is generation
-order).
+order).  The result is a :class:`DiffResult`: a plain list of
+:class:`Difference` records plus a ``truncated`` flag that is set when
+``max_differences`` forced at least one record to be dropped.
+
+:func:`compute_delta` produces the *machine* counterpart: a
+:class:`Delta` of canonical changed paths and subtree
+insert/remove/mutate records precise enough to reconstruct the right
+instance from the left one (:func:`apply_delta`, byte-identical under
+:func:`repro.xml.serialize.to_xml`).  The incremental execution layer
+(:mod:`repro.runtime.incremental`) intersects these records against
+compiled-plan read-sets to decide which tgd levels must re-run.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from itertools import zip_longest
 from typing import Optional
 
+from ..errors import XmlError
 from .model import AtomicValue, XmlElement
 
 
@@ -34,15 +46,35 @@ class Difference:
         return f"{self.location}: {self.kind} {self.left!r} != {self.right!r}"
 
 
-def diff(left: XmlElement, right: XmlElement, *, max_differences: int = 1000) -> list[Difference]:
-    """All differences between two instances (up to ``max_differences``)."""
-    out: list[Difference] = []
+class DiffResult(list):
+    """The differences, plus whether ``max_differences`` dropped any.
+
+    A plain ``list`` of :class:`Difference` for full backward
+    compatibility; ``truncated`` is ``True`` exactly when at least one
+    further difference existed beyond the reported ones.
+    """
+
+    truncated: bool = False
+
+
+def diff(
+    left: XmlElement, right: XmlElement, *, max_differences: int = 1000
+) -> DiffResult:
+    """All differences between two instances (up to ``max_differences``).
+
+    When the limit drops records, the returned list's ``truncated``
+    attribute is ``True`` — a caller that sees exactly
+    ``max_differences`` records can tell a complete report from a
+    clipped one.
+    """
+    out = DiffResult()
     _diff_elements(left, right, f"/{left.tag}", out, max_differences)
     return out
 
 
-def _push(out: list[Difference], limit: int, difference: Difference) -> bool:
+def _push(out: DiffResult, limit: int, difference: Difference) -> bool:
     if len(out) >= limit:
+        out.truncated = True
         return False
     out.append(difference)
     return True
@@ -52,10 +84,10 @@ def _diff_elements(
     left: XmlElement,
     right: XmlElement,
     location: str,
-    out: list[Difference],
+    out: DiffResult,
     limit: int,
 ) -> None:
-    if len(out) >= limit:
+    if out.truncated:
         return
     if left.tag != right.tag:
         _push(out, limit, Difference("tag", location, left.tag, right.tag))
@@ -85,7 +117,7 @@ def _diff_elements(
                     return
             else:
                 _diff_elements(lc, rc, child_location, out, limit)
-                if len(out) >= limit:
+                if out.truncated:
                     return
 
 
@@ -94,3 +126,379 @@ def render_diff(differences: list[Difference]) -> str:
     if not differences:
         return "(instances are identical)"
     return "\n".join(str(d) for d in differences)
+
+
+# -- machine-consumable deltas ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One edit turning a subtree of the left instance into the right.
+
+    ``steps`` addresses an element below the left root as a chain of
+    ``(tag, per-tag index)`` child steps (0-based; the diff's positional
+    per-tag alignment).  For ``mutate-attribute``/``mutate-text``/
+    ``remove``/``replace`` the steps address the affected element; for
+    ``insert`` they address the *parent*, and ``position`` is the
+    absolute child index the new subtree occupies in the right
+    instance.  ``nodes`` counts the source nodes the edit touches (the
+    delta-ratio numerator of the incremental layer).
+    """
+
+    op: str  # "mutate-attribute" | "mutate-text" | "remove" | "insert" | "replace"
+    path: str
+    steps: tuple[tuple[str, int], ...]
+    name: Optional[str] = None
+    value: Optional[AtomicValue] = None
+    subtree: Optional[XmlElement] = None
+    position: Optional[int] = None
+    nodes: int = 1
+
+
+@dataclass(frozen=True)
+class Delta:
+    """A machine-consumable edit script between two instances.
+
+    ``records`` are in left-document order; ``truncated`` mirrors
+    :class:`DiffResult` (a truncated delta cannot be applied).
+    """
+
+    records: tuple[DeltaRecord, ...]
+    truncated: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records and not self.truncated
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        """The canonical changed-path set, in left-document order."""
+        return tuple(record.path for record in self.records)
+
+    @property
+    def changed_nodes(self) -> int:
+        """Source nodes touched across all records (ratio numerator)."""
+        return sum(record.nodes for record in self.records)
+
+    def tag_paths(self) -> set[tuple[str, ...]]:
+        """Index-free label chains touched by the delta, for read-set
+        intersection: ``("dept", "Proj", "@pid")`` for an attribute
+        mutation, ``("dept", "regEmp", "sal", "value")`` for a text
+        mutation, and the subtree's own chain for structural edits
+        (prefix semantics cover everything below it)."""
+        out: set[tuple[str, ...]] = set()
+        for record in self.records:
+            base = tuple(tag for tag, _ in record.steps)
+            if record.op == "mutate-attribute":
+                out.add(base + (f"@{record.name}",))
+            elif record.op == "mutate-text":
+                out.add(base + ("value",))
+            elif record.op == "insert" and record.name:
+                out.add(base + (record.name,))
+            else:
+                out.add(base)
+        return out
+
+    def tag_paths_by_kind(self) -> tuple[set[tuple[str, ...]], set[tuple[str, ...]]]:
+        """:meth:`tag_paths` split into ``(value, structural)`` chains.
+
+        Value chains come from mutations: they change the atomic value
+        at exactly that chain, never the node sets above or below it.
+        Structural chains come from insert/remove/replace and carry the
+        prefix semantics of :meth:`tag_paths`.  Cache invalidation can
+        be exact for the former and must be prefix-wide for the latter.
+        """
+        values: set[tuple[str, ...]] = set()
+        structure: set[tuple[str, ...]] = set()
+        for record in self.records:
+            base = tuple(tag for tag, _ in record.steps)
+            if record.op == "mutate-attribute":
+                values.add(base + (f"@{record.name}",))
+            elif record.op == "mutate-text":
+                values.add(base + ("value",))
+            elif record.op == "insert" and record.name:
+                structure.add(base + (record.name,))
+            else:
+                structure.add(base)
+        return values, structure
+
+    def ratio(self, base_size: int) -> float:
+        """Changed nodes as a fraction of ``base_size`` source nodes."""
+        return self.changed_nodes / max(1, base_size)
+
+
+class _DeltaBuilder:
+    """Record collector; path strings are derived from steps only when
+    a record is actually pushed — the equal-subtree fast path of the
+    delta walk touches every node and must not pay for formatting."""
+
+    __slots__ = ("records", "limit", "truncated", "root_tag")
+
+    def __init__(self, limit: int, root_tag: str):
+        self.records: list[DeltaRecord] = []
+        self.limit = limit
+        self.truncated = False
+        self.root_tag = root_tag
+
+    def path_of(self, steps, suffix: str = "") -> str:
+        return (
+            f"/{self.root_tag}"
+            + "".join(f"/{tag}[{k + 1}]" for tag, k in steps)
+            + suffix
+        )
+
+    def push(self, record: DeltaRecord) -> bool:
+        if len(self.records) >= self.limit:
+            self.truncated = True
+            return False
+        self.records.append(record)
+        return True
+
+    def push_subtree(self, left: XmlElement, right: XmlElement, steps) -> bool:
+        return self.push(DeltaRecord(
+            "replace", self.path_of(steps), steps, subtree=right.copy(),
+            nodes=max(left.size(), right.size()),
+        ))
+
+
+def compute_delta(
+    left: XmlElement, right: XmlElement, *, max_records: int = 10000
+) -> Delta:
+    """The :class:`Delta` transforming ``left`` into ``right``.
+
+    Guarantees ``apply_delta(left, compute_delta(left, right))`` is
+    byte-identical to ``right`` under :func:`repro.xml.serialize.to_xml`
+    whenever the delta is not truncated.  Where the positional per-tag
+    alignment cannot express a child-sequence change (an interleaving
+    change beyond trailing per-tag removals and insertions), the whole
+    parent becomes one coarse ``replace`` record rather than a wrong
+    fine-grained one.
+    """
+    builder = _DeltaBuilder(max_records, left.tag)
+    _delta_elements(left, right, (), builder)
+    return Delta(tuple(builder.records), truncated=builder.truncated)
+
+
+def _delta_elements(
+    left: XmlElement,
+    right: XmlElement,
+    steps: tuple[tuple[str, int], ...],
+    builder: _DeltaBuilder,
+) -> None:
+    if builder.truncated:
+        return
+    if left.tag != right.tag:
+        builder.push_subtree(left, right, steps)
+        return
+    # A text value on one side versus children on the other cannot be
+    # expressed as mutations — replace the subtree wholesale.
+    if (left._text is not None and right._children) or (
+        right._text is not None and left._children
+    ):
+        builder.push_subtree(left, right, steps)
+        return
+    if left._attributes != right._attributes:
+        for name in dict.fromkeys((*left._attributes, *right._attributes)):
+            lv = left._attributes.get(name)
+            rv = right._attributes.get(name)
+            if lv != rv:
+                if not builder.push(DeltaRecord(
+                    "mutate-attribute", builder.path_of(steps, f"/@{name}"),
+                    steps, name=name, value=rv,
+                )):
+                    return
+    if left._text != right._text:
+        if not builder.push(DeltaRecord(
+            "mutate-text", builder.path_of(steps, "/text()"), steps,
+            value=right._text,
+        )):
+            return
+    _delta_children(left, right, steps, builder)
+
+
+def _annotate(children) -> list[tuple[XmlElement, int, int]]:
+    """Each child with its per-tag occurrence index and absolute index."""
+    occurrence: dict[str, int] = {}
+    out = []
+    for absolute, child in enumerate(children):
+        k = occurrence.get(child.tag, 0)
+        occurrence[child.tag] = k + 1
+        out.append((child, k, absolute))
+    return out
+
+
+def _delta_children(
+    left: XmlElement,
+    right: XmlElement,
+    steps: tuple[tuple[str, int], ...],
+    builder: _DeltaBuilder,
+) -> None:
+    lseq, rseq = left._children, right._children
+    same_skeleton = len(lseq) == len(rseq)
+    if same_skeleton:
+        for lc, rc in zip(lseq, rseq):
+            if lc.tag is not rc.tag and lc.tag != rc.tag:
+                same_skeleton = False
+                break
+    if same_skeleton:
+        occurrence: dict[str, int] = {}
+        for lc, rc in zip(lseq, rseq):
+            k = occurrence.get(lc.tag, 0)
+            occurrence[lc.tag] = k + 1
+            _delta_elements(lc, rc, steps + ((lc.tag, k),), builder)
+            if builder.truncated:
+                return
+        return
+    # Structural change: pair the first min(L, R) occurrences per tag
+    # (the diff's alignment); left extras are removals, right extras
+    # insertions.  That is only faithful when the paired skeletons
+    # interleave identically on both sides — otherwise the positional
+    # model cannot represent the move, and the parent is replaced.
+    lcount = Counter(c.tag for c in lseq)
+    rcount = Counter(c.tag for c in rseq)
+    pair_count = {
+        tag: min(lcount[tag], rcount[tag])
+        for tag in set(lcount) | set(rcount)
+    }
+    lann, rann = _annotate(lseq), _annotate(rseq)
+    lpaired = [item for item in lann if item[1] < pair_count[item[0].tag]]
+    rpaired = [item for item in rann if item[1] < pair_count[item[0].tag]]
+    if [c.tag for c, _, _ in lpaired] != [c.tag for c, _, _ in rpaired]:
+        builder.push_subtree(left, right, steps)
+        return
+    for child, k, _ in lann:
+        if k >= pair_count[child.tag]:
+            child_steps = steps + ((child.tag, k),)
+            if not builder.push(DeltaRecord(
+                "remove", builder.path_of(child_steps), child_steps,
+                nodes=child.size(),
+            )):
+                return
+    for child, k, absolute in rann:
+        if k >= pair_count[child.tag]:
+            if not builder.push(DeltaRecord(
+                "insert",
+                builder.path_of(steps, f"/{child.tag}[{k + 1}]"),
+                steps, name=child.tag, subtree=child.copy(),
+                position=absolute, nodes=child.size(),
+            )):
+                return
+    for (lc, lk, _), (rc, _, _) in zip(lpaired, rpaired):
+        _delta_elements(lc, rc, steps + ((lc.tag, lk),), builder)
+        if builder.truncated:
+            return
+
+
+def resolve_steps(
+    root: XmlElement, steps: tuple[tuple[str, int], ...]
+) -> XmlElement:
+    """The element a :class:`DeltaRecord`'s steps address below ``root``
+    (raises :class:`XmlError` when a step does not resolve)."""
+    node = root
+    for tag, k in steps:
+        matches = node.findall(tag)
+        if k >= len(matches):
+            raise XmlError(
+                f"delta step {tag}[{k + 1}] does not resolve under <{node.tag}>"
+            )
+        node = matches[k]
+    return node
+
+
+def apply_delta(root: XmlElement, delta: Delta) -> XmlElement:
+    """A new instance: ``root`` with ``delta`` applied (``root`` itself
+    is never mutated).  Raises :class:`XmlError` for truncated deltas
+    or steps that do not resolve."""
+    if delta.truncated:
+        raise XmlError("cannot apply a truncated delta")
+    result = root.copy()
+    if not delta.records:
+        return result
+    first = delta.records[0]
+    if first.op == "replace" and not first.steps:
+        # Whole-document replacement (compute_delta emits it alone).
+        return _subtree_copy(first)
+    _apply_records(result, delta.records)
+    return result
+
+
+def apply_delta_in_place(root: XmlElement, delta: Delta) -> list[XmlElement]:
+    """Apply ``delta`` to ``root`` itself, mutating the tree.
+
+    Returns the elements whose content or child list changed (mutation
+    targets; the parents of structural edits), so callers maintaining
+    per-document caches — :meth:`repro.xml.index.DocumentIndex.invalidate`,
+    the incremental runtime's plan memos — can drop exactly the stale
+    entries.  Node identities outside the edited regions are preserved,
+    which is the property the incremental session's cross-call caches
+    rely on.  Whole-document replacement cannot be expressed in place
+    and raises :class:`XmlError`; callers adopt the new tree instead.
+    """
+    if delta.truncated:
+        raise XmlError("cannot apply a truncated delta")
+    if not delta.records:
+        return []
+    first = delta.records[0]
+    if first.op == "replace" and not first.steps:
+        raise XmlError("whole-document replace cannot be applied in place")
+    return _apply_records(root, delta.records)
+
+
+def _apply_records(
+    result: XmlElement, records: tuple[DeltaRecord, ...]
+) -> list[XmlElement]:
+    # Resolve every target before mutating anything: steps are
+    # left-instance coordinates, which structural edits would disturb.
+    resolved = [(record, resolve_steps(result, record.steps))
+                for record in records]
+    touched: list[XmlElement] = []
+    replaces: list[tuple[DeltaRecord, XmlElement]] = []
+    removals: list[XmlElement] = []
+    inserts: list[tuple[DeltaRecord, XmlElement]] = []
+    for record, target in resolved:
+        if record.op == "mutate-attribute":
+            if record.value is None:
+                target.remove_attribute(record.name or "")
+            else:
+                target.set_attribute(record.name or "", record.value)
+            touched.append(target)
+        elif record.op == "mutate-text":
+            if record.value is None:
+                target.clear_text()
+            else:
+                target.set_text(record.value)
+            touched.append(target)
+        elif record.op == "replace":
+            replaces.append((record, target))
+        elif record.op == "remove":
+            removals.append(target)
+        elif record.op == "insert":
+            inserts.append((record, target))
+        else:  # pragma: no cover - compute_delta emits no other ops
+            raise XmlError(f"unknown delta op {record.op!r}")
+    for record, target in replaces:
+        parent = target.parent
+        if parent is None:
+            raise XmlError("replace target has no parent")
+        position = next(
+            i for i, c in enumerate(parent.children) if c is target
+        )
+        parent.remove(target)
+        parent.insert(position, _subtree_copy(record))
+        touched.append(parent)
+    for target in removals:
+        if target.parent is None:
+            raise XmlError("remove target has no parent")
+        parent = target.parent
+        parent.remove(target)
+        touched.append(parent)
+    for record, parent in inserts:
+        parent.insert(record.position or 0, _subtree_copy(record))
+        touched.append(parent)
+    return touched
+
+
+def _subtree_copy(record: DeltaRecord) -> XmlElement:
+    if record.subtree is None:
+        raise XmlError(f"{record.op} record at {record.path} has no subtree")
+    return record.subtree.copy()

@@ -144,6 +144,32 @@ class DocumentIndex:
             return result
         return self._walk(path, list(context))
 
+    # -- invalidation ---------------------------------------------------
+
+    def invalidate(self, element: XmlElement) -> None:
+        """Drop every cached table that could observe a mutation at
+        ``element``.
+
+        The read-only contract stands for plain indexed reads; the
+        incremental runtime (:mod:`repro.runtime.incremental`), which
+        maintains a source document across deltas, calls this after
+        mutating a subtree so the next read rebuilds fresh tables.
+        Invalidates the element's own tables plus those of every
+        ancestor — descendant lists and memoized paths anywhere up the
+        chain may reach into the mutated subtree.  Child tables of
+        *other* elements cannot (they hold direct children only), so
+        siblings keep their tables.
+        """
+        node: Union[XmlElement, None] = element
+        while node is not None:
+            key = id(node)
+            self._children.pop(key, None)
+            for table_key in [k for k in self._descendants if k[0] == key]:
+                del self._descendants[table_key]
+            for path_key in [k for k in self._paths if k[0] == key]:
+                del self._paths[path_key]
+            node = node.parent
+
     def _walk(self, path: Path, current: list[Result]) -> list[Result]:
         from ..errors import PathError
 

@@ -105,6 +105,23 @@ class XmlElement:
         self._children.append(child)
         return child
 
+    def insert(self, index: int, child: "XmlElement") -> "XmlElement":
+        """Insert ``child`` at ``index`` among the children (same
+        checks as :meth:`append`)."""
+        if not isinstance(child, XmlElement):
+            raise XmlError(f"child must be an XmlElement, got {type(child).__name__}")
+        if self._text is not None:
+            raise XmlError(
+                f"element <{self.tag}> has a text value and cannot have children"
+            )
+        if child.parent is not None:
+            raise XmlError(
+                f"element <{child.tag}> already has a parent <{child.parent.tag}>"
+            )
+        child.parent = self
+        self._children.insert(index, child)
+        return child
+
     def extend(self, children: Iterable["XmlElement"]) -> None:
         for child in children:
             self.append(child)
@@ -128,6 +145,14 @@ class XmlElement:
                 f"element <{self.tag}> has children and cannot carry a text value"
             )
         self._text = _check_atomic(value, f"text of <{self.tag}>")
+
+    def remove_attribute(self, name: str) -> None:
+        """Drop an attribute if present (accepts a leading ``@``)."""
+        self._attributes.pop(name.lstrip("@"), None)
+
+    def clear_text(self) -> None:
+        """Drop the text value if present."""
+        self._text = None
 
     # -- access --------------------------------------------------------
 
@@ -190,17 +215,38 @@ class XmlElement:
 
     def size(self) -> int:
         """Total number of element nodes in this subtree."""
-        return sum(1 for _ in self.iter())
+        # An explicit stack instead of the recursive iter(): chained
+        # generators cost O(depth) per node, which shows up when the
+        # incremental runtime sizes whole documents per call.
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node._children)
+        return count
 
     # -- copies and comparison -----------------------------------------
 
     def copy(self) -> "XmlElement":
-        """Deep copy of this subtree (the copy has no parent)."""
-        clone = XmlElement(self.tag, attributes=self._attributes)
-        if self._text is not None:
-            clone.set_text(self._text)
+        """Deep copy of this subtree (the copy has no parent).
+
+        Bypasses construction-time validation: every name and value in
+        an existing element already passed it, and re-checking on copy
+        dominates the cost of reusing clean target fragments in the
+        incremental runtime.
+        """
+        clone = XmlElement.__new__(XmlElement)
+        clone.tag = self.tag
+        clone._attributes = dict(self._attributes)
+        clone._text = self._text
+        clone.parent = None
+        children = []
         for child in self._children:
-            clone.append(child.copy())
+            child_clone = child.copy()
+            child_clone.parent = clone
+            children.append(child_clone)
+        clone._children = children
         return clone
 
     def _key(self):

@@ -498,3 +498,61 @@ class TestTraceCli:
         capsys.readouterr()
         assert main(["trace", str(metrics_path)]) == 2
         assert "without an embedded trace" in capsys.readouterr().err
+
+
+class TestRunIncremental:
+    def test_incremental_run_matches_full_run(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        prev_target = tmp_path / "prev.xml"
+        assert main(
+            ["run", mapping_file, source_file, "-o", str(prev_target)]
+        ) == 0
+        edited = tmp_path / "edited.xml"
+        doc = parse_xml((tmp_path / "source.xml").read_text(encoding="utf-8"))
+        field = doc.findall("dept")[0].findall("Proj")[0].find("pname")
+        field.clear_text()
+        field.set_text("Edited via CLI")
+        edited.write_text(to_xml(doc), encoding="utf-8")
+        full_out = tmp_path / "full.xml"
+        assert main(
+            ["run", mapping_file, str(edited), "-o", str(full_out)]
+        ) == 0
+        capsys.readouterr()
+        inc_out = tmp_path / "inc.xml"
+        assert main([
+            "run", mapping_file, str(edited), "-o", str(inc_out),
+            "--incremental", source_file, str(prev_target),
+        ]) == 0
+        assert inc_out.read_text() == full_out.read_text()
+        assert "incremental: mode=" in capsys.readouterr().err
+
+    def test_baseline_reports_both_timings_and_checks_identity(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        prev_target = tmp_path / "prev.xml"
+        assert main(
+            ["run", mapping_file, source_file, "-o", str(prev_target)]
+        ) == 0
+        capsys.readouterr()
+        out = tmp_path / "out.xml"
+        assert main([
+            "run", mapping_file, source_file, "-o", str(out),
+            "--incremental", source_file, str(prev_target), "--baseline",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "incremental: mode=unchanged" in err
+        assert "baseline: full recompute" in err
+
+    def test_incremental_requires_the_tgd_engine(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        prev_target = tmp_path / "prev.xml"
+        assert main(
+            ["run", mapping_file, source_file, "-o", str(prev_target)]
+        ) == 0
+        assert main([
+            "run", mapping_file, source_file, "--engine", "xquery",
+            "--incremental", source_file, str(prev_target),
+        ]) == 2
+        assert "tgd engine" in capsys.readouterr().err

@@ -27,19 +27,21 @@ from repro.xml.serialize import to_xml
 
 class TestRoundRobin:
     def test_count_spreads_over_all_axes(self):
-        cases = generate_corpus(seed=7, count=30)
-        assert len(cases) == 30
+        count = 5 * len(AXES)
+        cases = generate_corpus(seed=7, count=count)
+        assert len(cases) == count
         per_axis = {axis: 0 for axis in AXES}
         for case in cases:
             per_axis[case.axis] += 1
         assert all(n == 5 for n in per_axis.values())
 
     def test_case_ids_are_stable_per_axis_indices(self):
-        cases = generate_corpus(seed=7, count=13)
+        width = len(AXES)
+        cases = generate_corpus(seed=7, count=2 * width + 1)
         assert cases[0].case_id == "deep-cpt-0000"
-        assert cases[6].case_id == "deep-cpt-0001"
-        assert cases[12].case_id == "deep-cpt-0002"
-        assert cases[7].case_id == "aggregates-0001"
+        assert cases[width].case_id == "deep-cpt-0001"
+        assert cases[2 * width].case_id == "deep-cpt-0002"
+        assert cases[width + 1].case_id == "aggregates-0001"
 
     def test_growing_count_extends_without_disturbing(self):
         """Case i is the same triple whether the corpus holds 12 or 60

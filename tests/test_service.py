@@ -709,3 +709,112 @@ class TestServeCLI:
         monkeypatch.setenv("CLIP_SERVICE_PORT", "banana")
         assert cli.main(["serve"]) == 2
         assert "CLIP_SERVICE_PORT" in capsys.readouterr().err
+
+
+class TestTransformDelta:
+    """``POST /transform/delta``: incremental re-transforms chained off
+    a stored request's source/target pair."""
+
+    def _transform(self, service, mapping, source_xml):
+        fp = register(service, mapping)
+        response = service.dispatch(
+            "POST", f"/transform?mapping={fp}", {}, source_xml.encode()
+        )
+        assert response.status == 200
+        return dict(response.headers)["X-Clip-Request"], response.body
+
+    def _edited(self, source_xml: str) -> str:
+        from repro.xml.parser import parse_xml
+
+        doc = parse_xml(source_xml)
+        field = doc.findall("dept")[0].findall("Proj")[0].find("pname")
+        field.clear_text()
+        field.set_text("Delta-Edited Project")
+        return to_xml(doc)
+
+    def test_delta_matches_a_fresh_full_transform(
+        self, service, mapping, source_xml
+    ):
+        request_id, _body = self._transform(service, mapping, source_xml)
+        edited = self._edited(source_xml)
+        response = service.dispatch(
+            "POST", "/transform/delta", {},
+            json.dumps({"request": request_id, "document": edited}).encode(),
+        )
+        assert response.status == 200
+        headers = dict(response.headers)
+        assert headers["X-Clip-Incremental"] in (
+            "unchanged", "scoped", "fallback"
+        )
+        fresh = make_service()
+        fp = register(fresh, mapping)
+        full = fresh.dispatch(
+            "POST", f"/transform?mapping={fp}", {}, edited.encode()
+        )
+        assert response.body == full.body
+
+    def test_unchanged_document_reports_unchanged_mode(
+        self, service, mapping, source_xml
+    ):
+        request_id, body = self._transform(service, mapping, source_xml)
+        response = service.dispatch(
+            "POST", "/transform/delta", {},
+            json.dumps(
+                {"request": request_id, "document": source_xml}
+            ).encode(),
+        )
+        assert response.status == 200
+        assert dict(response.headers)["X-Clip-Incremental"] == "unchanged"
+        assert response.body == body
+
+    def test_incremental_counters_appear_in_metrics(
+        self, service, mapping, source_xml
+    ):
+        request_id, _body = self._transform(service, mapping, source_xml)
+        service.dispatch(
+            "POST", "/transform/delta", {},
+            json.dumps(
+                {"request": request_id, "document": self._edited(source_xml)}
+            ).encode(),
+        )
+        text = service.dispatch("GET", "/metrics").body.decode()
+        assert "clip_service_incremental_hits_total" in text
+        assert "clip_service_incremental_fallbacks_total" in text
+        hits = [
+            line
+            for line in text.splitlines()
+            if line.startswith("clip_service_incremental_")
+            and not line.startswith("#")
+        ]
+        assert sum(int(line.split()[-1]) for line in hits) >= 1
+
+    def test_unknown_base_request_is_404(self, service, mapping, source_xml):
+        register(service, mapping)
+        response = service.dispatch(
+            "POST", "/transform/delta", {},
+            json.dumps(
+                {"request": "req-999999", "document": source_xml}
+            ).encode(),
+        )
+        assert response.status == 404
+
+    def test_malformed_envelope_is_a_clean_400(self, service):
+        response = service.dispatch(
+            "POST", "/transform/delta", {}, b"[1, 2, 3]"
+        )
+        assert response.status == 400
+        assert b"envelope" in response.body
+
+    def test_out_of_range_threshold_is_rejected(
+        self, service, mapping, source_xml
+    ):
+        request_id, _body = self._transform(service, mapping, source_xml)
+        response = service.dispatch(
+            "POST", "/transform/delta", {},
+            json.dumps({
+                "request": request_id,
+                "document": self._edited(source_xml),
+                "threshold": 3.5,
+            }).encode(),
+        )
+        assert response.status == 400

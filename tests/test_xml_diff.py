@@ -155,3 +155,138 @@ class TestMixedContentDocuments:
         assert differences
         kinds = {d.kind for d in differences}
         assert kinds <= {"text", "extra"}
+
+
+class TestDiffResultTruncation:
+    def test_truncated_flag_set_when_limit_drops_records(self):
+        a = element("r", *[element("x", text=str(i)) for i in range(10)])
+        b = element("r", *[element("x", text=str(i + 100)) for i in range(10)])
+        clipped = diff(a, b, max_differences=5)
+        assert len(clipped) == 5
+        assert clipped.truncated is True
+
+    def test_complete_diff_is_not_truncated(self):
+        a = element("r", element("x", text="old"))
+        b = element("r", element("x", text="new"))
+        full = diff(a, b)
+        assert len(full) == 1
+        assert full.truncated is False
+
+    def test_exactly_at_limit_is_not_truncated(self):
+        a = element("r", *[element("x", text=str(i)) for i in range(5)])
+        b = element("r", *[element("x", text=str(i + 100)) for i in range(5)])
+        exact = diff(a, b, max_differences=5)
+        assert len(exact) == 5
+        assert exact.truncated is False
+
+
+class TestComputeDelta:
+    def _pair(self):
+        left = deptstore.source_instance()
+        right = deptstore.source_instance()
+        dept = right.findall("dept")[0]
+        pname = dept.findall("Proj")[0].find("pname")
+        pname.clear_text()
+        pname.set_text("renamed")
+        emp = dept.findall("regEmp")[0]
+        emp.parent.remove(emp)
+        return left, right
+
+    def test_apply_round_trips_byte_identically(self):
+        from repro.xml.diff import apply_delta, compute_delta
+        from repro.xml.serialize import to_xml
+
+        left, right = self._pair()
+        delta = compute_delta(left, right)
+        rebuilt = apply_delta(left, delta)
+        assert to_xml(rebuilt) == to_xml(right)
+        # and the left instance is untouched
+        assert to_xml(left) == to_xml(deptstore.source_instance())
+
+    def test_identical_instances_give_the_empty_delta(self):
+        from repro.xml.diff import compute_delta
+
+        delta = compute_delta(
+            deptstore.source_instance(), deptstore.source_instance()
+        )
+        assert delta.is_empty
+        assert not delta.truncated
+
+    def test_tag_paths_by_kind_partitions_tag_paths(self):
+        from repro.xml.diff import compute_delta
+
+        left, right = self._pair()
+        delta = compute_delta(left, right)
+        values, structure = delta.tag_paths_by_kind()
+        assert values | structure == delta.tag_paths()
+        assert values.isdisjoint(structure)
+        assert ("dept", "Proj", "pname", "value") in values
+        assert ("dept", "regEmp") in structure
+
+    def test_truncated_delta_cannot_be_applied(self):
+        import pytest
+
+        from repro.errors import XmlError
+        from repro.xml.diff import apply_delta, compute_delta
+
+        left, right = self._pair()
+        delta = compute_delta(left, right, max_records=1)
+        assert delta.truncated
+        with pytest.raises(XmlError, match="truncated"):
+            apply_delta(left, delta)
+
+
+class TestApplyDeltaInPlace:
+    def test_mutates_the_tree_to_match_and_reports_touched_nodes(self):
+        from repro.xml.diff import apply_delta_in_place, compute_delta
+        from repro.xml.serialize import to_xml
+
+        left = deptstore.source_instance()
+        right = deptstore.source_instance()
+        field = right.findall("dept")[1].findall("Proj")[0].find("pname")
+        field.clear_text()
+        field.set_text("edited in place")
+        delta = compute_delta(left, right)
+        touched = apply_delta_in_place(left, delta)
+        assert to_xml(left) == to_xml(right)
+        assert [node.tag for node in touched] == ["pname"]
+
+    def test_preserves_node_identities_outside_the_edit(self):
+        from repro.xml.diff import apply_delta_in_place, compute_delta
+
+        left = deptstore.source_instance()
+        right = deptstore.source_instance()
+        field = right.findall("dept")[0].findall("Proj")[0].find("pname")
+        field.clear_text()
+        field.set_text("edited")
+        untouched_before = left.findall("dept")[1]
+        edited_before = left.findall("dept")[0].findall("Proj")[0]
+        apply_delta_in_place(left, compute_delta(left, right))
+        assert left.findall("dept")[1] is untouched_before
+        # even the mutated element keeps its identity: only its text moved
+        assert left.findall("dept")[0].findall("Proj")[0] is edited_before
+
+    def test_structural_edit_reports_the_parent(self):
+        from repro.xml.diff import apply_delta_in_place, compute_delta
+        from repro.xml.serialize import to_xml
+
+        left = deptstore.source_instance()
+        right = deptstore.source_instance()
+        emp = right.findall("dept")[0].findall("regEmp")[-1]
+        emp.parent.remove(emp)
+        delta = compute_delta(left, right)
+        touched = apply_delta_in_place(left, delta)
+        assert to_xml(left) == to_xml(right)
+        assert [node.tag for node in touched] == ["dept"]
+
+    def test_whole_document_replace_is_refused(self):
+        import pytest
+
+        from repro.errors import XmlError
+        from repro.xml.diff import apply_delta_in_place, compute_delta
+
+        left = element("a", element("x", text=1))
+        right = element("b", element("y", text=2))
+        delta = compute_delta(left, right)
+        with pytest.raises(XmlError, match="whole-document replace"):
+            apply_delta_in_place(left, delta)

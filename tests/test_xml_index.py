@@ -162,3 +162,53 @@ class TestRegistry:
         run_query(emit_xquery(tgd), instance)
         assert index_for(instance) is index
         assert index.stats.child_lookups > lookups_after_tgd
+
+
+class TestInvalidate:
+    def test_mutation_after_invalidate_is_visible(self, doc):
+        index = DocumentIndex(doc)
+        dept = doc.findall("dept")[0]
+        assert len(index.children(dept, "Proj")) == 2
+        dept.append(element("Proj", element("pname", text="New"), pid=9))
+        index.invalidate(dept)
+        assert len(index.children(dept, "Proj")) == 3
+
+    def test_ancestor_tables_are_dropped_too(self, doc):
+        index = DocumentIndex(doc)
+        dept = doc.findall("dept")[0]
+        assert len(index.descendants(doc, "Proj")) == 3
+        dept.append(element("Proj", element("pname", text="New"), pid=9))
+        # Invalidating at the mutation site must also clear the root's
+        # descendant table, which reaches into the mutated subtree.
+        index.invalidate(dept)
+        assert len(index.descendants(doc, "Proj")) == 4
+
+    def test_sibling_tables_survive(self, doc):
+        index = DocumentIndex(doc)
+        first, second = doc.findall("dept")
+        index.children(first, "Proj")
+        index.children(second, "Proj")
+        built_before = index.stats.child_tables_built
+        first.append(element("Proj", element("pname", text="New"), pid=9))
+        index.invalidate(first)
+        # The sibling's table was not dropped: reading it builds nothing.
+        index.children(second, "Proj")
+        assert index.stats.child_tables_built == built_before
+        # The mutated element's table is rebuilt on next access.
+        assert len(index.children(first, "Proj")) == 3
+        assert index.stats.child_tables_built == built_before + 1
+
+    def test_memoized_paths_are_dropped_along_the_chain(self, doc):
+        index = DocumentIndex(doc)
+        path = parse_path("dept/Proj/pname")
+        assert len(index.evaluate(path, doc)) == 3
+        dept = doc.findall("dept")[1]
+        proj = dept.findall("Proj")[0]
+        field = proj.find("pname")
+        field.clear_text()
+        field.set_text("Renamed")
+        index.invalidate(field)
+        results = index.evaluate(path, doc)
+        assert any(
+            getattr(node, "text", None) == "Renamed" for node in results
+        )
