@@ -1,0 +1,174 @@
+"""Composition benchmarks: fused one-pass plans vs. two-stage chains.
+
+The ISSUE-10 performance contract: for an A→B→C mapping chain inside
+the composable fragment, the fused one-pass plan produced by
+:func:`repro.algebra.compose` must run at least 1.3× faster than
+executing the two stages sequentially at the Figure 7 L geometry —
+the fused plan never materializes the intermediate B document.  The
+``compose-chain`` benchmark group feeds the committed ``BENCH_compose``
+baseline (regression-gated by ``compare_bench.py`` in CI), and
+:func:`test_compose_speedup_floor` enforces the ratio in-test with
+best-of-N timing so the gate holds on noisy runners too.  Byte-identity
+of fused vs. sequential output is asserted at every geometry before any
+clock starts: a fusion that changes one output byte is a bug, not a win.
+
+The chain: stage 1 copies the deptstore source into a ``staff``
+intermediate (every department, every employee — the expensive full
+materialization); stage 2 filters the intermediate down to the
+high-pay workers, flattening division context into each row.  Fusion
+pushes the stage-2 filter all the way to the source scan.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algebra import compose
+from repro.core.compile import compile_clip
+from repro.core.mapping import ClipMapping
+from repro.runtime import plan_from_tgd
+from repro.scenarios import deptstore
+from repro.scenarios.workload import DeptstoreSpec, make_deptstore_instance
+from repro.xml.serialize import to_xml
+from repro.xsd.dsl import attr, elem, schema
+from repro.xsd.types import INT, STRING
+
+#: The grouping-heavy Figure 7 scaling-sweep geometries (L is the
+#: acceptance point; XL confirms the gap widens with the intermediate).
+_GEOMETRIES = {
+    "L": DeptstoreSpec(departments=40, projects_per_dept=6,
+                       employees_per_dept=25),
+    "XL": DeptstoreSpec(departments=80, projects_per_dept=8,
+                        employees_per_dept=40),
+}
+
+#: Best-of-N timing for the in-test speedup floor.
+_TIMING_ROUNDS = 5
+
+#: The ISSUE-10 acceptance floor: fused ≥ 1.3× two-stage sequential.
+_SPEEDUP_FLOOR = 1.3
+
+#: Stage-2 pay filter; workload salaries are drawn from
+#: ``range(8000, 32000, 500)`` so this keeps roughly the top half.
+_PAY_THRESHOLD = 20000
+
+_B_SCHEMA = schema(
+    elem(
+        "staff",
+        elem(
+            "division", "[0..*]", attr("dn", STRING),
+            elem(
+                "worker", "[0..*]",
+                attr("wname", STRING), attr("pay", INT),
+            ),
+        ),
+    )
+)
+
+_C_SCHEMA = schema(
+    elem(
+        "report",
+        elem("rich", "[0..*]", attr("who", STRING), attr("unit", STRING)),
+    )
+)
+
+
+def _chain():
+    """The A→B copy stage and the B→C filter stage."""
+    m_ab = ClipMapping(deptstore.source_schema(), _B_SCHEMA)
+    d = m_ab.build("dept", "division", var="d")
+    m_ab.build("dept/regEmp", "division/worker", var="e", parent=d)
+    m_ab.value("dept/dname/value", "division/@dn")
+    m_ab.value("dept/regEmp/ename/value", "division/worker/@wname")
+    m_ab.value("dept/regEmp/sal/value", "division/worker/@pay")
+
+    m_bc = ClipMapping(_B_SCHEMA, _C_SCHEMA)
+    ctx = m_bc.context("division", var="x")
+    m_bc.build(
+        "division/worker", "rich", var="w", parent=ctx,
+        condition=f"$w.@pay > {_PAY_THRESHOLD}",
+    )
+    m_bc.value("division/worker/@wname", "rich/@who")
+    m_bc.value("division/@dn", "rich/@unit")
+    return m_ab, m_bc
+
+
+def _stage_plans():
+    m_ab, m_bc = _chain()
+    return (
+        plan_from_tgd(compile_clip(m_ab), optimize=True),
+        plan_from_tgd(compile_clip(m_bc), optimize=True),
+    )
+
+
+def _fused_plan():
+    m_ab, m_bc = _chain()
+    return plan_from_tgd(compose(m_ab, m_bc), optimize=True)
+
+
+@pytest.fixture(scope="module")
+def geometry_instances():
+    return {
+        size: make_deptstore_instance(spec)
+        for size, spec in _GEOMETRIES.items()
+    }
+
+
+@pytest.mark.parametrize("size", ["L", "XL"])
+@pytest.mark.benchmark(group="compose-chain")
+def test_bench_compose_sequential(benchmark, geometry_instances, size):
+    first, second = _stage_plans()
+    out = benchmark.pedantic(
+        lambda instance: second.run(first.run(instance)),
+        args=(geometry_instances[size],),
+        rounds=3, iterations=1,
+    )
+    assert out.findall("rich")
+
+
+@pytest.mark.parametrize("size", ["L", "XL"])
+@pytest.mark.benchmark(group="compose-chain")
+def test_bench_compose_fused(benchmark, geometry_instances, size):
+    fused = _fused_plan()
+    out = benchmark.pedantic(
+        fused.run, args=(geometry_instances[size],),
+        rounds=3, iterations=1,
+    )
+    assert out.findall("rich")
+
+
+def _best_of(run, instance, rounds: int = _TIMING_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run(instance)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize("size", ["L", "XL"])
+def test_compose_speedup_floor(geometry_instances, size):
+    """The acceptance gate proper: best-of-N fused time beats best-of-N
+    two-stage time by at least the 1.3× floor, and the two paths
+    serialize byte-identical targets first (warm-up doubles as the
+    correctness check)."""
+    first, second = _stage_plans()
+    fused = _fused_plan()
+    instance = geometry_instances[size]
+
+    def sequential(doc):
+        return second.run(first.run(doc))
+
+    assert to_xml(fused.run(instance)) == to_xml(sequential(instance)), (
+        f"{size}: fused and sequential outputs diverge"
+    )
+    sequential_best = _best_of(sequential, instance)
+    fused_best = _best_of(fused.run, instance)
+    speedup = sequential_best / fused_best
+    assert speedup >= _SPEEDUP_FLOOR, (
+        f"{size}: fused speedup {speedup:.2f}× below the "
+        f"{_SPEEDUP_FLOOR}× floor (sequential "
+        f"{sequential_best * 1000:.1f} ms, fused {fused_best * 1000:.1f} ms)"
+    )

@@ -31,7 +31,20 @@ Quickstart::
 
 from __future__ import annotations
 
-from . import core, errors, executor, generation, runtime, scenarios, xml, xquery, xsd
+from . import (
+    algebra,
+    core,
+    errors,
+    executor,
+    generation,
+    runtime,
+    scenarios,
+    xml,
+    xquery,
+    xsd,
+)
+from .algebra import compose_fingerprint, compose_tgds
+from .errors import ComposeError
 from .core.compile import compile_clip
 from .core.mapping import ClipMapping
 from .core.tgd import NestedTgd
@@ -230,9 +243,119 @@ class Transformer:
                              optimize=self.optimize,
                              exec_mode=self.exec_mode)
 
+    def compose(self, other) -> "ComposedTransformer":
+        """Fuse this ``A→B`` transformer with a ``B→C`` mapping (or
+        transformer) into one ``A→C`` transformer.
+
+        When the pair lies in the composable fragment
+        (:func:`repro.algebra.compose_tgds`) the result runs a single
+        fused one-pass plan; otherwise it silently degrades to
+        sequential execution — either way the output is byte-identical
+        to applying the two stages in order, and
+        :attr:`ComposedTransformer.mode` says which path runs.
+        """
+        if not isinstance(other, Transformer):
+            other = Transformer(
+                other, engine=self.engine,
+                optimize=self.optimize, exec_mode=self.exec_mode,
+            )
+        return ComposedTransformer(self, other)
+
+
+class ComposedTransformer:
+    """An ``A→C`` transformer built from an ``A→B`` and a ``B→C`` one.
+
+    Construction attempts algebraic composition
+    (:func:`repro.algebra.compose_tgds`): inside the composable
+    fragment the two tgds fuse into one, whose single-pass plan is
+    byte-identical to chaining the stages (``mode == "inlined"``).
+    Outside the fragment — grouping, aggregates, opaque value flow —
+    the transformer keeps both stages and runs them in sequence
+    (``mode == "sequential"``), recording the machine-readable
+    :attr:`fallback_reason` from the :class:`~repro.errors.ComposeError`.
+    Either mode produces the same bytes, which the test suite asserts
+    across the corpus.
+    """
+
+    def __init__(self, first: Transformer, second: Transformer):
+        if first.engine != second.engine:
+            raise ValueError(
+                f"cannot compose transformers on different engines "
+                f"({first.engine!r} vs {second.engine!r})"
+            )
+        self.first = first
+        self.second = second
+        self.engine = first.engine
+        #: ``"inlined"`` (one fused plan) or ``"sequential"`` (fallback).
+        self.mode = "inlined"
+        #: The :class:`~repro.errors.ComposeError` reason tag when the
+        #: pair fell outside the composable fragment, else ``None``.
+        self.fallback_reason: str | None = None
+        #: The fused ``A→C`` nested tgd (``None`` in sequential mode).
+        self.tgd: NestedTgd | None = None
+        try:
+            self.tgd = compose_tgds(first.tgd, second.tgd)
+        except ComposeError as error:
+            self.mode = "sequential"
+            self.fallback_reason = error.reason
+        self._plan = None
+
+    @property
+    def fingerprint(self) -> str:
+        """The fused cache key: :func:`repro.algebra.compose_fingerprint`
+        over the two stages' structural fingerprints (stable whether or
+        not the pair actually inlined)."""
+        from .runtime.plan import fingerprint as _fingerprint
+
+        return compose_fingerprint(
+            _fingerprint(self.first.mapping, self.engine,
+                         optimize=self.first.optimize,
+                         exec_mode=self.first.exec_mode),
+            _fingerprint(self.second.mapping, self.engine,
+                         optimize=self.second.optimize,
+                         exec_mode=self.second.exec_mode),
+        )
+
+    @property
+    def plan(self):
+        """The fused :class:`repro.runtime.CompiledPlan` (inlined mode
+        only), compiled lazily and registered in the default plan cache
+        under the compose fingerprint."""
+        if self.mode != "inlined":
+            raise ComposeError(
+                self.fallback_reason or "sequential",
+                "this composition runs sequentially; it has no fused plan",
+            )
+        if self._plan is None:
+            from .runtime import default_cache, plan_from_tgd
+
+            cache = default_cache()
+            fp = self.fingerprint
+            plan = cache.peek(fp)
+            if plan is None:
+                plan = plan_from_tgd(
+                    self.tgd, self.engine, fp=fp,
+                    optimize=self.second.optimize,
+                    exec_mode=self.second.exec_mode,
+                )
+                cache.put(plan)
+            self._plan = plan
+        return self._plan
+
+    def __call__(self, source_instance: XmlElement) -> XmlElement:
+        return self.apply(source_instance)
+
+    def apply(self, source_instance: XmlElement) -> XmlElement:
+        """Transform ``A`` documents straight to ``C``: the fused
+        one-pass plan when inlined, the two stages in order when not."""
+        if self.mode == "inlined":
+            return self.plan.run(source_instance)
+        return self.second.apply(self.first.apply(source_instance))
+
 
 __all__ = [
     "Transformer",
+    "ComposedTransformer",
     "ClipMapping",
     "NestedTgd",
     "XmlElement",
@@ -242,6 +365,9 @@ __all__ = [
     "emit_xquery",
     "run_query",
     "serialize_xquery",
+    "compose_fingerprint",
+    "compose_tgds",
+    "algebra",
     "core",
     "errors",
     "executor",

@@ -1,0 +1,191 @@
+"""Containment and equivalence of nested tgds (a decidable fragment).
+
+``contains(m1, m2)`` asks: over every source instance, is the target
+``m2`` produces *embedded in* the target ``m1`` produces?  Following
+Calì–Torlone's treatment of mapping containment for data exchange, the
+check is a canonical-homomorphism search over the frozen tgd normal
+forms — but restricted to a fragment where the homomorphism argument
+is actually sound, and answering ``None`` ("unknown") everywhere else
+rather than guessing.
+
+The decidable fragment excludes:
+
+* grouping Skolems (`group-by`) — grouping merges rows, so adding or
+  removing a conjunct changes *keys*, not just row sets;
+* aggregates — an aggregate's value depends on the whole row set, so a
+  sub-set of rows yields a *different* value, not a subset of values;
+* distributed content — its fan-out is a function of what *other*
+  mappings build.
+
+Within the fragment the rule is the classical one: mapping ``m1``
+contains ``m2`` when every root of ``m2`` is *covered* by some root of
+``m1`` — identical generators and assignments up to a consistent
+renaming, recursively covered submappings, and ``where(r1) ⊆
+where(r2)`` (fewer conjuncts keep more rows, hence produce a superset).
+
+Three-valued results compose conservatively: ``True`` and ``False`` are
+proofs, ``None`` is an honest shrug.  Alpha-equivalent mappings are
+recognized even outside the fragment via the canonical normal form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.compile import compile_clip
+from ..core.mapping import ClipMapping
+from ..core.tgd import (
+    AggregateApp,
+    NestedTgd,
+    TgdMapping,
+)
+from .normalize import canonical_render, rename_condition, rename_term, rename_vars
+
+__all__ = ["contains", "equivalent", "in_decidable_fragment"]
+
+#: What the decision procedure returns: a proof either way, or "unknown".
+Verdict = Optional[bool]
+
+_MappingLike = Union[ClipMapping, NestedTgd]
+
+
+def _as_tgd(mapping: _MappingLike) -> NestedTgd:
+    if isinstance(mapping, NestedTgd):
+        return mapping
+    return compile_clip(mapping)
+
+
+def in_decidable_fragment(mapping: _MappingLike) -> bool:
+    """True when the containment check can decide on this mapping."""
+    tgd = _as_tgd(mapping)
+    if tgd.functions:
+        return False
+    for level in tgd.walk():
+        if level.skolem is not None or level.grouped_var is not None:
+            return False
+        if any(gen.distribute for gen in level.target_gens):
+            return False
+        if any(
+            isinstance(assignment.value, AggregateApp)
+            for assignment in level.assignments
+        ):
+            return False
+    return True
+
+
+class _Names:
+    """A shared fresh-name supply for one coverage comparison: matched
+    binders on both sides receive the *same* fresh name, so comparing
+    renamed components is exactly comparison up to alpha."""
+
+    __slots__ = ("counter",)
+
+    def __init__(self, counter: int = 0):
+        self.counter = counter
+
+    def fresh(self) -> str:
+        name = f"h{self.counter}"
+        self.counter += 1
+        return name
+
+
+def _covers(
+    level1: TgdMapping,
+    level2: TgdMapping,
+    map1: dict[str, str],
+    map2: dict[str, str],
+    names: _Names,
+) -> bool:
+    """Does ``level1`` produce at least what ``level2`` produces, given
+    the binder correspondence accumulated so far?"""
+    if len(level1.source_gens) != len(level2.source_gens):
+        return False
+    if len(level1.target_gens) != len(level2.target_gens):
+        return False
+    for gen1, gen2 in zip(level1.source_gens, level2.source_gens):
+        if rename_vars(gen1.expr, map1) != rename_vars(gen2.expr, map2):
+            return False
+        shared = names.fresh()
+        map1[gen1.var] = shared
+        map2[gen2.var] = shared
+    for gen1, gen2 in zip(level1.target_gens, level2.target_gens):
+        if gen1.quantified != gen2.quantified:
+            return False
+        if rename_vars(gen1.expr, map1) != rename_vars(gen2.expr, map2):
+            return False
+        shared = names.fresh()
+        map1[gen1.var] = shared
+        map2[gen2.var] = shared
+    # where(level1) ⊆ where(level2): every conjunct the container checks
+    # is also checked by the contained mapping, so the container keeps a
+    # superset of the rows.
+    where1 = {str(rename_condition(c, map1)) for c in level1.where}
+    where2 = {str(rename_condition(c, map2)) for c in level2.where}
+    if not where1 <= where2:
+        return False
+    # Assignments must agree exactly: the target element an iteration
+    # builds must carry identical content on both sides for the
+    # embedding to be label- and value-preserving.
+    assigns1 = tuple(
+        (str(rename_vars(a.target, map1)), str(rename_term(a.value, map1)))
+        for a in level1.assignments
+    )
+    assigns2 = tuple(
+        (str(rename_vars(a.target, map2)), str(rename_term(a.value, map2)))
+        for a in level2.assignments
+    )
+    if assigns1 != assigns2:
+        return False
+    # Every submapping of the contained level must be covered by some
+    # submapping of the container; extra container submappings only add
+    # content, which containment permits.
+    for sub2 in level2.submappings:
+        if not any(
+            _covers(sub1, sub2, dict(map1), dict(map2), _Names(names.counter))
+            for sub1 in level1.submappings
+        ):
+            return False
+    return True
+
+
+def contains(m1: _MappingLike, m2: _MappingLike) -> Verdict:
+    """Three-valued containment: does ``m1`` subsume ``m2``?
+
+    ``True``/``False`` are proofs; ``None`` means the pair lies outside
+    the decidable fragment (or the homomorphism search failed without a
+    disproof, which the conservative procedure reports as unknown).
+    """
+    tgd1 = _as_tgd(m1)
+    tgd2 = _as_tgd(m2)
+    if tgd1.target_root != tgd2.target_root:
+        # Different output root tags: m2's output can never embed.
+        return False
+    if tgd1.source_root != tgd2.source_root:
+        return False
+    # Alpha-equivalence is containment both ways, fragment or not.
+    if canonical_render(tgd1) == canonical_render(tgd2):
+        return True
+    if not in_decidable_fragment(tgd1) or not in_decidable_fragment(tgd2):
+        return None
+    for root2 in tgd2.roots:
+        if not any(
+            _covers(root1, root2, {}, {}, _Names()) for root1 in tgd1.roots
+        ):
+            return None
+    return True
+
+
+def equivalent(m1: _MappingLike, m2: _MappingLike) -> Verdict:
+    """Three-valued equivalence: mutual containment.
+
+    ``True`` when containment is proved both ways (or the canonical
+    normal forms coincide), ``False`` when either direction is refuted,
+    ``None`` otherwise.
+    """
+    forward = contains(m1, m2)
+    backward = contains(m2, m1)
+    if forward is True and backward is True:
+        return True
+    if forward is False or backward is False:
+        return False
+    return None

@@ -1,0 +1,285 @@
+"""Quasi-inverses of copy-like Clip mappings, and the predicted core.
+
+A mapping is *quasi-invertible* here when it lies in the copy-like
+fragment: every build node copies one repeating source element to one
+repeating target element (both immediate children of their parents'
+elements), and every value mapping is an identity copy of a single
+value — no scalar functions, no aggregates, no grouping.  Conditions
+are allowed: they do not obstruct inversion, they only shrink what
+survives the round trip.
+
+``quasi_inverse(m)`` returns a genuine :class:`ClipMapping` from ``m``'s
+target schema back to its source schema, so the inverse runs through
+the ordinary compile/execute pipeline (all engines, all exec modes).
+
+Per Arenas–Pérez–Reutter–Riveros, a mapping with conditions or dropped
+attributes has no exact inverse — the best a quasi-inverse can recover
+is the **core**: the sub-instance of the source that the mapping
+actually transports (rows passing the filters, values that are mapped).
+``core_tgd(m)`` derives that prediction *independently* of the inverse:
+it rewrites ``m``'s own tgd into a source→source tgd that copies
+exactly the transported sub-instance.  The round-trip oracle then
+checks ``inverse(m(source))`` byte-for-byte against
+``execute(core_tgd(m), source)`` — two different tgds, two different
+plans, one required answer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.compile import compile_clip
+from ..core.mapping import BuildNode, ClipMapping, ValueMapping
+from ..core.tgd import (
+    Assignment,
+    NestedTgd,
+    Proj,
+    SchemaRoot,
+    SourceGenerator,
+    TargetGenerator,
+    TgdComparison,
+    TgdExpr,
+    TgdMapping,
+    Var,
+    expr_labels,
+    expr_root,
+    proj_path,
+)
+from ..errors import InverseError
+from ..xml.model import XmlElement
+from ..xsd.schema import ElementDecl, ValueNode
+
+__all__ = ["quasi_inverse", "core_tgd", "predicted_core"]
+
+
+# -- fragment checks over the Clip object model ----------------------------
+
+
+def _node_parents(node: BuildNode, m: ClipMapping) -> tuple[ElementDecl, ElementDecl]:
+    """The (source, target) elements the node's elements must sit under."""
+    if node.parent is None:
+        return m.source.root, m.target.root
+    return node.parent.incoming[0].source, node.parent.target
+
+
+def _check_node(node: BuildNode, m: ClipMapping) -> None:
+    if node.is_group:
+        raise InverseError("grouping", f"group node {node!r} is not invertible")
+    if len(node.incoming) != 1:
+        raise InverseError("multi-builder", f"{node!r} joins several sources")
+    if node.target is None:
+        raise InverseError("context-only", f"{node!r} builds nothing")
+    source_parent, target_parent = _node_parents(node, m)
+    source = node.incoming[0].source
+    if source.parent is not source_parent:
+        raise InverseError(
+            "deep-source",
+            f"{source.path_string()} is not an immediate child of "
+            f"{source_parent.path_string()}",
+        )
+    if node.target.parent is not target_parent:
+        raise InverseError(
+            "deep-target",
+            f"{node.target.path_string()} is not an immediate child of "
+            f"{target_parent.path_string()}",
+        )
+    if not node.target.is_repeating:
+        raise InverseError(
+            "rigid-target",
+            f"{node.target.path_string()} is not repeating; the inverse "
+            "could not iterate it",
+        )
+
+
+def _value_driver(m: ClipMapping, element: ElementDecl) -> Optional[BuildNode]:
+    """The deepest build node whose source element is the element itself
+    or an ancestor of it."""
+    best: Optional[BuildNode] = None
+    for node in m.build_nodes():
+        source = node.incoming[0].source
+        if source is element or source.is_ancestor_of(element):
+            if best is None or source.depth() > best.incoming[0].source.depth():
+                best = node
+    return best
+
+
+def _relative_chain(ancestor: ElementDecl, element: ElementDecl) -> list[ElementDecl]:
+    """Elements strictly between ``ancestor`` and ``element`` plus the
+    element itself; raises when any is repeating (the value would then
+    span an iteration the inverse cannot replay)."""
+    chain = [e for e in element.path() if e is not ancestor and ancestor.is_ancestor_of(e)]
+    for link in chain:
+        if link.is_repeating:
+            raise InverseError(
+                "repeating-value-path",
+                f"{element.path_string()} sits under repeating "
+                f"{link.path_string()}",
+            )
+    return chain
+
+
+def _check_value(vm: ValueMapping, m: ClipMapping) -> BuildNode:
+    if vm.is_aggregate or vm.function is not None or len(vm.sources) != 1:
+        raise InverseError(
+            "non-identity-value", f"{vm!r} is not an identity copy"
+        )
+    source_node = vm.sources[0]
+    if not isinstance(source_node, ValueNode):
+        raise InverseError("non-identity-value", f"{vm!r} reads an element")
+    driver = _value_driver(m, source_node.element)
+    if driver is None:
+        raise InverseError(
+            "undriven-value", f"{vm!r} has no covering build node"
+        )
+    source_base = driver.incoming[0].source
+    target_base = driver.target
+    if source_node.element is not source_base:
+        if not source_base.is_ancestor_of(source_node.element):
+            raise InverseError(
+                "crossed-value",
+                f"{vm!r} reads outside its driver's source subtree",
+            )
+        _relative_chain(source_base, source_node.element)
+    if vm.target.element is not target_base:
+        if not (
+            target_base is vm.target.element
+            or target_base.is_ancestor_of(vm.target.element)
+        ):
+            raise InverseError(
+                "crossed-value",
+                f"{vm!r} lands outside its driver's target subtree",
+            )
+        _relative_chain(target_base, vm.target.element)
+    return driver
+
+
+# -- the quasi-inverse mapping ---------------------------------------------
+
+
+def quasi_inverse(m: ClipMapping) -> ClipMapping:
+    """The quasi-inverse of a copy-like mapping: target schema back to
+    source schema, builders and identity value mappings reversed.
+
+    Raises :class:`InverseError` outside the invertible fragment.
+    """
+    for node in m.build_nodes():
+        _check_node(node, m)
+    drivers = [(vm, _check_value(vm, m)) for vm in m.value_mappings]
+    inverse = ClipMapping(m.target, m.source)
+    node_map: dict[int, BuildNode] = {}
+
+    def mirror(node: BuildNode, parent: Optional[BuildNode]) -> None:
+        inverted = inverse.build(
+            node.target,
+            node.incoming[0].source,
+            parent=parent,
+        )
+        node_map[id(node)] = inverted
+        for child in node.children:
+            mirror(child, inverted)
+
+    for root in m.roots:
+        mirror(root, None)
+    for vm, _driver in drivers:
+        inverse.value(vm.target, vm.sources[0])
+    return inverse
+
+
+# -- the predicted core ----------------------------------------------------
+
+
+def core_tgd(m: ClipMapping) -> NestedTgd:
+    """A source→source tgd copying exactly what ``m`` transports.
+
+    Derived by rewriting ``m``'s compiled tgd: each level keeps its
+    source generators and filters, but rebuilds the *source* structure
+    — the built element takes the source label, and every assignment
+    writes the read value back to the location it was read from.
+    """
+    tgd = compile_clip(m)
+    if tgd.functions:
+        raise InverseError("grouping", "grouping Skolems are not invertible")
+
+    def rewrite(level: TgdMapping, parent_target: Optional[str], counter: list[int]) -> TgdMapping:
+        if level.skolem is not None or level.grouped_var is not None:
+            raise InverseError("grouping", "grouping Skolems are not invertible")
+        if len(level.source_gens) != 1:
+            raise InverseError(
+                "deep-source", "level iterates more than one collection"
+            )
+        gen = level.source_gens[0]
+        labels = expr_labels(gen.expr)
+        if len(labels) != 1:
+            raise InverseError(
+                "deep-source", f"generator {gen} skips levels"
+            )
+        quantified = [g for g in level.target_gens if g.quantified]
+        if len(quantified) != len(level.target_gens) or len(quantified) != 1:
+            raise InverseError(
+                "deep-target", "level builds other than one quantified element"
+            )
+        built_var = quantified[0].var
+        core_var = f"k{counter[0]}"
+        counter[0] += 1
+        base: TgdExpr = (
+            SchemaRoot(tgd.source_root)
+            if parent_target is None
+            else Var(parent_target)
+        )
+        assignments = []
+        for assignment in level.assignments:
+            target_root = expr_root(assignment.target)
+            if not isinstance(target_root, Var) or target_root.name != built_var:
+                raise InverseError(
+                    "crossed-value",
+                    f"assignment {assignment} targets another level",
+                )
+            value = assignment.value
+            if not isinstance(value, (SchemaRoot, Var, Proj)):
+                raise InverseError(
+                    "non-identity-value", f"assignment {assignment} computes"
+                )
+            value_root = expr_root(value)
+            if not isinstance(value_root, Var) or value_root.name != gen.var:
+                raise InverseError(
+                    "crossed-value",
+                    f"assignment {assignment} reads outside its level",
+                )
+            assignments.append(
+                Assignment(
+                    proj_path(Var(core_var), expr_labels(value)), value
+                )
+            )
+        submappings = tuple(
+            rewrite(sub, core_var, counter) for sub in level.submappings
+        )
+        return TgdMapping(
+            source_gens=(gen,),
+            where=level.where,
+            target_gens=(
+                TargetGenerator(core_var, Proj(base, labels[0])),
+            ),
+            assignments=tuple(assignments),
+            submappings=submappings,
+        )
+
+    counter = [0]
+    roots = tuple(rewrite(root, None, counter) for root in tgd.roots)
+    return NestedTgd(
+        roots=roots,
+        functions=(),
+        source_root=tgd.source_root,
+        target_root=tgd.source_root,
+    )
+
+
+def predicted_core(m: ClipMapping, instance: XmlElement) -> XmlElement:
+    """The round-trip prediction: the core sub-instance ``m`` transports.
+
+    Executes :func:`core_tgd` with the reference engine settings (direct
+    tgd evaluation, optimizer on) — an independent path from the
+    ``m`` → ``quasi_inverse(m)`` round trip it is compared against.
+    """
+    from ..executor.engine import execute
+
+    return execute(core_tgd(m), instance, optimize=True)

@@ -10,12 +10,22 @@ saved by :mod:`repro.io`:
 * ``xslt MAPPING.json`` — print the generated XSLT stylesheet;
 * ``run MAPPING.json SOURCE.xml [-o OUT.xml] [--engine tgd|xquery]
   [--no-optimize] [--exec-mode interp|codegen] [--trace-json PATH]
-  [--incremental PREV_SOURCE PREV_TARGET] [--baseline]`` —
+  [--incremental PREV_SOURCE PREV_TARGET] [--baseline]
+  [--compose SECOND.json]`` —
   transform an instance, optionally recording a ``clip-trace``
   execution trace; with ``--incremental``, treat SOURCE as an edited
   document and re-transform it delta-scoped against the previous
   run's source/target pair (``--baseline`` additionally times the
-  full recompute and checks byte-identity);
+  full recompute and checks byte-identity); with ``--compose``,
+  chain a second ``B→C`` mapping — fused into one pass when the pair
+  composes algebraically, sequential otherwise, identical bytes
+  either way;
+* ``compose FIRST.json SECOND.json [SOURCE.xml] [-o OUT.xml]
+  [--engine E] [--verify]`` — fuse an ``A→B`` and a ``B→C`` mapping
+  (:mod:`repro.algebra`): print the composed nested tgd (or the
+  sequential-fallback reason), optionally transform an instance
+  through it, and with ``--verify`` check the result byte-for-byte
+  against running the two stages in sequence;
 * ``explain MAPPING.json SOURCE.xml [--json] [--no-optimize]
   [--exec-mode interp|codegen]`` — print the compiled tgd plan (hash
   joins, pushed filters, generator order) and its runtime counters for
@@ -171,7 +181,19 @@ def _cmd_run(args) -> int:
         clip, engine=args.engine, optimize=optimize,
         exec_mode=args.exec_mode, trace=tracer,
     )
-    if args.incremental:
+    if args.compose:
+        if args.incremental:
+            raise ReproError(
+                "--compose and --incremental are mutually exclusive"
+            )
+        composed = transformer.compose(load_mapping(args.compose))
+        if composed.fallback_reason:
+            print(
+                f"compose: sequential fallback ({composed.fallback_reason})",
+                file=sys.stderr,
+            )
+        result = composed(instance)
+    elif args.incremental:
         if args.engine != "tgd":
             raise ReproError("--incremental requires the tgd engine")
         result = _run_incremental(args, clip, transformer, instance)
@@ -185,6 +207,45 @@ def _cmd_run(args) -> int:
         print(to_xml(result) if args.xml else to_ascii(result))
     if tracer is not None:
         _write_trace(tracer, args.trace_json)
+    return 0
+
+
+def _cmd_compose(args) -> int:
+    """``repro compose``: fuse two mapping documents, show the composed
+    tgd, optionally transform an instance (with sequential cross-check)."""
+    from .core.tgd import render_tgd
+
+    first = load_mapping(args.first)
+    second = load_mapping(args.second)
+    t1 = Transformer(first, engine=args.engine)
+    t2 = Transformer(second, engine=args.engine)
+    composed = t1.compose(t2)
+    if composed.mode == "inlined":
+        print("COMPOSED NESTED TGD")
+        print(render_tgd(composed.tgd))
+        print(f"\nfingerprint: {composed.fingerprint}")
+    else:
+        print(f"sequential fallback: {composed.fallback_reason}")
+    if args.source is None:
+        return 0
+    instance = parse_xml(_read(args.source), schema=first.source)
+    result = composed(instance)
+    if args.verify:
+        sequential = t2(t1(instance))
+        if to_xml(sequential) != to_xml(result):
+            print(
+                "VERIFY FAILED: composed output differs from sequential "
+                "execution",
+                file=sys.stderr,
+            )
+            return 1
+        print("verified: byte-identical to sequential execution")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(to_xml(result))
+        print(f"wrote {args.output} ({result.size()} elements)")
+    else:
+        print(to_xml(result) if args.xml else to_ascii(result))
     return 0
 
 
@@ -606,7 +667,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --incremental: also run the full recompute, check "
              "byte-identity, and report both timings",
     )
+    run.add_argument(
+        "--compose", default=None, metavar="SECOND.json",
+        help="chain a second (B→C) mapping: transform straight to C "
+             "through the fused one-pass plan when the pair composes "
+             "algebraically, or the two stages in sequence when not — "
+             "byte-identical either way",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    compose_cmd = commands.add_parser(
+        "compose",
+        help="fuse an A→B and a B→C mapping into one A→C transform",
+    )
+    compose_cmd.add_argument("first", help="the A→B mapping document")
+    compose_cmd.add_argument("second", help="the B→C mapping document")
+    compose_cmd.add_argument(
+        "source", nargs="?", default=None,
+        help="optional A instance to transform through the composition",
+    )
+    compose_cmd.add_argument("-o", "--output", default=None)
+    compose_cmd.add_argument(
+        "--engine", choices=("tgd", "xquery", "xslt"), default="tgd"
+    )
+    compose_cmd.add_argument(
+        "--xml", action="store_true", help="print XML instead of a tree"
+    )
+    compose_cmd.add_argument(
+        "--verify", action="store_true",
+        help="also run the two stages sequentially and check the "
+             "composed output is byte-identical",
+    )
+    compose_cmd.set_defaults(handler=_cmd_compose)
 
     explain_cmd = commands.add_parser(
         "explain", help="print the compiled tgd plan and its statistics"

@@ -166,6 +166,36 @@ class OverloadError(TransientError):
     """
 
 
+class AlgebraError(ReproError):
+    """A mapping-algebra operation could not be carried out.
+
+    The algebra (:mod:`repro.algebra`) works on a *symbolic fragment* of
+    the nested-tgd language; operations outside that fragment raise a
+    subclass naming the offending construct rather than producing a
+    semantically wrong result."""
+
+
+class ComposeError(AlgebraError):
+    """Two mappings could not be composed into a single tgd.
+
+    Composition falls back to sequential execution in this case; the
+    ``reason`` attribute carries a stable, machine-readable tag."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        message = reason if not detail else f"{reason}: {detail}"
+        super().__init__(message)
+
+
+class InverseError(AlgebraError):
+    """A mapping lies outside the invertible (copy-like) fragment."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        message = reason if not detail else f"{reason}: {detail}"
+        super().__init__(message)
+
+
 class GenerationError(ReproError):
     """Mapping generation (tableaux/skeletons/nesting) failed."""
 

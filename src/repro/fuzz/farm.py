@@ -27,7 +27,21 @@ it:
   .apply_edits`), and :func:`~repro.runtime.incremental.transform_delta`
   from the base document's target must reproduce a full recompute of
   the edited document **byte-identically** — whether it took the
-  scoped path or fell back.
+  scoped path or fell back;
+* ``composition``-axis cases additionally run a *compose* leg: the
+  second-stage mapping carried in ``params["compose_with"]`` is
+  composed with the case's own tgd
+  (:func:`~repro.algebra.compose_tgds`), and the fused one-pass plan
+  must reproduce the sequential two-stage execution
+  **byte-identically**; when ``compose_tgds`` declines (sequential
+  fallback) the leg verifies the corpus's ``expect_inlined``
+  prediction instead;
+* ``round-trip``-axis cases additionally run an *inversion* leg:
+  :func:`~repro.algebra.quasi_inverse` is applied to the case's
+  target, and the recovered source must match the
+  containment-predicted core (:func:`~repro.algebra.predicted_core`)
+  **byte-identically** — two independently derived tgds, one required
+  answer.
 
 Any disagreement (or an engine error where the reference succeeded)
 becomes a :class:`~repro.fuzz.report.Divergence` in the
@@ -46,7 +60,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
-from ..errors import ReproError
+from ..algebra import (
+    compose_fingerprint,
+    compose_tgds,
+    predicted_core,
+    quasi_inverse,
+)
+from ..errors import ComposeError, ReproError
 from ..generation.corpus import (
     AXES,
     CorpusCase,
@@ -55,6 +75,7 @@ from ..generation.corpus import (
     resolve_axes,
 )
 from ..io import load as load_mapping
+from ..io import loads as loads_mapping
 from ..io import save as save_mapping
 from ..runtime import (
     ENGINES,
@@ -62,6 +83,7 @@ from ..runtime import (
     PlanCache,
     SpanTracer,
     eligible_engines,
+    plan_from_tgd,
 )
 from ..runtime.incremental import transform_delta
 from ..xml.diff import compute_delta, diff, render_diff
@@ -257,6 +279,129 @@ class FuzzFarm:
                 )
         if case.params.get("edits"):
             self._check_incremental(case, reference, expected, report)
+        if case.params.get("compose_with"):
+            self._check_composition(case, reference, expected, report)
+        if case.params.get("round_trip"):
+            self._check_roundtrip(case, expected, report)
+
+    def _check_composition(
+        self, case: CorpusCase, reference, expected: XmlElement,
+        report: FuzzReport,
+    ) -> None:
+        """The ``composition``-axis leg: compose the case's ``A→B`` tgd
+        with the ``B→C`` stage in ``params["compose_with"]`` and
+        cross-check the fused one-pass plan against sequential
+        two-stage execution, byte for byte."""
+        combo = Combo("tgd", True, 1, "compose")
+        report.compose_checks += 1
+        second = loads_mapping(case.params["compose_with"])
+        second_plan = self.cache.get_or_compile(
+            second, "tgd", optimize=True
+        )
+        report.executions += 1
+        sequential = second_plan(expected)
+        expect_inlined = bool(case.params.get("expect_inlined"))
+        try:
+            fused_tgd = compose_tgds(reference.tgd, second_plan.tgd)
+        except ComposeError as exc:
+            report.compose_fallbacks += 1
+            if expect_inlined:
+                self._record(
+                    case, combo, report,
+                    kind="error",
+                    detail=(
+                        "compose declined where the corpus predicted"
+                        " inlining",
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                    expected=sequential,
+                )
+            return
+        report.compose_inlined += 1
+        report.executions += 1
+        report.comparisons += 1
+        if not expect_inlined:
+            self._record(
+                case, combo, report,
+                kind="error",
+                detail=(
+                    "compose inlined where the corpus predicted a"
+                    " sequential fallback",
+                ),
+                expected=sequential,
+            )
+            return
+        fp = compose_fingerprint(
+            self.cache.fingerprint_for(case.mapping, "tgd", optimize=True),
+            self.cache.fingerprint_for(second, "tgd", optimize=True),
+        )
+        try:
+            fused_plan = plan_from_tgd(
+                fused_tgd, "tgd", fp=fp, optimize=True
+            )
+            actual = fused_plan.run(case.instance)
+        except ReproError as exc:
+            self._record(
+                case, combo, report,
+                kind="error",
+                detail=(f"{type(exc).__name__}: {exc}",),
+                expected=sequential,
+            )
+            return
+        if to_xml(sequential) != to_xml(actual):
+            differences = diff(sequential.canonical(), actual.canonical())
+            if not differences:
+                differences = diff(sequential, actual)
+            detail = tuple(
+                render_diff(differences).splitlines()[:_DETAIL_LINES]
+            )
+            self._record(
+                case, combo, report,
+                kind="bytes",
+                detail=detail,
+                expected=sequential,
+                actual=actual,
+            )
+
+    def _check_roundtrip(
+        self, case: CorpusCase, expected: XmlElement, report: FuzzReport
+    ) -> None:
+        """The ``round-trip``-axis leg: run the quasi-inverse over the
+        case's target and cross-check the recovered source against the
+        independently derived containment-predicted core."""
+        combo = Combo("tgd", True, 1, "round-trip")
+        report.round_trip_checks += 1
+        report.executions += 2
+        report.comparisons += 1
+        try:
+            inverse = quasi_inverse(case.mapping)
+            inverse_plan = self.cache.get_or_compile(
+                inverse, "tgd", optimize=True
+            )
+            actual = inverse_plan(expected)
+            predicted = predicted_core(case.mapping, case.instance)
+        except ReproError as exc:
+            self._record(
+                case, combo, report,
+                kind="error",
+                detail=(f"{type(exc).__name__}: {exc}",),
+                expected=expected,
+            )
+            return
+        if to_xml(predicted) != to_xml(actual):
+            differences = diff(predicted.canonical(), actual.canonical())
+            if not differences:
+                differences = diff(predicted, actual)
+            detail = tuple(
+                render_diff(differences).splitlines()[:_DETAIL_LINES]
+            )
+            self._record(
+                case, combo, report,
+                kind="bytes",
+                detail=detail,
+                expected=predicted,
+                actual=actual,
+            )
 
     def _check_incremental(
         self, case: CorpusCase, reference, prev_target: XmlElement,
@@ -519,6 +664,10 @@ class FuzzFarm:
         reference = self.cache.get_or_compile(mapping, "tgd", optimize=True)
         if combo.exec_mode == "incremental":
             return self._replay_incremental(case, combo, reference)
+        if combo.exec_mode == "compose":
+            return self._replay_composition(case, combo, reference)
+        if combo.exec_mode == "round-trip":
+            return self._replay_roundtrip(case, combo, reference)
         expected = reference(instance)
         expected_xml = to_xml(expected)
         tracer = SpanTracer()
@@ -550,6 +699,96 @@ class FuzzFarm:
             expected_xml=expected_xml,
             actual_xml=to_xml(actual),
             trace=trace.to_dict() if trace.spans else None,
+        )
+
+    def _replay_composition(
+        self, case: CorpusCase, combo: Combo, reference
+    ) -> ReplayResult:
+        """Replay a ``composition``-axis kit: re-derive the fused plan
+        from the manifest's second-stage mapping and re-check it
+        against sequential two-stage execution."""
+        second = loads_mapping(case.params["compose_with"])
+        second_plan = self.cache.get_or_compile(second, "tgd", optimize=True)
+        expected = second_plan(reference(case.instance))
+        expected_xml = to_xml(expected)
+        try:
+            fused_tgd = compose_tgds(reference.tgd, second_plan.tgd)
+            fp = compose_fingerprint(
+                self.cache.fingerprint_for(
+                    case.mapping, "tgd", optimize=True
+                ),
+                self.cache.fingerprint_for(second, "tgd", optimize=True),
+            )
+            fused_plan = plan_from_tgd(fused_tgd, "tgd", fp=fp, optimize=True)
+            actual = fused_plan.run(case.instance)
+        except ReproError as exc:
+            return ReplayResult(
+                case_id=case.case_id,
+                combo=combo,
+                diverged=bool(case.params.get("expect_inlined")),
+                expected_xml=expected_xml,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        diverged = expected_xml != to_xml(actual)
+        differences = []
+        if diverged:
+            rendered = render_diff(
+                diff(expected.canonical(), actual.canonical())
+            )
+            differences = rendered.splitlines()
+        return ReplayResult(
+            case_id=case.case_id,
+            combo=combo,
+            diverged=diverged,
+            differences=differences,
+            expected_xml=expected_xml,
+            actual_xml=to_xml(actual),
+        )
+
+    def _replay_roundtrip(
+        self, case: CorpusCase, combo: Combo, reference
+    ) -> ReplayResult:
+        """Replay a ``round-trip``-axis kit: re-run the quasi-inverse
+        over the target and re-check against the predicted core."""
+        target = reference(case.instance)
+        try:
+            expected = predicted_core(case.mapping, case.instance)
+        except ReproError as exc:
+            return ReplayResult(
+                case_id=case.case_id,
+                combo=combo,
+                diverged=True,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        expected_xml = to_xml(expected)
+        try:
+            inverse = quasi_inverse(case.mapping)
+            inverse_plan = self.cache.get_or_compile(
+                inverse, "tgd", optimize=True
+            )
+            actual = inverse_plan(target)
+        except ReproError as exc:
+            return ReplayResult(
+                case_id=case.case_id,
+                combo=combo,
+                diverged=True,
+                expected_xml=expected_xml,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        diverged = expected_xml != to_xml(actual)
+        differences = []
+        if diverged:
+            rendered = render_diff(
+                diff(expected.canonical(), actual.canonical())
+            )
+            differences = rendered.splitlines()
+        return ReplayResult(
+            case_id=case.case_id,
+            combo=combo,
+            diverged=diverged,
+            differences=differences,
+            expected_xml=expected_xml,
+            actual_xml=to_xml(actual),
         )
 
     def _replay_incremental(

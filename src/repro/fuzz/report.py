@@ -101,6 +101,18 @@ class FuzzReport:
     incremental_checks: int = 0
     incremental_hits: int = 0
     incremental_fallbacks: int = 0
+    #: Composition (``composition``-axis) legs: the fused one-pass plan
+    #: cross-checked byte-for-byte against sequential two-stage
+    #: execution.  ``compose_inlined``/``compose_fallbacks`` split the
+    #: checks by whether :func:`~repro.algebra.compose_tgds` produced a
+    #: fused tgd or declined (sequential fallback).  Additive in v1.
+    compose_checks: int = 0
+    compose_inlined: int = 0
+    compose_fallbacks: int = 0
+    #: Round-trip (``round-trip``-axis) legs: source → target →
+    #: quasi-inverse(source′) cross-checked against the
+    #: containment-predicted core.  Additive in v1.
+    round_trip_checks: int = 0
     budget_seconds: Optional[float] = None
     exhausted_budget: bool = False
     skipped: int = 0
@@ -128,6 +140,10 @@ class FuzzReport:
             "incremental_checks": self.incremental_checks,
             "incremental_hits": self.incremental_hits,
             "incremental_fallbacks": self.incremental_fallbacks,
+            "compose_checks": self.compose_checks,
+            "compose_inlined": self.compose_inlined,
+            "compose_fallbacks": self.compose_fallbacks,
+            "round_trip_checks": self.round_trip_checks,
             "budget_seconds": self.budget_seconds,
             "exhausted_budget": self.exhausted_budget,
             "skipped": self.skipped,

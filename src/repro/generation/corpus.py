@@ -4,7 +4,7 @@ The paper demonstrates Clip on a handful of figures; the differential
 fuzz farm (:mod:`repro.fuzz`) needs the *same semantic constructs* in
 hundreds of shapes.  :func:`generate_corpus` grows the figure scenarios
 and the synthetic-workload machinery into a corpus generator spanning
-seven axes:
+nine axes:
 
 * ``deep-cpt`` — context-propagation chains three to five levels deep
   over synthetic chain schemas, with a pushed filter on the deepest
@@ -26,7 +26,20 @@ seven axes:
   in ``params["edits"]``; the fuzz farm re-applies the script with
   :func:`apply_edits` and checks
   :func:`repro.runtime.incremental.transform_delta` byte-for-byte
-  against a full recompute of the edited document.
+  against a full recompute of the edited document;
+* ``composition`` — mapping-algebra cases: the case's mapping is an
+  ``A→B`` stage and ``params["compose_with"]`` carries a serialized
+  ``B→C`` stage; the farm checks
+  :func:`repro.algebra.compose_tgds`'s one-pass plan byte-for-byte
+  against sequential execution (shapes drawn mostly from the
+  composable fragment, with grouped/aggregating second stages mixed in
+  to exercise the sequential fallback);
+* ``round-trip`` — quasi-invertible copy-like mappings
+  (``params["round_trip"]``): immediate-child build chains with
+  identity value copies, optional filters, and optionally dropped
+  attributes; the farm replays source → target → source′ through
+  :func:`repro.algebra.quasi_inverse` and checks the bytes against the
+  independently derived :func:`repro.algebra.predicted_core`.
 
 Everything is deterministic in ``seed``: the same ``(seed, count,
 axes)`` triple reproduces each case byte for byte — the property the
@@ -61,6 +74,8 @@ AXES = (
     "skewed-groups",
     "value-functions",
     "delta",
+    "composition",
+    "round-trip",
 )
 
 _FIRST = ["John", "Mary", "Andrew", "Lucy", "Mark", "Jim", "Sara", "Paul",
@@ -616,6 +631,227 @@ def _build_delta(rng: random.Random):
     return clip, instance, params
 
 
+def _composition_source_instance(rng: random.Random) -> XmlElement:
+    """A small ``S/dept/emp`` instance for the composition axis."""
+    root = element("S")
+    for d in range(rng.randint(1, 4)):
+        dept = element(
+            "dept", dname=_DEPARTMENTS[d % len(_DEPARTMENTS)]
+        )
+        for _ in range(rng.randint(0, 5)):
+            dept.append(
+                element(
+                    "emp",
+                    ename=f"{rng.choice(_FIRST)} {rng.choice(_LAST)}",
+                    sal=rng.randrange(500, 3000, 50),
+                )
+            )
+        root.append(dept)
+    return root
+
+
+def _build_composition(rng: random.Random):
+    """Mapping-algebra composition cases: an ``A→B`` stage (the case's
+    mapping) plus a serialized ``B→C`` stage in ``params``.
+
+    Three second-stage shapes: ``filter`` and ``copy`` lie in the
+    composable fragment (the farm demands a fused plan with
+    byte-identical output); ``group`` deliberately falls outside it
+    (grouping Skolems), exercising the sequential fallback and its
+    :class:`~repro.errors.ComposeError` reason.
+    """
+    from ..io import dumps as dump_mapping
+
+    src_a = schema(
+        elem(
+            "S",
+            elem(
+                "dept", "[0..*]", attr("dname", STRING),
+                elem("emp", "[0..*]", attr("ename", STRING), attr("sal", INT)),
+            ),
+        )
+    )
+    src_b = schema(
+        elem(
+            "B",
+            elem(
+                "division", "[0..*]", attr("dn", STRING),
+                elem(
+                    "worker", "[0..*]",
+                    attr("wname", STRING), attr("pay", INT),
+                ),
+            ),
+        )
+    )
+
+    first_threshold = (
+        None if rng.random() < 0.5 else rng.randrange(600, 2400, 100)
+    )
+    m_ab = ClipMapping(src_a, src_b)
+    division = m_ab.build("dept", "division", var="d")
+    m_ab.build(
+        "dept/emp", "division/worker", var="e", parent=division,
+        condition=(
+            None if first_threshold is None
+            else f"$e.@sal > {first_threshold}"
+        ),
+    )
+    m_ab.value("dept/@dname", "division/@dn")
+    m_ab.value("dept/emp/@ename", "division/worker/@wname")
+    m_ab.value("dept/emp/@sal", "division/worker/@pay")
+
+    shape = rng.choices(("filter", "copy", "group"), weights=(5, 3, 2))[0]
+    if shape == "filter":
+        # Context + filtered build reading one level up: composable.
+        second_threshold = rng.randrange(800, 2600, 100)
+        src_c = schema(
+            elem(
+                "C",
+                elem(
+                    "rich", "[0..*]",
+                    attr("who", STRING), attr("unit", STRING),
+                ),
+            )
+        )
+        m_bc = ClipMapping(src_b, src_c)
+        ctx = m_bc.context("division", var="x")
+        m_bc.build(
+            "division/worker", "rich", var="w", parent=ctx,
+            condition=f"$w.@pay > {second_threshold}",
+        )
+        m_bc.value("division/worker/@wname", "rich/@who")
+        m_bc.value("division/@dn", "rich/@unit")
+    elif shape == "copy":
+        # Structure-preserving copy of the whole chain: composable.
+        src_c = schema(
+            elem(
+                "C",
+                elem(
+                    "unit", "[0..*]", attr("un", STRING),
+                    elem("person", "[0..*]", attr("pn", STRING)),
+                ),
+            )
+        )
+        m_bc = ClipMapping(src_b, src_c)
+        unit = m_bc.build("division", "unit", var="v")
+        m_bc.build(
+            "division/worker", "unit/person", var="w", parent=unit
+        )
+        m_bc.value("division/@dn", "unit/@un")
+        m_bc.value("division/worker/@wname", "unit/person/@pn")
+    else:
+        # Grouping second stage: outside the composable fragment, the
+        # farm checks the sequential fallback instead.
+        src_c = schema(
+            elem(
+                "C",
+                elem(
+                    "crew", "[0..*]", attr("cname", STRING),
+                    elem("member", "[0..*]", attr("mn", STRING)),
+                ),
+            )
+        )
+        m_bc = ClipMapping(src_b, src_c)
+        group = m_bc.group(
+            "division/worker", "crew", var="w", by=["$w.@wname"]
+        )
+        m_bc.value("division/worker/@wname", "crew/@cname")
+        m_bc.build(
+            "division/worker", "crew/member", var="w2", parent=group
+        )
+        m_bc.value("division/worker/@wname", "crew/member/@mn")
+    report = check(m_bc)
+    if not report.is_valid:
+        raise CorpusError(
+            f"composition second stage ({shape}) is invalid: "
+            + "; ".join(str(issue) for issue in report.errors())
+        )
+    compile_clip(m_bc, require_valid=True, report=report)
+    instance = _composition_source_instance(rng)
+    params = {
+        "compose_with": dump_mapping(m_bc),
+        "compose_shape": shape,
+        "expect_inlined": shape != "group",
+    }
+    if first_threshold is not None:
+        params["first_threshold"] = first_threshold
+    return m_ab, instance, params
+
+
+def _build_round_trip(rng: random.Random):
+    """Quasi-invertible copy-like chains for the round-trip oracle.
+
+    A ``depth``-level repeating chain copied level by level (immediate
+    children, repeating targets, identity value copies) — the fragment
+    :func:`repro.algebra.quasi_inverse` accepts.  Optional: a filter on
+    the deepest level (the round trip then recovers only the rows that
+    pass) and a dropped attribute (never transported, so absent from
+    the predicted core too).
+    """
+    depth = rng.randint(2, 3)
+    filtered = rng.random() < 0.5
+    drop_attr = rng.random() < 0.4
+    threshold = rng.randrange(2, 8)
+    src = None
+    tgt = None
+    for level in range(depth, 0, -1):
+        src_children = [attr("a", INT), attr("b", INT)]
+        tgt_children = [
+            attr("p", INT, required=False),
+            attr("q", INT, required=False),
+        ]
+        if src is not None:
+            src_children.append(src)
+            tgt_children.append(tgt)
+        src = elem(f"R{level}", "[0..*]", *src_children)
+        tgt = elem(f"W{level}", "[0..*]", *tgt_children)
+    source = schema(elem("S", src))
+    target = schema(elem("T", tgt))
+
+    clip = ClipMapping(source, target)
+    parent = None
+    spath = tpath = ""
+    for level in range(1, depth + 1):
+        spath = f"{spath}/R{level}" if spath else f"R{level}"
+        tpath = f"{tpath}/W{level}" if tpath else f"W{level}"
+        condition = (
+            f"$v{level}.@a > {threshold}"
+            if filtered and level == depth
+            else None
+        )
+        parent = clip.build(
+            spath, tpath, var=f"v{level}", condition=condition,
+            parent=parent,
+        )
+        clip.value(f"{spath}/@a", f"{tpath}/@p")
+        if not (drop_attr and level == depth):
+            clip.value(f"{spath}/@b", f"{tpath}/@q")
+
+    instance = element("S")
+
+    def grow(holder: XmlElement, level: int) -> None:
+        if level > depth:
+            return
+        fanout = rng.randint(1, 3) if level == 1 else rng.randint(0, 3)
+        for _ in range(fanout):
+            child = element(
+                f"R{level}", a=rng.randrange(10), b=rng.randrange(100)
+            )
+            holder.append(child)
+            grow(child, level + 1)
+
+    grow(instance, 1)
+    params = {
+        "round_trip": True,
+        "depth": depth,
+        "filtered": filtered,
+        "drop_attr": drop_attr,
+    }
+    if filtered:
+        params["threshold"] = threshold
+    return clip, instance, params
+
+
 _BUILDERS = {
     "deep-cpt": _build_deep_cpt,
     "aggregates": _build_aggregates,
@@ -624,6 +860,8 @@ _BUILDERS = {
     "skewed-groups": _build_skewed_groups,
     "value-functions": _build_value_functions,
     "delta": _build_delta,
+    "composition": _build_composition,
+    "round-trip": _build_round_trip,
 }
 
 assert tuple(_BUILDERS) == AXES

@@ -7,6 +7,15 @@ practical tool ships is the operational version — run the
 transformations in sequence, checking that each stage's output schema
 feeds the next stage's input schema.  :class:`Pipeline` provides that,
 with per-stage validation and inspection hooks.
+
+``Pipeline(…, fuse=True)`` additionally *algebraically* fuses adjacent
+stages via :func:`repro.algebra.compose_tgds`: runs of stages inside
+the composable fragment collapse into single one-pass plans (no
+intermediate instance is materialized), while stage pairs outside it
+keep their seam.  Fused and unfused pipelines produce byte-identical
+output — the fused plans are cached under
+:func:`repro.algebra.compose_fingerprint` chain keys in the shared
+:class:`~repro.runtime.PlanCache`.
 """
 
 from __future__ import annotations
@@ -37,13 +46,30 @@ class Pipeline:
     The stages' schemas must line up: stage *i*'s target schema is
     stage *i+1*'s source schema (compared structurally, since schema
     objects may have been built twice from the same definition).
+
+    ``fuse=True`` greedily composes adjacent stages' tgds
+    (:func:`repro.algebra.compose_tgds`); :attr:`fused_groups` records
+    which original stages each fused plan covers (``[[0, 1], [2]]`` —
+    stages 0 and 1 inlined, stage 2 kept its seam).
     """
 
-    def __init__(self, mappings: Sequence[ClipMapping], *, engine: str = "tgd"):
+    def __init__(self, mappings: Sequence[ClipMapping], *, engine: str = "tgd",
+                 fuse: bool = False):
         if not mappings:
             raise MappingError("a pipeline needs at least one mapping")
         self.engine = engine
         self.transformers = [Transformer(m, engine=engine) for m in mappings]
+        self.fuse = fuse
+        #: Original stage indices covered by each fused unit (one
+        #: singleton list per stage when ``fuse`` is off or nothing
+        #: composed).
+        self.fused_groups: list[list[int]] = []
+        self._fused_tgds: list = []
+        self._fused_plans = None
+        if fuse:
+            self._plan_fusion()
+        else:
+            self.fused_groups = [[i] for i in range(len(self.transformers))]
         # Render each schema object at most once across the adjacency
         # checks — shared schema objects (stage i's target handed to
         # stage i+1 as its source) used to be rendered per comparison.
@@ -67,6 +93,69 @@ class Pipeline:
 
     def __len__(self) -> int:
         return len(self.transformers)
+
+    # -- adjacent-stage fusion -----------------------------------------
+
+    def _plan_fusion(self) -> None:
+        """Greedily fold adjacent stages' tgds: each stage joins the
+        current fused run when :func:`compose_tgds` accepts the pair,
+        otherwise the run closes and the stage starts a new one."""
+        from .algebra import compose_tgds
+        from .errors import ComposeError
+
+        accumulated = self.transformers[0].tgd
+        group = [0]
+        for index in range(1, len(self.transformers)):
+            stage_tgd = self.transformers[index].tgd
+            try:
+                accumulated = compose_tgds(accumulated, stage_tgd)
+            except ComposeError:
+                self._fused_tgds.append(accumulated)
+                self.fused_groups.append(group)
+                accumulated = stage_tgd
+                group = [index]
+            else:
+                group.append(index)
+        self._fused_tgds.append(accumulated)
+        self.fused_groups.append(group)
+
+    def _group_fingerprint(self, group: Sequence[int]) -> str:
+        """The fused cache key for one group: the stage fingerprints
+        folded left through :func:`compose_fingerprint`."""
+        from .algebra import compose_fingerprint
+        from .runtime import fingerprint
+
+        fp = fingerprint(self.transformers[group[0]].mapping, self.engine)
+        for index in group[1:]:
+            fp = compose_fingerprint(
+                fp, fingerprint(self.transformers[index].mapping, self.engine)
+            )
+        return fp
+
+    @property
+    def fused_plans(self):
+        """The compiled plans of the fused units (``fuse=True`` only),
+        built lazily and shared through the default plan cache under
+        compose-fingerprint chain keys."""
+        if not self.fuse:
+            raise MappingError(
+                "this pipeline was built without fuse=True; "
+                "there are no fused plans"
+            )
+        if self._fused_plans is None:
+            from .runtime import default_cache, plan_from_tgd
+
+            cache = default_cache()
+            plans = []
+            for tgd, group in zip(self._fused_tgds, self.fused_groups):
+                fp = self._group_fingerprint(group)
+                plan = cache.peek(fp)
+                if plan is None:
+                    plan = plan_from_tgd(tgd, self.engine, fp=fp)
+                    cache.put(plan)
+                plans.append(plan)
+            self._fused_plans = plans
+        return self._fused_plans
 
     def _seed_trace(self, trace) -> None:
         """Namespace a shared tracer under the whole chain: the
@@ -100,7 +189,15 @@ class Pipeline:
         ``trace`` (a :class:`repro.runtime.trace.SpanTracer`) records a
         ``pipeline`` span with one ``stage[i]`` child per mapping, each
         containing that transformer's prepare/transform subtree.
+
+        With ``fuse=True`` the fused plans run instead — byte-identical
+        output, no intermediate instances for inlined seams — unless
+        ``validate_stages`` or ``keep_intermediates`` is set, which
+        need every per-stage instance and therefore run the unfused
+        path.
         """
+        if self.fuse and not validate_stages and not keep_intermediates:
+            return self._run_fused(instance, trace=trace)
         current = instance
         results: list[StageResult] = []
         pipeline_span = None
@@ -141,6 +238,40 @@ class Pipeline:
             trace.end(pipeline_span)
         if keep_intermediates:
             return results
+        return current
+
+    def _run_fused(self, instance: XmlElement, *, trace=None) -> XmlElement:
+        """Apply the fused plans in order.  Traced runs record one
+        ``fused[i]`` span per unit, tagged with the original stage
+        indices the unit covers."""
+        current = instance
+        pipeline_span = None
+        if trace:
+            self._seed_trace(trace)
+            pipeline_span = trace.begin(
+                "pipeline", stages=len(self), fused=len(self.fused_plans)
+            )
+        for index, (plan, group) in enumerate(
+            zip(self.fused_plans, self.fused_groups)
+        ):
+            unit_span = None
+            if trace:
+                unit_span = trace.begin(
+                    f"fused[{index}]", stages=",".join(map(str, group))
+                )
+            try:
+                current = plan.run(current, trace=trace)
+            except Exception:
+                if unit_span is not None:
+                    unit_span.attrs["status"] = "error"
+                    trace.end(unit_span)
+                if pipeline_span is not None:
+                    trace.end(pipeline_span)
+                raise
+            if unit_span is not None:
+                trace.end(unit_span, status="ok")
+        if pipeline_span is not None:
+            trace.end(pipeline_span)
         return current
 
     def __call__(self, instance: XmlElement) -> XmlElement:

@@ -79,6 +79,7 @@ from .metrics import (
 from .plan import (
     ENGINES,
     CompiledPlan,
+    canonical_fingerprint,
     compile_plan,
     eligible_engines,
     fingerprint,
@@ -129,6 +130,7 @@ __all__ = [
     "TRACE_VERSION",
     "Trace",
     "call_with_timeout",
+    "canonical_fingerprint",
     "combine_seeds",
     "compile_plan",
     "default_cache",

@@ -82,6 +82,39 @@ def fingerprint(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def canonical_fingerprint(
+    mapping: ClipMapping,
+    engine: str = "tgd",
+    *,
+    optimize: Optional[bool] = None,
+    exec_mode: Optional[str] = None,
+) -> str:
+    """A *semantic* plan fingerprint: alpha-renamed-equivalent mappings
+    share it.
+
+    Hashes the canonical normal form of the compiled tgd
+    (:func:`repro.algebra.canonical_render`) instead of the persistent
+    JSON document, so two drawings that differ only in bound variable
+    names or ``where``-conjunct order key the same cache slot.  The
+    engine / optimize / exec-mode markers participate exactly as in
+    :func:`fingerprint`, plus a ``|canonical`` tag so canonical and
+    structural keys can never collide.
+
+    Used by :class:`repro.runtime.cache.PlanCache` when canonicalization
+    is enabled (``CLIP_CACHE_CANONICALIZE``).
+    """
+    from ..algebra.normalize import canonical_render
+
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; use one of {ENGINES}")
+    marker = "" if resolve_optimize(optimize) else ":no-optimize"
+    if resolve_effective_exec_mode(engine, optimize, exec_mode) == "codegen":
+        marker += ":codegen"
+    tgd = mapping if isinstance(mapping, NestedTgd) else compile_clip(mapping)
+    payload = f"{engine}{marker}|canonical\n{canonical_render(tgd)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def eligible_engines(tgd: NestedTgd) -> tuple[str, ...]:
     """The engines able to execute an already-compiled tgd.
 

@@ -13,7 +13,17 @@ Endpoints
   (optionally ``?engine=``/``?optimize=``/``?exec_mode=``); compiles it
   once into the shared :class:`~repro.runtime.cache.PlanCache` and
   returns the fingerprint that transform requests address it by.
-  Re-registering is idempotent and a visible plan-cache hit.
+  Re-registering is idempotent and a visible plan-cache hit.  With a
+  canonicalizing cache (``CLIP_CACHE_CANONICALIZE``) the fingerprint is
+  the *canonical* one — an alpha-renamed variant of a registered
+  mapping registers as a cache hit without a second compile.
+* ``POST /mappings/compose`` — fuse two registered mappings (JSON
+  envelope ``{"first": FP_AB, "second": FP_BC}``) into one composed
+  ``A→C`` plan via :func:`repro.algebra.compose_tgds`; the composed
+  entry is addressable by its :func:`repro.algebra.compose_fingerprint`
+  exactly like a registered mapping, and transforms through it are
+  byte-identical to chaining the two originals.  Pairs outside the
+  composable fragment answer 422 with the :class:`ComposeError` reason.
 * ``POST /transform?mapping=FP`` — transform one document (raw XML
   body, or a JSON envelope ``{"mapping": …, "document": …}``); the
   response body is the output XML, byte-identical to what the CLI
@@ -62,8 +72,12 @@ from typing import Mapping, NamedTuple, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .. import errors as errors_module
+from ..algebra import compose_fingerprint, compose_tgds
+from ..core.compile import compile_clip
 from ..core.mapping import ClipMapping
+from ..core.tgd import NestedTgd
 from ..errors import (
+    AlgebraError,
     AuthError,
     DocumentFailureError,
     DocumentTimeout,
@@ -88,14 +102,15 @@ from ..io import loads as load_mapping_text
 from ..runtime import (
     BatchMetrics,
     BatchRunner,
+    CompiledPlan,
     DeadLetter,
     Deadline,
     DocumentFailure,
     ErrorPolicy,
     PlanCache,
     SpanTracer,
-    fingerprint,
     is_transient,
+    plan_from_tgd,
     transform_delta,
     write_dead_letters,
 )
@@ -125,6 +140,7 @@ _STATUS_BY_TYPE: Tuple[Tuple[type, int], ...] = (
     (OverloadError, 503),
     (DocumentTimeout, 504),
     (TransientError, 503),
+    (AlgebraError, 422),
     (InvalidMappingError, 422),
     (ExecModeError, 400),
     (XmlError, 400),
@@ -189,6 +205,37 @@ class RegisteredMapping:
             "engine": self.engine,
             "optimize": self.optimize,
             "exec_mode": self.exec_mode,
+        }
+
+
+@dataclass(frozen=True)
+class RegisteredComposition:
+    """One composed registry entry: an ``A→C`` tgd fused from two
+    registered mappings, pinned to its execution strategy.
+
+    There is no Clip mapping behind it — the composed nested tgd *is*
+    the artifact — so the entry carries the schemas transforms need
+    (the first operand's source, the second's target) and enough to
+    rebuild the plan after a cache eviction.
+    """
+
+    fingerprint: str
+    tgd: NestedTgd
+    source: object  # the first operand's source XSD schema
+    target: object  # the second operand's target XSD schema
+    engine: str
+    optimize: bool
+    exec_mode: str
+    first: str
+    second: str
+
+    def describe(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "engine": self.engine,
+            "optimize": self.optimize,
+            "exec_mode": self.exec_mode,
+            "composed": [self.first, self.second],
         }
 
 
@@ -347,6 +394,8 @@ class ClipService:
             return self._health()
         if method == "GET" and route == "/metrics":
             return self._prometheus()
+        if method == "POST" and route == "/mappings/compose":
+            return self._compose(params, body)
         if method == "POST" and route == "/mappings":
             return self._register(params, body)
         if method == "GET" and route == "/mappings":
@@ -450,12 +499,20 @@ class ClipService:
         exec_mode = resolve_effective_exec_mode(
             engine, optimize, params.get("exec_mode")
         )
-        fp = fingerprint(clip, engine, optimize=optimize, exec_mode=exec_mode)
+        # The cache's own key function: the canonical fingerprint when
+        # the cache canonicalizes (alpha-renamed variants share a plan),
+        # the structural one otherwise.
+        fp = self.cache.fingerprint_for(
+            clip, engine, optimize=optimize, exec_mode=exec_mode
+        )
         was_cached = self.cache.peek(fp) is not None
         # The one compile (on a miss): the lookup inside get_or_compile
-        # counts the hit or miss that GET /metrics then reports.
+        # counts the hit or miss that GET /metrics then reports, and —
+        # since the key above is the cache's own (possibly canonical)
+        # one — the canonical hit/miss as well.
         plan = self.cache.get_or_compile(
-            clip, engine, fp=fp, optimize=optimize, exec_mode=exec_mode
+            clip, engine, fp=fp, optimize=optimize, exec_mode=exec_mode,
+            count_canonical=True,
         )
         entry = RegisteredMapping(fp, clip, engine, optimize, exec_mode)
         with self._lock:
@@ -469,6 +526,104 @@ class ClipService:
             "valid": plan.report.is_valid if plan.report is not None else True,
         }
         return _json_body(doc, 200 if known else 201)
+
+    def _compose(self, params: dict, body: bytes) -> ServiceResponse:
+        """``POST /mappings/compose``: fuse two registered mappings into
+        one composed plan, registered under the compose fingerprint.
+
+        The envelope names the operands by their registration
+        fingerprints (``{"first": FP_AB, "second": FP_BC}``); query
+        parameters pin the composed plan's execution strategy exactly
+        like ``POST /mappings``.  Operand pairs outside the composable
+        fragment raise :class:`~repro.errors.ComposeError` (422, with
+        the machine-readable reason in the message).
+        """
+        try:
+            envelope = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"compose envelope is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(envelope, dict):
+            raise ValueError(
+                "compose envelope must be a JSON object with 'first' "
+                "and 'second' keys"
+            )
+        first_fp = envelope.get("first")
+        second_fp = envelope.get("second")
+        if not isinstance(first_fp, str) or not first_fp:
+            raise ValueError("compose envelope is missing 'first'")
+        if not isinstance(second_fp, str) or not second_fp:
+            raise ValueError("compose envelope is missing 'second'")
+        first = self._lookup_mapping(first_fp)
+        second = self._lookup_mapping(second_fp)
+        if isinstance(first, RegisteredComposition) or isinstance(
+            second, RegisteredComposition
+        ):
+            raise ServiceError(
+                "compose operands must be plain registered mappings, "
+                "not compositions"
+            )
+        engine = params.get("engine", "tgd")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; use one of {ENGINES}"
+            )
+        optimize = resolve_optimize(_tristate(params.get("optimize"), "optimize"))
+        exec_mode = resolve_effective_exec_mode(
+            engine, optimize, params.get("exec_mode")
+        )
+        # Raises ComposeError (422) outside the composable fragment.
+        composed = compose_tgds(
+            compile_clip(first.mapping), compile_clip(second.mapping)
+        )
+        fp = compose_fingerprint(first.fingerprint, second.fingerprint)
+        with self._lock:
+            existing = self._registry.get(fp)
+        # A cache hit only counts when the existing entry pins the same
+        # execution strategy — re-composing with different parameters
+        # recompiles and replaces the plan.
+        was_cached = (
+            self.cache.peek(fp) is not None
+            and existing is not None
+            and (existing.engine, existing.optimize, existing.exec_mode)
+            == (engine, optimize, exec_mode)
+        )
+        if not was_cached:
+            plan = plan_from_tgd(
+                composed, engine, fp=fp, optimize=optimize,
+                exec_mode=exec_mode,
+            )
+            self.cache.put(plan)
+        entry = RegisteredComposition(
+            fp, composed,
+            first.mapping.source, second.mapping.target,
+            engine, optimize, exec_mode,
+            first.fingerprint, second.fingerprint,
+        )
+        with self._lock:
+            known = fp in self._registry
+            self._registry[fp] = entry
+        doc = {
+            "format": MAPPING_FORMAT,
+            "version": MAPPING_VERSION,
+            **entry.describe(),
+            "cache": "hit" if was_cached else "miss",
+            "valid": True,
+        }
+        return _json_body(doc, 200 if known else 201)
+
+    def _composition_plan(self, entry: RegisteredComposition) -> CompiledPlan:
+        """The composed entry's plan, rebuilt from the stored tgd after
+        an eviction (there is no Clip mapping to recompile from)."""
+        plan = self.cache.peek(entry.fingerprint)
+        if plan is None:
+            plan = plan_from_tgd(
+                entry.tgd, entry.engine, fp=entry.fingerprint,
+                optimize=entry.optimize, exec_mode=entry.exec_mode,
+            )
+            self.cache.put(plan)
+        return plan
 
     def _list_mappings(self) -> ServiceResponse:
         with self._lock:
@@ -646,6 +801,10 @@ class ClipService:
         try:
             deadline = self._deadline(params)
             entry, text = self._transform_payload(params, headers, body)
+            if isinstance(entry, RegisteredComposition):
+                return self._transform_composed(
+                    entry, text, params, deadline, request_id
+                )
             try:
                 document = deadline.run(
                     lambda: parse_xml(text, schema=entry.mapping.source)
@@ -694,6 +853,60 @@ class ClipService:
                 )
             raise
 
+    def _transform_composed(
+        self,
+        entry: RegisteredComposition,
+        text: str,
+        params: dict,
+        deadline: Deadline,
+        request_id: str,
+    ) -> ServiceResponse:
+        """One transform through a composed plan: parse against the
+        first operand's source schema, run the fused one-pass plan —
+        byte-identical to chaining the two originals."""
+        try:
+            document = deadline.run(
+                lambda: parse_xml(text, schema=entry.source)
+            )
+        except ReproError as exc:
+            failure = DocumentFailure.from_exception(0, exc)
+            paths = self._dead_letter([DeadLetter(failure, text)],
+                                      request_id)
+            self.metrics.count_documents(0, 1)
+            return self._failure_response(failure, request_id, paths)
+        tracer = SpanTracer() if _flag(params.get("trace")) else None
+        if tracer is not None:
+            # The composed entry has no Clip mapping to derive the usual
+            # trace seed from; the compose fingerprint is as stable.
+            tracer.seed = entry.fingerprint
+            tracer.engine = entry.engine
+        plan = self._composition_plan(entry)
+        started = time.perf_counter()
+        result = deadline.run(lambda: plan.run(document, trace=tracer))
+        elapsed = time.perf_counter() - started
+        self.metrics.count_documents(1, 0)
+        metrics_doc = BatchMetrics(
+            engine=entry.engine,
+            workers=1,
+            documents=1,
+            execute_seconds=elapsed,
+            wall_seconds=elapsed,
+            source_elements=document.size(),
+            target_elements=result.size(),
+        ).to_dict()
+        if tracer is not None:
+            metrics_doc["trace"] = tracer.to_trace().to_dict()
+        self._store_request(
+            request_id, endpoint="transform", entry=entry, status=200,
+            metrics_doc=metrics_doc, result=result,
+        )
+        return ServiceResponse(
+            200, "application/xml; charset=utf-8",
+            to_xml(result).encode("utf-8"),
+            (("X-Clip-Request", request_id),
+             ("X-Clip-Mapping", entry.fingerprint)),
+        )
+
     def _transform_delta(self, params: dict, body: bytes) -> ServiceResponse:
         """``POST /transform/delta``: incremental re-transform of an
         edited document, keyed on a past request's source/target pair."""
@@ -737,6 +950,11 @@ class ClipService:
                         f"threshold must be within [0, 1], got {threshold!r}"
                     )
             entry = self._lookup_mapping(base["mapping"])
+            if isinstance(entry, RegisteredComposition):
+                raise ServiceError(
+                    "delta transforms are not supported for composed "
+                    "mappings; re-transform with POST /transform"
+                )
             started = time.perf_counter()
             prev_source = deadline.run(
                 lambda: parse_xml(
@@ -828,6 +1046,11 @@ class ClipService:
                 "'mapping' key in the envelope"
             )
         entry = self._lookup_mapping(fp)
+        if isinstance(entry, RegisteredComposition):
+            raise ServiceError(
+                "batch transforms are not supported for composed "
+                "mappings; use POST /transform per document"
+            )
         sources = envelope.get("documents")
         if (
             not isinstance(sources, list)

@@ -257,3 +257,99 @@ class TestExtendedSweep:
         for seed in range(100, 105):
             report = run_fuzz(seed=seed, count=24)
             assert report.status == "ok", report.to_json()
+
+
+class TestAlgebraLegs:
+    """The composition and round-trip differential legs."""
+
+    def test_composition_axis_runs_clean_and_counts(self):
+        report = run_fuzz(seed=11, count=18, axes=["composition"])
+        assert report.status == "ok"
+        assert report.compose_checks == 18
+        assert report.compose_inlined + report.compose_fallbacks == 18
+        assert report.compose_inlined > 0
+        assert report.compose_fallbacks > 0
+        assert report.round_trip_checks == 0
+        doc = parse_report(report.to_json())
+        assert doc["compose_checks"] == 18
+        assert doc["compose_inlined"] == report.compose_inlined
+        assert doc["compose_fallbacks"] == report.compose_fallbacks
+
+    def test_round_trip_axis_runs_clean_and_counts(self):
+        report = run_fuzz(seed=11, count=12, axes=["round-trip"])
+        assert report.status == "ok"
+        assert report.round_trip_checks == 12
+        assert report.compose_checks == 0
+        assert parse_report(report.to_json())["round_trip_checks"] == 12
+
+    def test_algebra_legs_are_byte_deterministic(self):
+        axes = ["composition", "round-trip"]
+        first = run_fuzz(seed=13, count=10, axes=axes).to_json()
+        second = run_fuzz(seed=13, count=10, axes=axes).to_json()
+        assert first == second
+
+    def test_compose_and_round_trip_kits_replay_clean(self, tmp_path):
+        """A dead-lettered algebra-leg kit replays through the same
+        oracle: fabricate kits for healthy cases and demand the replay
+        come back clean."""
+        from repro.fuzz.farm import Combo
+        from repro.fuzz.report import FuzzReport
+        from repro.generation.corpus import generate_corpus
+
+        farm = FuzzFarm(dead_letter_dir=tmp_path)
+        cases = list(
+            generate_corpus(11, 24, axes=("composition", "round-trip"))
+        )
+        comp = next(c for c in cases if c.params.get("expect_inlined"))
+        rt = next(c for c in cases if c.params.get("round_trip"))
+        report = FuzzReport(
+            seed=11, count=2, axes=("composition", "round-trip"),
+            engines=("tgd",), optimize_modes=(True,), workers=(1,),
+        )
+        comp_ref = farm.cache.get_or_compile(comp.mapping, "tgd")
+        farm._record(
+            comp, Combo("tgd", True, 1, "compose"), report,
+            kind="bytes", detail=("fabricated",),
+            expected=comp_ref(comp.instance),
+        )
+        rt_ref = farm.cache.get_or_compile(rt.mapping, "tgd")
+        farm._record(
+            rt, Combo("tgd", True, 1, "round-trip"), report,
+            kind="bytes", detail=("fabricated",),
+            expected=rt_ref(rt.instance),
+        )
+        assert len(report.divergences) == 2
+        for divergence in report.divergences:
+            result = farm.replay(tmp_path / divergence.dead_letter)
+            assert result.diverged is False, divergence.dead_letter
+            assert result.error is None
+
+    def test_broken_composer_is_caught(self, monkeypatch):
+        """Negative control for the compose leg: a composer that
+        mangles the fused tgd's filters must show up as divergences."""
+        from repro.algebra import compose_tgds as real_compose
+        from repro.fuzz import farm as farm_module
+
+        def broken_compose(tgd_ab, tgd_bc):
+            fused = real_compose(tgd_ab, tgd_bc)
+
+            def strip(level):
+                return dataclasses.replace(
+                    level,
+                    where=(),
+                    submappings=tuple(
+                        strip(sub) for sub in level.submappings
+                    ),
+                )
+
+            return dataclasses.replace(
+                fused, roots=tuple(strip(root) for root in fused.roots)
+            )
+
+        monkeypatch.setattr(farm_module, "compose_tgds", broken_compose)
+        report = run_fuzz(seed=11, count=18, axes=["composition"])
+        assert report.status == "divergent"
+        assert any(
+            d.exec_mode == "compose" and d.kind == "bytes"
+            for d in report.divergences
+        )

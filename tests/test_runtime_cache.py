@@ -237,3 +237,126 @@ class TestBatchRunner:
     def test_bad_engine_rejected(self):
         with pytest.raises(ValueError):
             BatchRunner(deptstore.mapping_fig4(), engine="sparql")
+
+
+class TestCanonicalizedKeys:
+    """Canonical cache keys: alpha-renamed mappings share one plan."""
+
+    @staticmethod
+    def _fig3_renamed():
+        from repro.core.mapping import ClipMapping
+
+        clip = ClipMapping(
+            deptstore.source_schema(), deptstore.target_schema_fig3()
+        )
+        clip.build("dept/regEmp", "department/employee", var="z",
+                   condition="$z.sal.value > 11000")
+        clip.value("dept/regEmp/ename/value", "department/employee/@name")
+        return clip
+
+    def test_structural_fingerprints_differ_canonical_agree(self):
+        from repro.runtime import canonical_fingerprint
+
+        original = deptstore.mapping_fig3()
+        renamed = self._fig3_renamed()
+        assert fingerprint(original) != fingerprint(renamed)
+        assert canonical_fingerprint(original) == canonical_fingerprint(
+            renamed
+        )
+
+    def test_fingerprint_for_follows_the_canonicalize_flag(self):
+        plain = PlanCache()
+        canonical = PlanCache(canonicalize=True)
+        original = deptstore.mapping_fig3()
+        renamed = self._fig3_renamed()
+        assert plain.fingerprint_for(original) != plain.fingerprint_for(
+            renamed
+        )
+        assert canonical.fingerprint_for(
+            original
+        ) == canonical.fingerprint_for(renamed)
+
+    def test_renamed_variant_compiles_once_and_counts_canonical_hit(self):
+        cache = PlanCache(canonicalize=True)
+        first = cache.get_or_compile(deptstore.mapping_fig3())
+        second = cache.get_or_compile(self._fig3_renamed())
+        assert first is second, "alpha-renamed variant recompiled"
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.canonical_misses == 1
+        assert stats.canonical_hits == 1
+
+    def test_renamed_variants_share_byte_identical_output(self):
+        """Soundness of the shared plan: the variant's own compile and
+        the canonically shared plan serialize identically."""
+        from repro.xml.serialize import to_xml
+
+        instance = deptstore.source_instance()
+        shared = PlanCache(canonicalize=True)
+        shared.get_or_compile(deptstore.mapping_fig3())
+        via_shared = shared.get_or_compile(self._fig3_renamed())(instance)
+        own = PlanCache().get_or_compile(self._fig3_renamed())(instance)
+        assert to_xml(via_shared) == to_xml(own)
+
+    def test_structural_cache_keeps_variants_apart(self):
+        cache = PlanCache()
+        first = cache.get_or_compile(deptstore.mapping_fig3())
+        second = cache.get_or_compile(self._fig3_renamed())
+        assert first is not second
+        stats = cache.stats
+        assert stats.misses == 2
+        assert stats.canonical_hits == stats.canonical_misses == 0
+
+    def test_explicit_fp_skips_canonical_counting_by_default(self):
+        cache = PlanCache(canonicalize=True)
+        mapping = deptstore.mapping_fig3()
+        fp = cache.fingerprint_for(mapping)
+        cache.get_or_compile(mapping, fp=fp)
+        cache.get_or_compile(mapping, fp=fp)
+        stats = cache.stats
+        assert stats.canonical_hits == stats.canonical_misses == 0
+        # ...and opts in when the caller says the key is canonical.
+        cache.get_or_compile(mapping, fp=fp, count_canonical=True)
+        assert cache.stats.canonical_hits == 1
+
+    def test_where_conjunct_order_is_canonicalized(self):
+        """The normal form sorts where-conjuncts: mappings differing
+        only in filter-condition order share a canonical key."""
+        from repro.core.mapping import ClipMapping
+        from repro.runtime import canonical_fingerprint
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import INT, STRING
+
+        src = schema(elem(
+            "S", elem("row", "[0..*]", attr("a", INT), attr("b", INT)),
+        ))
+        tgt = schema(elem(
+            "T", elem("out", "[0..*]", attr("x", INT)),
+        ))
+
+        def make(condition):
+            clip = ClipMapping(src, tgt)
+            clip.build("row", "out", var="r", condition=condition)
+            clip.value("row/@a", "out/@x")
+            return clip
+
+        one = make("$r.@a > 1 and $r.@b > 2")
+        other = make("$r.@b > 2 and $r.@a > 1")
+        assert canonical_fingerprint(one) == canonical_fingerprint(other)
+
+    def test_environment_flag_resolution(self, monkeypatch):
+        from repro.runtime.cache import CANONICALIZE_ENV, resolve_canonicalize
+
+        monkeypatch.delenv(CANONICALIZE_ENV, raising=False)
+        assert resolve_canonicalize() is False
+        assert resolve_canonicalize(True) is True
+        monkeypatch.setenv(CANONICALIZE_ENV, "1")
+        assert resolve_canonicalize() is True
+        assert resolve_canonicalize(False) is False
+        assert PlanCache(canonicalize=None).canonicalize is True
+        monkeypatch.setenv(CANONICALIZE_ENV, "off")
+        assert resolve_canonicalize() is False
+        monkeypatch.setenv(CANONICALIZE_ENV, "sideways")
+        with pytest.raises(ValueError):
+            resolve_canonicalize()

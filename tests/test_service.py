@@ -818,3 +818,267 @@ class TestTransformDelta:
             }).encode(),
         )
         assert response.status == 400
+
+
+# -- the mapping algebra at the service surface ------------------------------
+
+
+def _alpha_renamed_fig3() -> ClipMapping:
+    """Figure 3 with its binder renamed: same canonical normal form,
+    different structural fingerprint."""
+    clip = ClipMapping(
+        deptstore.source_schema(), deptstore.target_schema_fig3()
+    )
+    clip.build("dept/regEmp", "department/employee", var="z",
+               condition="$z.sal.value > 11000")
+    clip.value("dept/regEmp/ename/value", "department/employee/@name")
+    return clip
+
+
+def make_canonicalizing_service() -> ClipService:
+    from repro.runtime import PlanCache
+
+    return ClipService(
+        ServiceConfig.resolve(environ={}),
+        cache=PlanCache(canonicalize=True),
+    )
+
+
+class TestCanonicalizedCache:
+    def test_alpha_renamed_registration_is_one_compile_and_a_hit(self):
+        """The satellite contract: behind a canonicalizing cache, two
+        alpha-renamed mappings register under ONE fingerprint, compile
+        once, and the second registration is a cache hit — visible as a
+        canonical-hit delta in ``GET /metrics``."""
+        service = make_canonicalizing_service()
+        first = service.dispatch(
+            "POST", "/mappings", {}, dumps(deptstore.mapping_fig3()).encode()
+        )
+        second = service.dispatch(
+            "POST", "/mappings", {}, dumps(_alpha_renamed_fig3()).encode()
+        )
+        assert first.status == 201
+        assert second.status == 200, second.body
+        first_doc = json.loads(first.body)
+        second_doc = json.loads(second.body)
+        assert first_doc["fingerprint"] == second_doc["fingerprint"]
+        assert first_doc["cache"] == "miss"
+        assert second_doc["cache"] == "hit"
+        stats = service.cache.stats
+        assert stats.misses == 1, "the variant must not recompile"
+        assert stats.canonical_misses == 1
+        assert stats.canonical_hits == 1
+        text = service.dispatch("GET", "/metrics").body.decode()
+        assert "clip_service_plan_cache_canonical_hits_total 1" in text
+        assert "clip_service_plan_cache_canonical_misses_total 1" in text
+        assert "clip_service_plan_cache_misses_total 1" in text
+
+    def test_default_cache_keeps_variants_apart(self, service):
+        first = service.dispatch(
+            "POST", "/mappings", {}, dumps(deptstore.mapping_fig3()).encode()
+        )
+        second = service.dispatch(
+            "POST", "/mappings", {}, dumps(_alpha_renamed_fig3()).encode()
+        )
+        assert first.status == 201
+        assert second.status == 201
+        assert (
+            json.loads(first.body)["fingerprint"]
+            != json.loads(second.body)["fingerprint"]
+        )
+        assert service.cache.stats.misses == 2
+        text = service.dispatch("GET", "/metrics").body.decode()
+        assert "clip_service_plan_cache_canonical_hits_total 0" in text
+        assert "clip_service_plan_cache_canonical_misses_total 0" in text
+
+    def test_transform_through_either_variant_is_byte_identical(
+        self, source_xml
+    ):
+        """Alpha-renamed registrations share one plan; transforms keyed
+        by the shared fingerprint serve both callers identically."""
+        service = make_canonicalizing_service()
+        fp = register(service, deptstore.mapping_fig3())
+        fp2 = register(service, _alpha_renamed_fig3())
+        assert fp == fp2
+        response = service.dispatch(
+            "POST", f"/transform?mapping={fp}", {}, source_xml.encode()
+        )
+        assert response.status == 200
+        plain = make_service()
+        plain_fp = register(plain, deptstore.mapping_fig3())
+        reference = plain.dispatch(
+            "POST", f"/transform?mapping={plain_fp}", {}, source_xml.encode()
+        )
+        assert response.body == reference.body
+
+
+class TestCompose:
+    """``POST /mappings/compose``: the algebra's composition as a
+    service surface."""
+
+    @staticmethod
+    def _chain():
+        from repro.xsd.dsl import attr, elem, schema
+        from repro.xsd.types import INT, STRING
+
+        src_a = schema(elem(
+            "S",
+            elem("dept", "[0..*]", attr("dname", STRING),
+                 elem("emp", "[0..*]", attr("name", STRING),
+                      elem("sal", text=INT))),
+        ))
+        src_b = schema(elem(
+            "B",
+            elem("department", "[0..*]", attr("dn", STRING),
+                 elem("employee", "[0..*]", attr("ename", STRING),
+                      elem("pay", text=INT))),
+        ))
+        src_c = schema(elem(
+            "C",
+            elem("rich", "[0..*]", attr("who", STRING), attr("unit", STRING)),
+        ))
+        m_ab = ClipMapping(src_a, src_b)
+        d = m_ab.build("dept", "department", var="d")
+        m_ab.build("dept/emp", "department/employee", var="e", parent=d)
+        m_ab.value("dept/@dname", "department/@dn")
+        m_ab.value("dept/emp/@name", "department/employee/@ename")
+        m_ab.value("dept/emp/sal/value", "department/employee/pay/value")
+        m_bc = ClipMapping(src_b, src_c)
+        ctx = m_bc.context("department", var="x")
+        m_bc.build("department/employee", "rich", var="y", parent=ctx,
+                   condition="$y.pay.value > 1000")
+        m_bc.value("department/employee/@ename", "rich/@who")
+        m_bc.value("department/@dn", "rich/@unit")
+        grouped = ClipMapping(src_b, src_c)
+        grouped.group("department/employee", "rich", var="w",
+                      by=["$w.@ename"])
+        grouped.value("department/employee/@ename", "rich/@who")
+        return m_ab, m_bc, grouped
+
+    @staticmethod
+    def _source_xml() -> str:
+        from repro.xml.model import element
+
+        return to_xml(element(
+            "S",
+            element("dept",
+                    element("emp", element("sal", text=1500), name="Ann"),
+                    element("emp", element("sal", text=900), name="Bob"),
+                    dname="ICT"),
+            element("dept",
+                    element("emp", element("sal", text=2000), name="Cid"),
+                    dname="Sales"),
+        ))
+
+    def _compose(self, service, first_fp, second_fp, query=""):
+        return service.dispatch(
+            "POST", f"/mappings/compose{query}", {},
+            json.dumps({"first": first_fp, "second": second_fp}).encode(),
+        )
+
+    def test_compose_registers_under_the_compose_fingerprint(self, service):
+        from repro.algebra import compose_fingerprint
+
+        m_ab, m_bc, _ = self._chain()
+        fp_ab = register(service, m_ab)
+        fp_bc = register(service, m_bc)
+        response = self._compose(service, fp_ab, fp_bc)
+        assert response.status == 201, response.body
+        doc = json.loads(response.body)
+        assert doc["fingerprint"] == compose_fingerprint(fp_ab, fp_bc)
+        assert doc["composed"] == [fp_ab, fp_bc]
+        assert doc["cache"] == "miss"
+        again = self._compose(service, fp_ab, fp_bc)
+        assert again.status == 200
+        assert json.loads(again.body)["cache"] == "hit"
+
+    def test_transform_through_composition_matches_sequential(self, service):
+        from repro import Transformer
+        from repro.xml.parser import parse_xml
+
+        m_ab, m_bc, _ = self._chain()
+        fp_ab = register(service, m_ab)
+        fp_bc = register(service, m_bc)
+        composed_fp = json.loads(
+            self._compose(service, fp_ab, fp_bc).body
+        )["fingerprint"]
+        source_xml = self._source_xml()
+        response = service.dispatch(
+            "POST", f"/transform?mapping={composed_fp}", {},
+            source_xml.encode(),
+        )
+        assert response.status == 200, response.body
+        instance = parse_xml(source_xml, m_ab.source)
+        sequential = Transformer(m_bc)(Transformer(m_ab)(instance))
+        assert response.body.decode() == to_xml(sequential), (
+            "composed transform diverges from sequential execution"
+        )
+
+    def test_compose_outside_fragment_is_422_with_reason(self, service):
+        m_ab, _, grouped = self._chain()
+        fp_ab = register(service, m_ab)
+        fp_grouped = register(service, grouped)
+        response = self._compose(service, fp_ab, fp_grouped)
+        assert response.status == 422
+        doc = json.loads(response.body)
+        assert doc["error"] == "ComposeError"
+
+    def test_compose_unknown_operand_is_404(self, service):
+        m_ab, m_bc, _ = self._chain()
+        fp_ab = register(service, m_ab)
+        assert self._compose(service, fp_ab, "feedface").status == 404
+
+    def test_compose_envelope_without_operands_is_400(self, service):
+        response = service.dispatch(
+            "POST", "/mappings/compose", {}, json.dumps({}).encode()
+        )
+        assert response.status == 400
+
+    def test_composing_a_composition_is_refused(self, service):
+        m_ab, m_bc, _ = self._chain()
+        fp_ab = register(service, m_ab)
+        fp_bc = register(service, m_bc)
+        composed_fp = json.loads(
+            self._compose(service, fp_ab, fp_bc).body
+        )["fingerprint"]
+        response = self._compose(service, composed_fp, fp_bc)
+        assert response.status == 400
+        assert b"compositions" in response.body
+
+    def test_batch_through_composition_is_refused(self, service):
+        m_ab, m_bc, _ = self._chain()
+        fp_ab = register(service, m_ab)
+        fp_bc = register(service, m_bc)
+        composed_fp = json.loads(
+            self._compose(service, fp_ab, fp_bc).body
+        )["fingerprint"]
+        response = service.dispatch(
+            "POST", "/transform/batch", {},
+            json.dumps({
+                "mapping": composed_fp,
+                "documents": [self._source_xml()],
+            }).encode(),
+        )
+        assert response.status == 400
+        assert b"batch" in response.body
+
+    def test_composition_appears_in_listing_and_detail(self, service):
+        m_ab, m_bc, _ = self._chain()
+        fp_ab = register(service, m_ab)
+        fp_bc = register(service, m_bc)
+        composed_fp = json.loads(
+            self._compose(service, fp_ab, fp_bc).body
+        )["fingerprint"]
+        listing = json.loads(service.dispatch("GET", "/mappings").body)
+        composed_entries = [
+            entry for entry in listing["mappings"]
+            if entry.get("composed")
+        ]
+        assert [entry["fingerprint"] for entry in composed_entries] == [
+            composed_fp
+        ]
+        detail = json.loads(
+            service.dispatch("GET", f"/mappings/{composed_fp}").body
+        )
+        assert detail["cached"] is True
+        assert detail["composed"] == [fp_ab, fp_bc]
